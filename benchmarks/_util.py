@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+ROUNDS_LIGHT = 3
+ROUNDS_HEAVY = 1
+
+
+def regenerate(benchmark, make_context, experiment_id, save, rounds=ROUNDS_LIGHT):
+    """Regenerate one paper artefact under the benchmark timer.
+
+    Each round runs against a *fresh* (uncached) context over the shared
+    world, so the timing covers the real sweep/analysis work.  The
+    rendered artefact is saved to benchmarks/output/ and printed.
+    """
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, make_context()),
+        rounds=rounds,
+        iterations=1,
+    )
+    text = result.render()
+    save(experiment_id, text)
+    print()
+    print(text)
+    return result

@@ -1,0 +1,51 @@
+"""Benchmark fixtures: one bench-scale world shared across the session.
+
+Benches run at 1:250 scale (~20k concurrent domains, the repo default) and
+regenerate every paper artefact.  Rendered outputs are written to
+``benchmarks/output/<experiment>.txt`` so EXPERIMENTS.md can reference the
+exact reproduced tables/series.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.sim import ConflictScenarioConfig, build_scenario
+
+BENCH_SCALE = 250.0
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The bench-scale world (built once; includes the PKI simulation)."""
+    return build_scenario(ConflictScenarioConfig(scale=BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_world):
+    """A shared, fully-cached context for result reporting."""
+    return ExperimentContext(world=bench_world, cadence_days=7)
+
+
+@pytest.fixture()
+def fresh_context(bench_world):
+    """An uncached context over the shared world (honest per-bench work)."""
+    def make() -> ExperimentContext:
+        return ExperimentContext(world=bench_world, cadence_days=7)
+
+    return make
+
+
+def save_output(experiment_id: str, text: str) -> None:
+    """Persist a rendered artefact for EXPERIMENTS.md."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{experiment_id}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def save():
+    return save_output

@@ -1,0 +1,34 @@
+"""Ablation: composition-metric stability across population scales."""
+
+from repro.experiments import ExperimentContext, run_experiment
+from repro.sim import ConflictScenarioConfig
+
+
+def test_bench_ablation_scale(benchmark, save):
+    def run():
+        results = {}
+        for scale in (2500.0, 1000.0, 500.0):
+            context = ExperimentContext(
+                config=ConflictScenarioConfig(scale=scale, with_pki=False),
+                cadence_days=14,
+            )
+            measured = run_experiment("fig1", context).measured
+            results[scale] = (
+                measured["ns_full_start_pct"],
+                measured["ns_full_end_pct"],
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["== ablation: scale stability of Figure 1 endpoints =="]
+    for scale, (start, end) in sorted(results.items()):
+        lines.append(
+            f"1:{int(scale):>5d} scale  ->  full start {start:.1f}%  end {end:.1f}%"
+        )
+    spread_start = max(v[0] for v in results.values()) - min(
+        v[0] for v in results.values()
+    )
+    lines.append(f"start-share spread across scales: {spread_start:.2f} pp")
+    save("ablation_scale", "\n".join(lines))
+    print("\n" + "\n".join(lines))
+    assert spread_start < 4.0

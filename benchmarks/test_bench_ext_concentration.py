@@ -1,0 +1,11 @@
+"""Bench (extension): CA and hosting market concentration (Section 6)."""
+
+from _util import ROUNDS_HEAVY, regenerate
+
+
+def test_bench_ext_concentration(benchmark, fresh_context, save):
+    result = regenerate(
+        benchmark, fresh_context, "concentration", save, rounds=ROUNDS_HEAVY
+    )
+    assert result.measured["ca_leader_post_sanctions"] == "Let's Encrypt"
+    assert result.measured["ca_hhi_post_sanctions"] > 0.9

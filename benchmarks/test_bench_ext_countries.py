@@ -1,0 +1,10 @@
+"""Bench (extension): per-country hosting shifts through the conflict."""
+
+from _util import regenerate
+
+
+def test_bench_ext_countries(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "countries", save)
+    assert result.measured["ru_change_pp"] > 0
+    assert result.measured["nl_change_pp"] > 0
+    assert result.measured["de_change_pp"] < 0

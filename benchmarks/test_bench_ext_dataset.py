@@ -1,0 +1,11 @@
+"""Bench (extension): Section 2 dataset summary."""
+
+from _util import ROUNDS_HEAVY, regenerate
+
+
+def test_bench_ext_dataset(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "dataset", save, rounds=ROUNDS_HEAVY)
+    assert result.measured["study_days"] == 1803
+    assert result.measured["sanctioned_domains"] == 107
+    # Unique-domain count scales back to the paper's order of magnitude.
+    assert 8_000_000 < result.measured["unique_domains_scaled_up"] < 16_000_000

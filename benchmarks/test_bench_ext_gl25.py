@@ -1,0 +1,8 @@
+"""Bench (extension): OFAC General License 25 non-effect (footnote 7)."""
+
+from _util import ROUNDS_HEAVY, regenerate
+
+
+def test_bench_ext_gl25(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "gl25", save, rounds=ROUNDS_HEAVY)
+    assert result.measured["clear_change_observed"] is False

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 1 (NS country composition, 5-year sweep)."""
+
+from _util import regenerate
+
+
+def test_bench_fig1(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "fig1", save)
+    assert 60.0 < result.measured["ns_full_start_pct"] < 72.0
+    assert result.measured["ns_full_change_pp"] > 3.0

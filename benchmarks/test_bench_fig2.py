@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 2 (NS TLD-dependency composition)."""
+
+from _util import regenerate
+
+
+def test_bench_fig2(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "fig2", save)
+    assert result.measured["tld_full_change_pp"] < -3.0
+    assert result.measured["tld_part_change_pp"] > 3.0

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 3 (top-5 NS TLD shares)."""
+
+from _util import regenerate
+
+
+def test_bench_fig3(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "fig3", save)
+    assert result.measured["top_tlds"][0] == "ru"
+    assert set(result.measured["top_tlds"]) == {"ru", "com", "pro", "org", "net"}

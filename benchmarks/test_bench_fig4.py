@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 4 (hosting-network shares, conflict window)."""
+
+from _util import regenerate
+
+
+def test_bench_fig4(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "fig4", save)
+    assert 34.0 < result.measured["russian_big4_start_pct"] < 42.0
+    assert 4.5 < result.measured["cloudflare_pct"] < 8.5

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 5 (sanctioned-domain NS composition)."""
+
+from _util import regenerate
+
+
+def test_bench_fig5(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "fig5", save)
+    assert result.measured["sanctioned_total"] == 107
+    assert result.measured["mar4_full_pct"] > 90.0

@@ -1,0 +1,8 @@
+"""Bench: regenerate Figure 6 (Amazon AS16509 movement)."""
+
+from _util import regenerate
+
+
+def test_bench_fig6(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "fig6", save)
+    assert 0.30 <= result.measured["remained_share"] <= 0.58

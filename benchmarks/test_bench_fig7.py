@@ -1,0 +1,8 @@
+"""Bench: regenerate Figure 7 (Sedo AS47846 movement)."""
+
+from _util import regenerate
+
+
+def test_bench_fig7(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "fig7", save)
+    assert result.measured["relocated_share"] >= 0.85

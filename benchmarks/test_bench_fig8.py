@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 8 (per-CA issuance dot timelines)."""
+
+from _util import ROUNDS_HEAVY, regenerate
+
+
+def test_bench_fig8(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "fig8", save, rounds=ROUNDS_HEAVY)
+    assert result.measured["continuing_cas"] == [
+        "GlobalSign", "Google Trust Services", "Let's Encrypt",
+    ]

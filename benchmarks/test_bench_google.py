@@ -1,0 +1,8 @@
+"""Bench: regenerate the Section 3.4 Google movement numbers."""
+
+from _util import regenerate
+
+
+def test_bench_google(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "google", save)
+    assert result.measured["intra_google_share_of_relocated"] >= 0.55

@@ -1,0 +1,9 @@
+"""Bench: regenerate the headline prose statistics."""
+
+from _util import regenerate
+
+
+def test_bench_headline(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "headline", save)
+    assert 68.0 < result.measured["hosting_full_start_pct"] < 74.0
+    assert result.measured["hosting_part_start_pct"] < 1.0

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the heavy substrates."""
+
+import datetime as dt
+
+from repro.ctlog.merkle import MerkleTree
+from repro.dns.idna import punycode_decode, punycode_encode
+from repro.measurement import ResolvingCollector
+from repro.net.prefix import Prefix
+from repro.net.rib import RoutingTable
+
+
+def test_bench_resolving_collector(benchmark, bench_world):
+    """Honest-path resolution throughput (domains/second)."""
+    collector = ResolvingCollector(bench_world)
+    date = dt.date(2022, 3, 10)
+    indices = bench_world.population.active_indices(date)[:300]
+    measurements = benchmark.pedantic(
+        lambda: collector.collect(date, indices), rounds=3, iterations=1
+    )
+    assert len(measurements) == 300
+
+
+def test_bench_merkle_append_and_prove(benchmark):
+    """CT log core: append 5k leaves, prove and verify 100 inclusions."""
+
+    def run():
+        tree = MerkleTree()
+        for index in range(5000):
+            tree.append(index.to_bytes(4, "big"))
+        root = tree.root()
+        for index in range(0, 5000, 50):
+            proof = tree.inclusion_proof(index)
+            assert MerkleTree.verify_inclusion(
+                tree.leaf(index), index, 5000, proof, root
+            )
+        return tree
+
+    tree = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert tree.size == 5000
+
+
+def test_bench_rib_lookup(benchmark):
+    """Longest-prefix match: 50k lookups against a 1k-route table."""
+    table = RoutingTable()
+    for index in range(1000):
+        table.announce(Prefix((10 << 24) | (index << 12), 20), index + 1)
+    probes = [(10 << 24) | (i << 12) | 99 for i in range(0, 1000)] * 50
+
+    def run():
+        return sum(1 for p in probes if table.lookup(p) is not None)
+
+    hits = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert hits == len(probes)
+
+
+def test_bench_punycode(benchmark):
+    """IDNA throughput on Cyrillic labels."""
+    labels = [f"пример-домен-{i}" for i in range(500)]
+
+    def run():
+        encoded = [punycode_encode(label) for label in labels]
+        decoded = [punycode_decode(text) for text in encoded]
+        return decoded
+
+    decoded = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert decoded == labels

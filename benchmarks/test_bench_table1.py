@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 1 (per-phase CA issuance)."""
+
+from _util import ROUNDS_HEAVY, regenerate
+
+
+def test_bench_table1(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "table1", save, rounds=ROUNDS_HEAVY)
+    shares = result.measured["shares"]
+    assert shares["post-sanctions"]["Let's Encrypt"] > 96.0

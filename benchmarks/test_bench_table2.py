@@ -1,0 +1,8 @@
+"""Bench: regenerate Table 2 (revocation activity)."""
+
+from _util import ROUNDS_HEAVY, regenerate
+
+
+def test_bench_table2(benchmark, fresh_context, save):
+    result = regenerate(benchmark, fresh_context, "table2", save, rounds=ROUNDS_HEAVY)
+    assert result.measured["full_revokers"] == ["DigiCert", "Sectigo"]

@@ -1,0 +1,11 @@
+"""Bench: regenerate the Section 4.3 Russian Trusted Root CA analysis."""
+
+from _util import ROUNDS_HEAVY, regenerate
+
+
+def test_bench_trustedca(benchmark, fresh_context, save):
+    result = regenerate(
+        benchmark, fresh_context, "trustedca", save, rounds=ROUNDS_HEAVY
+    )
+    assert result.measured["in_ct_logs"] == 0
+    assert result.measured["sanctioned_secured"] == 36

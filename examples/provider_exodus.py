@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Western-provider exodus (paper Sections 3.2 and 3.4, Figures 4/6/7).
+
+Tracks hosting-network shares through the conflict window and measures
+the movement in and out of Amazon, Sedo, Google, and Cloudflare the way
+the paper does: set comparison between two dates, with whois lookups to
+split arrivals into relocations vs fresh registrations.
+"""
+
+import datetime as dt
+
+from repro.core.movement import analyze_movement
+from repro.experiments import ExperimentContext, run_experiment
+from repro.sim import ConflictScenarioConfig
+
+
+def main() -> None:
+    context = ExperimentContext(
+        config=ConflictScenarioConfig(scale=500.0, with_pki=False),
+        cadence_days=7,
+    )
+
+    for experiment_id in ("fig4", "fig6", "fig7", "google"):
+        print(run_experiment(experiment_id, context).render())
+        print()
+
+    # Cloudflare "business as usual" (Section 3.4), measured directly.
+    world = context.world
+    registry = world.catalog.as_registry()
+    asn = world.catalog.get("cloudflare").primary_asn
+    report = analyze_movement(
+        context.collector, asn, dt.date(2022, 3, 7), dt.date(2022, 5, 25)
+    )
+    print(f"--- Cloudflare AS{asn} ({registry.name_of(asn)}) ---")
+    print(f"in AS on 2022-03-07:     {report.original}")
+    print(f"remained on 2022-05-25:  {report.remained} "
+          f"({100 * report.remained_share:.0f}%; paper: 94%)")
+    print(f"newly appeared:          {report.inflow_total}")
+    print("consistent with 'Russia needs more Internet access, not less'.")
+
+
+if __name__ == "__main__":
+    main()

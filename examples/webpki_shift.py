@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""WebPKI shift (paper Section 4: Table 1, Figure 8, Table 2, §4.3).
+
+Reproduces the certificate-side findings: CA market concentration after
+the invasion, issuance stops, sanctioned-domain revocations, and the
+scan-only visibility of the Russian Trusted Root CA — including a Merkle
+inclusion-proof check against the simulated CT logs.
+"""
+
+from repro.ctlog.merkle import MerkleTree
+from repro.experiments import ExperimentContext, run_experiment
+from repro.sim import ConflictScenarioConfig
+
+
+def verify_ct_proofs(context: ExperimentContext) -> None:
+    """Cryptographically verify a few CT inclusion proofs."""
+    log = context.world.pki.logs[0]
+    sth = log.get_sth()
+    checked = 0
+    for entry in log.get_entries(0, min(len(log) - 1, 200))[::40]:
+        proof = log.inclusion_proof_for(entry.certificate)
+        ok = MerkleTree.verify_inclusion(
+            log.tree.leaf(entry.index), entry.index, sth.tree_size,
+            proof, sth.root_hash,
+        )
+        assert ok
+        checked += 1
+    print(
+        f"--- CT log {log.log_id}: size {sth.tree_size}, "
+        f"{checked} inclusion proofs verified against the STH ---\n"
+    )
+
+
+def main() -> None:
+    context = ExperimentContext(
+        config=ConflictScenarioConfig(scale=500.0), cadence_days=7
+    )
+    for experiment_id in ("table1", "fig8", "table2", "trustedca"):
+        print(run_experiment(experiment_id, context).render())
+        print()
+    verify_ct_proofs(context)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""where-ru: a full reproduction of "Where .ru? Assessing the Impact of
+Conflict on Russian Domain Infrastructure" (Jonker et al., IMC 2022).
+
+The package is layered:
+
+* substrates — :mod:`repro.net`, :mod:`repro.geo`, :mod:`repro.dns`,
+  :mod:`repro.registry`, :mod:`repro.providers`, :mod:`repro.pki`,
+  :mod:`repro.ctlog`, :mod:`repro.scanner`, :mod:`repro.sanctions`;
+* the simulated world and calibrated conflict scenario — :mod:`repro.sim`;
+* OpenINTEL-style measurement — :mod:`repro.measurement`;
+* the paper's analysis pipeline — :mod:`repro.core`;
+* per-figure/per-table reproductions — :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro.experiments import ExperimentContext, run_experiment
+    from repro.sim import ConflictScenarioConfig
+
+    context = ExperimentContext(config=ConflictScenarioConfig(scale=1000))
+    print(run_experiment("fig1", context).render())
+"""
+
+from . import timeline
+from .errors import ReproError
+from .experiments import ExperimentContext, run_all, run_experiment
+from .sim import ConflictScenarioConfig, build_scenario, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "timeline",
+    "ReproError",
+    "ExperimentContext",
+    "run_all",
+    "run_experiment",
+    "ConflictScenarioConfig",
+    "build_scenario",
+    "build_world",
+    "__version__",
+]

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show every reproducible artefact,
+* ``run <id>`` — regenerate one figure/table and print it,
+* ``report`` — regenerate EXPERIMENTS.md,
+* ``info`` — summarise the built world,
+* ``resolve <name> --date D`` — honestly resolve a domain through the
+  simulated root/TLD/authoritative hierarchy and show what the
+  measurement pipeline records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .dns.name import DomainName
+from .dns.rdata import RRType
+from .dns.resolver import IterativeResolver
+from .errors import ReproError
+from .experiments import EXPERIMENTS, EXTENSIONS, ExperimentContext, run_experiment
+from .experiments.report import write_markdown_report
+from .sim import ConflictScenarioConfig
+from .sim.dnsbuild import DnsTreeBuilder
+from .timeline import as_date
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Where .ru? Assessing the Impact of Conflict "
+            "on Russian Domain Infrastructure' (IMC 2022)."
+        ),
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1000.0,
+        help="population scale denominator (default 1000; benches use 250)",
+    )
+    parser.add_argument(
+        "--cadence", type=int, default=7,
+        help="sweep cadence in days for longitudinal series (default 7)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20220224, help="scenario seed"
+    )
+    parser.add_argument(
+        "--no-pki", action="store_true",
+        help="skip the certificate simulation (faster; disables PKI artefacts)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible artefacts")
+    sub.add_parser("info", help="summarise the built world")
+    sub.add_parser("timeline", help="print the scripted scenario timeline")
+
+    run_parser = sub.add_parser("run", help="regenerate one artefact")
+    run_parser.add_argument("experiment", help="experiment id (see 'list')")
+    run_parser.add_argument(
+        "--out", default=None, help="also write the rendering to this file"
+    )
+
+    report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report_parser.add_argument(
+        "--output", default="EXPERIMENTS.md", help="output path"
+    )
+
+    resolve_parser = sub.add_parser(
+        "resolve", help="resolve a domain through the simulated DNS"
+    )
+    resolve_parser.add_argument("name", help="domain name (Unicode or A-label)")
+    resolve_parser.add_argument(
+        "--date", default="2022-03-04", help="measurement date (ISO)"
+    )
+
+    bundle_parser = sub.add_parser(
+        "bundle", help="export every artefact (text + CSV) to a directory"
+    )
+    bundle_parser.add_argument(
+        "--output", default="artifacts", help="output directory"
+    )
+    bundle_parser.add_argument(
+        "--extensions", action="store_true", help="include extension analyses"
+    )
+    return parser
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    config = ConflictScenarioConfig(
+        scale=args.scale, seed=args.seed, with_pki=not args.no_pki
+    )
+    return ExperimentContext(config=config, cadence_days=args.cadence)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("paper artefacts:")
+    for experiment_id in EXPERIMENTS:
+        print(f"  {experiment_id}")
+    print("extensions:")
+    for experiment_id in EXTENSIONS:
+        print(f"  {experiment_id}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    context = _context(args)
+    world = context.world
+    population = world.population
+    print(f"scale:              1:{args.scale:g}")
+    print(f"domains on day 1:   {population.active_count('2017-06-18'):,}")
+    print(f"unique over study:  {population.unique_count():,}")
+    print(f"providers:          {len(world.catalog)}")
+    print(f"dns plans:          {len(world.dns_plans)}")
+    print(f"hosting plans:      {len(world.hosting_plans)}")
+    print(f"sanctioned domains: {len(world.sanctions.all_domains())}")
+    print(f"infra epochs:       {len(world.epochs())}")
+    if world.pki is not None:
+        print(f"certificates:       {len(world.pki.store):,}")
+        print(f"ct log entries:     {sum(len(log) for log in world.pki.logs):,}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiment not in EXPERIMENTS and args.experiment not in EXTENSIONS:
+        print(
+            f"unknown experiment {args.experiment!r}; known: "
+            f"{', '.join(list(EXPERIMENTS) + list(EXTENSIONS))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_experiment(args.experiment, _context(args))
+    text = result.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = write_markdown_report(_context(args))
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    context = _context(args)
+    world = context.world
+    date = as_date(args.date)
+    name = DomainName.parse(args.name)
+    try:
+        record = world.population.by_name(name)
+    except ReproError:
+        print(f"{name} is not registered in the simulated registry")
+        return 1
+
+    tree = DnsTreeBuilder(world).build(date, [record.index])
+    resolver = IterativeResolver(tree.network, tree.root_addresses)
+    epoch = world.epoch_at(date)
+    registry = world.catalog.as_registry()
+
+    print(f"{name} on {date} (registered {record.created_date}):")
+    ns_result = resolver.resolve(name, RRType.NS)
+    if not ns_result.ok:
+        print(f"  NS lookup: {ns_result.rcode}")
+        return 1
+    for target in ns_result.ns_targets():
+        target_result = resolver.resolve(target, RRType.A)
+        for address in target_result.addresses():
+            asn = epoch.routing.lookup(address)
+            country = epoch.geo.lookup(address)
+            print(
+                f"  NS {target} -> AS{asn} {registry.name_of(asn or 0)} ({country})"
+            )
+    apex = resolver.resolve(name, RRType.A)
+    for address in apex.addresses():
+        asn = epoch.routing.lookup(address)
+        country = epoch.geo.lookup(address)
+        print(f"  A  -> AS{asn} {registry.name_of(asn or 0)} ({country})")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    context = _context(args)
+    manifest = context.world.manifest
+    if manifest is None:
+        print("this world has no scenario manifest")
+        return 1
+    print(manifest.render())
+    return 0
+
+
+def _cmd_bundle(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .experiments import run_all
+
+    context = _context(args)
+    target = pathlib.Path(args.output)
+    target.mkdir(parents=True, exist_ok=True)
+    results = run_all(context, include_extensions=args.extensions)
+    for result in results:
+        (target / f"{result.experiment_id}.txt").write_text(
+            result.render() + "\n", encoding="utf-8"
+        )
+        result.write_csv(target)
+
+    from .sim.validate import validate_world
+
+    issues = validate_world(context.world)
+    (target / "validation.txt").write_text(
+        ("world is internally consistent\n" if not issues else
+         "\n".join(issues) + "\n"),
+        encoding="utf-8",
+    )
+    if context.world.manifest is not None:
+        (target / "timeline.txt").write_text(
+            context.world.manifest.render() + "\n", encoding="utf-8"
+        )
+    print(f"wrote {len(results)} artefacts to {target}/")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "info": _cmd_info,
+    "run": _cmd_run,
+    "report": _cmd_report,
+    "resolve": _cmd_resolve,
+    "bundle": _cmd_bundle,
+    "timeline": _cmd_timeline,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

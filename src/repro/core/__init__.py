@@ -1,0 +1,92 @@
+"""Core analysis: the paper's measurement pipeline.
+
+Everything here consumes measurements (snapshots, CT monitor output,
+scan datasets) and produces the series, tables, and reports behind the
+paper's figures, tables, and prose claims.
+"""
+
+from .composition import CompositionPoint, CompositionSeries, collect_composition
+from .concentration import ConcentrationReport, analyze_market, concentration_ratio, hhi
+from .countrydist import CountrySharePoint, CountryShareSeries, collect_country_shares
+from .issuance import (
+    IssuanceTimeline,
+    compare_issuance_windows,
+    PhaseIssuance,
+    daily_issuance_average,
+    issuance_by_phase,
+    issuance_timelines,
+    top_issuers_table,
+)
+from .labels import (
+    LABEL_FULL,
+    LABEL_NON,
+    LABEL_PART,
+    classify_flags,
+    classify_hosting_geo,
+    classify_ns_geo,
+    classify_ns_tld,
+    label_name,
+    snapshot_hosting_geo_labels,
+    snapshot_ns_geo_labels,
+    snapshot_ns_tld_labels,
+)
+from .movement import MovementReport, analyze_movement, transition_matrix
+from .revocation import IssuerRevocation, RevocationTable, analyze_revocations
+from .summary import HeadlineStats, compute_headline_stats
+from .tlddep import (
+    TldSharePoint,
+    TldShareSeries,
+    collect_tld_composition,
+    collect_tld_shares,
+)
+from .topasn import AsnSharePoint, AsnShareSeries, asn_members, collect_asn_shares
+from .trustedca import TrustedCaReport, analyze_trusted_ca
+
+__all__ = [
+    "CompositionPoint",
+    "CompositionSeries",
+    "collect_composition",
+    "ConcentrationReport",
+    "analyze_market",
+    "concentration_ratio",
+    "hhi",
+    "CountrySharePoint",
+    "CountryShareSeries",
+    "collect_country_shares",
+    "compare_issuance_windows",
+    "IssuanceTimeline",
+    "PhaseIssuance",
+    "daily_issuance_average",
+    "issuance_by_phase",
+    "issuance_timelines",
+    "top_issuers_table",
+    "LABEL_FULL",
+    "LABEL_NON",
+    "LABEL_PART",
+    "classify_flags",
+    "classify_hosting_geo",
+    "classify_ns_geo",
+    "classify_ns_tld",
+    "label_name",
+    "snapshot_hosting_geo_labels",
+    "snapshot_ns_geo_labels",
+    "snapshot_ns_tld_labels",
+    "MovementReport",
+    "analyze_movement",
+    "transition_matrix",
+    "IssuerRevocation",
+    "RevocationTable",
+    "analyze_revocations",
+    "HeadlineStats",
+    "compute_headline_stats",
+    "TldSharePoint",
+    "TldShareSeries",
+    "collect_tld_composition",
+    "collect_tld_shares",
+    "AsnSharePoint",
+    "AsnShareSeries",
+    "asn_members",
+    "collect_asn_shares",
+    "TrustedCaReport",
+    "analyze_trusted_ca",
+]

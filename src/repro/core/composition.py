@@ -1,0 +1,163 @@
+"""Longitudinal country-composition series (Figures 1 and 5).
+
+A :class:`CompositionSeries` accumulates per-day full/part/non counts and
+the daily domain total (the black curve in the paper's figures), for
+either the whole population or a subset (the sanctioned domains).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..measurement.fast import DailySnapshot
+from .labels import (
+    LABEL_FULL,
+    LABEL_NON,
+    LABEL_PART,
+    snapshot_hosting_geo_labels,
+    snapshot_ns_geo_labels,
+)
+
+__all__ = ["CompositionPoint", "CompositionSeries", "collect_composition"]
+
+
+class CompositionPoint:
+    """One day's composition."""
+
+    __slots__ = ("date", "full", "part", "non")
+
+    def __init__(self, date: _dt.date, full: int, part: int, non: int) -> None:
+        self.date = date
+        self.full = full
+        self.part = part
+        self.non = non
+
+    @property
+    def total(self) -> int:
+        """Number of classified domains."""
+        return self.full + self.part + self.non
+
+    def share(self, which: str) -> float:
+        """Percentage [0, 100] of one class (``full``/``part``/``non``)."""
+        if self.total == 0:
+            return 0.0
+        return 100.0 * getattr(self, which) / self.total
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositionPoint({self.date} full={self.full} "
+            f"part={self.part} non={self.non})"
+        )
+
+
+class CompositionSeries:
+    """An append-only series of :class:`CompositionPoint`."""
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self._points: List[CompositionPoint] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def add(self, point: CompositionPoint) -> None:
+        """Append one day (dates must be strictly increasing)."""
+        if self._points and point.date <= self._points[-1].date:
+            raise AnalysisError(
+                f"composition points must be chronological "
+                f"({point.date} after {self._points[-1].date})"
+            )
+        self._points.append(point)
+
+    def add_counts(self, date: _dt.date, full: int, part: int, non: int) -> None:
+        """Append one day from raw counts."""
+        self.add(CompositionPoint(date, full, part, non))
+
+    def points(self) -> List[CompositionPoint]:
+        """All points, chronological."""
+        return list(self._points)
+
+    def dates(self) -> List[_dt.date]:
+        """Series dates."""
+        return [point.date for point in self._points]
+
+    def shares(self, which: str) -> List[float]:
+        """Percentage series for one class."""
+        return [point.share(which) for point in self._points]
+
+    def totals(self) -> List[int]:
+        """The black curve: classified-domain totals."""
+        return [point.total for point in self._points]
+
+    def at(self, date: _dt.date) -> CompositionPoint:
+        """The point for ``date`` (exact match)."""
+        for point in self._points:
+            if point.date == date:
+                return point
+        raise AnalysisError(f"no composition point for {date}")
+
+    def nearest(self, date: _dt.date) -> CompositionPoint:
+        """The point closest in time to ``date``."""
+        if not self._points:
+            raise AnalysisError("empty composition series")
+        return min(self._points, key=lambda p: abs((p.date - date).days))
+
+    def first(self) -> CompositionPoint:
+        """First point."""
+        if not self._points:
+            raise AnalysisError("empty composition series")
+        return self._points[0]
+
+    def last(self) -> CompositionPoint:
+        """Last point."""
+        if not self._points:
+            raise AnalysisError("empty composition series")
+        return self._points[-1]
+
+    def net_change(self, which: str) -> float:
+        """Percentage-point change of a class between first and last point."""
+        return self.last().share(which) - self.first().share(which)
+
+
+def _labels_for(snapshot: DailySnapshot, kind: str, subset) -> np.ndarray:
+    if kind == "ns":
+        return snapshot_ns_geo_labels(snapshot, subset)
+    if kind == "hosting":
+        return snapshot_hosting_geo_labels(snapshot, subset)
+    raise AnalysisError(f"unknown composition kind {kind!r}")
+
+
+def collect_composition(
+    snapshots: Iterable[DailySnapshot],
+    kind: str = "ns",
+    subset_indices: Optional[Sequence[int]] = None,
+    title: str = "",
+) -> CompositionSeries:
+    """Accumulate a composition series over a snapshot sweep.
+
+    ``kind`` selects name-server (``"ns"``) or hosting (``"hosting"``)
+    geography; ``subset_indices`` restricts to a fixed domain set (the
+    sanctioned-domain analysis passes the 107 indices).
+    """
+    series = CompositionSeries(title=title)
+    for snapshot in snapshots:
+        subset = (
+            snapshot.subset(subset_indices)
+            if subset_indices is not None
+            else snapshot.measured
+        )
+        labels = _labels_for(snapshot, kind, subset)
+        series.add_counts(
+            snapshot.date,
+            int((labels == LABEL_FULL).sum()),
+            int((labels == LABEL_PART).sum()),
+            int((labels == LABEL_NON).sum()),
+        )
+    return series

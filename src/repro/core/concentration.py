@@ -1,0 +1,77 @@
+"""Market-concentration metrics (extension of the paper's Section 6).
+
+The paper's discussion flags the "near-complete control Let's Encrypt
+holds in securing .ru and .рф sites" as Russia's one area of significant
+exposure, and related work (Zembruzki et al., Liu et al.) frames Russian
+hosting as unusually centralised.  This module quantifies both with
+standard concentration measures:
+
+* the Herfindahl–Hirschman Index (HHI, 0..1; >0.25 is "highly
+  concentrated" under the usual antitrust convention),
+* concentration ratios CR-k (combined share of the top k firms),
+* the effective number of competitors (1/HHI).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import AnalysisError
+
+__all__ = ["ConcentrationReport", "hhi", "concentration_ratio", "analyze_market"]
+
+
+def _shares(counts: Mapping[str, int]) -> Dict[str, float]:
+    total = sum(counts.values())
+    if total <= 0:
+        raise AnalysisError("cannot measure concentration of an empty market")
+    return {name: value / total for name, value in counts.items()}
+
+
+def hhi(counts: Mapping[str, int]) -> float:
+    """Herfindahl–Hirschman Index of a market, in [1/n, 1]."""
+    return sum(share**2 for share in _shares(counts).values())
+
+
+def concentration_ratio(counts: Mapping[str, int], k: int) -> float:
+    """Combined market share of the ``k`` largest participants (0..1)."""
+    if k < 1:
+        raise AnalysisError(f"k must be positive: {k}")
+    ranked = sorted(_shares(counts).values(), reverse=True)
+    return sum(ranked[:k])
+
+
+class ConcentrationReport:
+    """Concentration summary of one market snapshot."""
+
+    __slots__ = ("market", "hhi", "cr1", "cr3", "leader", "participants")
+
+    def __init__(self, market: str, counts: Mapping[str, int]) -> None:
+        self.market = market
+        self.hhi = hhi(counts)
+        self.cr1 = concentration_ratio(counts, 1)
+        self.cr3 = concentration_ratio(counts, 3)
+        shares = _shares(counts)
+        self.leader = max(shares, key=lambda name: shares[name])
+        self.participants = sum(1 for value in counts.values() if value > 0)
+
+    @property
+    def effective_competitors(self) -> float:
+        """1/HHI: the number of equal-sized firms with the same HHI."""
+        return 1.0 / self.hhi
+
+    @property
+    def highly_concentrated(self) -> bool:
+        """True above the conventional 0.25 HHI threshold."""
+        return self.hhi > 0.25
+
+    def __repr__(self) -> str:
+        return (
+            f"ConcentrationReport({self.market}: HHI={self.hhi:.3f}, "
+            f"CR1={self.cr1:.2f}, leader={self.leader!r})"
+        )
+
+
+def analyze_market(market: str, counts: Mapping[str, int]) -> ConcentrationReport:
+    """Build a report for one named market."""
+    return ConcentrationReport(market, counts)

@@ -1,0 +1,96 @@
+"""Headline statistics: the prose numbers of Sections 3 and 6.
+
+Assembles, from already-computed series, the quotable figures the paper
+reports in text: the stable ~71% fully-Russian hosting, the 67.0% -> 73.9%
+fully-Russian name service, the net TLD-dependency changes, and the size
+of the Netnod transition.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Optional
+
+from ..errors import AnalysisError
+from ..timeline import CONFLICT_START, STUDY_END, STUDY_START
+from .composition import CompositionSeries
+from .tlddep import TldShareSeries
+
+__all__ = ["HeadlineStats", "compute_headline_stats"]
+
+
+class HeadlineStats:
+    """The paper's quotable numbers, as measured from the reproduction."""
+
+    def __init__(self) -> None:
+        self.hosting_full_start: float = 0.0
+        self.hosting_part_start: float = 0.0
+        self.hosting_non_start: float = 0.0
+        self.ns_full_start: float = 0.0
+        self.ns_full_end: float = 0.0
+        self.ns_full_change: float = 0.0
+        self.tld_full_change: float = 0.0
+        self.tld_part_change: float = 0.0
+        self.top_tld_start: Dict[str, float] = {}
+        self.top_tld_end: Dict[str, float] = {}
+        self.domains_start: int = 0
+        self.domains_end: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary (used by renderers and EXPERIMENTS.md)."""
+        return {
+            "hosting_full_start": round(self.hosting_full_start, 2),
+            "hosting_part_start": round(self.hosting_part_start, 2),
+            "hosting_non_start": round(self.hosting_non_start, 2),
+            "ns_full_start": round(self.ns_full_start, 2),
+            "ns_full_end": round(self.ns_full_end, 2),
+            "ns_full_change": round(self.ns_full_change, 2),
+            "tld_full_change": round(self.tld_full_change, 2),
+            "tld_part_change": round(self.tld_part_change, 2),
+            "top_tld_start": {k: round(v, 2) for k, v in self.top_tld_start.items()},
+            "top_tld_end": {k: round(v, 2) for k, v in self.top_tld_end.items()},
+            "domains_start": self.domains_start,
+            "domains_end": self.domains_end,
+        }
+
+
+def compute_headline_stats(
+    hosting_series: CompositionSeries,
+    ns_series: CompositionSeries,
+    tld_series: CompositionSeries,
+    tld_shares: TldShareSeries,
+    start: _dt.date = STUDY_START,
+    end: _dt.date = STUDY_END,
+) -> HeadlineStats:
+    """Assemble the headline numbers from the four core series."""
+    if not len(hosting_series) or not len(ns_series):
+        raise AnalysisError("headline stats need non-empty series")
+
+    stats = HeadlineStats()
+    hosting_first = hosting_series.nearest(start)
+    stats.hosting_full_start = hosting_first.share("full")
+    stats.hosting_part_start = hosting_first.share("part")
+    stats.hosting_non_start = hosting_first.share("non")
+
+    ns_first = ns_series.nearest(start)
+    ns_last = ns_series.nearest(end)
+    stats.ns_full_start = ns_first.share("full")
+    stats.ns_full_end = ns_last.share("full")
+    stats.ns_full_change = stats.ns_full_end - stats.ns_full_start
+
+    stats.tld_full_change = tld_series.nearest(end).share("full") - tld_series.nearest(
+        start
+    ).share("full")
+    stats.tld_part_change = tld_series.nearest(end).share("part") - tld_series.nearest(
+        start
+    ).share("part")
+
+    first_shares = tld_shares.first()
+    last_shares = tld_shares.last()
+    for tld in tld_shares.top_tlds(5):
+        stats.top_tld_start[tld] = first_shares.share(tld)
+        stats.top_tld_end[tld] = last_shares.share(tld)
+
+    stats.domains_start = ns_first.total
+    stats.domains_end = ns_last.total
+    return stats

@@ -1,0 +1,148 @@
+"""Name-server TLD dependency analyses (Figures 2 and 3).
+
+Two views over the TLDs that authoritative name-server *names* are
+registered under:
+
+* the full/part/non composition against Russian-administered TLDs, and
+* the per-TLD share of domains delegating to at least one name server
+  under that TLD (shares can sum past 100%, as in the paper).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..measurement.fast import DailySnapshot
+from .composition import CompositionSeries
+from .labels import LABEL_FULL, LABEL_NON, LABEL_PART, snapshot_ns_tld_labels
+
+__all__ = ["TldSharePoint", "TldShareSeries", "collect_tld_composition", "collect_tld_shares"]
+
+
+def collect_tld_composition(
+    snapshots: Iterable[DailySnapshot],
+    subset_indices: Optional[Sequence[int]] = None,
+    title: str = "NS TLD dependency",
+) -> CompositionSeries:
+    """Figure 2: full/part/non Russian NS-TLD composition over time."""
+    series = CompositionSeries(title=title)
+    for snapshot in snapshots:
+        subset = (
+            snapshot.subset(subset_indices)
+            if subset_indices is not None
+            else snapshot.measured
+        )
+        labels = snapshot_ns_tld_labels(snapshot, subset)
+        series.add_counts(
+            snapshot.date,
+            int((labels == LABEL_FULL).sum()),
+            int((labels == LABEL_PART).sum()),
+            int((labels == LABEL_NON).sum()),
+        )
+    return series
+
+
+class TldSharePoint:
+    """One day's per-TLD domain shares."""
+
+    __slots__ = ("date", "total", "counts")
+
+    def __init__(self, date: _dt.date, total: int, counts: Dict[str, int]) -> None:
+        self.date = date
+        self.total = total
+        #: TLD -> number of domains with >= 1 NS name under it.
+        self.counts = counts
+
+    def share(self, tld: str) -> float:
+        """Percentage of domains using ``tld`` for >= 1 name server."""
+        if self.total == 0:
+            return 0.0
+        return 100.0 * self.counts.get(tld, 0) / self.total
+
+
+class TldShareSeries:
+    """Longitudinal per-TLD shares."""
+
+    def __init__(self) -> None:
+        self._points: List[TldSharePoint] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def add(self, point: TldSharePoint) -> None:
+        """Append one day."""
+        if self._points and point.date <= self._points[-1].date:
+            raise AnalysisError("TLD share points must be chronological")
+        self._points.append(point)
+
+    def dates(self) -> List[_dt.date]:
+        """Series dates."""
+        return [point.date for point in self._points]
+
+    def tlds_seen(self) -> List[str]:
+        """Every TLD observed anywhere in the series."""
+        seen = set()
+        for point in self._points:
+            seen.update(point.counts)
+        return sorted(seen)
+
+    def share_series(self, tld: str) -> List[float]:
+        """Percentage series for one TLD."""
+        return [point.share(tld) for point in self._points]
+
+    def top_tlds(self, k: int = 5, at: Optional[_dt.date] = None) -> List[str]:
+        """The ``k`` TLDs with the highest share (on the last day or ``at``)."""
+        if not self._points:
+            raise AnalysisError("empty TLD share series")
+        point = self._points[-1]
+        if at is not None:
+            point = min(self._points, key=lambda p: abs((p.date - at).days))
+        ranked = sorted(
+            point.counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [tld for tld, _ in ranked[:k]]
+
+    def first(self) -> TldSharePoint:
+        """First point."""
+        if not self._points:
+            raise AnalysisError("empty TLD share series")
+        return self._points[0]
+
+    def last(self) -> TldSharePoint:
+        """Last point."""
+        if not self._points:
+            raise AnalysisError("empty TLD share series")
+        return self._points[-1]
+
+
+def collect_tld_shares(
+    snapshots: Iterable[DailySnapshot],
+    subset_indices: Optional[Sequence[int]] = None,
+) -> TldShareSeries:
+    """Figure 3's raw material: per-TLD share of domains, per day."""
+    series = TldShareSeries()
+    for snapshot in snapshots:
+        subset = (
+            snapshot.subset(subset_indices)
+            if subset_indices is not None
+            else snapshot.measured
+        )
+        labels = snapshot.epoch.dns_labels
+        plan_counts = np.bincount(
+            snapshot.dns_ids[subset], minlength=labels.tld_membership.shape[0]
+        )
+        per_tld = plan_counts @ labels.tld_membership  # domains per TLD
+        counts = {
+            tld: int(per_tld[column])
+            for column, tld in enumerate(labels.tld_names)
+            if per_tld[column] > 0
+        }
+        series.add(TldSharePoint(snapshot.date, int(len(subset)), counts))
+    return series

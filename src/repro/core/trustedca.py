@@ -1,0 +1,107 @@
+"""Russian Trusted Root CA analysis (Section 4.3).
+
+The state CA never logs to CT, so everything here works from active-scan
+observations: certificates whose chain contains the Russian Trusted Root
+CA organization, the TLD split of the domains they secure, and overlap
+with the sanctioned-domain list.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, List, Sequence, Set
+
+from ..dns.name import DomainName
+from ..pki.certificate import Certificate
+from ..scanner.cuids import UniversalScanDataset
+
+__all__ = ["TrustedCaReport", "analyze_trusted_ca"]
+
+
+class TrustedCaReport:
+    """What the scans reveal about the state CA's initial deployment."""
+
+    def __init__(
+        self,
+        certificates: List[Certificate],
+        ru_domains: Set[str],
+        rf_domains: Set[str],
+        other_domains: Set[str],
+        sanctioned_secured: Set[str],
+        sanctioned_total: int,
+        comparison_issued_elsewhere: int,
+    ) -> None:
+        #: Distinct scan-observed certificates chaining to the state CA.
+        self.certificates = certificates
+        #: Registrable ``.ru`` domains secured.
+        self.ru_domains = ru_domains
+        #: Registrable ``.рф`` domains secured.
+        self.rf_domains = rf_domains
+        #: Secured domains under any other TLD (the "long tail").
+        self.other_domains = other_domains
+        #: Sanctioned domains secured by the state CA.
+        self.sanctioned_secured = sanctioned_secured
+        #: Size of the sanctioned list (denominator for coverage).
+        self.sanctioned_total = sanctioned_total
+        #: Context: certificates all *other* CAs issued in the same window.
+        self.comparison_issued_elsewhere = comparison_issued_elsewhere
+
+    @property
+    def certificate_count(self) -> int:
+        """Distinct state-CA certificates observed serving."""
+        return len(self.certificates)
+
+    @property
+    def sanctioned_coverage(self) -> float:
+        """Share of the sanctioned list secured by the state CA (percent)."""
+        if not self.sanctioned_total:
+            return 0.0
+        return 100.0 * len(self.sanctioned_secured) / self.sanctioned_total
+
+    def issuance_window(self) -> (tuple):
+        """(first, last) not_before among observed certificates."""
+        if not self.certificates:
+            return (None, None)
+        dates = [cert.not_before for cert in self.certificates]
+        return (min(dates), max(dates))
+
+    def __repr__(self) -> str:
+        return (
+            f"TrustedCaReport({self.certificate_count} certs, "
+            f"{len(self.ru_domains)} .ru / {len(self.rf_domains)} .рф)"
+        )
+
+
+def analyze_trusted_ca(
+    scans: UniversalScanDataset,
+    russian_ca_organization: str,
+    sanctioned_domains: Sequence[DomainName],
+    comparison_issued_elsewhere: int = 0,
+) -> TrustedCaReport:
+    """Build the Section 4.3 report from accumulated scan data."""
+    observed = scans.chained_to_organization(russian_ca_organization)
+    ru: Set[str] = set()
+    rf: Set[str] = set()
+    other: Set[str] = set()
+    for cert in observed:
+        for registrable in cert.registered_domains():
+            tld = registrable.rsplit(".", 1)[-1]
+            if tld == "ru":
+                ru.add(registrable)
+            elif tld == "xn--p1ai":
+                rf.add(registrable)
+            else:
+                other.add(registrable)
+
+    sanctioned_names = {str(domain) for domain in sanctioned_domains}
+    secured = (ru | rf | other) & sanctioned_names
+
+    return TrustedCaReport(
+        certificates=observed,
+        ru_domains=ru,
+        rf_domains=rf,
+        other_domains=other,
+        sanctioned_secured=secured,
+        sanctioned_total=len(sanctioned_names),
+        comparison_issued_elsewhere=comparison_issued_elsewhere,
+    )

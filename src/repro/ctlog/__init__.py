@@ -1,0 +1,17 @@
+"""Certificate Transparency substrate: Merkle trees, logs, monitor."""
+
+from .log import CtLog, LogEntry, SignedCertificateTimestamp, SignedTreeHead
+from .merkle import EMPTY_ROOT, MerkleTree, leaf_hash, node_hash
+from .monitor import CtMonitor
+
+__all__ = [
+    "CtLog",
+    "LogEntry",
+    "SignedCertificateTimestamp",
+    "SignedTreeHead",
+    "EMPTY_ROOT",
+    "MerkleTree",
+    "leaf_hash",
+    "node_hash",
+    "CtMonitor",
+]

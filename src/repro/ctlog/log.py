@@ -1,0 +1,131 @@
+"""A Certificate Transparency log.
+
+Accepts certificate chains, returns Signed Certificate Timestamps, and
+serves entries, Signed Tree Heads, and Merkle proofs — the observable
+surface Censys indexes and the paper's Section 4 consumes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+from typing import Dict, List, Optional
+
+from ..errors import CtLogError
+from ..pki.certificate import Certificate
+from ..timeline import DateLike, as_date
+from .merkle import MerkleTree
+
+__all__ = ["SignedCertificateTimestamp", "SignedTreeHead", "LogEntry", "CtLog"]
+
+
+class SignedCertificateTimestamp:
+    """The log's promise to incorporate a certificate."""
+
+    __slots__ = ("log_id", "timestamp", "leaf_index")
+
+    def __init__(self, log_id: str, timestamp: _dt.date, leaf_index: int) -> None:
+        self.log_id = log_id
+        self.timestamp = timestamp
+        self.leaf_index = leaf_index
+
+    def __repr__(self) -> str:
+        return f"SCT({self.log_id} #{self.leaf_index} @ {self.timestamp})"
+
+
+class SignedTreeHead:
+    """A snapshot of the log's Merkle state."""
+
+    __slots__ = ("log_id", "tree_size", "root_hash", "timestamp")
+
+    def __init__(
+        self, log_id: str, tree_size: int, root_hash: bytes, timestamp: _dt.date
+    ) -> None:
+        self.log_id = log_id
+        self.tree_size = tree_size
+        self.root_hash = root_hash
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return f"STH({self.log_id} size={self.tree_size} @ {self.timestamp})"
+
+
+class LogEntry:
+    """One incorporated certificate."""
+
+    __slots__ = ("index", "certificate", "timestamp")
+
+    def __init__(self, index: int, certificate: Certificate, timestamp: _dt.date) -> None:
+        self.index = index
+        self.certificate = certificate
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return f"LogEntry(#{self.index} {self.certificate.subject_cn})"
+
+
+class CtLog:
+    """An append-only CT log over a Merkle tree."""
+
+    def __init__(self, log_id: str) -> None:
+        self.log_id = log_id
+        self._tree = MerkleTree()
+        self._entries: List[LogEntry] = []
+        self._by_fingerprint: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def tree(self) -> MerkleTree:
+        """The underlying Merkle tree (for proof queries)."""
+        return self._tree
+
+    def add_chain(
+        self, certificate: Certificate, submitted: DateLike
+    ) -> SignedCertificateTimestamp:
+        """Submit a certificate (with chain); idempotent per certificate."""
+        if not certificate.chain() or certificate.chain()[-1] is not certificate.root():
+            raise CtLogError("certificate has no valid chain")
+        existing = self._by_fingerprint.get(certificate.fingerprint)
+        timestamp = as_date(submitted)
+        if existing is not None:
+            return SignedCertificateTimestamp(
+                self.log_id, self._entries[existing].timestamp, existing
+            )
+        index = self._tree.append(certificate.fingerprint.encode("ascii"))
+        self._entries.append(LogEntry(index, certificate, timestamp))
+        self._by_fingerprint[certificate.fingerprint] = index
+        return SignedCertificateTimestamp(self.log_id, timestamp, index)
+
+    def get_sth(self, at: Optional[DateLike] = None) -> SignedTreeHead:
+        """The current STH (or as of ``at``, by timestamp)."""
+        if at is None:
+            size = self._tree.size
+            timestamp = self._entries[-1].timestamp if self._entries else _dt.date.min
+        else:
+            boundary = as_date(at)
+            size = sum(1 for entry in self._entries if entry.timestamp <= boundary)
+            timestamp = boundary
+        return SignedTreeHead(self.log_id, size, self._tree.root(size), timestamp)
+
+    def get_entries(self, start: int, end: int) -> List[LogEntry]:
+        """Entries in [start, end] inclusive, as the RFC's get-entries."""
+        if start < 0 or end >= len(self._entries) or start > end:
+            raise CtLogError(f"bad entry range [{start}, {end}]")
+        return self._entries[start : end + 1]
+
+    def entries(self) -> List[LogEntry]:
+        """All entries in append order."""
+        return list(self._entries)
+
+    def inclusion_proof_for(self, certificate: Certificate) -> List[bytes]:
+        """Audit path for a previously-submitted certificate."""
+        index = self._by_fingerprint.get(certificate.fingerprint)
+        if index is None:
+            raise CtLogError(f"certificate not in log: {certificate!r}")
+        return self._tree.inclusion_proof(index)
+
+    def contains(self, certificate: Certificate) -> bool:
+        """True when the certificate was incorporated."""
+        return certificate.fingerprint in self._by_fingerprint

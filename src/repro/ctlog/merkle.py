@@ -1,0 +1,207 @@
+"""RFC 6962 Merkle hash trees with inclusion and consistency proofs.
+
+Leaf hashes are ``SHA-256(0x00 || leaf)`` and interior nodes
+``SHA-256(0x01 || left || right)``.  Proof generation follows RFC 6962
+section 2.1; verification follows the (equivalent, iterative) RFC 9162
+algorithms.  Property-based tests exercise generation against
+verification for arbitrary tree shapes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProofError
+
+__all__ = ["MerkleTree", "leaf_hash", "node_hash", "EMPTY_ROOT"]
+
+
+def leaf_hash(data: bytes) -> bytes:
+    """Hash of a leaf entry."""
+    return hashlib.sha256(b"\x00" + data).digest()
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Hash of an interior node."""
+    return hashlib.sha256(b"\x01" + left + right).digest()
+
+
+#: Root hash of the empty tree (RFC 6962: SHA-256 of the empty string).
+EMPTY_ROOT = hashlib.sha256(b"").digest()
+
+
+def _largest_power_of_two_below(n: int) -> int:
+    """The largest power of two strictly less than ``n`` (n >= 2)."""
+    k = 1
+    while k * 2 < n:
+        k *= 2
+    return k
+
+
+class MerkleTree:
+    """An append-only Merkle tree over opaque byte entries."""
+
+    def __init__(self) -> None:
+        self._leaf_hashes: List[bytes] = []
+        # Subtree hashes keyed by (start, end); ranges over an append-only
+        # list never change, so the memo stays valid across appends.
+        self._memo: Dict[Tuple[int, int], bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._leaf_hashes)
+
+    @property
+    def size(self) -> int:
+        """Number of leaves."""
+        return len(self._leaf_hashes)
+
+    def append(self, data: bytes) -> int:
+        """Add a leaf; returns its index."""
+        self._leaf_hashes.append(leaf_hash(data))
+        return len(self._leaf_hashes) - 1
+
+    def leaf(self, index: int) -> bytes:
+        """The leaf *hash* at ``index``."""
+        return self._leaf_hashes[index]
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def _subtree(self, start: int, end: int) -> bytes:
+        """MTH(D[start:end]) with memoisation."""
+        count = end - start
+        if count == 1:
+            return self._leaf_hashes[start]
+        key = (start, end)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        split = start + _largest_power_of_two_below(count)
+        value = node_hash(self._subtree(start, split), self._subtree(split, end))
+        self._memo[key] = value
+        return value
+
+    def root(self, size: Optional[int] = None) -> bytes:
+        """Root hash of the first ``size`` leaves (default: all)."""
+        n = self.size if size is None else size
+        if n < 0 or n > self.size:
+            raise ProofError(f"size {n} out of range (tree has {self.size})")
+        if n == 0:
+            return EMPTY_ROOT
+        return self._subtree(0, n)
+
+    # ------------------------------------------------------------------
+    # Proof generation (RFC 6962 section 2.1)
+    # ------------------------------------------------------------------
+
+    def inclusion_proof(self, index: int, size: Optional[int] = None) -> List[bytes]:
+        """Audit path for ``index`` within the first ``size`` leaves."""
+        n = self.size if size is None else size
+        if not 0 <= index < n or n > self.size:
+            raise ProofError(f"index {index} not in tree of size {n}")
+        return self._path(index, 0, n)
+
+    def _path(self, m: int, start: int, end: int) -> List[bytes]:
+        count = end - start
+        if count == 1:
+            return []
+        k = _largest_power_of_two_below(count)
+        if m < k:
+            return self._path(m, start, start + k) + [self._subtree(start + k, end)]
+        return self._path(m - k, start + k, end) + [self._subtree(start, start + k)]
+
+    def consistency_proof(
+        self, old_size: int, new_size: Optional[int] = None
+    ) -> List[bytes]:
+        """Proof that the first ``old_size`` leaves are a prefix."""
+        n = self.size if new_size is None else new_size
+        if not 0 < old_size <= n or n > self.size:
+            raise ProofError(f"bad consistency range {old_size} -> {n}")
+        if old_size == n:
+            return []
+        return self._subproof(old_size, 0, n, True)
+
+    def _subproof(self, m: int, start: int, end: int, complete: bool) -> List[bytes]:
+        count = end - start
+        if m == count:
+            return [] if complete else [self._subtree(start, end)]
+        k = _largest_power_of_two_below(count)
+        if m <= k:
+            return self._subproof(m, start, start + k, complete) + [
+                self._subtree(start + k, end)
+            ]
+        return self._subproof(m - k, start + k, end, False) + [
+            self._subtree(start, start + k)
+        ]
+
+    # ------------------------------------------------------------------
+    # Verification (RFC 9162 algorithms; static, no tree access)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def verify_inclusion(
+        leaf: bytes, index: int, size: int, proof: List[bytes], root: bytes
+    ) -> bool:
+        """Check an audit path.  ``leaf`` is the leaf *hash*."""
+        if index >= size or size < 1:
+            return False
+        fn, sn = index, size - 1
+        result = leaf
+        for value in proof:
+            if sn == 0:
+                return False
+            if fn & 1 or fn == sn:
+                result = node_hash(value, result)
+                if not fn & 1:
+                    while True:
+                        fn >>= 1
+                        sn >>= 1
+                        if fn & 1 or fn == 0:
+                            break
+            else:
+                result = node_hash(result, value)
+            fn >>= 1
+            sn >>= 1
+        return sn == 0 and result == root
+
+    @staticmethod
+    def verify_consistency(
+        old_size: int,
+        new_size: int,
+        old_root: bytes,
+        new_root: bytes,
+        proof: List[bytes],
+    ) -> bool:
+        """Check a consistency proof between two tree sizes."""
+        if old_size > new_size or old_size < 0:
+            return False
+        if old_size == new_size:
+            return not proof and old_root == new_root
+        if old_size == 0:
+            return not proof  # anything is consistent with the empty tree
+        path = list(proof)
+        if old_size & (old_size - 1) == 0:  # exact power of two
+            path.insert(0, old_root)
+        if not path:
+            return False
+        fn, sn = old_size - 1, new_size - 1
+        while fn & 1:
+            fn >>= 1
+            sn >>= 1
+        fr = sr = path[0]
+        for value in path[1:]:
+            if sn == 0:
+                return False
+            if fn & 1 or fn == sn:
+                fr = node_hash(value, fr)
+                sr = node_hash(value, sr)
+                while fn != 0 and not fn & 1:
+                    fn >>= 1
+                    sn >>= 1
+            else:
+                sr = node_hash(sr, value)
+            fn >>= 1
+            sn >>= 1
+        return fr == old_root and sr == new_root and sn == 0

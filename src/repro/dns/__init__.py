@@ -1,0 +1,52 @@
+"""DNS substrate: names, records, zones, servers, and an iterative resolver."""
+
+from .cache import CacheEntry, ResolverCache
+from .idna import (
+    ACE_PREFIX,
+    decode_label,
+    encode_label,
+    punycode_decode,
+    punycode_encode,
+    to_ascii,
+    to_unicode,
+)
+from .message import Message, Question, Rcode
+from .name import ROOT, DomainName
+from .network import NetworkUnreachable, SimulatedNetwork
+from .rdata import A, CNAME, NS, SOA, TXT, Rdata, RRType, parse_rdata
+from .resolver import IterativeResolver, ResolutionResult
+from .rrset import RRset
+from .server import AuthoritativeServer
+from .zone import Zone
+
+__all__ = [
+    "CacheEntry",
+    "ResolverCache",
+    "ACE_PREFIX",
+    "decode_label",
+    "encode_label",
+    "punycode_decode",
+    "punycode_encode",
+    "to_ascii",
+    "to_unicode",
+    "Message",
+    "Question",
+    "Rcode",
+    "ROOT",
+    "DomainName",
+    "NetworkUnreachable",
+    "SimulatedNetwork",
+    "A",
+    "CNAME",
+    "NS",
+    "SOA",
+    "TXT",
+    "Rdata",
+    "RRType",
+    "parse_rdata",
+    "IterativeResolver",
+    "ResolutionResult",
+    "RRset",
+    "AuthoritativeServer",
+    "Zone",
+]

@@ -1,0 +1,89 @@
+"""A TTL-respecting resolver cache on the simulation's day clock.
+
+OpenINTEL resolves each domain fresh every day; within one day's sweep a
+cache avoids re-walking the hierarchy for every name under the same TLD.
+TTLs are expressed in seconds and converted to whole days (floor, minimum
+the same day), which matches a once-a-day measurement cadence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..timeline import DayClock
+from .message import Rcode
+from .name import DomainName
+from .rdata import RRType
+from .rrset import RRset
+
+__all__ = ["CacheEntry", "ResolverCache"]
+
+_SECONDS_PER_DAY = 86400
+
+
+class CacheEntry:
+    """One cached positive or negative answer."""
+
+    __slots__ = ("rrset", "rcode", "expires_day")
+
+    def __init__(self, rrset: Optional[RRset], rcode: Rcode, expires_day: int) -> None:
+        self.rrset = rrset
+        self.rcode = rcode
+        self.expires_day = expires_day
+
+    @property
+    def is_negative(self) -> bool:
+        """True for cached NXDOMAIN / NODATA."""
+        return self.rrset is None
+
+    def __repr__(self) -> str:
+        kind = "neg" if self.is_negative else "pos"
+        return f"CacheEntry({kind}, {self.rcode}, until day {self.expires_day})"
+
+
+class ResolverCache:
+    """(name, type) -> :class:`CacheEntry`, expired lazily against a clock."""
+
+    def __init__(self, clock: DayClock) -> None:
+        self._clock = clock
+        self._entries: Dict[Tuple[DomainName, RRType], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _expiry_day(self, ttl_seconds: int) -> int:
+        return self._clock.day + max(0, ttl_seconds // _SECONDS_PER_DAY)
+
+    def put_positive(self, rrset: RRset) -> None:
+        """Cache a positive answer for its TTL."""
+        self._entries[(rrset.name, rrset.rtype)] = CacheEntry(
+            rrset, Rcode.NOERROR, self._expiry_day(rrset.ttl)
+        )
+
+    def put_negative(
+        self, name: DomainName, rtype: RRType, rcode: Rcode, ttl_seconds: int = 3600
+    ) -> None:
+        """Cache NXDOMAIN or NODATA."""
+        self._entries[(name, rtype)] = CacheEntry(
+            None, rcode, self._expiry_day(ttl_seconds)
+        )
+
+    def get(self, name: DomainName, rtype: RRType) -> Optional[CacheEntry]:
+        """Fresh entry for (name, type), or None; counts hit/miss stats."""
+        key = (name, rtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.expires_day < self._clock.day:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def flush(self) -> None:
+        """Drop everything (start of a new measurement day)."""
+        self._entries.clear()

@@ -1,0 +1,97 @@
+"""DNS query/response messages (the subset the simulation exchanges)."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from .name import DomainName
+from .rdata import RRType
+from .rrset import RRset
+
+__all__ = ["Rcode", "Question", "Message"]
+
+
+class Rcode(enum.Enum):
+    """Response codes (IANA values)."""
+
+    NOERROR = 0
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    REFUSED = 5
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class Question:
+    """A query: name + type (class is always IN)."""
+
+    __slots__ = ("qname", "qtype")
+
+    def __init__(self, qname: DomainName, qtype: RRType) -> None:
+        self.qname = qname
+        self.qtype = qtype
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Question):
+            return NotImplemented
+        return self.qname == other.qname and self.qtype is other.qtype
+
+    def __hash__(self) -> int:
+        return hash((self.qname, self.qtype))
+
+    def __repr__(self) -> str:
+        return f"Question({self.qname} {self.qtype})"
+
+
+class Message:
+    """A response: rcode plus answer/authority/additional sections."""
+
+    __slots__ = ("question", "rcode", "answers", "authorities", "additionals", "aa")
+
+    def __init__(
+        self,
+        question: Question,
+        rcode: Rcode = Rcode.NOERROR,
+        answers: Optional[List[RRset]] = None,
+        authorities: Optional[List[RRset]] = None,
+        additionals: Optional[List[RRset]] = None,
+        aa: bool = False,
+    ) -> None:
+        self.question = question
+        self.rcode = rcode
+        self.answers = list(answers or [])
+        self.authorities = list(authorities or [])
+        self.additionals = list(additionals or [])
+        self.aa = aa
+
+    @property
+    def is_referral(self) -> bool:
+        """A delegation response: NOERROR, no answers, NS in authority."""
+        return (
+            self.rcode is Rcode.NOERROR
+            and not self.answers
+            and any(rrset.rtype is RRType.NS for rrset in self.authorities)
+        )
+
+    @property
+    def is_nodata(self) -> bool:
+        """NOERROR with no answers and no delegation."""
+        return (
+            self.rcode is Rcode.NOERROR and not self.answers and not self.is_referral
+        )
+
+    def answer_rrset(self) -> Optional[RRset]:
+        """The answer RRset matching the question type, if present."""
+        for rrset in self.answers:
+            if rrset.rtype is self.question.qtype:
+                return rrset
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.question!r} {self.rcode} "
+            f"ans={len(self.answers)} auth={len(self.authorities)} "
+            f"add={len(self.additionals)})"
+        )

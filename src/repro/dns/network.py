@@ -1,0 +1,77 @@
+"""The simulated network joining resolvers to authoritative servers.
+
+Servers are reachable by IPv4 address.  Addresses can be taken down (to
+model outages, e.g. the March 22, 2021 measurement dip) or remapped when a
+provider renumbers (the Netnod event).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import ResolutionError
+from ..net.ip import format_ipv4, is_valid_ipv4_int
+from .message import Message, Question
+from .server import AuthoritativeServer
+
+__all__ = ["NetworkUnreachable", "SimulatedNetwork"]
+
+
+class NetworkUnreachable(ResolutionError):
+    """No server answers at the queried address (timeout in real life)."""
+
+
+class SimulatedNetwork:
+    """Address-to-server switchboard with query accounting."""
+
+    def __init__(self) -> None:
+        self._servers: Dict[int, AuthoritativeServer] = {}
+        self._down: Set[int] = set()
+        self.queries_sent = 0
+
+    def attach(self, address: int, server: AuthoritativeServer) -> None:
+        """Make ``server`` answer queries to ``address``."""
+        if not is_valid_ipv4_int(address):
+            raise ResolutionError(f"bad server address: {address!r}")
+        self._servers[address] = server
+
+    def detach(self, address: int) -> None:
+        """Remove whatever answers at ``address``."""
+        self._servers.pop(address, None)
+
+    def server_at(self, address: int) -> Optional[AuthoritativeServer]:
+        """The server currently bound to ``address`` (even if down)."""
+        return self._servers.get(address)
+
+    def addresses(self) -> List[int]:
+        """All bound addresses, ascending."""
+        return sorted(self._servers)
+
+    def set_down(self, address: int, down: bool = True) -> None:
+        """Mark an address unreachable (or reachable again)."""
+        if down:
+            self._down.add(address)
+        else:
+            self._down.discard(address)
+
+    def is_down(self, address: int) -> bool:
+        """True when the address is currently marked unreachable."""
+        return address in self._down
+
+    def query(self, address: int, question: Question) -> Message:
+        """Deliver ``question`` to the server at ``address``."""
+        self.queries_sent += 1
+        if address in self._down or address not in self._servers:
+            raise NetworkUnreachable(
+                f"no answer from {format_ipv4(address)} for {question!r}"
+            )
+        return self._servers[address].query(question)
+
+    def transfer(self, address: int, origin) -> list:
+        """Perform an AXFR against the server at ``address``."""
+        self.queries_sent += 1
+        if address in self._down or address not in self._servers:
+            raise NetworkUnreachable(
+                f"no answer from {format_ipv4(address)} for AXFR {origin}"
+            )
+        return self._servers[address].axfr(origin)

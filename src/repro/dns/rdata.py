@@ -1,0 +1,215 @@
+"""DNS record data (rdata) types used by the simulation.
+
+Only the types the measurement pipeline touches are implemented: ``A``
+(apex and name-server addresses), ``NS`` (delegations), ``CNAME``
+(aliases), ``SOA`` (zone apexes), and ``TXT`` (zone metadata).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from ..errors import ZoneError
+from ..net.ip import format_ipv4, is_valid_ipv4_int, parse_ipv4
+from .name import DomainName
+
+__all__ = ["RRType", "A", "NS", "CNAME", "SOA", "TXT", "Rdata", "parse_rdata"]
+
+
+class RRType(enum.Enum):
+    """Resource-record types (values follow the IANA registry)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    TXT = 16
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class A:
+    """An IPv4 address record."""
+
+    __slots__ = ("address",)
+    rtype = RRType.A
+
+    def __init__(self, address: Union[int, str]) -> None:
+        value = parse_ipv4(address) if isinstance(address, str) else address
+        if not is_valid_ipv4_int(value):
+            raise ZoneError(f"bad A rdata: {address!r}")
+        self.address = value
+
+    def to_text(self) -> str:
+        """Zone-file presentation format."""
+        return format_ipv4(self.address)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, A) and self.address == other.address
+
+    def __hash__(self) -> int:
+        return hash((RRType.A, self.address))
+
+    def __repr__(self) -> str:
+        return f"A({self.to_text()})"
+
+
+class NS:
+    """A delegation to an authoritative name server."""
+
+    __slots__ = ("target",)
+    rtype = RRType.NS
+
+    def __init__(self, target: Union[DomainName, str]) -> None:
+        self.target = (
+            target if isinstance(target, DomainName) else DomainName.parse(target)
+        )
+
+    def to_text(self) -> str:
+        return f"{self.target}."
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NS) and self.target == other.target
+
+    def __hash__(self) -> int:
+        return hash((RRType.NS, self.target))
+
+    def __repr__(self) -> str:
+        return f"NS({self.target})"
+
+
+class CNAME:
+    """An alias to another name."""
+
+    __slots__ = ("target",)
+    rtype = RRType.CNAME
+
+    def __init__(self, target: Union[DomainName, str]) -> None:
+        self.target = (
+            target if isinstance(target, DomainName) else DomainName.parse(target)
+        )
+
+    def to_text(self) -> str:
+        return f"{self.target}."
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CNAME) and self.target == other.target
+
+    def __hash__(self) -> int:
+        return hash((RRType.CNAME, self.target))
+
+    def __repr__(self) -> str:
+        return f"CNAME({self.target})"
+
+
+class SOA:
+    """Start-of-authority record for a zone apex."""
+
+    __slots__ = ("mname", "rname", "serial", "refresh", "retry", "expire", "minimum")
+    rtype = RRType.SOA
+
+    def __init__(
+        self,
+        mname: Union[DomainName, str],
+        rname: Union[DomainName, str],
+        serial: int,
+        refresh: int = 7200,
+        retry: int = 900,
+        expire: int = 1209600,
+        minimum: int = 3600,
+    ) -> None:
+        self.mname = mname if isinstance(mname, DomainName) else DomainName.parse(mname)
+        self.rname = rname if isinstance(rname, DomainName) else DomainName.parse(rname)
+        if serial < 0:
+            raise ZoneError(f"negative SOA serial: {serial}")
+        self.serial = serial
+        self.refresh = refresh
+        self.retry = retry
+        self.expire = expire
+        self.minimum = minimum
+
+    def to_text(self) -> str:
+        return (
+            f"{self.mname}. {self.rname}. {self.serial} "
+            f"{self.refresh} {self.retry} {self.expire} {self.minimum}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SOA):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in SOA.__slots__
+        )
+
+    def __hash__(self) -> int:
+        return hash((RRType.SOA, self.mname, self.rname, self.serial))
+
+    def __repr__(self) -> str:
+        return f"SOA({self.mname} serial={self.serial})"
+
+
+class TXT:
+    """Free-form text record."""
+
+    __slots__ = ("text",)
+    rtype = RRType.TXT
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def to_text(self) -> str:
+        escaped = self.text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TXT) and self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash((RRType.TXT, self.text))
+
+    def __repr__(self) -> str:
+        return f"TXT({self.text!r})"
+
+
+Rdata = Union[A, NS, CNAME, SOA, TXT]
+
+
+def parse_rdata(rtype: RRType, text: str) -> Rdata:
+    """Parse presentation-format rdata for ``rtype`` (zone-file loading)."""
+    if rtype is RRType.A:
+        return A(text)
+    if rtype is RRType.NS:
+        return NS(text)
+    if rtype is RRType.CNAME:
+        return CNAME(text)
+    if rtype is RRType.SOA:
+        fields = text.split()
+        if len(fields) != 7:
+            raise ZoneError(f"SOA rdata needs 7 fields, got {len(fields)}: {text!r}")
+        return SOA(
+            fields[0],
+            fields[1],
+            *(int(field) for field in fields[2:]),
+        )
+    if rtype is RRType.TXT:
+        stripped = text.strip()
+        if stripped.startswith('"') and stripped.endswith('"') and len(stripped) >= 2:
+            body = stripped[1:-1]
+        else:
+            body = stripped
+        # Left-to-right unescape: naive .replace() chains mis-handle
+        # sequences like backslash-then-quote.
+        characters = []
+        position = 0
+        while position < len(body):
+            char = body[position]
+            if char == "\\" and position + 1 < len(body):
+                characters.append(body[position + 1])
+                position += 2
+            else:
+                characters.append(char)
+                position += 1
+        return TXT("".join(characters))
+    raise ZoneError(f"unsupported rdata type: {rtype}")

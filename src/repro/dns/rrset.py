@@ -1,0 +1,85 @@
+"""Resource-record sets: (name, type, TTL) plus one or more rdata."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import ZoneError
+from .name import DomainName
+from .rdata import Rdata, RRType
+
+__all__ = ["RRset"]
+
+
+class RRset:
+    """A set of records sharing name, type, and TTL.
+
+    Rdata order is preserved as inserted (the simulation does not model
+    round-robin rotation) and duplicates are rejected.
+    """
+
+    __slots__ = ("name", "rtype", "ttl", "_rdatas")
+
+    def __init__(
+        self,
+        name: DomainName,
+        rtype: RRType,
+        rdatas: Iterable[Rdata],
+        ttl: int = 3600,
+    ) -> None:
+        if ttl < 0:
+            raise ZoneError(f"negative TTL: {ttl}")
+        materialised: List[Rdata] = []
+        seen = set()
+        for rdata in rdatas:
+            if rdata.rtype is not rtype:
+                raise ZoneError(
+                    f"rdata type {rdata.rtype} does not match RRset type {rtype}"
+                )
+            if rdata in seen:
+                raise ZoneError(f"duplicate rdata in RRset: {rdata!r}")
+            seen.add(rdata)
+            materialised.append(rdata)
+        if not materialised:
+            raise ZoneError(f"empty RRset for {name} {rtype}")
+        if rtype in (RRType.CNAME, RRType.SOA) and len(materialised) > 1:
+            raise ZoneError(f"{rtype} RRset must be a singleton at {name}")
+        self.name = name
+        self.rtype = rtype
+        self.ttl = ttl
+        self._rdatas: Tuple[Rdata, ...] = tuple(materialised)
+
+    @property
+    def rdatas(self) -> Tuple[Rdata, ...]:
+        """The records, in insertion order."""
+        return self._rdatas
+
+    def __len__(self) -> int:
+        return len(self._rdatas)
+
+    def __iter__(self):
+        return iter(self._rdatas)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RRset):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.rtype is other.rtype
+            and self.ttl == other.ttl
+            and set(self._rdatas) == set(other._rdatas)
+        )
+
+    def __repr__(self) -> str:
+        return f"RRset({self.name} {self.ttl} {self.rtype} x{len(self)})"
+
+    def merged_with(self, extra: Sequence[Rdata]) -> "RRset":
+        """A new RRset with ``extra`` rdata appended (duplicates rejected)."""
+        return RRset(self.name, self.rtype, self._rdatas + tuple(extra), self.ttl)
+
+    def to_text_lines(self) -> List[str]:
+        """Zone-file presentation lines, one per rdata."""
+        return [
+            f"{self.name}.\t{self.ttl}\tIN\t{self.rtype}\t{rdata.to_text()}"
+            for rdata in self._rdatas
+        ]

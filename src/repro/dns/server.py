@@ -1,0 +1,136 @@
+"""Authoritative name servers over in-memory zones.
+
+Implements the answer logic an authoritative-only server needs: exact
+answers, CNAMEs (returned, not chased), referrals with glue, NXDOMAIN, and
+REFUSED for out-of-zone questions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ZoneError
+from .message import Message, Question, Rcode
+from .name import DomainName
+from .rdata import RRType
+from .rrset import RRset
+from .zone import Zone
+
+__all__ = ["AuthoritativeServer"]
+
+
+class AuthoritativeServer:
+    """A server authoritative for one or more zones."""
+
+    def __init__(self, identity: str) -> None:
+        self.identity = identity
+        self._zones: Dict[DomainName, Zone] = {}
+        #: Zone origins for which AXFR is permitted (registry data-sharing
+        #: agreements, as OpenINTEL has with TLD operators).
+        self._axfr_allowed: set = set()
+
+    def __repr__(self) -> str:
+        return f"AuthoritativeServer({self.identity!r}, zones={len(self._zones)})"
+
+    @property
+    def zones(self) -> List[Zone]:
+        """Hosted zones, sorted by origin."""
+        return [self._zones[name] for name in sorted(self._zones)]
+
+    def attach_zone(self, zone: Zone) -> None:
+        """Serve ``zone``; replaces any previous zone with the same origin."""
+        self._zones[zone.origin] = zone
+
+    def detach_zone(self, origin: DomainName) -> None:
+        """Stop serving the zone at ``origin``."""
+        self._zones.pop(origin, None)
+
+    def allow_axfr(self, origin: DomainName) -> None:
+        """Permit zone transfers of the zone at ``origin``."""
+        self._axfr_allowed.add(origin)
+
+    def axfr(self, origin: DomainName) -> List["RRset"]:
+        """Transfer a zone: every RRset, SOA first (RFC 5936 shape).
+
+        Raises :class:`ZoneError` when the zone is absent or transfers
+        are not permitted (real servers answer REFUSED).
+        """
+        zone = self._zones.get(origin)
+        if zone is None:
+            raise ZoneError(f"{self.identity} is not authoritative for {origin}")
+        if origin not in self._axfr_allowed:
+            raise ZoneError(f"{self.identity} refuses AXFR of {origin}")
+        return list(zone.rrsets())
+
+    def zone_for(self, qname: DomainName) -> Optional[Zone]:
+        """Most-specific hosted zone enclosing ``qname``."""
+        for ancestor in qname.ancestors():
+            zone = self._zones.get(ancestor)
+            if zone is not None:
+                return zone
+        return None
+
+    def query(self, question: Question) -> Message:
+        """Answer ``question`` as an authoritative-only server would."""
+        zone = self.zone_for(question.qname)
+        if zone is None:
+            return Message(question, rcode=Rcode.REFUSED)
+
+        # Delegation below us? Hand out a referral with glue.  (A query for
+        # the NS set of the cut itself is also answered as a referral, as
+        # real parent-side servers do.)
+        cut = zone.delegation_for(question.qname)
+        if cut is not None:
+            return Message(
+                question,
+                rcode=Rcode.NOERROR,
+                authorities=[cut],
+                additionals=zone.glue_for(cut),
+                aa=False,
+            )
+
+        node = zone.node(question.qname)
+        if not node:
+            # Empty non-terminal (an existing name's ancestor) is NOERROR,
+            # a truly unknown name is NXDOMAIN.
+            if self._has_descendants(zone, question.qname):
+                return Message(question, rcode=Rcode.NOERROR, aa=True)
+            return Message(question, rcode=Rcode.NXDOMAIN, aa=True)
+
+        exact = node.get(question.qtype)
+        if exact is not None:
+            return Message(question, rcode=Rcode.NOERROR, answers=[exact], aa=True)
+
+        alias = node.get(RRType.CNAME)
+        if alias is not None and question.qtype is not RRType.CNAME:
+            return Message(question, rcode=Rcode.NOERROR, answers=[alias], aa=True)
+
+        return Message(question, rcode=Rcode.NOERROR, aa=True)  # NODATA
+
+    @staticmethod
+    def _has_descendants(zone: Zone, name: DomainName) -> bool:
+        """True when any zone node sits strictly below ``name``."""
+        return any(
+            node_name != name and node_name.is_subdomain_of(name)
+            for node_name in zone.node_names()
+        )
+
+    def validate(self) -> None:
+        """Sanity-check hosted zones (no nested origins inside one server).
+
+        Hosting both a parent and its child zone on one server is legal in
+        DNS but ambiguous for this simulation's simple matcher when a
+        delegation also exists; reject early instead of answering wrongly.
+        """
+        origins = sorted(self._zones)
+        for i, parent in enumerate(origins):
+            for child in origins[i + 1 :]:
+                if child != parent and child.is_subdomain_of(parent):
+                    parent_zone = self._zones[parent]
+                    if any(
+                        cut.name == child for cut in parent_zone.delegations()
+                    ):
+                        raise ZoneError(
+                            f"server {self.identity} hosts both {parent} and "
+                            f"its delegated child {child}"
+                        )

@@ -1,0 +1,219 @@
+"""Authoritative zones and a master-file style text format.
+
+A :class:`Zone` owns every record at or below its origin, *except* below
+delegation points: names under an in-zone NS cut belong to the child zone
+(glue A records for the delegated name servers are the one exception, as in
+real DNS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import ZoneError
+from .name import DomainName
+from .rdata import NS, SOA, RRType, parse_rdata
+from .rrset import RRset
+
+__all__ = ["Zone"]
+
+
+class Zone:
+    """One authoritative zone rooted at ``origin``."""
+
+    def __init__(self, origin: DomainName, soa: SOA, default_ttl: int = 3600) -> None:
+        self.origin = origin
+        self.default_ttl = default_ttl
+        self._nodes: Dict[DomainName, Dict[RRType, RRset]] = {}
+        self.add(RRset(origin, RRType.SOA, [soa], default_ttl))
+
+    @property
+    def soa(self) -> SOA:
+        """The zone's SOA record."""
+        rrset = self._nodes[self.origin][RRType.SOA]
+        soa = rrset.rdatas[0]
+        assert isinstance(soa, SOA)
+        return soa
+
+    def __contains__(self, name: DomainName) -> bool:
+        return name in self._nodes
+
+    def node_names(self) -> List[DomainName]:
+        """Every name with at least one RRset, in canonical order."""
+        return sorted(self._nodes)
+
+    def rrsets(self) -> Iterator[RRset]:
+        """Every RRset in the zone, canonical name order, SOA first."""
+        for name in self.node_names():
+            node = self._nodes[name]
+            for rtype in sorted(node, key=lambda t: t.value):
+                yield node[rtype]
+
+    def add(self, rrset: RRset) -> None:
+        """Insert an RRset; merging with an existing set of same name/type."""
+        if not rrset.name.is_subdomain_of(self.origin):
+            raise ZoneError(f"{rrset.name} is outside zone {self.origin}")
+        node = self._nodes.setdefault(rrset.name, {})
+        if rrset.rtype is RRType.CNAME and (set(node) - {RRType.CNAME}):
+            raise ZoneError(f"CNAME cannot coexist with other data at {rrset.name}")
+        if RRType.CNAME in node and rrset.rtype is not RRType.CNAME:
+            raise ZoneError(f"other data cannot coexist with CNAME at {rrset.name}")
+        existing = node.get(rrset.rtype)
+        if existing is None:
+            node[rrset.rtype] = rrset
+        else:
+            node[rrset.rtype] = existing.merged_with(rrset.rdatas)
+
+    def remove(self, name: DomainName, rtype: Optional[RRType] = None) -> None:
+        """Remove one RRset (or, with ``rtype=None``, the whole node)."""
+        if name == self.origin and rtype in (None, RRType.SOA):
+            raise ZoneError("cannot remove the zone SOA")
+        node = self._nodes.get(name)
+        if node is None:
+            return
+        if rtype is None:
+            del self._nodes[name]
+            return
+        node.pop(rtype, None)
+        if not node:
+            del self._nodes[name]
+
+    def get(self, name: DomainName, rtype: RRType) -> Optional[RRset]:
+        """Exact-match lookup (no delegation logic — see the server)."""
+        node = self._nodes.get(name)
+        return node.get(rtype) if node else None
+
+    def node(self, name: DomainName) -> Dict[RRType, RRset]:
+        """All RRsets at ``name`` (empty dict when absent)."""
+        return dict(self._nodes.get(name, {}))
+
+    def delegation_for(self, qname: DomainName) -> Optional[RRset]:
+        """The NS cut covering ``qname``, if any (closest ancestor first).
+
+        The zone origin's own NS set is *authoritative* data, not a cut,
+        so it is skipped.
+        """
+        best: Optional[RRset] = None
+        for ancestor in qname.ancestors():
+            if ancestor == self.origin or not ancestor.is_subdomain_of(self.origin):
+                break
+            node = self._nodes.get(ancestor)
+            if node and RRType.NS in node:
+                best = node[RRType.NS]  # keep walking up: want closest to origin?
+        # The *closest enclosing* cut from the query's perspective is the
+        # deepest one, but real servers answer from the first cut met when
+        # walking down from the origin; with single-level delegations
+        # (registry zones) both coincide.  We return the highest cut.
+        return best
+
+    def delegations(self) -> Iterator[RRset]:
+        """Every NS cut in the zone (excluding the origin's apex NS)."""
+        for name in self.node_names():
+            if name == self.origin:
+                continue
+            node = self._nodes[name]
+            if RRType.NS in node:
+                yield node[RRType.NS]
+
+    def glue_for(self, ns_rrset: RRset) -> List[RRset]:
+        """In-zone A records for the targets of an NS RRset."""
+        glue: List[RRset] = []
+        for rdata in ns_rrset:
+            assert isinstance(rdata, NS)
+            if rdata.target.is_subdomain_of(self.origin):
+                a_rrset = self.get(rdata.target, RRType.A)
+                if a_rrset is not None:
+                    glue.append(a_rrset)
+        return glue
+
+    # ------------------------------------------------------------------
+    # Master-file style serialisation
+    # ------------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Serialise to a simplified master-file format."""
+        lines = [f"$ORIGIN {self.origin}.", f"$TTL {self.default_ttl}"]
+        for rrset in self.rrsets():
+            lines.extend(rrset.to_text_lines())
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _strip_comment(raw: str) -> str:
+        """Drop a ``;`` comment, but not inside a quoted string."""
+        in_quote = False
+        position = 0
+        while position < len(raw):
+            char = raw[position]
+            if char == '"':
+                in_quote = not in_quote
+            elif char == "\\" and in_quote:
+                position += 1  # skip the escaped character
+            elif char == ";" and not in_quote:
+                return raw[:position]
+            position += 1
+        return raw
+
+    @classmethod
+    def from_text(cls, text: str) -> "Zone":
+        """Parse the output of :meth:`to_text`."""
+        origin: Optional[DomainName] = None
+        default_ttl = 3600
+        pending: List[Tuple[DomainName, int, RRType, str]] = []
+        for raw in text.splitlines():
+            line = cls._strip_comment(raw).strip()
+            if not line:
+                continue
+            if line.startswith("$ORIGIN"):
+                origin = DomainName.parse(line.split()[1])
+                continue
+            if line.startswith("$TTL"):
+                default_ttl = int(line.split()[1])
+                continue
+            fields = line.split("\t")
+            if len(fields) < 5:
+                fields = line.split(None, 4)
+            if len(fields) != 5:
+                raise ZoneError(f"unparseable zone line: {raw!r}")
+            name_text, ttl_text, klass, rtype_text, rdata_text = fields
+            if klass != "IN":
+                raise ZoneError(f"unsupported class {klass!r}")
+            pending.append(
+                (
+                    DomainName.parse(name_text),
+                    int(ttl_text),
+                    RRType[rtype_text],
+                    rdata_text,
+                )
+            )
+        if origin is None:
+            raise ZoneError("zone text lacks $ORIGIN")
+        soa_entries = [p for p in pending if p[2] is RRType.SOA]
+        if len(soa_entries) != 1 or soa_entries[0][0] != origin:
+            raise ZoneError("zone text must contain exactly one SOA at the origin")
+        soa = parse_rdata(RRType.SOA, soa_entries[0][3])
+        assert isinstance(soa, SOA)
+        zone = cls(origin, soa, default_ttl)
+        for name, ttl, rtype, rdata_text in pending:
+            if rtype is RRType.SOA:
+                continue
+            zone.add(RRset(name, rtype, [parse_rdata(rtype, rdata_text)], ttl))
+        return zone
+
+    def bump_serial(self) -> None:
+        """Increment the SOA serial (zone was modified)."""
+        old = self.soa
+        new = SOA(
+            old.mname,
+            old.rname,
+            old.serial + 1,
+            old.refresh,
+            old.retry,
+            old.expire,
+            old.minimum,
+        )
+        node = self._nodes[self.origin]
+        node[RRType.SOA] = RRset(self.origin, RRType.SOA, [new], self.default_ttl)
+
+    def names_delegated(self) -> List[DomainName]:
+        """Names of all delegation points (registry 'registered domains')."""
+        return sorted(rrset.name for rrset in self.delegations())

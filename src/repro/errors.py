@@ -1,0 +1,95 @@
+"""Exception hierarchy for the where-ru reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with one ``except`` clause while still being able to
+discriminate on the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class TimelineError(ReproError):
+    """A date fell outside the study period or a period was ill-formed."""
+
+
+class AddressError(ReproError):
+    """An IPv4 address or prefix could not be parsed or is invalid."""
+
+
+class AllocationError(ReproError):
+    """An address allocator ran out of space or received a bad request."""
+
+
+class GeolocationError(ReproError):
+    """A geolocation database was queried incorrectly or is inconsistent."""
+
+
+class DnsError(ReproError):
+    """Base class for DNS-subsystem errors."""
+
+
+class NameError_(DnsError):
+    """A domain name is syntactically invalid.
+
+    The trailing underscore avoids shadowing the Python builtin
+    :class:`NameError`; the public alias is ``InvalidDomainName``.
+    """
+
+
+InvalidDomainName = NameError_
+
+
+class PunycodeError(DnsError):
+    """A label could not be punycode-encoded or -decoded (RFC 3492)."""
+
+
+class ZoneError(DnsError):
+    """A zone is internally inconsistent or a record does not belong in it."""
+
+
+class ResolutionError(DnsError):
+    """The iterative resolver could not complete a lookup."""
+
+
+class ServfailError(ResolutionError):
+    """Resolution failed in a way a real resolver would report as SERVFAIL."""
+
+
+class PkiError(ReproError):
+    """Base class for WebPKI-subsystem errors."""
+
+
+class IssuanceError(PkiError):
+    """A certificate authority refused or failed to issue a certificate."""
+
+
+class RevocationError(PkiError):
+    """A revocation request was invalid (unknown serial, wrong issuer...)."""
+
+
+class CtLogError(ReproError):
+    """A certificate transparency log rejected a submission or query."""
+
+
+class ProofError(CtLogError):
+    """A Merkle inclusion or consistency proof failed verification."""
+
+
+class RegistryError(ReproError):
+    """A registry operation (registration, whois lookup) was invalid."""
+
+
+class ScenarioError(ReproError):
+    """A simulation scenario is ill-configured."""
+
+
+class MeasurementError(ReproError):
+    """A measurement collector was driven incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """An analysis accumulator received inconsistent input."""

@@ -1,0 +1,17 @@
+"""Experiments: regenerate every figure and table of the paper."""
+
+from .base import ExperimentResult
+from .context import ExperimentContext, SweepSeries
+from .paper import PAPER
+from .registry import EXPERIMENTS, EXTENSIONS, run_all, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentContext",
+    "SweepSeries",
+    "PAPER",
+    "EXPERIMENTS",
+    "EXTENSIONS",
+    "run_all",
+    "run_experiment",
+]

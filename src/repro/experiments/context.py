@@ -1,0 +1,245 @@
+"""Shared experiment context: one world, cached sweeps and datasets.
+
+Several figures consume the same five-year sweep; the context runs that
+sweep once and accumulates every longitudinal series in a single pass.
+Likewise for the recent (conflict-window) daily sweep, the CT monitor,
+and the scan dataset.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.composition import CompositionSeries, CompositionPoint
+from ..core.labels import (
+    LABEL_FULL,
+    LABEL_NON,
+    LABEL_PART,
+    snapshot_hosting_geo_labels,
+    snapshot_ns_geo_labels,
+    snapshot_ns_tld_labels,
+)
+from ..core.tlddep import TldSharePoint, TldShareSeries
+from ..core.topasn import AsnSharePoint, AsnShareSeries
+from ..ctlog.monitor import CtMonitor
+from ..errors import AnalysisError
+from ..measurement.fast import FastCollector
+from ..scanner.cuids import UniversalScanDataset
+from ..scanner.tls import TlsScanner
+from ..sim.conflict import ConflictScenarioConfig, build_scenario
+from ..sim.world import World
+from ..timeline import STUDY_END, STUDY_START
+
+__all__ = ["SweepSeries", "ExperimentContext"]
+
+#: The hosting networks Figure 4 tracks (provider key order).
+FIG4_PROVIDERS = (
+    "regru", "rucenter", "timeweb", "beget",
+    "amazon", "sedo", "cloudflare", "serverel",
+)
+RECENT_WINDOW_START = _dt.date(2022, 2, 22)
+
+
+class SweepSeries:
+    """Every longitudinal series the five-year sweep produces."""
+
+    def __init__(self) -> None:
+        self.ns_composition = CompositionSeries("NS country composition")
+        self.hosting_composition = CompositionSeries("Hosting country composition")
+        self.tld_composition = CompositionSeries("NS TLD dependency")
+        self.tld_shares = TldShareSeries()
+
+
+class ExperimentContext:
+    """Builds (or wraps) a world and caches every shared computation."""
+
+    def __init__(
+        self,
+        world: Optional[World] = None,
+        config: Optional[ConflictScenarioConfig] = None,
+        cadence_days: int = 7,
+    ) -> None:
+        if cadence_days < 1:
+            raise AnalysisError(f"cadence must be >= 1 day: {cadence_days}")
+        self.config = config or ConflictScenarioConfig()
+        self.world = world if world is not None else build_scenario(self.config)
+        self.collector = FastCollector(self.world)
+        self.cadence_days = cadence_days
+        self._full: Optional[SweepSeries] = None
+        self._recent_asn: Optional[AsnShareSeries] = None
+        self._recent_sanctioned: Optional[CompositionSeries] = None
+        self._recent_listed_counts: Optional[List[int]] = None
+        self._monitor: Optional[CtMonitor] = None
+        self._scans: Optional[UniversalScanDataset] = None
+
+    # ------------------------------------------------------------------
+    # The five-year sweep (Figures 1-3, headline stats)
+    # ------------------------------------------------------------------
+
+    def full_sweep(self) -> SweepSeries:
+        """All full-period series, computed in one pass and cached."""
+        if self._full is not None:
+            return self._full
+        series = SweepSeries()
+        for snapshot in self.collector.sweep(
+            STUDY_START, STUDY_END, self.cadence_days
+        ):
+            ns_labels = snapshot_ns_geo_labels(snapshot)
+            host_labels = snapshot_hosting_geo_labels(snapshot)
+            tld_labels = snapshot_ns_tld_labels(snapshot)
+            series.ns_composition.add_counts(
+                snapshot.date,
+                int((ns_labels == LABEL_FULL).sum()),
+                int((ns_labels == LABEL_PART).sum()),
+                int((ns_labels == LABEL_NON).sum()),
+            )
+            series.hosting_composition.add_counts(
+                snapshot.date,
+                int((host_labels == LABEL_FULL).sum()),
+                int((host_labels == LABEL_PART).sum()),
+                int((host_labels == LABEL_NON).sum()),
+            )
+            series.tld_composition.add_counts(
+                snapshot.date,
+                int((tld_labels == LABEL_FULL).sum()),
+                int((tld_labels == LABEL_PART).sum()),
+                int((tld_labels == LABEL_NON).sum()),
+            )
+            labels = snapshot.epoch.dns_labels
+            plan_counts = np.bincount(
+                snapshot.dns_ids[snapshot.measured],
+                minlength=labels.tld_membership.shape[0],
+            )
+            per_tld = plan_counts @ labels.tld_membership
+            series.tld_shares.add(
+                TldSharePoint(
+                    snapshot.date,
+                    int(len(snapshot.measured)),
+                    {
+                        tld: int(per_tld[col])
+                        for col, tld in enumerate(labels.tld_names)
+                        if per_tld[col] > 0
+                    },
+                )
+            )
+        self._full = series
+        return series
+
+    # ------------------------------------------------------------------
+    # The recent daily window (Figures 4 and 5)
+    # ------------------------------------------------------------------
+
+    def fig4_asns(self) -> List[int]:
+        """The tracked hosting ASNs, Figure 4's legend order."""
+        return [
+            self.world.catalog.get(key).primary_asn for key in FIG4_PROVIDERS
+        ]
+
+    def _run_recent(self) -> None:
+        asns = self.fig4_asns()
+        asn_series = AsnShareSeries(asns)
+        sanctioned_series = CompositionSeries("Sanctioned NS composition")
+        listed_counts: List[int] = []
+        sanctioned = self.world.sanctioned_indices
+
+        matrix_cache: Dict[int, np.ndarray] = {}
+        for snapshot in self.collector.sweep(RECENT_WINDOW_START, STUDY_END, 1):
+            labels = snapshot.epoch.hosting_labels
+            key = id(labels)
+            matrix = matrix_cache.get(key)
+            if matrix is None:
+                matrix = np.zeros((len(labels.asn_sets), len(asns)), dtype=bool)
+                for plan_id, plan_asns in enumerate(labels.asn_sets):
+                    for col, asn in enumerate(asns):
+                        matrix[plan_id, col] = asn in plan_asns
+                matrix_cache[key] = matrix
+            plan_counts = np.bincount(
+                snapshot.hosting_ids[snapshot.measured], minlength=matrix.shape[0]
+            )
+            per_asn = plan_counts @ matrix
+            asn_series.add(
+                AsnSharePoint(
+                    snapshot.date,
+                    int(len(snapshot.measured)),
+                    {asn: int(per_asn[col]) for col, asn in enumerate(asns)},
+                )
+            )
+
+            subset = snapshot.subset(sanctioned)
+            ns_labels = snapshot_ns_geo_labels(snapshot, subset)
+            sanctioned_series.add_counts(
+                snapshot.date,
+                int((ns_labels == LABEL_FULL).sum()),
+                int((ns_labels == LABEL_PART).sum()),
+                int((ns_labels == LABEL_NON).sum()),
+            )
+            listed_counts.append(
+                len(self.world.sanctions.domains_listed_as_of(snapshot.date))
+            )
+
+        self._recent_asn = asn_series
+        self._recent_sanctioned = sanctioned_series
+        self._recent_listed_counts = listed_counts
+
+    def recent_asn_shares(self) -> AsnShareSeries:
+        """Figure 4's daily per-ASN shares."""
+        if self._recent_asn is None:
+            self._run_recent()
+        assert self._recent_asn is not None
+        return self._recent_asn
+
+    def recent_sanctioned_composition(self) -> CompositionSeries:
+        """Figure 5's daily sanctioned NS composition."""
+        if self._recent_sanctioned is None:
+            self._run_recent()
+        assert self._recent_sanctioned is not None
+        return self._recent_sanctioned
+
+    def recent_listed_counts(self) -> List[int]:
+        """Figure 5's black curve: domains listed as of each day."""
+        if self._recent_listed_counts is None:
+            self._run_recent()
+        assert self._recent_listed_counts is not None
+        return self._recent_listed_counts
+
+    # ------------------------------------------------------------------
+    # PKI datasets (Figure 8, Tables 1-2, §4.3)
+    # ------------------------------------------------------------------
+
+    def _require_pki(self):
+        if self.world.pki is None:
+            raise AnalysisError(
+                "this experiment needs the PKI simulation "
+                "(build the scenario with with_pki=True)"
+            )
+        return self.world.pki
+
+    def monitor(self) -> CtMonitor:
+        """Censys-style CT monitor over the study TLDs (cached)."""
+        if self._monitor is None:
+            pki = self._require_pki()
+            monitor = CtMonitor(
+                pki.logs,
+                matcher=lambda cert: cert.secures_tld(("ru", "xn--p1ai")),
+            )
+            monitor.poll()
+            self._monitor = monitor
+        return self._monitor
+
+    def scans(
+        self,
+        start: _dt.date = _dt.date(2022, 3, 1),
+        end: _dt.date = _dt.date(2022, 5, 15),
+        step: int = 7,
+    ) -> UniversalScanDataset:
+        """Accumulated CUIDS scans over the Russian-CA window (cached)."""
+        if self._scans is None:
+            pki = self._require_pki()
+            scanner = TlsScanner(pki.serving_view(self.world))
+            dataset = UniversalScanDataset()
+            dataset.run_sweeps(scanner, start, end, step)
+            self._scans = dataset
+        return self._scans

@@ -1,0 +1,85 @@
+"""Extension: concentration of the CA and hosting markets (Section 6).
+
+Not a numbered paper artefact — it quantifies the discussion section's
+claims: Let's Encrypt's "near-complete control" of `.ru`/`.рф`
+certificates, and Russia's unusually centralised hosting market.
+"""
+
+from __future__ import annotations
+
+from ..core.concentration import analyze_market
+from ..core.issuance import issuance_by_phase
+from ..timeline import Phase, STUDY_END, STUDY_START
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Measure HHI/CR for the CA market (per phase) and hosting market."""
+    result = ExperimentResult(
+        "concentration",
+        "Market concentration: CAs and hosting (extension)",
+        "Section 6 (discussion), quantified",
+    )
+
+    phases = issuance_by_phase(context.monitor())
+    ca_reports = {}
+    for phase in (Phase.PRE_CONFLICT, Phase.PRE_SANCTIONS, Phase.POST_SANCTIONS):
+        report = analyze_market(f"CAs {phase}", phases[phase].counts)
+        ca_reports[str(phase)] = report
+        result.add_row(
+            market=f"CA issuance, {phase}",
+            hhi=round(report.hhi, 3),
+            cr1=f"{100 * report.cr1:.1f}%",
+            cr3=f"{100 * report.cr3:.1f}%",
+            leader=report.leader,
+            effective_firms=round(report.effective_competitors, 2),
+        )
+
+    collector = context.collector
+    hosting_reports = {}
+    for label, date in (("start", STUDY_START), ("end", STUDY_END)):
+        snapshot = collector.collect(date)
+        labels = snapshot.epoch.hosting_labels
+        counts: dict = {}
+        for plan_id in snapshot.hosting_ids[snapshot.measured]:
+            asn = int(labels.primary_asn[plan_id])
+            counts[asn] = counts.get(asn, 0) + 1
+        named = {
+            context.world.catalog.as_registry().name_of(asn): count
+            for asn, count in counts.items()
+        }
+        report = analyze_market(f"hosting {label}", named)
+        hosting_reports[label] = report
+        result.add_row(
+            market=f"hosting networks, {label} ({date})",
+            hhi=round(report.hhi, 3),
+            cr1=f"{100 * report.cr1:.1f}%",
+            cr3=f"{100 * report.cr3:.1f}%",
+            leader=report.leader,
+            effective_firms=round(report.effective_competitors, 2),
+        )
+
+    post = ca_reports[str(Phase.POST_SANCTIONS)]
+    pre = ca_reports[str(Phase.PRE_CONFLICT)]
+    result.measured = {
+        "ca_hhi_pre_conflict": round(pre.hhi, 3),
+        "ca_hhi_post_sanctions": round(post.hhi, 3),
+        "ca_leader_post_sanctions": post.leader,
+        "ca_highly_concentrated": post.highly_concentrated,
+        "hosting_hhi_start": round(hosting_reports["start"].hhi, 3),
+        "hosting_hhi_end": round(hosting_reports["end"].hhi, 3),
+    }
+    result.paper = {
+        "ca_leader_post_sanctions": "Let's Encrypt (>99% share)",
+        "ca_highly_concentrated": True,
+        "ca_hhi_post_sanctions": "≈0.985 implied by Table 1 shares",
+    }
+    result.sections.append(
+        "interpretation: CA concentration *rises* through the conflict "
+        "(the paper's single-point-of-failure concern), while the hosting "
+        "market stays moderately concentrated and nearly unchanged."
+    )
+    return result

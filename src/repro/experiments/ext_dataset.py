@@ -1,0 +1,75 @@
+"""Extension: Section 2 dataset summary, measured from the sweep.
+
+The paper describes its dataset as 11.7 M unique domain names over 1803
+days, with 13.3 k networks hosting apexes and 9.5 k hosting authoritative
+DNS.  This experiment derives the same summary from the reproduction's
+measurements.  Unique-domain counts scale with the population; network
+counts are bounded by the size of the simulated provider market (the
+catalogue holds ~40 providers, not the real Internet's thousands — a
+documented substitution limit).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..timeline import STUDY_DAYS, STUDY_END, STUDY_START
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Measure the dataset-summary numbers from sampled snapshots."""
+    world = context.world
+    result = ExperimentResult(
+        "dataset",
+        "Dataset summary (extension)",
+        "Section 2",
+    )
+
+    apex_asns: Set[int] = set()
+    ns_asns: Set[int] = set()
+    measured_days = 0
+    for snapshot in context.collector.sweep(STUDY_START, STUDY_END, 30):
+        measured_days += 1
+        hosting_labels = snapshot.epoch.hosting_labels
+        dns_labels = snapshot.epoch.dns_labels
+        import numpy as np
+
+        hosting_used = np.unique(snapshot.hosting_ids[snapshot.measured])
+        dns_used = np.unique(snapshot.dns_ids[snapshot.measured])
+        for plan_id in hosting_used:
+            apex_asns.update(hosting_labels.asn_sets[int(plan_id)])
+        for plan_id in dns_used:
+            ns_asns.update(dns_labels.ns_asns[int(plan_id)])
+
+    unique_domains = world.population.unique_count()
+    result.add_row(metric="study days", value=STUDY_DAYS)
+    result.add_row(metric="unique domains (scaled)", value=unique_domains)
+    result.add_row(metric="unique apex-hosting ASNs", value=len(apex_asns))
+    result.add_row(metric="unique NS-hosting ASNs", value=len(ns_asns))
+    result.add_row(
+        metric="sanctioned domains", value=len(world.sanctions.all_domains())
+    )
+
+    scale = context.config.scale
+    result.measured = {
+        "study_days": STUDY_DAYS,
+        "unique_domains_scaled_up": int(unique_domains * scale),
+        "apex_asns": len(apex_asns),
+        "ns_asns": len(ns_asns),
+        "sanctioned_domains": len(world.sanctions.all_domains()),
+        "ns_asns_fewer_than_apex_asns": len(ns_asns) < len(apex_asns),
+    }
+    result.paper = {
+        "study_days": 1803,
+        "unique_domains_scaled_up": 11_700_000,
+        "apex_asns": "13,300 (bounded by catalogue size here)",
+        "ns_asns": "9,500 (bounded by catalogue size here)",
+        "sanctioned_domains": 107,
+        # The paper too sees fewer DNS-hosting networks than web-hosting.
+        "ns_asns_fewer_than_apex_asns": True,
+    }
+    return result

@@ -1,0 +1,55 @@
+"""Extension: OFAC General License 25 (paper footnote 7).
+
+On April 22, 2022, OFAC issued GL-25 authorising telecommunications and
+Internet-based communications transactions.  The paper reports it
+observed *no clear change in certificate issuance behaviour* in response.
+This experiment performs that check: per-CA issuance shares in the month
+before vs the three weeks after GL-25 must be statistically alike.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..core.issuance import compare_issuance_windows
+from .base import ExperimentResult
+from .context import ExperimentContext
+
+__all__ = ["run", "GL25_DATE"]
+
+GL25_DATE = _dt.date(2022, 4, 22)
+_BEFORE = (_dt.date(2022, 3, 27), _dt.date(2022, 4, 21))
+_AFTER = (_dt.date(2022, 4, 23), _dt.date(2022, 5, 15))
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Compare per-CA issuance shares across the GL-25 boundary."""
+    comparison = compare_issuance_windows(context.monitor(), _BEFORE, _AFTER)
+    result = ExperimentResult(
+        "gl25",
+        "OFAC General License 25: issuance before vs after (extension)",
+        "Footnote 7, Section 2",
+    )
+    max_delta = 0.0
+    for org, (before, after) in comparison.items():
+        delta = after - before
+        max_delta = max(max_delta, abs(delta))
+        result.add_row(
+            issuer=org,
+            before_pct=f"{before:.2f}%",
+            after_pct=f"{after:.2f}%",
+            delta_pp=f"{delta:+.2f}",
+        )
+    result.measured = {
+        "max_share_delta_pp": round(max_delta, 2),
+        "clear_change_observed": bool(max_delta > 5.0),
+    }
+    result.paper = {
+        "max_share_delta_pp": "none reported",
+        "clear_change_observed": False,
+    }
+    result.sections.append(
+        f"windows: {_BEFORE[0]}..{_BEFORE[1]} vs {_AFTER[0]}..{_AFTER[1]} "
+        f"(GL-25 issued {GL25_DATE})"
+    )
+    return result

@@ -1,0 +1,51 @@
+"""Figure 1: country composition of ``.ru``/``.рф`` DNS infrastructure."""
+
+from __future__ import annotations
+
+from ..timeline import STUDY_END, STUDY_START
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+from .render import fmt_pct, sparkline
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Regenerate Figure 1 from a full-period sweep."""
+    series = context.full_sweep().ns_composition
+    result = ExperimentResult(
+        "fig1",
+        "Country composition of name-server infrastructure",
+        "Figure 1, Section 3.1",
+    )
+    result.add_series("date", [d.isoformat() for d in series.dates()])
+    result.add_series("full_pct", [round(v, 2) for v in series.shares("full")])
+    result.add_series("part_pct", [round(v, 2) for v in series.shares("part")])
+    result.add_series("non_pct", [round(v, 2) for v in series.shares("non")])
+    result.add_series("domains", series.totals())
+
+    first = series.nearest(STUDY_START)
+    last = series.nearest(STUDY_END)
+    result.measured = {
+        "ns_full_start_pct": round(first.share("full"), 1),
+        "ns_full_end_pct": round(last.share("full"), 1),
+        "ns_full_change_pp": round(last.share("full") - first.share("full"), 1),
+        "domains_start": first.total,
+    }
+    result.paper = dict(PAPER["fig1"])
+
+    result.sections.append(
+        "full: " + sparkline(series.shares("full"))
+        + f"  ({fmt_pct(first.share('full'))} -> {fmt_pct(last.share('full'))})"
+    )
+    result.sections.append(
+        "part: " + sparkline(series.shares("part"))
+        + f"  ({fmt_pct(first.share('part'))} -> {fmt_pct(last.share('part'))})"
+    )
+    result.sections.append(
+        "non:  " + sparkline(series.shares("non"))
+        + f"  ({fmt_pct(first.share('non'))} -> {fmt_pct(last.share('non'))})"
+    )
+    result.sections.append("#domains: " + sparkline([float(t) for t in series.totals()]))
+    return result

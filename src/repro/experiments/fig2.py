@@ -1,0 +1,46 @@
+"""Figure 2: TLD-dependency composition of NS names."""
+
+from __future__ import annotations
+
+from ..timeline import CONFLICT_START, STUDY_END, STUDY_START
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+from .render import fmt_pct, sparkline
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Regenerate Figure 2 from the full-period sweep."""
+    series = context.full_sweep().tld_composition
+    result = ExperimentResult(
+        "fig2",
+        "TLD dependency composition of NS names",
+        "Figure 2, Section 3.1",
+    )
+    result.add_series("date", [d.isoformat() for d in series.dates()])
+    for which in ("full", "part", "non"):
+        result.add_series(f"{which}_pct", [round(v, 2) for v in series.shares(which)])
+
+    first = series.nearest(STUDY_START)
+    last = series.nearest(STUDY_END)
+    pre_conflict = series.nearest(CONFLICT_START)
+    result.measured = {
+        "tld_full_change_pp": round(last.share("full") - first.share("full"), 1),
+        "tld_part_change_pp": round(last.share("part") - first.share("part"), 1),
+        "conflict_full_bump_pp": round(
+            last.share("full") - pre_conflict.share("full"), 1
+        ),
+        "conflict_part_bump_pp": round(
+            last.share("part") - pre_conflict.share("part"), 1
+        ),
+    }
+    result.paper = dict(PAPER["fig2"])
+
+    for which in ("full", "part", "non"):
+        result.sections.append(
+            f"{which:4s}: " + sparkline(series.shares(which))
+            + f"  ({fmt_pct(first.share(which))} -> {fmt_pct(last.share(which))})"
+        )
+    return result

@@ -1,0 +1,55 @@
+"""Figure 3: top TLDs used by authoritative name servers."""
+
+from __future__ import annotations
+
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+from .render import fmt_pct, sparkline
+
+__all__ = ["run"]
+
+_DISPLAY = {"xn--p1ai": "рф"}
+
+
+def run(context: ExperimentContext, top_k: int = 5) -> ExperimentResult:
+    """Regenerate Figure 3 (top-5 NS TLD shares) from the full sweep."""
+    shares = context.full_sweep().tld_shares
+    result = ExperimentResult(
+        "fig3",
+        f"Top {top_k} TLDs of authoritative NS names",
+        "Figure 3, Section 3.1",
+    )
+    top = shares.top_tlds(top_k)
+    result.add_series("date", [p.date.isoformat() for p in shares])
+    for tld in top:
+        result.add_series(
+            f"{_DISPLAY.get(tld, tld)}_pct",
+            [round(v, 2) for v in shares.share_series(tld)],
+        )
+
+    first, last = shares.first(), shares.last()
+    result.measured = {
+        "top_tlds": [_DISPLAY.get(tld, tld) for tld in top],
+        "end": {
+            _DISPLAY.get(tld, tld): round(last.share(tld), 1) for tld in top
+        },
+        "start": {
+            _DISPLAY.get(tld, tld): round(first.share(tld), 1) for tld in top
+        },
+        "total_tlds": len(shares.tlds_seen()),
+    }
+    result.paper = {
+        "top_tlds": ["ru", "com", "pro", "org", "net"],
+        "end": PAPER["fig3"]["end"],
+        "start": PAPER["fig3"]["start"],
+        "total_tlds": PAPER["fig3"]["total_tlds"],
+    }
+
+    for tld in top:
+        label = _DISPLAY.get(tld, tld)
+        result.sections.append(
+            f".{label:10s} " + sparkline(shares.share_series(tld))
+            + f"  ({fmt_pct(first.share(tld))} -> {fmt_pct(last.share(tld))})"
+        )
+    return result

@@ -1,0 +1,54 @@
+"""Figure 4: hosting-network shares of top ASNs through the conflict."""
+
+from __future__ import annotations
+
+from .base import ExperimentResult
+from .context import FIG4_PROVIDERS, ExperimentContext
+from .paper import PAPER
+from .render import fmt_pct, sparkline
+
+__all__ = ["run"]
+
+_RUSSIAN_BIG4 = ("regru", "rucenter", "timeweb", "beget")
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Regenerate Figure 4: daily domain share per tracked hosting ASN."""
+    series = context.recent_asn_shares()
+    catalog = context.world.catalog
+    result = ExperimentResult(
+        "fig4",
+        "Hosting networks of .ru/.рф domains (top ASNs)",
+        "Figure 4, Section 3.2",
+    )
+    result.add_series("date", [d.isoformat() for d in series.dates()])
+    for key in FIG4_PROVIDERS:
+        asn = catalog.get(key).primary_asn
+        result.add_series(
+            f"{key}_pct", [round(v, 2) for v in series.share_series(asn)]
+        )
+
+    first, last = series.first(), series.last()
+    big4_start = sum(
+        first.share(catalog.get(key).primary_asn) for key in _RUSSIAN_BIG4
+    )
+    big4_end = sum(
+        last.share(catalog.get(key).primary_asn) for key in _RUSSIAN_BIG4
+    )
+    cloudflare_asn = catalog.get("cloudflare").primary_asn
+    result.measured = {
+        "russian_big4_start_pct": round(big4_start, 1),
+        "russian_big4_end_pct": round(big4_end, 1),
+        "cloudflare_pct": round(last.share(cloudflare_asn), 1),
+    }
+    result.paper = dict(PAPER["fig4"])
+
+    for key in FIG4_PROVIDERS:
+        provider = catalog.get(key)
+        values = series.share_series(provider.primary_asn)
+        result.sections.append(
+            f"{provider.display:12s} AS{provider.primary_asn:<7d} "
+            + sparkline(values)
+            + f"  ({fmt_pct(values[0])} -> {fmt_pct(values[-1])})"
+        )
+    return result

@@ -1,0 +1,51 @@
+"""Figure 5: NS country composition of the sanctioned domains."""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+from .render import fmt_pct, sparkline
+
+__all__ = ["run"]
+
+_FEB24 = _dt.date(2022, 2, 24)
+_MAR4 = _dt.date(2022, 3, 4)
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Regenerate Figure 5 from the daily conflict-window sweep."""
+    series = context.recent_sanctioned_composition()
+    listed = context.recent_listed_counts()
+    result = ExperimentResult(
+        "fig5",
+        "NS country composition of sanctioned domains",
+        "Figure 5, Section 3.3",
+    )
+    result.add_series("date", [d.isoformat() for d in series.dates()])
+    for which in ("full", "part", "non"):
+        result.add_series(f"{which}_pct", [round(v, 2) for v in series.shares(which)])
+    result.add_series("listed", listed)
+
+    feb24 = series.nearest(_FEB24)
+    mar4 = series.nearest(_MAR4)
+    result.measured = {
+        "feb24_part_pct": round(feb24.share("part"), 1),
+        "feb24_non_pct": round(feb24.share("non"), 1),
+        "mar4_full_pct": round(mar4.share("full"), 1),
+        "sanctioned_total": feb24.total,
+    }
+    result.paper = {
+        key: PAPER["fig5"][key]
+        for key in ("feb24_part_pct", "feb24_non_pct", "mar4_full_pct",
+                    "sanctioned_total")
+    }
+
+    for which in ("full", "part", "non"):
+        result.sections.append(
+            f"{which:4s}: " + sparkline(series.shares(which))
+        )
+    result.sections.append("listed: " + sparkline([float(v) for v in listed]))
+    return result

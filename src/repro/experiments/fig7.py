@@ -1,0 +1,58 @@
+"""Figure 7: domain movement in Sedo's AS47846."""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..core.movement import analyze_movement
+from ..timeline import STUDY_END
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+
+__all__ = ["run"]
+
+_FROM = _dt.date(2022, 3, 8)
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Regenerate Figure 7: Sedo AS47846, 2022-03-08 vs 2022-05-25."""
+    asn = context.world.catalog.get("sedo").primary_asn
+    report = analyze_movement(context.collector, asn, _FROM, STUDY_END)
+    registry = context.world.catalog.as_registry()
+    serverel_asn = context.world.catalog.get("serverel").primary_asn
+
+    result = ExperimentResult(
+        "fig7",
+        f"Russian domain movement in Sedo AS{asn}",
+        "Figure 7, Section 3.4",
+    )
+    result.add_row(category="in AS on 2022-03-08", count=report.original)
+    result.add_row(category="remained", count=report.remained)
+    result.add_row(category="relocated to another AS", count=report.relocated)
+    result.add_row(category="registration expired", count=report.expired)
+    result.add_row(category="inflow (all)", count=report.inflow_total)
+
+    result.measured = {
+        "relocated_share": round(report.relocated_share, 2),
+        "remained_share": round(report.remained_share, 3),
+        "serverel_share_of_relocated": round(
+            report.destination_share(serverel_asn), 2
+        ),
+        "original_scaled": report.original,
+    }
+    result.paper = {
+        "relocated_share": PAPER["fig7"]["relocated_share"],
+        "remained_share": round(
+            PAPER["fig7"]["remained"] / PAPER["fig7"]["original"], 3
+        ),
+        "serverel_share_of_relocated": "most (ultimately move to Serverel)",
+        "original_scaled": f'{PAPER["fig7"]["original"]} (real scale)',
+    }
+
+    destinations = ", ".join(
+        f"{registry.name_of(dest)} ({count})"
+        for dest, count in report.top_destinations(4)
+    )
+    result.sections.append(f"relocation destinations: {destinations or 'none'}")
+    return result

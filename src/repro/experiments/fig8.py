@@ -1,0 +1,65 @@
+"""Figure 8: per-CA issuance timelines for Russian domains."""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..core.issuance import issuance_timelines
+from ..timeline import CERT_WINDOW_END, CERT_WINDOW_START, SANCTIONS_EFFECTIVE
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+from .render import dot_timeline
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext, top_k: int = 10) -> ExperimentResult:
+    """Regenerate Figure 8's dot timelines from the CT monitor."""
+    timelines = issuance_timelines(context.monitor(), top_k=top_k)
+    result = ExperimentResult(
+        "fig8",
+        "CA issuance timelines for .ru/.рф certificates",
+        "Figure 8, Section 4.1",
+    )
+
+    window = [
+        CERT_WINDOW_START + _dt.timedelta(days=offset)
+        for offset in range((CERT_WINDOW_END - CERT_WINDOW_START).days + 1)
+    ]
+    result.add_series("date", [d.isoformat() for d in window])
+    for timeline in timelines:
+        result.add_series(
+            timeline.issuer,
+            [1 if timeline.issued_on(date) else 0 for date in window],
+        )
+
+    # "Continuing" means sustained issuance at the end of the window;
+    # isolated brand-CN leakage dots do not count (Section 4.1).
+    tail_start = CERT_WINDOW_END - _dt.timedelta(days=30)
+    continuing = [
+        timeline.issuer
+        for timeline in timelines
+        if timeline.active_day_share(tail_start, CERT_WINDOW_END) >= 0.3
+    ]
+    stopped = [
+        timeline.issuer for timeline in timelines if timeline.issuer not in continuing
+    ]
+    result.measured = {
+        "top10": [t.issuer for t in timelines],
+        "continuing_cas": sorted(continuing),
+        "stopped_count_of_top10": len(stopped),
+    }
+    result.paper = {
+        "continuing_cas": sorted(PAPER["fig8"]["continuing_cas"]),
+        "stopped_count_of_top10": PAPER["fig8"]["stopped_count_of_top10"],
+    }
+
+    for timeline in timelines:
+        flags = [timeline.issued_on(date) for date in window]
+        result.sections.append(f"{timeline.issuer:24s} {dot_timeline(flags)}")
+    result.sections.append(
+        f"{'':24s} window {CERT_WINDOW_START} .. {CERT_WINDOW_END}; "
+        "vertical landmarks: conflict 02-24, sanctions 03-26"
+    )
+    return result

@@ -1,0 +1,55 @@
+"""Section 3.4 (text): domain movement around Google's ASNs."""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..core.movement import analyze_movement
+from ..timeline import STUDY_END
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+
+__all__ = ["run"]
+
+_FROM = _dt.date(2022, 3, 10)
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Google AS15169 movement, including the intra-Google AS396982 shift."""
+    catalog = context.world.catalog
+    google = catalog.get("google")
+    as_main, as_cloud = google.asns
+    report = analyze_movement(context.collector, as_main, _FROM, STUDY_END)
+
+    result = ExperimentResult(
+        "google",
+        f"Russian domain movement in Google AS{as_main}",
+        "Section 3.4 (Google)",
+    )
+    result.add_row(category="in AS on 2022-03-10", count=report.original)
+    result.add_row(category="remained", count=report.remained)
+    result.add_row(category="relocated (any destination)", count=report.relocated)
+    result.add_row(
+        category=f"relocated intra-Google (AS{as_cloud})",
+        count=report.relocation_destinations.get(as_cloud, 0),
+    )
+    result.add_row(category="inflow: relocated in", count=report.inflow_relocated)
+    result.add_row(category="inflow: newly registered", count=report.inflow_new)
+
+    intra = report.destination_share(as_cloud)
+    result.measured = {
+        "relocated_share": round(report.relocated_share, 3),
+        "intra_google_share_of_relocated": round(intra, 2),
+        "inflow_relocated": report.inflow_relocated,
+        "inflow_new": report.inflow_new,
+    }
+    result.paper = {
+        "relocated_share": PAPER["google"]["relocated_share"],
+        "intra_google_share_of_relocated": PAPER["google"][
+            "intra_google_share_of_relocated"
+        ],
+        "inflow_relocated": f'{PAPER["google"]["inflow_relocated"]} (real scale)',
+        "inflow_new": f'{PAPER["google"]["inflow_new"]} (real scale)',
+    }
+    return result

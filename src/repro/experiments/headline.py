@@ -1,0 +1,54 @@
+"""Headline prose statistics (Sections 3.1 and 6)."""
+
+from __future__ import annotations
+
+from ..core.summary import compute_headline_stats
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Regenerate the paper's headline numbers from the full sweep."""
+    sweep = context.full_sweep()
+    stats = compute_headline_stats(
+        sweep.hosting_composition,
+        sweep.ns_composition,
+        sweep.tld_composition,
+        sweep.tld_shares,
+    )
+
+    result = ExperimentResult(
+        "headline",
+        "Headline statistics",
+        "Sections 3.1 and 6 (prose)",
+    )
+    flat = stats.as_dict()
+    result.measured = {
+        "hosting_full_start_pct": flat["hosting_full_start"],
+        "hosting_part_start_pct": flat["hosting_part_start"],
+        "hosting_non_start_pct": flat["hosting_non_start"],
+        "ns_full_start_pct": flat["ns_full_start"],
+        "ns_full_end_pct": flat["ns_full_end"],
+        "ns_full_change_pp": flat["ns_full_change"],
+    }
+    result.paper = {
+        "hosting_full_start_pct": PAPER["headline"]["hosting_full_start_pct"],
+        "hosting_part_start_pct": PAPER["headline"]["hosting_part_start_pct"],
+        "hosting_non_start_pct": PAPER["headline"]["hosting_non_start_pct"],
+        "ns_full_start_pct": PAPER["fig1"]["ns_full_start_pct"],
+        "ns_full_end_pct": PAPER["fig1"]["ns_full_end_pct"],
+        "ns_full_change_pp": PAPER["fig1"]["ns_full_change_pp"],
+    }
+    result.sections.append(
+        f"top TLD shares at start: {flat['top_tld_start']}"
+    )
+    result.sections.append(
+        f"top TLD shares at end:   {flat['top_tld_end']}"
+    )
+    result.sections.append(
+        f"domains (scaled): {flat['domains_start']} -> {flat['domains_end']}"
+    )
+    return result

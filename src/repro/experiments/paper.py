@@ -1,0 +1,122 @@
+"""The paper's reported values, for side-by-side comparison.
+
+Numbers quoted directly from Jonker et al., IMC '22.  Experiments attach
+the relevant subset to their results so renders and EXPERIMENTS.md can
+show paper-vs-measured without hunting through the text.
+"""
+
+from __future__ import annotations
+
+PAPER = {
+    "fig1": {
+        "ns_full_start_pct": 67.0,
+        "ns_full_end_pct": 73.9,
+        "ns_full_change_pp": 6.9,
+        "domains_start": 4_950_000,  # "just under 5 M"
+    },
+    "fig2": {
+        "tld_full_change_pp": -6.3,
+        "tld_part_change_pp": +7.9,
+        "conflict_full_bump_pp": +0.2,
+        "conflict_part_bump_pp": +0.5,
+    },
+    "fig3": {
+        "end": {"ru": 78.3, "com": 24.7, "pro": 12.4, "org": 9.2, "net": 7.3},
+        "start": {"com": 17.2, "pro": 8.8, "org": 8.2, "net": 9.1},
+        "total_tlds": 270,
+    },
+    "fig4": {
+        "russian_big4_start_pct": 38.0,
+        "russian_big4_end_pct": 39.0,
+        "cloudflare_pct": 7.0,
+    },
+    "fig5": {
+        "feb24_part_pct": 34.0,
+        "feb24_non_pct": 5.2,
+        "mar4_full_pct": 93.8,
+        "sanctioned_total": 107,
+        "hosted_fully_russian_pre_conflict": 101,
+    },
+    "fig6": {  # Amazon AS16509, 2022-03-08 vs 2022-05-25
+        "remained_share": 0.43,
+        "relocated_share": 0.57,
+        "inflow_new": 574,
+        "inflow_relocated": 988,
+    },
+    "fig7": {  # Sedo AS47846
+        "original": 164_000,
+        "relocated_share": 0.98,
+        "remained": 2_700,
+        "inflow": 311,
+    },
+    "google": {  # Section 3.4 text
+        "original": 17_700,
+        "relocated_share": 0.571,
+        "intra_google_share_of_relocated": 0.752,
+        "inflow_relocated": 187,
+        "inflow_new": 184,
+    },
+    "cloudflare": {  # Section 3.4 text
+        "original": 315_000,
+        "remained_share": 0.94,
+        "inflow": 34_000,
+    },
+    "netnod": {"domains": 76_000, "date": "2022-03-03"},
+    "table1": {
+        "pre-conflict": {
+            "Let's Encrypt": 91.58, "DigiCert": 3.40, "cPanel": 2.13,
+            "Other CAs": 2.89,
+        },
+        "pre-sanctions": {
+            "Let's Encrypt": 98.06, "GlobalSign": 0.76, "cPanel": 0.34,
+            "Other CAs": 0.84,
+        },
+        "post-sanctions": {
+            "Let's Encrypt": 99.23, "GlobalSign": 0.52, "Google Trust Services": 0.24,
+            "Other CAs": 0.01,
+        },
+    },
+    "issuance_rate": {
+        "pre_conflict_per_day": 130_000,
+        "pre_sanctions_per_day": 115_000,
+        "post_sanctions_per_day": 115_000,
+    },
+    "fig8": {
+        "continuing_cas": ("Let's Encrypt", "GlobalSign", "Google Trust Services"),
+        "stopped_count_of_top10": 6,
+    },
+    "table2": {
+        "Let's Encrypt": {
+            "issued": 15_000_000, "revoked_pct": 0.06,
+            "sanctioned_issued": 16_000, "sanctioned_revoked_pct": 1.19,
+        },
+        "DigiCert": {
+            "issued": 247_000, "revoked_pct": 0.80,
+            "sanctioned_issued": 308, "sanctioned_revoked_pct": 100.0,
+        },
+        "GlobalSign": {
+            "issued": 95_000, "revoked_pct": 1.68,
+            "sanctioned_issued": 905, "sanctioned_revoked_pct": 2.54,
+        },
+        "Sectigo": {
+            "issued": 96_000, "revoked_pct": 5.15,
+            "sanctioned_issued": 164, "sanctioned_revoked_pct": 100.0,
+        },
+        "ZeroSSL": {
+            "issued": 56_000, "revoked_pct": 0.30,
+            "sanctioned_issued": 82, "sanctioned_revoked_pct": 2.43,
+        },
+    },
+    "trustedca": {
+        "certificates": 170,
+        "ru_domains": 130,
+        "rf_domains": 2,
+        "sanctioned_secured": 36,
+        "sanctioned_coverage_pct": 34.0,
+    },
+    "headline": {
+        "hosting_full_start_pct": 71.0,
+        "hosting_part_start_pct": 0.19,
+        "hosting_non_start_pct": 28.81,
+    },
+}

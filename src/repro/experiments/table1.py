@@ -1,0 +1,52 @@
+"""Table 1: issuing activity of CAs in the three 2022 phases."""
+
+from __future__ import annotations
+
+from ..core.issuance import daily_issuance_average, issuance_by_phase, top_issuers_table
+from ..timeline import Phase
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Regenerate Table 1 from the CT monitor."""
+    phases = issuance_by_phase(context.monitor())
+    table = top_issuers_table(phases, k=3)
+    averages = daily_issuance_average(phases)
+
+    result = ExperimentResult(
+        "table1",
+        "Issuing activity of CAs per phase",
+        "Table 1, Section 4.1",
+    )
+    for phase in (Phase.PRE_CONFLICT, Phase.PRE_SANCTIONS, Phase.POST_SANCTIONS):
+        for issuer, count, share in table[phase]:
+            result.add_row(
+                phase=str(phase),
+                issuer=issuer,
+                certs=count,
+                share=f"{share:.2f}%",
+            )
+
+    measured_shares = {
+        str(phase): {issuer: round(share, 2) for issuer, _, share in rows}
+        for phase, rows in table.items()
+    }
+    result.measured = {
+        "shares": measured_shares,
+        "daily_avg": {
+            str(phase): round(avg, 1) for phase, avg in averages.items()
+        },
+    }
+    result.paper = {
+        "shares": PAPER["table1"],
+        "daily_avg": {
+            "pre-conflict": f'{PAPER["issuance_rate"]["pre_conflict_per_day"]} (real scale)',
+            "pre-sanctions": f'{PAPER["issuance_rate"]["pre_sanctions_per_day"]} (real scale)',
+            "post-sanctions": f'{PAPER["issuance_rate"]["post_sanctions_per_day"]} (real scale)',
+        },
+    }
+    return result

@@ -1,0 +1,71 @@
+"""Section 4.3: the Russian Trusted Root CA's initial deployment."""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from ..core.trustedca import analyze_trusted_ca
+from .base import ExperimentResult
+from .context import ExperimentContext
+from .paper import PAPER
+
+__all__ = ["run"]
+
+
+def run(context: ExperimentContext) -> ExperimentResult:
+    """Regenerate the §4.3 numbers from accumulated scan data."""
+    pki = context.world.pki
+    scans = context.scans()
+    monitor = context.monitor()
+    elsewhere = len(
+        monitor.store.issued_between(_dt.date(2022, 3, 1), _dt.date(2022, 5, 15))
+    )
+    report = analyze_trusted_ca(
+        scans,
+        pki.russian_ca_org,
+        context.world.sanctions.all_domains(),
+        comparison_issued_elsewhere=elsewhere,
+    )
+
+    result = ExperimentResult(
+        "trustedca",
+        "Russian Trusted Root CA deployment (scan-observed)",
+        "Section 4.3",
+    )
+    result.add_row(metric="scan-observed certificates", value=report.certificate_count)
+    result.add_row(metric=".ru domains secured", value=len(report.ru_domains))
+    result.add_row(metric=".рф domains secured", value=len(report.rf_domains))
+    result.add_row(metric="other-TLD domains secured", value=len(report.other_domains))
+    result.add_row(metric="sanctioned domains secured", value=len(report.sanctioned_secured))
+    result.add_row(
+        metric="certs by all other CAs (same window)",
+        value=report.comparison_issued_elsewhere,
+    )
+
+    result.measured = {
+        "certificates": report.certificate_count,
+        "ru_domains": len(report.ru_domains),
+        "rf_domains": len(report.rf_domains),
+        "sanctioned_secured": len(report.sanctioned_secured),
+        "sanctioned_coverage_pct": round(report.sanctioned_coverage, 1),
+        "in_ct_logs": sum(
+            1
+            for cert in report.certificates
+            if any(log.contains(cert) for log in pki.logs)
+        ),
+    }
+    result.paper = {
+        "certificates": PAPER["trustedca"]["certificates"],
+        "ru_domains": PAPER["trustedca"]["ru_domains"],
+        "rf_domains": PAPER["trustedca"]["rf_domains"],
+        "sanctioned_secured": PAPER["trustedca"]["sanctioned_secured"],
+        "sanctioned_coverage_pct": PAPER["trustedca"]["sanctioned_coverage_pct"],
+        "in_ct_logs": 0,
+    }
+    first, last = report.issuance_window()
+    if first is not None:
+        result.sections.append(
+            f"issuance window observed: {first} .. {last} "
+            "(a period of a few weeks, as the paper notes)"
+        )
+    return result

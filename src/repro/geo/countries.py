@@ -1,0 +1,56 @@
+"""Country codes used throughout the simulation.
+
+A tiny ISO-3166-alpha-2 subset covering every country the paper mentions,
+plus helpers for the one distinction the analysis cares about: Russian
+Federation vs everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["RU", "COUNTRY_NAMES", "country_name", "is_russian", "validate_country"]
+
+#: The Russian Federation, the pivot of the whole analysis.
+RU = "RU"
+
+#: Display names for the countries appearing in the scenario.
+COUNTRY_NAMES: Dict[str, str] = {
+    "RU": "Russian Federation",
+    "US": "United States",
+    "DE": "Germany",
+    "NL": "Netherlands",
+    "SE": "Sweden",
+    "FR": "France",
+    "GB": "United Kingdom",
+    "CZ": "Czech Republic",
+    "EE": "Estonia",
+    "PL": "Poland",
+    "UA": "Ukraine",
+    "FI": "Finland",
+    "SG": "Singapore",
+    "JP": "Japan",
+    "CA": "Canada",
+    "CH": "Switzerland",
+    "LT": "Lithuania",
+    "TR": "Turkey",
+    "KZ": "Kazakhstan",
+    "BY": "Belarus",
+}
+
+
+def validate_country(code: str) -> str:
+    """Return ``code`` if it looks like an ISO alpha-2 code; raise otherwise."""
+    if len(code) != 2 or not code.isalpha() or not code.isupper():
+        raise ValueError(f"not an ISO alpha-2 country code: {code!r}")
+    return code
+
+
+def country_name(code: str) -> str:
+    """Human-readable name, falling back to the code itself."""
+    return COUNTRY_NAMES.get(code, code)
+
+
+def is_russian(code: Optional[str]) -> bool:
+    """True when ``code`` is the Russian Federation."""
+    return code == RU

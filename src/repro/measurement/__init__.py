@@ -1,0 +1,17 @@
+"""Measurement: OpenINTEL-style collectors over the simulated world."""
+
+from .fast import DailySnapshot, FastCollector
+from .quality import CoveragePoint, MeasurementHealth
+from .records import DomainMeasurement
+from .resolving import ResolvingCollector
+from .seeds import ZoneTransferSeeder
+
+__all__ = [
+    "DailySnapshot",
+    "CoveragePoint",
+    "MeasurementHealth",
+    "FastCollector",
+    "DomainMeasurement",
+    "ResolvingCollector",
+    "ZoneTransferSeeder",
+]

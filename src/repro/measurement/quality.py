@@ -1,0 +1,89 @@
+"""Measurement health: the pipeline's own data-quality monitoring.
+
+Production measurement platforms track their coverage — how many seeded
+names actually produced records each day — and flag anomalous days.  The
+paper's footnote 8 ("the dip on March 22, 2021 is a measurement outage")
+is exactly the kind of event this catches.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, List, Optional
+
+from ..errors import MeasurementError
+from .fast import DailySnapshot
+
+__all__ = ["CoveragePoint", "MeasurementHealth"]
+
+
+class CoveragePoint:
+    """One day's seeded vs measured accounting."""
+
+    __slots__ = ("date", "seeded", "measured")
+
+    def __init__(self, date: _dt.date, seeded: int, measured: int) -> None:
+        if measured > seeded:
+            raise MeasurementError(
+                f"{date}: measured {measured} exceeds seeded {seeded}"
+            )
+        self.date = date
+        self.seeded = seeded
+        self.measured = measured
+
+    @property
+    def coverage(self) -> float:
+        """Measured share of the seed list (0..1)."""
+        return self.measured / self.seeded if self.seeded else 1.0
+
+    def __repr__(self) -> str:
+        return f"CoveragePoint({self.date} {self.measured}/{self.seeded})"
+
+
+class MeasurementHealth:
+    """Accumulates coverage and flags anomalous measurement days."""
+
+    def __init__(self, dip_threshold: float = 0.90) -> None:
+        if not 0.0 < dip_threshold <= 1.0:
+            raise MeasurementError(
+                f"dip_threshold out of (0, 1]: {dip_threshold}"
+            )
+        self._points: List[CoveragePoint] = []
+        self._dip_threshold = dip_threshold
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def observe(self, date: _dt.date, seeded: int, measured: int) -> None:
+        """Record one day (chronological order enforced)."""
+        if self._points and date <= self._points[-1].date:
+            raise MeasurementError("coverage points must be chronological")
+        self._points.append(CoveragePoint(date, seeded, measured))
+
+    def observe_snapshot(self, snapshot: DailySnapshot, seeded: int) -> None:
+        """Record a collected snapshot against its seed-list size."""
+        self.observe(snapshot.date, seeded, len(snapshot))
+
+    def points(self) -> List[CoveragePoint]:
+        """All points, chronological."""
+        return list(self._points)
+
+    def mean_coverage(self) -> float:
+        """Average coverage over all observed days."""
+        if not self._points:
+            raise MeasurementError("no coverage observed")
+        return sum(point.coverage for point in self._points) / len(self._points)
+
+    def outage_days(self) -> List[_dt.date]:
+        """Days whose coverage drops below the dip threshold."""
+        return [
+            point.date
+            for point in self._points
+            if point.coverage < self._dip_threshold
+        ]
+
+    def worst_day(self) -> Optional[CoveragePoint]:
+        """The lowest-coverage day, or None when empty."""
+        if not self._points:
+            return None
+        return min(self._points, key=lambda point: point.coverage)

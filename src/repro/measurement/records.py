@@ -1,0 +1,77 @@
+"""Measurement records: what one OpenINTEL-style sweep observes per domain.
+
+This is the analysis layer's *only* input schema: for each registered
+domain on each measured day, the NS target names, the addresses those
+name servers resolve to, and the apex A-record addresses.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Optional, Tuple
+
+from ..dns.name import DomainName
+
+__all__ = ["DomainMeasurement"]
+
+
+class DomainMeasurement:
+    """One (domain, day) observation."""
+
+    __slots__ = (
+        "date",
+        "domain",
+        "domain_index",
+        "ns_names",
+        "ns_addresses",
+        "apex_addresses",
+    )
+
+    def __init__(
+        self,
+        date: _dt.date,
+        domain: DomainName,
+        ns_names: Tuple[str, ...],
+        ns_addresses: Tuple[int, ...],
+        apex_addresses: Tuple[int, ...],
+        domain_index: Optional[int] = None,
+    ) -> None:
+        self.date = date
+        self.domain = domain
+        #: NS target hostnames, sorted (measurement normalises ordering).
+        self.ns_names = tuple(sorted(ns_names))
+        #: Addresses of the authoritative name servers, sorted.
+        self.ns_addresses = tuple(sorted(ns_addresses))
+        #: Apex A-record addresses, sorted.
+        self.apex_addresses = tuple(sorted(apex_addresses))
+        #: Registry index when known (fast path); None from raw resolution.
+        self.domain_index = domain_index
+
+    def ns_tlds(self) -> Tuple[str, ...]:
+        """Distinct TLDs of the NS names, sorted."""
+        tlds = {name.rsplit(".", 1)[-1] for name in self.ns_names}
+        return tuple(sorted(tlds))
+
+    def key(self) -> Tuple:
+        """Comparable content tuple (used by equivalence tests)."""
+        return (
+            self.date,
+            str(self.domain),
+            self.ns_names,
+            self.ns_addresses,
+            self.apex_addresses,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DomainMeasurement):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return (
+            f"DomainMeasurement({self.date} {self.domain} "
+            f"ns={len(self.ns_names)} apex={len(self.apex_addresses)})"
+        )

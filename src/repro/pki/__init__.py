@@ -1,0 +1,20 @@
+"""WebPKI substrate: certificates, CAs, CRLs, OCSP, certificate store."""
+
+from .ca import CaPolicy, CertificateAuthority
+from .certificate import Certificate, DistinguishedName
+from .crl import CertificateRevocationList, RevocationReason, RevokedEntry
+from .ocsp import OcspResponder, OcspStatus
+from .store import CertificateStore
+
+__all__ = [
+    "CaPolicy",
+    "CertificateAuthority",
+    "Certificate",
+    "DistinguishedName",
+    "CertificateRevocationList",
+    "RevocationReason",
+    "RevokedEntry",
+    "OcspResponder",
+    "OcspStatus",
+    "CertificateStore",
+]

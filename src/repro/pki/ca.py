@@ -1,0 +1,180 @@
+"""Certificate authorities: roots, brand intermediates, issuance, revocation.
+
+CAs issue under *brand* common names (the paper notes DigiCert issues as
+RapidSSL and GeoTrust, and suspects "isolated dots" in Figure 8 come from
+lesser-known brand CNs escaping an issuance stop).  Each brand is an
+intermediate certificate chaining to the CA's self-signed root.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import IssuanceError, RevocationError
+from ..timeline import DateLike, as_date
+from .certificate import Certificate, DistinguishedName
+from .crl import CertificateRevocationList, RevocationReason, RevokedEntry
+from .ocsp import OcspResponder
+
+__all__ = ["CaPolicy", "CertificateAuthority"]
+
+
+class CaPolicy:
+    """Issuance policy knobs."""
+
+    def __init__(
+        self,
+        validity_days: int = 365,
+        ct_logging: bool = True,
+        brands: Sequence[str] = (),
+    ) -> None:
+        if validity_days < 1:
+            raise IssuanceError(f"validity must be positive: {validity_days}")
+        self.validity_days = validity_days
+        #: Whether issued certificates are submitted to CT logs.  The
+        #: Russian Trusted Root CA famously does not log (Section 4.3).
+        self.ct_logging = ct_logging
+        self.brands = tuple(brands)
+
+
+class CertificateAuthority:
+    """One CA, with its root, brand intermediates, CRL, and OCSP."""
+
+    _ROOT_VALIDITY_DAYS = 25 * 365
+
+    def __init__(
+        self,
+        key: str,
+        organization: str,
+        country: str,
+        policy: Optional[CaPolicy] = None,
+        established: DateLike = _dt.date(2015, 1, 1),
+    ) -> None:
+        self.key = key
+        self.organization = organization
+        self.country = country
+        self.policy = policy or CaPolicy(brands=(f"{organization} CA",))
+        if not self.policy.brands:
+            raise IssuanceError(f"CA {key} needs at least one brand")
+        established_date = as_date(established)
+
+        self._serial = 1
+        root_dn = DistinguishedName(
+            f"{organization} Root CA", organization, country
+        )
+        self.root = Certificate(
+            serial=self._next_serial(),
+            issuer=root_dn,
+            subject_cn=f"{organization} Root CA",
+            san=(),
+            not_before=established_date,
+            not_after=established_date + _dt.timedelta(days=self._ROOT_VALIDITY_DAYS),
+            is_ca=True,
+        )
+        # Self-signed: the chain terminates here.
+        self.root.issuer_cert = self.root
+
+        self._intermediates: Dict[str, Certificate] = {}
+        for brand in self.policy.brands:
+            self._intermediates[brand] = Certificate(
+                serial=self._next_serial(),
+                issuer=root_dn,
+                subject_cn=brand,
+                san=(),
+                not_before=established_date,
+                not_after=established_date
+                + _dt.timedelta(days=self._ROOT_VALIDITY_DAYS),
+                is_ca=True,
+                issuer_cert=self.root,
+            )
+
+        self._issued: Dict[int, Certificate] = {}
+        self.crl = CertificateRevocationList(organization)
+        self.ocsp = OcspResponder(organization, self.crl, self._issued.keys())
+
+    def _next_serial(self) -> int:
+        serial = self._serial
+        self._serial += 1
+        return serial
+
+    @property
+    def brands(self) -> List[str]:
+        """Issuing brand CNs."""
+        return list(self.policy.brands)
+
+    def issued_count(self) -> int:
+        """Number of end-entity certificates issued so far."""
+        return len(self._issued)
+
+    def issued_certificates(self) -> List[Certificate]:
+        """All end-entity certificates, in serial order."""
+        return [self._issued[s] for s in sorted(self._issued)]
+
+    # ------------------------------------------------------------------
+    # Issuance
+    # ------------------------------------------------------------------
+
+    def issue(
+        self,
+        names: Sequence[str],
+        on: DateLike,
+        brand: Optional[str] = None,
+        validity_days: Optional[int] = None,
+        ct_logs: Sequence = (),
+    ) -> Certificate:
+        """Issue an end-entity certificate for ``names`` dated ``on``.
+
+        The first name becomes the CN; every name appears in the SAN (as
+        real CAs do).  When ``ct_logs`` are given and the policy enables
+        CT logging, the certificate is submitted (the precertificate
+        flow) and the returned SCTs are embedded in ``certificate.scts``.
+        """
+        if not names:
+            raise IssuanceError(f"{self.organization}: no names to certify")
+        brand_cn = brand if brand is not None else self.policy.brands[0]
+        intermediate = self._intermediates.get(brand_cn)
+        if intermediate is None:
+            raise IssuanceError(f"{self.organization} has no brand {brand_cn!r}")
+        issue_date = as_date(on)
+        days = validity_days if validity_days is not None else self.policy.validity_days
+        certificate = Certificate(
+            serial=self._next_serial(),
+            issuer=DistinguishedName(brand_cn, self.organization, self.country),
+            subject_cn=names[0],
+            san=names,
+            not_before=issue_date,
+            not_after=issue_date + _dt.timedelta(days=days),
+            issuer_cert=intermediate,
+        )
+        self._issued[certificate.serial] = certificate
+        if ct_logs and self.policy.ct_logging:
+            certificate.scts = tuple(
+                log.add_chain(certificate, issue_date) for log in ct_logs
+            )
+        return certificate
+
+    # ------------------------------------------------------------------
+    # Revocation
+    # ------------------------------------------------------------------
+
+    def revoke(
+        self,
+        certificate: Certificate,
+        on: DateLike,
+        reason: RevocationReason = RevocationReason.UNSPECIFIED,
+    ) -> RevokedEntry:
+        """Revoke one of this CA's certificates."""
+        if certificate.serial not in self._issued:
+            raise RevocationError(
+                f"{self.organization} never issued serial {certificate.serial}"
+            )
+        revoked_on = as_date(on)
+        if revoked_on < certificate.not_before:
+            raise RevocationError(
+                f"cannot revoke serial {certificate.serial} before issuance"
+            )
+        return self.crl.add(certificate.serial, revoked_on, reason)
+
+    def __repr__(self) -> str:
+        return f"CertificateAuthority({self.organization!r}, {len(self._issued)} issued)"

@@ -1,0 +1,194 @@
+"""X.509-style certificates (the fields the paper's analysis reads).
+
+A certificate here is not DER — it is the tuple of fields the study
+extracts from CT logs and scan data: serial, issuer DN (with the Issuer
+Organization used to attribute CAs), subject CN, SANs, validity window,
+and the issuing chain (used to detect the Russian Trusted Root CA).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+from typing import List, Optional, Sequence, Tuple
+
+from ..dns.idna import to_ascii
+from ..errors import PkiError
+from ..timeline import DateLike, as_date
+
+__all__ = ["DistinguishedName", "Certificate"]
+
+
+class DistinguishedName:
+    """The subset of an X.509 DN the analysis uses."""
+
+    __slots__ = ("common_name", "organization", "country")
+
+    def __init__(self, common_name: str, organization: str, country: str) -> None:
+        self.common_name = common_name
+        self.organization = organization
+        self.country = country
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DistinguishedName):
+            return NotImplemented
+        return (
+            self.common_name == other.common_name
+            and self.organization == other.organization
+            and self.country == other.country
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.common_name, self.organization, self.country))
+
+    def __repr__(self) -> str:
+        return f"DN(CN={self.common_name!r}, O={self.organization!r}, C={self.country})"
+
+
+class Certificate:
+    """One issued certificate."""
+
+    __slots__ = (
+        "serial",
+        "issuer",
+        "subject_cn",
+        "san",
+        "not_before",
+        "not_after",
+        "is_ca",
+        "issuer_cert",
+        "fingerprint",
+        "scts",
+    )
+
+    def __init__(
+        self,
+        serial: int,
+        issuer: DistinguishedName,
+        subject_cn: str,
+        san: Sequence[str],
+        not_before: DateLike,
+        not_after: DateLike,
+        is_ca: bool = False,
+        issuer_cert: Optional["Certificate"] = None,
+    ) -> None:
+        if serial < 0:
+            raise PkiError(f"negative serial: {serial}")
+        self.serial = serial
+        self.issuer = issuer
+        self.subject_cn = to_ascii(subject_cn)
+        self.san: Tuple[str, ...] = tuple(to_ascii(name) for name in san)
+        self.not_before = as_date(not_before)
+        self.not_after = as_date(not_after)
+        if self.not_after < self.not_before:
+            raise PkiError(
+                f"certificate {serial} expires before it begins "
+                f"({self.not_after} < {self.not_before})"
+            )
+        self.is_ca = is_ca
+        self.issuer_cert = issuer_cert
+        self.fingerprint = self._fingerprint()
+        #: Signed Certificate Timestamps embedded at issuance (CT logging).
+        #: Empty for CAs that do not log — the Russian Trusted Root CA's
+        #: distinguishing mark.  Not part of the fingerprint (SCTs cover
+        #: the precertificate, not the other way round).
+        self.scts: tuple = ()
+
+    def _fingerprint(self) -> str:
+        canonical = "|".join(
+            [
+                str(self.serial),
+                self.issuer.common_name,
+                self.issuer.organization,
+                self.subject_cn,
+                ",".join(self.san),
+                self.not_before.isoformat(),
+                self.not_after.isoformat(),
+            ]
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Queries used by the analysis
+    # ------------------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """CN plus SANs, deduplicated, order-preserving."""
+        seen = []
+        for name in (self.subject_cn, *self.san):
+            if name and name not in seen:
+                seen.append(name)
+        return seen
+
+    def tlds(self) -> List[str]:
+        """TLDs (A-label) of every secured name."""
+        result = []
+        for name in self.names():
+            label = name.rsplit(".", 1)[-1] if "." in name else name
+            if label and label not in result:
+                result.append(label)
+        return result
+
+    def secures_tld(self, tlds: Sequence[str]) -> bool:
+        """True when any CN/SAN falls under one of ``tlds``.
+
+        This is the paper's "certificate matches .ru/.рф" predicate
+        (footnote 6: CN *or* SAN under the studied TLDs).
+        """
+        wanted = {to_ascii(tld.lstrip(".")) for tld in tlds}
+        return any(name.rsplit(".", 1)[-1] in wanted for name in self.names())
+
+    def registered_domains(self) -> List[str]:
+        """The registrable (SLD.TLD) domains secured, deduplicated."""
+        result = []
+        for name in self.names():
+            labels = name.split(".")
+            if len(labels) < 2:
+                continue
+            registrable = ".".join(labels[-2:])
+            if registrable not in result:
+                result.append(registrable)
+        return result
+
+    def is_valid_on(self, date: DateLike) -> bool:
+        """True when ``date`` falls inside the validity window."""
+        day = as_date(date)
+        return self.not_before <= day <= self.not_after
+
+    def chain(self) -> List["Certificate"]:
+        """This certificate followed by its issuers up to the root."""
+        chain: List[Certificate] = [self]
+        current = self.issuer_cert
+        while current is not None and current is not chain[-1]:
+            chain.append(current)
+            current = current.issuer_cert
+        return chain
+
+    def root(self) -> "Certificate":
+        """The root certificate of the chain (may be self)."""
+        return self.chain()[-1]
+
+    def chain_contains_organization(self, organization: str) -> bool:
+        """True when any chain element was issued by ``organization``."""
+        return any(
+            cert.issuer.organization == organization for cert in self.chain()
+        )
+
+    @property
+    def validity_days(self) -> int:
+        """Length of the validity window in days (inclusive bounds)."""
+        return (self.not_after - self.not_before).days
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Certificate):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
+    def __repr__(self) -> str:
+        return (
+            f"Certificate(#{self.serial} {self.subject_cn!r} "
+            f"by {self.issuer.organization!r})"
+        )

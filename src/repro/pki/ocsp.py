@@ -1,0 +1,49 @@
+"""Online Certificate Status Protocol responder (simulated).
+
+The paper reads revocation state from "CRLs and OCSP state as indexed by
+Censys"; this responder is the OCSP half, answering GOOD / REVOKED /
+UNKNOWN per certificate against its issuing CA's records.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..timeline import DateLike
+from .certificate import Certificate
+from .crl import CertificateRevocationList
+
+__all__ = ["OcspStatus", "OcspResponder"]
+
+
+class OcspStatus(enum.Enum):
+    """RFC 6960 certificate status values."""
+
+    GOOD = "good"
+    REVOKED = "revoked"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class OcspResponder:
+    """Answers status queries for one CA."""
+
+    def __init__(
+        self, issuer_organization: str, crl: CertificateRevocationList, known_serials
+    ) -> None:
+        self._issuer_organization = issuer_organization
+        self._crl = crl
+        # A live view (set-like) of serials the CA has issued.
+        self._known_serials = known_serials
+
+    def status(self, certificate: Certificate, at: DateLike) -> OcspStatus:
+        """Status of ``certificate`` as of ``at``."""
+        if certificate.issuer.organization != self._issuer_organization:
+            return OcspStatus.UNKNOWN
+        if certificate.serial not in self._known_serials:
+            return OcspStatus.UNKNOWN
+        if self._crl.is_revoked(certificate.serial, at):
+            return OcspStatus.REVOKED
+        return OcspStatus.GOOD

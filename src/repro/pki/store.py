@@ -1,0 +1,86 @@
+"""A queryable index of issued certificates (the Censys-index equivalent).
+
+The analysis layer asks the same questions the paper asks of Censys' CT
+index: certificates matching ``.ru``/``.рф``, per-issuer tallies, validity
+windows, and revocation state joins.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..timeline import DateLike, as_date
+from .certificate import Certificate
+
+__all__ = ["CertificateStore"]
+
+
+class CertificateStore:
+    """An append-only collection of end-entity certificates."""
+
+    def __init__(self) -> None:
+        self._certificates: List[Certificate] = []
+        self._by_fingerprint: Dict[str, Certificate] = {}
+
+    def __len__(self) -> int:
+        return len(self._certificates)
+
+    def __iter__(self) -> Iterator[Certificate]:
+        return iter(self._certificates)
+
+    def add(self, certificate: Certificate) -> None:
+        """Index a certificate; duplicates (same fingerprint) are ignored."""
+        if certificate.fingerprint in self._by_fingerprint:
+            return
+        self._by_fingerprint[certificate.fingerprint] = certificate
+        self._certificates.append(certificate)
+
+    def add_all(self, certificates: Sequence[Certificate]) -> None:
+        """Bulk :meth:`add`."""
+        for certificate in certificates:
+            self.add(certificate)
+
+    def by_fingerprint(self, fingerprint: str) -> Optional[Certificate]:
+        """Certificate with the given fingerprint, or None."""
+        return self._by_fingerprint.get(fingerprint)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def filter(
+        self, predicate: Callable[[Certificate], bool]
+    ) -> List[Certificate]:
+        """All certificates satisfying ``predicate``."""
+        return [cert for cert in self._certificates if predicate(cert)]
+
+    def matching_tlds(self, tlds: Sequence[str]) -> List[Certificate]:
+        """Certificates with a CN or SAN under any of ``tlds``."""
+        return self.filter(lambda cert: cert.secures_tld(tlds))
+
+    def issued_between(
+        self, start: DateLike, end: DateLike
+    ) -> List[Certificate]:
+        """Certificates with not_before in [start, end]."""
+        lo, hi = as_date(start), as_date(end)
+        return self.filter(lambda cert: lo <= cert.not_before <= hi)
+
+    def validity_ending_after(self, cutoff: DateLike) -> List[Certificate]:
+        """Certificates whose validity ends after ``cutoff``.
+
+        This is Table 2's population: revocations are tallied across all
+        certificates "whose validity ended after February 25, 2022".
+        """
+        boundary = as_date(cutoff)
+        return self.filter(lambda cert: cert.not_after > boundary)
+
+    def count_by_issuer(
+        self, certificates: Optional[Sequence[Certificate]] = None
+    ) -> Dict[str, int]:
+        """Counts keyed by Issuer Organization."""
+        counts: Dict[str, int] = {}
+        for cert in self._certificates if certificates is None else certificates:
+            org = cert.issuer.organization
+            counts[org] = counts.get(org, 0) + 1
+        return counts

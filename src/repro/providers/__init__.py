@@ -1,0 +1,14 @@
+"""Provider substrate: the hosting/DNS market and its address plan."""
+
+from .addressing import AddressPlan
+from .catalog import ProviderCatalog, standard_catalog
+from .provider import NsHost, Provider, Role
+
+__all__ = [
+    "AddressPlan",
+    "ProviderCatalog",
+    "standard_catalog",
+    "NsHost",
+    "Provider",
+    "Role",
+]

@@ -1,0 +1,72 @@
+"""Synthetic but plausible second-level domain labels.
+
+``.ru`` labels are ASCII syllable compounds; ``.рф`` labels are Cyrillic
+syllable compounds, which exercises the IDNA/punycode path everywhere a
+name crosses the DNS layer.  Uniqueness is guaranteed by appending a
+base-36 counter on collision.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+import numpy as np
+
+__all__ = ["NameFactory"]
+
+_ASCII_SYLLABLES = [
+    "al", "an", "ar", "bor", "dom", "el", "en", "er", "gra", "in",
+    "ka", "kom", "lan", "lit", "mar", "mir", "neo", "nik", "on", "or",
+    "pro", "ros", "ser", "sib", "sky", "sto", "tek", "tor", "ul", "ve",
+    "vol", "za",
+]
+_CYRILLIC_SYLLABLES = [
+    "ал", "бор", "век", "гор", "дом", "ель", "жар", "зол", "ино", "кол",
+    "лан", "мир", "нов", "окт", "пол", "рус", "сев", "тор", "уль", "флот",
+    "хол", "цен", "чер", "шах", "эко", "юни", "яр",
+]
+_BASE36 = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def _base36(value: int) -> str:
+    if value == 0:
+        return "0"
+    digits = []
+    while value:
+        value, rem = divmod(value, 36)
+        digits.append(_BASE36[rem])
+    return "".join(reversed(digits))
+
+
+class NameFactory:
+    """Generates unique labels from a numpy RNG."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._issued: Set[str] = set()
+        self._counter = 0
+
+    def _compound(self, syllables, count: int) -> str:
+        picks = self._rng.integers(0, len(syllables), size=count)
+        return "".join(syllables[int(i)] for i in picks)
+
+    def next_ascii(self) -> str:
+        """A fresh ASCII label."""
+        count = 2 + int(self._rng.integers(0, 2))
+        label = self._compound(_ASCII_SYLLABLES, count)
+        if self._rng.random() < 0.15:
+            label += str(int(self._rng.integers(0, 100)))
+        return self._dedupe(label)
+
+    def next_cyrillic(self) -> str:
+        """A fresh Cyrillic (U-label) label."""
+        count = 2 + int(self._rng.integers(0, 2))
+        return self._dedupe(self._compound(_CYRILLIC_SYLLABLES, count))
+
+    def _dedupe(self, label: str) -> str:
+        candidate = label
+        while candidate in self._issued:
+            self._counter += 1
+            candidate = f"{label}{_base36(self._counter)}"
+        self._issued.add(candidate)
+        return candidate

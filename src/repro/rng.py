@@ -1,0 +1,43 @@
+"""Deterministic random-number utilities.
+
+Every stochastic component of the simulation derives its randomness from a
+single scenario seed through :func:`derive_rng`, which hashes a sequence of
+string labels into an independent stream.  This keeps runs bit-reproducible
+while letting unrelated subsystems draw without interfering with each other
+(adding draws in one subsystem never perturbs another).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "derive_rng", "stable_hash"]
+
+_HASH_BYTES = 8
+
+
+def stable_hash(*labels: str) -> int:
+    """Return a stable 64-bit hash of the given labels.
+
+    Unlike Python's built-in :func:`hash`, the result does not vary across
+    interpreter invocations (no ``PYTHONHASHSEED`` dependence).
+    """
+    digest = hashlib.sha256("\x1f".join(labels).encode("utf-8")).digest()
+    return int.from_bytes(digest[:_HASH_BYTES], "big")
+
+
+def derive_seed(root_seed: int, *labels: str) -> int:
+    """Derive an independent 64-bit seed from ``root_seed`` and labels."""
+    return stable_hash(str(root_seed), *labels) & 0xFFFFFFFFFFFFFFFF
+
+
+def derive_rng(root_seed: int, *labels: str) -> np.random.Generator:
+    """Return a numpy Generator seeded independently per label path.
+
+    ``derive_rng(seed, "pki", "issuance")`` and
+    ``derive_rng(seed, "registry")`` produce statistically independent
+    streams that are each fully determined by ``seed``.
+    """
+    return np.random.default_rng(derive_seed(root_seed, *labels))

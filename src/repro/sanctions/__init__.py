@@ -1,0 +1,11 @@
+"""Sanctions substrate: designated entities and merged list queries."""
+
+from .entity import Designation, SanctionedEntity, SanctionsAuthority
+from .lists import SanctionsList
+
+__all__ = [
+    "Designation",
+    "SanctionedEntity",
+    "SanctionsAuthority",
+    "SanctionsList",
+]

@@ -1,0 +1,6 @@
+"""Active TLS scanning substrate (Censys CUIDS equivalent)."""
+
+from .cuids import UniversalScanDataset
+from .tls import ScanRecord, TlsScanner
+
+__all__ = ["UniversalScanDataset", "ScanRecord", "TlsScanner"]

@@ -1,0 +1,435 @@
+"""Certificate ecosystem simulation.
+
+Generates the three certificate streams the paper observes:
+
+1. **The global stream** — day-by-day issuance for the whole ``.ru``/``.рф``
+   population, scaled to the simulated population size.  Per-CA market
+   shares, issuance stops after the invasion, brand-CN "leakage" dots, and
+   revocation rates are all configured per CA.
+2. **The sanctioned stream** — absolute (unscaled) issuance for the 107
+   sanctioned domains, including the DigiCert and Sectigo full revocations.
+3. **The Russian Trusted Root CA stream** — certificates that are *never*
+   CT-logged and only observable through active scans.
+
+Everything lands in real substrate objects: CAs sign, CT logs build Merkle
+trees, CRLs fill, and a serving view feeds the scanner.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ctlog.log import CtLog
+from ..errors import ScenarioError
+from ..pki.ca import CaPolicy, CertificateAuthority
+from ..pki.certificate import Certificate
+from ..pki.crl import RevocationReason
+from ..pki.store import CertificateStore
+from ..rng import derive_rng
+from ..timeline import DateLike, as_date, iter_days
+from .world import World
+
+__all__ = ["CaSpec", "SanctionedIssuanceSpec", "CertSimConfig", "PkiBundle", "simulate_pki"]
+
+RUSSIAN_CA_ORG = "Russian Trusted Root CA"
+
+
+class CaSpec:
+    """Behavioural parameters for one certificate authority."""
+
+    def __init__(
+        self,
+        key: str,
+        organization: str,
+        country: str,
+        share: float,
+        validity_days: int = 365,
+        brands: Sequence[str] = (),
+        stop_date: Optional[DateLike] = None,
+        leak_days: int = 0,
+        leak_rate: float = 0.0,
+        revocation_rate: float = 0.0,
+        share_multiplier_post_conflict: float = 1.0,
+        ct_logging: bool = True,
+    ) -> None:
+        if share < 0:
+            raise ScenarioError(f"negative share for CA {key}")
+        self.key = key
+        self.organization = organization
+        self.country = country
+        #: Pre-conflict fraction of daily issuance volume.
+        self.share = share
+        self.validity_days = validity_days
+        self.brands = tuple(brands) or (f"{organization} CA",)
+        self.stop_date = as_date(stop_date) if stop_date is not None else None
+        #: After stopping, stray "brand leakage" certs for this many days...
+        self.leak_days = leak_days
+        #: ...each day independently with this probability.
+        self.leak_rate = leak_rate
+        self.revocation_rate = revocation_rate
+        #: Relative share change once the conflict starts (GlobalSign grows).
+        self.share_multiplier_post_conflict = share_multiplier_post_conflict
+        self.ct_logging = ct_logging
+
+    def active_weight(self, date: _dt.date, conflict_start: _dt.date) -> float:
+        """Issuance weight on ``date`` (0 when stopped)."""
+        if self.stop_date is not None and date >= self.stop_date:
+            return 0.0
+        if date >= conflict_start:
+            return self.share * self.share_multiplier_post_conflict
+        return self.share
+
+    def leaks_on(self, date: _dt.date) -> bool:
+        """True when ``date`` falls inside the post-stop leakage window."""
+        if self.stop_date is None or self.leak_days <= 0:
+            return False
+        return self.stop_date <= date < self.stop_date + _dt.timedelta(self.leak_days)
+
+
+class SanctionedIssuanceSpec:
+    """Absolute issuance/revocation targets for one CA over sanctioned domains."""
+
+    def __init__(
+        self,
+        ca_key: str,
+        issued: int,
+        revoked: int,
+        revocation_window: Tuple[DateLike, DateLike],
+        issue_until: Optional[DateLike] = None,
+    ) -> None:
+        if revoked > issued:
+            raise ScenarioError(f"{ca_key}: revoked {revoked} > issued {issued}")
+        self.ca_key = ca_key
+        self.issued = issued
+        self.revoked = revoked
+        self.revocation_window = (
+            as_date(revocation_window[0]),
+            as_date(revocation_window[1]),
+        )
+        self.issue_until = as_date(issue_until) if issue_until else None
+
+
+class CertSimConfig:
+    """Top-level knobs for the certificate simulation."""
+
+    def __init__(
+        self,
+        seed: int,
+        scale_factor: float,
+        ca_specs: Sequence[CaSpec],
+        sanctioned_specs: Sequence[SanctionedIssuanceSpec],
+        start: DateLike = _dt.date(2021, 11, 15),
+        end: DateLike = _dt.date(2022, 5, 15),
+        conflict_start: DateLike = _dt.date(2022, 2, 24),
+        daily_volume_pre_conflict: float = 130_000.0,
+        daily_volume_post_conflict: float = 115_000.0,
+        russian_ca_cert_count: int = 170,
+        russian_ca_sanctioned_count: int = 36,
+        russian_ca_rf_count: int = 2,
+        russian_ca_external_count: int = 38,
+        russian_ca_start: DateLike = _dt.date(2022, 3, 2),
+        russian_ca_end: DateLike = _dt.date(2022, 4, 8),
+    ) -> None:
+        if scale_factor <= 0:
+            raise ScenarioError(f"scale_factor must be positive: {scale_factor}")
+        self.seed = seed
+        self.scale_factor = scale_factor
+        self.ca_specs = list(ca_specs)
+        self.sanctioned_specs = list(sanctioned_specs)
+        self.start = as_date(start)
+        self.end = as_date(end)
+        self.conflict_start = as_date(conflict_start)
+        self.daily_volume_pre_conflict = daily_volume_pre_conflict
+        self.daily_volume_post_conflict = daily_volume_post_conflict
+        self.russian_ca_cert_count = russian_ca_cert_count
+        self.russian_ca_sanctioned_count = russian_ca_sanctioned_count
+        self.russian_ca_rf_count = russian_ca_rf_count
+        self.russian_ca_external_count = russian_ca_external_count
+        self.russian_ca_start = as_date(russian_ca_start)
+        self.russian_ca_end = as_date(russian_ca_end)
+
+
+class PkiBundle:
+    """Everything the PKI simulation produced."""
+
+    def __init__(
+        self,
+        cas: Dict[str, CertificateAuthority],
+        logs: List[CtLog],
+        store: CertificateStore,
+        domain_certs: Dict[int, List[Certificate]],
+        extra_serving: List[Tuple[str, int, Certificate]],
+        russian_ca_org: str = RUSSIAN_CA_ORG,
+    ) -> None:
+        self.cas = cas
+        self.logs = logs
+        self.store = store
+        #: Registry-domain index -> issued certificates (chronological).
+        self.domain_certs = domain_certs
+        #: Non-registry Russian-affiliated sites: (name, address, cert).
+        self.extra_serving = extra_serving
+        self.russian_ca_org = russian_ca_org
+
+    def authorities(self) -> List[CertificateAuthority]:
+        """All CAs, catalogue order."""
+        return list(self.cas.values())
+
+    def serving_view(
+        self, world: World
+    ) -> Callable[[_dt.date], Iterable[Tuple[int, Certificate]]]:
+        """Build the scanner's (date -> [(address, certificate)]) view.
+
+        Each domain serves its most recently installed, still-valid
+        certificate; a Russian-CA certificate, once installed, takes
+        precedence (that is state policy, and it is what makes the
+        Russian CA visible to scans at all).
+        """
+
+        def view(date: _dt.date) -> Iterable[Tuple[int, Certificate]]:
+            hosting = world.hosting_state(date)
+            active = world.population.active_mask(date)
+            for domain_index, certs in self.domain_certs.items():
+                if not active[domain_index]:
+                    continue
+                chosen: Optional[Certificate] = None
+                for cert in certs:  # chronological
+                    if not cert.is_valid_on(date):
+                        continue
+                    if (
+                        chosen is not None
+                        and chosen.chain_contains_organization(self.russian_ca_org)
+                        and not cert.chain_contains_organization(self.russian_ca_org)
+                    ):
+                        continue
+                    chosen = cert
+                if chosen is None:
+                    continue
+                addresses = world.apex_addresses_for_plan(
+                    domain_index, int(hosting[domain_index])
+                )
+                yield addresses[0], chosen
+            for _name, address, cert in self.extra_serving:
+                if cert.is_valid_on(date):
+                    yield address, cert
+
+        return view
+
+
+# ----------------------------------------------------------------------
+# Simulation
+# ----------------------------------------------------------------------
+
+
+def simulate_pki(world: World, config: CertSimConfig) -> PkiBundle:
+    """Run the certificate simulation against a built world."""
+    rng = derive_rng(config.seed, "pki")
+    cas: Dict[str, CertificateAuthority] = {}
+    for spec in config.ca_specs:
+        cas[spec.key] = CertificateAuthority(
+            spec.key,
+            spec.organization,
+            spec.country,
+            CaPolicy(
+                validity_days=spec.validity_days,
+                ct_logging=spec.ct_logging,
+                brands=spec.brands,
+            ),
+        )
+    russian_ca = CertificateAuthority(
+        "russianca",
+        RUSSIAN_CA_ORG,
+        "RU",
+        CaPolicy(validity_days=365, ct_logging=False, brands=("Russian Trusted Sub CA",)),
+        established=_dt.date(2022, 3, 1),
+    )
+
+    logs = [CtLog("argon2022"), CtLog("xenon2022")]
+    store = CertificateStore()
+    domain_certs: Dict[int, List[Certificate]] = {}
+
+    def record(cert: Certificate, date: _dt.date, ct_logging: bool,
+               domain_index: Optional[int]) -> None:
+        store.add(cert)
+        if ct_logging:
+            log = logs[int(rng.integers(0, len(logs)))]
+            sct = log.add_chain(cert, date)
+            cert.scts = cert.scts + (sct,)
+        if domain_index is not None:
+            domain_certs.setdefault(domain_index, []).append(cert)
+
+    _simulate_global_stream(world, config, rng, cas, record)
+    _simulate_sanctioned_stream(world, config, rng, cas, record)
+    extra_serving = _simulate_russian_ca(world, config, rng, russian_ca, record)
+
+    cas["russianca"] = russian_ca
+    return PkiBundle(cas, logs, store, domain_certs, extra_serving)
+
+
+def _simulate_global_stream(world, config, rng, cas, record) -> None:
+    """Scaled population-wide issuance with stops, leaks, revocations.
+
+    Sanctioned domains are excluded here — their certificate activity is
+    modelled absolutely by the sanctioned stream, as in Table 2.
+    """
+    spec_by_key = {spec.key: spec for spec in config.ca_specs}
+    keys = list(spec_by_key)
+    sanctioned = np.zeros(len(world.population), dtype=bool)
+    sanctioned[world.sanctioned_indices] = True
+    for date in iter_days(config.start, config.end):
+        base = (
+            config.daily_volume_pre_conflict
+            if date < config.conflict_start
+            else config.daily_volume_post_conflict
+        )
+        total = int(rng.poisson(base * config.scale_factor))
+        weights = np.asarray(
+            [
+                spec_by_key[key].active_weight(date, config.conflict_start)
+                for key in keys
+            ]
+        )
+        if weights.sum() <= 0 or total == 0:
+            continue
+        weights = weights / weights.sum()
+        active_indices = world.population.active_indices(date)
+        active_indices = active_indices[~sanctioned[active_indices]]
+        if len(active_indices) == 0:
+            continue
+        picks = rng.choice(len(keys), size=total, p=weights)
+        domains = rng.choice(active_indices, size=total)
+        for ca_position, domain_index in zip(picks, domains):
+            spec = spec_by_key[keys[int(ca_position)]]
+            _issue_for_domain(
+                world, rng, cas[spec.key], spec, int(domain_index), date, record,
+                config,
+            )
+        # Brand-CN leakage after an issuance stop (Figure 8's lone dots).
+        for key in keys:
+            spec = spec_by_key[key]
+            if spec.leaks_on(date) and rng.random() < spec.leak_rate:
+                leak_domain = int(rng.choice(active_indices))
+                _issue_for_domain(
+                    world, rng, cas[key], spec, leak_domain, date, record, config,
+                    brand=spec.brands[-1],
+                )
+
+
+def _issue_for_domain(
+    world, rng, ca, spec, domain_index, date, record, config, brand=None
+) -> None:
+    name = str(world.population.record(domain_index).name)
+    cert = ca.issue([name, f"www.{name}"], date, brand=brand)
+    record(cert, date, spec.ct_logging, domain_index)
+    if spec.revocation_rate > 0 and rng.random() < spec.revocation_rate:
+        offset = int(rng.integers(10, 80))
+        revoke_on = min(
+            date + _dt.timedelta(days=offset),
+            cert.not_after,
+        )
+        if revoke_on <= config.end + _dt.timedelta(days=30):
+            ca.revoke(cert, revoke_on, RevocationReason.SUPERSEDED)
+
+
+def _simulate_sanctioned_stream(world, config, rng, cas, record) -> None:
+    """Absolute issuance/revocation over the 107 sanctioned domains."""
+    sanctioned = world.sanctioned_indices
+    if len(sanctioned) == 0:
+        return
+    spec_by_key = {spec.key: spec for spec in config.ca_specs}
+    for s_spec in config.sanctioned_specs:
+        ca_spec = spec_by_key[s_spec.ca_key]
+        ca = cas[s_spec.ca_key]
+        last_issue = s_spec.issue_until or ca_spec.stop_date or config.end
+        last_issue = min(last_issue, config.end)
+        window_days = (last_issue - config.start).days + 1
+        if window_days <= 0:
+            continue
+        issued: List[Certificate] = []
+        offsets = rng.integers(0, window_days, size=s_spec.issued)
+        domain_picks = rng.choice(sanctioned, size=s_spec.issued)
+        for position in np.argsort(offsets):
+            date = config.start + _dt.timedelta(days=int(offsets[position]))
+            domain_index = int(domain_picks[position])
+            name = str(world.population.record(domain_index).name)
+            sub = f"portal-{int(offsets[position])}-{position % 97}.{name}"
+            cert = ca.issue([sub, name], date)
+            record(cert, date, ca_spec.ct_logging, domain_index)
+            issued.append(cert)
+        # Revocations, clustered into the spec's window.
+        lo, hi = s_spec.revocation_window
+        span = max((hi - lo).days, 1)
+        to_revoke = rng.choice(len(issued), size=s_spec.revoked, replace=False)
+        for position in to_revoke:
+            cert = issued[int(position)]
+            revoke_on = max(
+                lo + _dt.timedelta(days=int(rng.integers(0, span))),
+                cert.not_before,
+            )
+            ca.revoke(cert, revoke_on, RevocationReason.PRIVILEGE_WITHDRAWN)
+
+
+def _simulate_russian_ca(world, config, rng, russian_ca, record):
+    """The never-logged state CA: 170 certificates, scan-only visibility."""
+    population = world.population
+    sanctioned = list(world.sanctioned_indices)
+    rng.shuffle(sanctioned)
+    chosen_sanctioned = sanctioned[: config.russian_ca_sanctioned_count]
+
+    # Subjects must survive the scan window, or the scanner never sees
+    # their certificate serving.
+    from ..timeline import day_index
+
+    survives = population.deleted > day_index(config.end) + 30
+    sanctioned_set = set(world.sanctioned_indices)
+
+    rf_indices = [
+        index
+        for index in np.flatnonzero(population.is_rf & survives)
+        if index not in sanctioned_set
+        and population.record(int(index)).created_day <= 0
+    ][: config.russian_ca_rf_count]
+
+    ru_needed = (
+        config.russian_ca_cert_count
+        - config.russian_ca_sanctioned_count
+        - config.russian_ca_rf_count
+        - config.russian_ca_external_count
+    )
+    stable_ru = [
+        int(index)
+        for index in np.flatnonzero(
+            (~population.is_rf) & (population.created <= 0) & survives
+        )
+        if index not in sanctioned_set
+    ]
+    rng.shuffle(stable_ru)
+    state_domains = stable_ru[: max(ru_needed, 0)]
+
+    span = max((config.russian_ca_end - config.russian_ca_start).days, 1)
+    extra_serving: List[Tuple[str, int, Certificate]] = []
+
+    def issue_for(index: Optional[int], name: str) -> Certificate:
+        date = config.russian_ca_start + _dt.timedelta(days=int(rng.integers(0, span)))
+        cert = russian_ca.issue([name], date)
+        record(cert, date, False, index)
+        return cert
+
+    for index in list(chosen_sanctioned) + list(state_domains) + [
+        int(i) for i in rf_indices
+    ]:
+        issue_for(int(index), str(population.record(int(index)).name))
+
+    # The long tail of Russian-affiliated sites under other TLDs.
+    external_pool = world.address_plan.hosting_pool(
+        world.catalog.get("ruhost1").primary_asn
+    )
+    for position in range(config.russian_ca_external_count):
+        name = f"portal.ru-affiliate-{position:02d}.su"
+        cert = issue_for(None, name)
+        address = external_pool.first + 1000 + position
+        extra_serving.append((name, address, cert))
+
+    return extra_serving

@@ -1,0 +1,200 @@
+"""Build a live DNS hierarchy from world state at one date.
+
+Constructs the root zone, TLD zones (``.ru``, ``.рф``, and every TLD the
+provider name-server fleets live under), provider infrastructure zones,
+and per-customer-domain zones — all served by
+:class:`~repro.dns.server.AuthoritativeServer` objects wired into a
+:class:`~repro.dns.network.SimulatedNetwork`.  The resolving collector
+then measures domains exactly the way OpenINTEL does: by asking the root
+and walking down.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..dns.name import ROOT, DomainName
+from ..dns.network import SimulatedNetwork
+from ..dns.rdata import A, NS, SOA, RRType
+from ..dns.rrset import RRset
+from ..dns.server import AuthoritativeServer
+from ..dns.zone import Zone
+from ..errors import ScenarioError
+from ..net.ip import parse_ipv4
+from ..timeline import DateLike, as_date, day_index
+from .world import World
+
+__all__ = ["DnsTreeBuilder", "BuiltTree"]
+
+#: Fixed root-server addresses (outside the provider catalogue's space).
+ROOT_ADDRESSES = (parse_ipv4("198.41.0.4"), parse_ipv4("198.41.0.8"))
+_TLD_SERVER_BASE = parse_ipv4("198.41.1.1")
+
+#: Multi-label public suffixes we must not treat as registrable domains.
+_DEEP_SUFFIXES = frozenset({("co", "uk")})
+
+
+def _registrable(hostname: DomainName) -> DomainName:
+    """The registrable (delegated-from-TLD) domain of a hostname."""
+    labels = hostname.labels
+    if len(labels) >= 3 and labels[-2:] in _DEEP_SUFFIXES:
+        return DomainName(labels[-3:])
+    return DomainName(labels[-2:])
+
+
+class BuiltTree:
+    """One date's DNS hierarchy."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        root_addresses: Tuple[int, ...],
+        serial: int,
+        tld_addresses: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.network = network
+        self.root_addresses = root_addresses
+        self.serial = serial
+        #: TLD (A-label) -> address of its authoritative server.
+        self.tld_addresses = dict(tld_addresses or {})
+
+
+class DnsTreeBuilder:
+    """Materialises the DNS hierarchy for a set of measured domains."""
+
+    def __init__(self, world: World) -> None:
+        self._world = world
+
+    def build(
+        self, date: DateLike, domain_indices: Optional[Sequence[int]] = None
+    ) -> BuiltTree:
+        """Build the tree as of ``date`` for the given domains (or all)."""
+        world = self._world
+        date_obj = as_date(date)
+        serial = max(day_index(date_obj), 0) + 1
+        epoch = world.epoch_at(date_obj)
+        network = SimulatedNetwork()
+
+        if domain_indices is None:
+            domain_indices = world.population.active_indices(date_obj)
+
+        # One authoritative server per name-server host address.
+        servers: Dict[int, AuthoritativeServer] = {}
+
+        def server_at(address: int, identity: str) -> AuthoritativeServer:
+            server = servers.get(address)
+            if server is None:
+                server = AuthoritativeServer(identity)
+                servers[address] = server
+                network.attach(address, server)
+            return server
+
+        # --- Collect the name-server host universe -----------------------
+        ns_addresses = epoch.ns_addresses  # hostname text -> address
+        host_names = {
+            DomainName.parse(text): address for text, address in ns_addresses.items()
+        }
+
+        # --- Infrastructure zones (reg.ru, cloudflare.com, ...) ----------
+        infra_hosts: Dict[DomainName, List[Tuple[DomainName, int]]] = {}
+        for hostname, address in host_names.items():
+            infra_hosts.setdefault(_registrable(hostname), []).append(
+                (hostname, address)
+            )
+
+        infra_zones: Dict[DomainName, Zone] = {}
+        for origin, hosts in infra_hosts.items():
+            zone = Zone(
+                origin,
+                SOA(str(hosts[0][0]), f"hostmaster.{origin}", serial),
+            )
+            for hostname, address in sorted(hosts):
+                zone.add(RRset(hostname, RRType.A, [A(address)]))
+            zone.add(
+                RRset(
+                    origin,
+                    RRType.NS,
+                    [NS(hostname) for hostname, _ in sorted(hosts)],
+                )
+            )
+            infra_zones[origin] = zone
+            for hostname, address in hosts:
+                server_at(address, f"ns:{hostname}").attach_zone(zone)
+
+        # --- TLD zones ----------------------------------------------------
+        tld_origins = {origin.parent for origin in infra_zones}
+        tld_origins.add(DomainName.parse("ru"))
+        tld_origins.add(DomainName.parse("xn--p1ai"))
+
+        tld_zones: Dict[DomainName, Zone] = {}
+        tld_server_addresses: Dict[DomainName, int] = {}
+        for offset, origin in enumerate(sorted(tld_origins)):
+            zone = Zone(
+                origin,
+                SOA(f"a.nic.{origin}", f"hostmaster.nic.{origin}", serial),
+            )
+            address = _TLD_SERVER_BASE + offset
+            tld_zones[origin] = zone
+            tld_server_addresses[origin] = address
+            tld_server = server_at(address, f"tld:{origin}")
+            tld_server.attach_zone(zone)
+            # OpenINTEL-style data sharing: the studied registries permit
+            # zone transfers as measurement seeds (paper Section 2).
+            if str(origin) in ("ru", "xn--p1ai"):
+                tld_server.allow_axfr(origin)
+
+        # Delegate infrastructure domains from their TLD zones (with glue).
+        for origin, zone in infra_zones.items():
+            parent = tld_zones[origin.parent]
+            hosts = infra_hosts[origin]
+            parent.add(
+                RRset(origin, RRType.NS, [NS(h) for h, _ in sorted(hosts)])
+            )
+            for hostname, address in sorted(hosts):
+                parent.add(RRset(hostname, RRType.A, [A(address)]))
+
+        # --- Customer domain zones -----------------------------------------
+        dns_state = world.dns_state(date_obj)
+        hosting_state = world.hosting_state(date_obj)
+        for index in domain_indices:
+            index = int(index)
+            record = world.population.record(index)
+            if not record.is_active(date_obj):
+                continue  # not in the zone file: no delegation exists
+            name = record.name
+            tld_zone = tld_zones.get(DomainName((name.tld,)))
+            if tld_zone is None:
+                raise ScenarioError(f"no TLD zone for {name}")
+            plan = world.dns_plans.plan(int(dns_state[index]))
+            ns_rdatas = [NS(hostname) for hostname in plan.ns_hostnames]
+            tld_zone.add(RRset(name, RRType.NS, ns_rdatas))
+
+            zone = Zone(name, SOA(str(plan.ns_hostnames[0]), f"hostmaster.{name}", serial))
+            zone.add(RRset(name, RRType.NS, list(ns_rdatas)))
+            apex = world.apex_addresses_for_plan(index, int(hosting_state[index]))
+            zone.add(RRset(name, RRType.A, [A(address) for address in apex]))
+            for hostname in plan.ns_hostnames:
+                address = host_names.get(hostname)
+                if address is None:
+                    raise ScenarioError(f"unknown NS host {hostname} for {name}")
+                server_at(address, f"ns:{hostname}").attach_zone(zone)
+
+        # --- Root zone -------------------------------------------------------
+        root_zone = Zone(ROOT, SOA("a.root-servers.invalid", "nstld.invalid", serial))
+        for origin, address in sorted(tld_server_addresses.items()):
+            ns_name = DomainName.parse(f"a.nic.{origin}")
+            root_zone.add(RRset(origin, RRType.NS, [NS(ns_name)]))
+            root_zone.add(RRset(ns_name, RRType.A, [A(address)]))
+        for address in ROOT_ADDRESSES:
+            server_at(address, "root").attach_zone(root_zone)
+
+        return BuiltTree(
+            network,
+            ROOT_ADDRESSES,
+            serial,
+            tld_addresses={
+                str(origin): address
+                for origin, address in tld_server_addresses.items()
+            },
+        )

@@ -1,0 +1,205 @@
+"""Cohort flows: turning scenario intent into per-domain events.
+
+Scenario authors express movement as either a gradual :class:`Flow`
+("5.3 percentage points drift from these plans to that plan between these
+dates") or an instantaneous :class:`Pulse` ("on March 16, 42.8% of the
+domains on this plan move to that plan").  The :class:`FlowEngine` runs a
+forward pass over the timeline, drawing the individual domains that move
+each day, and emits a :class:`~repro.sim.events.DomainEventLog` plus the
+final assignment arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..registry.population import DomainPopulation
+from ..timeline import DateLike, day_index
+from .events import DomainEventLog, Field
+
+__all__ = ["Flow", "Pulse", "FlowEngine"]
+
+
+class Flow:
+    """A gradual reassignment totalling ``total_pp`` percentage points.
+
+    The daily expected move count is ``total_pp/100 × active ÷ duration``,
+    drawn Poisson, picking uniformly among active domains currently on a
+    source plan.
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        sources: Sequence[str],
+        dest: str,
+        total_pp: float,
+        start: DateLike,
+        end: DateLike,
+    ) -> None:
+        if total_pp <= 0:
+            raise ScenarioError(f"flow needs positive total_pp, got {total_pp}")
+        self.field = field
+        self.sources = tuple(sources)
+        self.dest = dest
+        self.total_pp = total_pp
+        self.start_day = day_index(start)
+        self.end_day = day_index(end)
+        if self.end_day <= self.start_day:
+            raise ScenarioError("flow window is empty")
+
+    @property
+    def duration(self) -> int:
+        """Days the flow is active."""
+        return self.end_day - self.start_day
+
+    def __repr__(self) -> str:
+        return (
+            f"Flow({self.field.name} {self.sources} -> {self.dest} "
+            f"{self.total_pp}pp over days {self.start_day}..{self.end_day})"
+        )
+
+
+class Pulse:
+    """An instantaneous partial migration on one day.
+
+    Either ``fraction`` of the current source members move, or an exact
+    ``count`` of them (whichever is given).
+    """
+
+    def __init__(
+        self,
+        field: Field,
+        sources: Sequence[str],
+        dest: str,
+        day: DateLike,
+        fraction: Optional[float] = None,
+        count: Optional[int] = None,
+    ) -> None:
+        if (fraction is None) == (count is None):
+            raise ScenarioError("pulse needs exactly one of fraction/count")
+        if fraction is not None and not 0.0 < fraction <= 1.0:
+            raise ScenarioError(f"pulse fraction out of (0, 1]: {fraction}")
+        if count is not None and count < 0:
+            raise ScenarioError(f"negative pulse count: {count}")
+        self.field = field
+        self.sources = tuple(sources)
+        self.dest = dest
+        self.day = day_index(day)
+        self.fraction = fraction
+        self.count = count
+
+    def __repr__(self) -> str:
+        quantum = f"{self.fraction:.0%}" if self.fraction is not None else str(self.count)
+        return (
+            f"Pulse({self.field.name} {self.sources} -> {self.dest} "
+            f"{quantum} on day {self.day})"
+        )
+
+
+class FlowEngine:
+    """Executes flows and pulses into concrete per-domain events."""
+
+    def __init__(
+        self,
+        population: DomainPopulation,
+        plan_ids: Dict[Field, Dict[str, int]],
+        rng: np.random.Generator,
+    ) -> None:
+        self._population = population
+        self._plan_ids = plan_ids
+        self._rng = rng
+
+    def _resolve(self, field: Field, keys: Sequence[str]) -> np.ndarray:
+        table = self._plan_ids[field]
+        try:
+            return np.asarray([table[key] for key in keys], dtype=np.int32)
+        except KeyError as exc:
+            raise ScenarioError(f"unknown plan key {exc.args[0]!r}") from exc
+
+    def run(
+        self,
+        base: Dict[Field, np.ndarray],
+        flows: Sequence[Flow],
+        pulses: Sequence[Pulse],
+        horizon_days: int,
+        exclude: Optional[np.ndarray] = None,
+    ) -> Tuple[DomainEventLog, Dict[Field, np.ndarray]]:
+        """Execute everything; returns (event log, final state arrays).
+
+        Domains flagged in ``exclude`` are never picked by random draws —
+        scenarios use this to keep scripted cohorts (the sanctioned set)
+        out of background churn.
+        """
+        events = DomainEventLog()
+        state = {field: array.copy() for field, array in base.items()}
+        created = self._population.created
+        deleted = self._population.deleted
+        eligible_base = (
+            ~exclude if exclude is not None
+            else np.ones(len(self._population), dtype=bool)
+        )
+
+        flows_by_day: Dict[int, List[Flow]] = {}
+        for flow in flows:
+            for day in range(max(flow.start_day, 0), min(flow.end_day, horizon_days)):
+                flows_by_day.setdefault(day, []).append(flow)
+        pulses_by_day: Dict[int, List[Pulse]] = {}
+        for pulse in pulses:
+            pulses_by_day.setdefault(pulse.day, []).append(pulse)
+
+        event_days = sorted(set(flows_by_day) | set(pulses_by_day))
+        for day in event_days:
+            active = (created <= day) & (day < deleted) & eligible_base
+            active_count = int(active.sum())
+            if active_count == 0:
+                continue
+            for flow in flows_by_day.get(day, []):
+                expected = flow.total_pp / 100.0 * active_count / flow.duration
+                moves = int(self._rng.poisson(expected))
+                if moves == 0:
+                    continue
+                self._move(
+                    events, state, active, flow.field, flow.sources, flow.dest,
+                    day, count=moves,
+                )
+            for pulse in pulses_by_day.get(day, []):
+                self._move(
+                    events, state, active, pulse.field, pulse.sources, pulse.dest,
+                    day, fraction=pulse.fraction, count=pulse.count,
+                )
+        return events, state
+
+    def _move(
+        self,
+        events: DomainEventLog,
+        state: Dict[Field, np.ndarray],
+        active: np.ndarray,
+        field: Field,
+        sources: Sequence[str],
+        dest: str,
+        day: int,
+        fraction: Optional[float] = None,
+        count: Optional[int] = None,
+    ) -> None:
+        source_ids = self._resolve(field, sources)
+        dest_id = int(self._plan_ids[field][dest]) if dest in self._plan_ids[field] else None
+        if dest_id is None:
+            raise ScenarioError(f"unknown plan key {dest!r}")
+        candidates = np.flatnonzero(active & np.isin(state[field], source_ids))
+        if len(candidates) == 0:
+            return
+        if fraction is not None:
+            take = int(round(fraction * len(candidates)))
+        else:
+            assert count is not None
+            take = min(count, len(candidates))
+        if take <= 0:
+            return
+        picks = self._rng.choice(candidates, size=take, replace=False)
+        for index in picks:
+            events.add(day, int(index), field, dest_id)
+        state[field][picks] = dest_id

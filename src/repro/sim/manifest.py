@@ -1,0 +1,49 @@
+"""Scenario manifest: the scripted timeline, human-readable.
+
+The conflict scenario is driven by dated events (provider exits, the
+Netnod renumbering, CA issuance stops, sanctions waves).  The manifest
+records them as ``(date, actor, description)`` entries so examples,
+documentation, and the CLI can narrate what the simulation *did* —
+without the analysis layer ever reading it.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import List, Tuple
+
+from ..timeline import DateLike, as_date
+
+__all__ = ["ScenarioManifest"]
+
+
+class ScenarioManifest:
+    """An ordered, dated list of scenario events."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[_dt.date, str, str]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, date: DateLike, actor: str, description: str) -> None:
+        """Add one event."""
+        self._entries.append((as_date(date), actor, description))
+
+    def entries(self) -> List[Tuple[_dt.date, str, str]]:
+        """All events, chronological (stable for same-day events)."""
+        return sorted(self._entries, key=lambda entry: entry[0])
+
+    def between(
+        self, start: DateLike, end: DateLike
+    ) -> List[Tuple[_dt.date, str, str]]:
+        """Events within [start, end]."""
+        lo, hi = as_date(start), as_date(end)
+        return [entry for entry in self.entries() if lo <= entry[0] <= hi]
+
+    def render(self) -> str:
+        """Plain-text timeline."""
+        lines = ["scenario timeline:"]
+        for date, actor, description in self.entries():
+            lines.append(f"  {date}  [{actor:12s}] {description}")
+        return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""World consistency validation.
+
+A scenario builder has many hand-calibrated inputs; this validator checks
+the assembled world for internal contradictions before any measurement
+runs — the simulation counterpart of a measurement platform's pre-flight
+checks.  Returns a list of human-readable issues (empty = valid).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..registry.tld import STUDY_TLDS
+from .world import World
+
+__all__ = ["validate_world"]
+
+
+def validate_world(world: World) -> List[str]:
+    """Check the world's cross-references; returns discovered issues."""
+    issues: List[str] = []
+    issues.extend(_check_population(world))
+    issues.extend(_check_assignments(world))
+    issues.extend(_check_plans(world))
+    issues.extend(_check_sanctions(world))
+    if world.pki is not None:
+        issues.extend(_check_pki(world))
+    return issues
+
+
+def _check_population(world: World) -> List[str]:
+    issues = []
+    population = world.population
+    if not (population.created < population.deleted).all():
+        issues.append("population: some domains are deleted before creation")
+    names = [str(record.name) for record in population]
+    if len(names) != len(set(names)):
+        issues.append("population: duplicate domain names")
+    bad_tlds = {
+        record.name.tld for record in population if record.name.tld not in STUDY_TLDS
+    }
+    if bad_tlds:
+        issues.append(f"population: registrations outside study TLDs: {bad_tlds}")
+    return issues
+
+
+def _check_assignments(world: World) -> List[str]:
+    issues = []
+    n_dns = len(world.dns_plans)
+    n_host = len(world.hosting_plans)
+    if world.base_dns.min() < 0 or world.base_dns.max() >= n_dns:
+        issues.append("assignments: base DNS plan id out of range")
+    if world.base_hosting.min() < 0 or world.base_hosting.max() >= n_host:
+        issues.append("assignments: base hosting plan id out of range")
+    for field_name, field, bound in (
+        ("DNS", 1, n_dns),
+        ("hosting", 0, n_host),
+    ):
+        days, domains, fields, values = world.events._arrays()
+        mask = fields == field
+        if mask.any():
+            if values[mask].min() < 0 or values[mask].max() >= bound:
+                issues.append(f"events: {field_name} plan id out of range")
+            if domains[mask].max() >= len(world.population):
+                issues.append(f"events: {field_name} domain index out of range")
+    return issues
+
+
+def _check_plans(world: World) -> List[str]:
+    issues = []
+    for epoch in world.epochs():
+        for plan in world.dns_plans.plans():
+            for hostname in plan.ns_hostnames:
+                address = epoch.ns_addresses.get(str(hostname))
+                if address is None:
+                    issues.append(
+                        f"epoch {epoch.start_day}: plan {plan.key} references "
+                        f"unknown NS host {hostname}"
+                    )
+                    continue
+                if epoch.routing.lookup(address) is None:
+                    issues.append(
+                        f"epoch {epoch.start_day}: NS host {hostname} address "
+                        "is unrouted"
+                    )
+                if epoch.geo.lookup(address) is None:
+                    issues.append(
+                        f"epoch {epoch.start_day}: NS host {hostname} address "
+                        "has no geolocation"
+                    )
+        for plan in world.hosting_plans.plans():
+            for provider_key, asn in plan.components:
+                provider = world.catalog.try_get(provider_key)
+                if provider is None:
+                    issues.append(
+                        f"hosting plan {plan.key}: unknown provider {provider_key}"
+                    )
+                elif asn not in provider.asns:
+                    issues.append(
+                        f"hosting plan {plan.key}: AS{asn} not owned by "
+                        f"{provider_key}"
+                    )
+    return issues
+
+
+def _check_sanctions(world: World) -> List[str]:
+    issues = []
+    if world.sanctioned_indices.max(initial=-1) >= len(world.population):
+        issues.append("sanctions: index out of range")
+    listed_names = set(map(str, world.sanctions.all_domains()))
+    registry_names = {
+        str(world.population.record(int(i)).name)
+        for i in world.sanctioned_indices
+    }
+    if listed_names != registry_names:
+        issues.append("sanctions: list does not match reserved registry names")
+    return issues
+
+
+def _check_pki(world: World) -> List[str]:
+    issues = []
+    pki = world.pki
+    for log in pki.logs:
+        for entry in log.entries():
+            if entry.certificate.issuer.organization == pki.russian_ca_org:
+                issues.append(
+                    f"pki: Russian CA certificate in CT log {log.log_id}"
+                )
+                break
+    for index in pki.domain_certs:
+        if not 0 <= index < len(world.population):
+            issues.append(f"pki: certificate for unknown domain index {index}")
+    return issues

@@ -1,0 +1,37 @@
+"""Shared fixtures: small worlds and contexts reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.sim import ConflictScenarioConfig, build_world
+
+#: Tiny scale for unit-ish integration: ~2k concurrent domains.
+TINY_SCALE = 2500.0
+#: Small scale for calibration checks: ~10k concurrent domains.
+SMALL_SCALE = 500.0
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A conflict world without PKI, ~2k domains (fast)."""
+    return build_world(ConflictScenarioConfig(scale=TINY_SCALE, with_pki=False))
+
+
+@pytest.fixture(scope="session")
+def tiny_context():
+    """Full experiment context (with PKI) at tiny scale, 2-week cadence."""
+    return ExperimentContext(
+        config=ConflictScenarioConfig(scale=TINY_SCALE),
+        cadence_days=14,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_context():
+    """Experiment context at ~10k domains, weekly cadence (calibration)."""
+    return ExperimentContext(
+        config=ConflictScenarioConfig(scale=SMALL_SCALE),
+        cadence_days=7,
+    )

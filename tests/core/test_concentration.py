@@ -1,0 +1,76 @@
+"""Tests for repro.core.concentration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.concentration import (
+    ConcentrationReport,
+    analyze_market,
+    concentration_ratio,
+    hhi,
+)
+from repro.errors import AnalysisError
+
+
+class TestHhi:
+    def test_monopoly(self):
+        assert hhi({"only": 100}) == pytest.approx(1.0)
+
+    def test_duopoly(self):
+        assert hhi({"a": 50, "b": 50}) == pytest.approx(0.5)
+
+    def test_empty_market_rejected(self):
+        with pytest.raises(AnalysisError):
+            hhi({})
+        with pytest.raises(AnalysisError):
+            hhi({"a": 0})
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            st.integers(min_value=1, max_value=1000),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_bounds(self, counts):
+        value = hhi(counts)
+        assert 1.0 / len(counts) - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestConcentrationRatio:
+    def test_cr1(self):
+        assert concentration_ratio({"a": 60, "b": 30, "c": 10}, 1) == pytest.approx(0.6)
+
+    def test_crk_saturates(self):
+        assert concentration_ratio({"a": 60, "b": 40}, 5) == pytest.approx(1.0)
+
+    def test_bad_k(self):
+        with pytest.raises(AnalysisError):
+            concentration_ratio({"a": 1}, 0)
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            st.integers(min_value=1, max_value=100),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_monotone_in_k(self, counts):
+        values = [concentration_ratio(counts, k) for k in range(1, len(counts) + 1)]
+        assert values == sorted(values)
+
+
+class TestReport:
+    def test_leader_and_flags(self):
+        report = analyze_market("CAs", {"LE": 99, "GS": 1})
+        assert report.leader == "LE"
+        assert report.highly_concentrated
+        assert report.participants == 2
+        assert report.effective_competitors == pytest.approx(1 / report.hhi)
+
+    def test_balanced_market_not_concentrated(self):
+        counts = {f"p{i}": 10 for i in range(10)}
+        report = analyze_market("hosting", counts)
+        assert not report.highly_concentrated

@@ -1,0 +1,72 @@
+"""Tests for repro.core.revocation (Table 2 logic)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.revocation import analyze_revocations
+from repro.dns.name import DomainName
+from repro.pki.ca import CertificateAuthority
+
+
+@pytest.fixture
+def setup():
+    le = CertificateAuthority("le", "Let's Encrypt", "US")
+    digicert = CertificateAuthority("dc", "DigiCert", "US")
+    sanctioned = [DomainName.parse("bank.ru")]
+
+    certs = []
+    # LE: 3 certs incl 1 sanctioned; 1 non-sanctioned revoked.
+    certs.append(le.issue(["a.ru"], "2022-01-01", validity_days=90))
+    revoked_le = le.issue(["b.ru"], "2022-01-05", validity_days=90)
+    le.revoke(revoked_le, "2022-03-01")
+    certs.append(revoked_le)
+    certs.append(le.issue(["portal.bank.ru", "bank.ru"], "2022-02-01", validity_days=90))
+    # DigiCert: 2 sanctioned certs, both revoked (full revoker).
+    for n in ("x.bank.ru", "y.bank.ru"):
+        cert = digicert.issue([n, "bank.ru"], "2022-01-20", validity_days=365)
+        digicert.revoke(cert, "2022-02-25")
+        certs.append(cert)
+    # An expired-before-cutoff cert that must be excluded.
+    certs.append(le.issue(["old.ru"], "2021-10-01", validity_days=90))
+    # A non-.ru cert that must be excluded.
+    certs.append(le.issue(["other.com"], "2022-02-01", validity_days=90))
+
+    table = analyze_revocations(certs, [le, digicert], sanctioned)
+    return table
+
+
+class TestTable:
+    def test_population_filtering(self, setup):
+        # LE: 3 in-window .ru certs (old.ru expired 2021-12-30; other.com excluded).
+        assert setup.row("Let's Encrypt").issued == 3
+
+    def test_revoked_counts(self, setup):
+        assert setup.row("Let's Encrypt").revoked == 1
+        assert setup.row("DigiCert").revoked == 2
+
+    def test_sanctioned_split(self, setup):
+        le = setup.row("Let's Encrypt")
+        assert le.sanctioned_issued == 1
+        assert le.sanctioned_revoked == 0
+        dc = setup.row("DigiCert")
+        assert dc.sanctioned_issued == 2
+        assert dc.sanctioned_revoked == 2
+
+    def test_rates(self, setup):
+        dc = setup.row("DigiCert")
+        assert dc.revocation_rate == 100.0
+        assert dc.sanctioned_revocation_rate == 100.0
+        le = setup.row("Let's Encrypt")
+        assert le.revocation_rate == pytest.approx(100 / 3)
+        assert le.nonsanctioned_revocation_rate == pytest.approx(50.0)
+
+    def test_top_by_revocations(self, setup):
+        top = setup.top_by_revocations(1)
+        assert top[0].issuer == "DigiCert"
+
+    def test_missing_issuer_row_is_zero(self, setup):
+        row = setup.row("Sectigo")
+        assert row.issued == 0
+        assert row.revocation_rate == 0.0
+        assert row.sanctioned_revocation_rate == 0.0

@@ -1,0 +1,62 @@
+"""Tests for repro.core.summary."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.composition import CompositionSeries
+from repro.core.summary import compute_headline_stats
+from repro.core.tlddep import TldSharePoint, TldShareSeries
+from repro.errors import AnalysisError
+
+
+def series(points):
+    result = CompositionSeries()
+    for date, full, part, non in points:
+        result.add_counts(dt.date.fromisoformat(date), full, part, non)
+    return result
+
+
+@pytest.fixture
+def stats():
+    hosting = series([("2017-06-18", 71, 0, 29), ("2022-05-25", 73, 0, 27)])
+    ns = series([("2017-06-18", 67, 17, 16), ("2022-05-25", 74, 11, 15)])
+    tld = series([("2017-06-18", 60, 19, 21), ("2022-05-25", 54, 27, 19)])
+    shares = TldShareSeries()
+    shares.add(TldSharePoint(dt.date(2017, 6, 18), 100, {"ru": 79, "com": 17}))
+    shares.add(TldSharePoint(dt.date(2022, 5, 25), 100, {"ru": 78, "com": 25}))
+    return compute_headline_stats(hosting, ns, tld, shares)
+
+
+class TestHeadlines:
+    def test_hosting_start(self, stats):
+        assert stats.hosting_full_start == pytest.approx(71.0)
+
+    def test_ns_change(self, stats):
+        assert stats.ns_full_start == pytest.approx(67.0)
+        assert stats.ns_full_end == pytest.approx(74.0)
+        assert stats.ns_full_change == pytest.approx(7.0)
+
+    def test_tld_changes(self, stats):
+        assert stats.tld_full_change == pytest.approx(-6.0)
+        assert stats.tld_part_change == pytest.approx(8.0)
+
+    def test_top_tlds(self, stats):
+        assert stats.top_tld_start["ru"] == pytest.approx(79.0)
+        assert stats.top_tld_end["com"] == pytest.approx(25.0)
+
+    def test_domain_totals(self, stats):
+        assert stats.domains_start == 100
+        assert stats.domains_end == 100
+
+    def test_as_dict_roundable(self, stats):
+        flat = stats.as_dict()
+        assert flat["ns_full_change"] == 7.0
+        assert isinstance(flat["top_tld_start"], dict)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            compute_headline_stats(
+                CompositionSeries(), CompositionSeries(),
+                CompositionSeries(), TldShareSeries(),
+            )

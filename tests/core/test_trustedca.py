@@ -1,0 +1,79 @@
+"""Tests for repro.core.trustedca."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.trustedca import analyze_trusted_ca
+from repro.dns.name import DomainName
+from repro.pki.ca import CaPolicy, CertificateAuthority
+from repro.scanner.cuids import UniversalScanDataset
+from repro.scanner.tls import ScanRecord, TlsScanner
+
+
+@pytest.fixture
+def dataset():
+    russian = CertificateAuthority(
+        "ru", "Russian Trusted Root CA", "RU",
+        CaPolicy(ct_logging=False, brands=("Sub",)),
+        established="2022-03-01",
+    )
+    le = CertificateAuthority("le", "Let's Encrypt", "US")
+    certs = [
+        russian.issue(["bank.ru"], "2022-03-05"),
+        russian.issue(["fund.ru"], "2022-03-08"),
+        russian.issue(["пример.рф"], "2022-03-10"),
+        russian.issue(["affiliate.su"], "2022-03-12"),
+        le.issue(["normal.ru"], "2022-03-01"),
+    ]
+
+    def view(date):
+        return [(1000 + i, cert) for i, cert in enumerate(certs)]
+
+    data = UniversalScanDataset()
+    data.run_sweeps(TlsScanner(view, response_rate=1.0), "2022-03-15", "2022-03-15")
+    return data
+
+
+class TestReport:
+    def test_counts(self, dataset):
+        report = analyze_trusted_ca(
+            dataset,
+            "Russian Trusted Root CA",
+            [DomainName.parse("bank.ru")],
+            comparison_issued_elsewhere=800_000,
+        )
+        assert report.certificate_count == 4
+        assert report.ru_domains == {"bank.ru", "fund.ru"}
+        assert report.rf_domains == {"xn--e1afmkfd.xn--p1ai"}
+        assert report.other_domains == {"affiliate.su"}
+
+    def test_sanctioned_coverage(self, dataset):
+        report = analyze_trusted_ca(
+            dataset,
+            "Russian Trusted Root CA",
+            [DomainName.parse("bank.ru"), DomainName.parse("unsecured.ru")],
+        )
+        assert report.sanctioned_secured == {"bank.ru"}
+        assert report.sanctioned_coverage == pytest.approx(50.0)
+
+    def test_le_certs_not_counted(self, dataset):
+        report = analyze_trusted_ca(dataset, "Russian Trusted Root CA", [])
+        names = {
+            name for cert in report.certificates for name in cert.names()
+        }
+        assert "normal.ru" not in names
+
+    def test_issuance_window(self, dataset):
+        report = analyze_trusted_ca(dataset, "Russian Trusted Root CA", [])
+        first, last = report.issuance_window()
+        assert first == dt.date(2022, 3, 5)
+        assert last == dt.date(2022, 3, 12)
+
+    def test_empty_dataset(self):
+        report = analyze_trusted_ca(
+            UniversalScanDataset(), "Russian Trusted Root CA", []
+        )
+        assert report.certificate_count == 0
+        assert report.issuance_window() == (None, None)
+        assert report.sanctioned_coverage == 0.0

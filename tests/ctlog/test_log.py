@@ -1,0 +1,91 @@
+"""Tests for repro.ctlog.log: SCTs, STHs, entries, proofs."""
+
+import datetime as dt
+
+import pytest
+
+from repro.ctlog.log import CtLog
+from repro.ctlog.merkle import MerkleTree
+from repro.errors import CtLogError
+from repro.pki.ca import CertificateAuthority
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("le", "Let's Encrypt", "US")
+
+
+@pytest.fixture
+def log():
+    return CtLog("argon2022")
+
+
+class TestSubmission:
+    def test_sct(self, log, ca):
+        cert = ca.issue(["example.ru"], "2022-01-01")
+        sct = log.add_chain(cert, "2022-01-01")
+        assert sct.log_id == "argon2022"
+        assert sct.leaf_index == 0
+        assert sct.timestamp == dt.date(2022, 1, 1)
+
+    def test_idempotent(self, log, ca):
+        cert = ca.issue(["example.ru"], "2022-01-01")
+        first = log.add_chain(cert, "2022-01-01")
+        second = log.add_chain(cert, "2022-02-01")
+        assert second.leaf_index == first.leaf_index
+        assert second.timestamp == first.timestamp
+        assert len(log) == 1
+
+    def test_contains(self, log, ca):
+        cert = ca.issue(["example.ru"], "2022-01-01")
+        assert not log.contains(cert)
+        log.add_chain(cert, "2022-01-01")
+        assert log.contains(cert)
+
+
+class TestSth:
+    def test_current(self, log, ca):
+        for day in (1, 2, 3):
+            log.add_chain(ca.issue([f"d{day}.ru"], f"2022-01-0{day}"), f"2022-01-0{day}")
+        sth = log.get_sth()
+        assert sth.tree_size == 3
+
+    def test_as_of_date(self, log, ca):
+        for day in (1, 2, 3):
+            log.add_chain(ca.issue([f"d{day}.ru"], f"2022-01-0{day}"), f"2022-01-0{day}")
+        sth = log.get_sth(at="2022-01-02")
+        assert sth.tree_size == 2
+        assert sth.root_hash == log.tree.root(2)
+
+
+class TestEntries:
+    def test_get_entries(self, log, ca):
+        certs = [ca.issue([f"d{i}.ru"], "2022-01-01") for i in range(5)]
+        for cert in certs:
+            log.add_chain(cert, "2022-01-01")
+        entries = log.get_entries(1, 3)
+        assert [e.index for e in entries] == [1, 2, 3]
+        assert entries[0].certificate is certs[1]
+
+    def test_bad_range(self, log, ca):
+        log.add_chain(ca.issue(["a.ru"], "2022-01-01"), "2022-01-01")
+        with pytest.raises(CtLogError):
+            log.get_entries(0, 5)
+        with pytest.raises(CtLogError):
+            log.get_entries(2, 1)
+
+
+class TestProofs:
+    def test_inclusion_proof_verifies(self, log, ca):
+        certs = [ca.issue([f"d{i}.ru"], "2022-01-01") for i in range(9)]
+        for cert in certs:
+            log.add_chain(cert, "2022-01-01")
+        target = certs[4]
+        proof = log.inclusion_proof_for(target)
+        sth = log.get_sth()
+        leaf = log.tree.leaf(4)
+        assert MerkleTree.verify_inclusion(leaf, 4, sth.tree_size, proof, sth.root_hash)
+
+    def test_proof_for_missing_cert_rejected(self, log, ca):
+        with pytest.raises(CtLogError):
+            log.inclusion_proof_for(ca.issue(["a.ru"], "2022-01-01"))

@@ -1,0 +1,161 @@
+"""Tests for repro.ctlog.merkle: RFC 6962 trees and proofs."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ctlog.merkle import EMPTY_ROOT, MerkleTree, leaf_hash, node_hash
+from repro.errors import ProofError
+
+
+def tree_with(count):
+    tree = MerkleTree()
+    for index in range(count):
+        tree.append(f"entry-{index}".encode())
+    return tree
+
+
+class TestHashing:
+    def test_empty_root(self):
+        assert MerkleTree().root() == EMPTY_ROOT
+        assert EMPTY_ROOT == hashlib.sha256(b"").digest()
+
+    def test_single_leaf_root(self):
+        tree = MerkleTree()
+        tree.append(b"x")
+        assert tree.root() == leaf_hash(b"x")
+
+    def test_two_leaf_root(self):
+        tree = MerkleTree()
+        tree.append(b"a")
+        tree.append(b"b")
+        assert tree.root() == node_hash(leaf_hash(b"a"), leaf_hash(b"b"))
+
+    def test_domain_separation(self):
+        # Leaf and node prefixes differ (second-preimage resistance).
+        assert leaf_hash(b"ab") != node_hash(b"a", b"b")
+
+    def test_root_of_prefix(self):
+        tree = tree_with(7)
+        prefix_root = tree.root(4)
+        other = tree_with(4)
+        assert prefix_root == other.root()
+
+    def test_root_size_out_of_range(self):
+        with pytest.raises(ProofError):
+            tree_with(3).root(4)
+
+
+class TestInclusionProofs:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 13, 33])
+    def test_every_leaf_verifies(self, size):
+        tree = tree_with(size)
+        root = tree.root()
+        for index in range(size):
+            proof = tree.inclusion_proof(index)
+            assert MerkleTree.verify_inclusion(
+                tree.leaf(index), index, size, proof, root
+            )
+
+    def test_wrong_leaf_fails(self):
+        tree = tree_with(8)
+        proof = tree.inclusion_proof(3)
+        assert not MerkleTree.verify_inclusion(
+            leaf_hash(b"bogus"), 3, 8, proof, tree.root()
+        )
+
+    def test_wrong_index_fails(self):
+        tree = tree_with(8)
+        proof = tree.inclusion_proof(3)
+        assert not MerkleTree.verify_inclusion(
+            tree.leaf(3), 4, 8, proof, tree.root()
+        )
+
+    def test_tampered_proof_fails(self):
+        tree = tree_with(8)
+        proof = tree.inclusion_proof(3)
+        proof[0] = leaf_hash(b"tamper")
+        assert not MerkleTree.verify_inclusion(
+            tree.leaf(3), 3, 8, proof, tree.root()
+        )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ProofError):
+            tree_with(4).inclusion_proof(4)
+
+
+class TestConsistencyProofs:
+    @pytest.mark.parametrize("old,new", [(1, 2), (2, 3), (3, 7), (4, 8), (6, 13), (7, 7)])
+    def test_valid_consistency(self, old, new):
+        tree = tree_with(new)
+        proof = tree.consistency_proof(old)
+        assert MerkleTree.verify_consistency(
+            old, new, tree.root(old), tree.root(new), proof
+        )
+
+    def test_forked_tree_proof_fails_against_honest_root(self):
+        tree = tree_with(6)
+        fork = tree_with(4)
+        fork.append(b"DIFFERENT")
+        fork.append(b"entry-5")
+        assert fork.root() != tree.root()
+        # A proof generated from the forked log cannot link the honest
+        # old root to the honest new root.
+        proof = fork.consistency_proof(4)
+        assert not MerkleTree.verify_consistency(
+            4, 6, tree.root(4), tree.root(6), proof
+        )
+
+    def test_equal_sizes_empty_proof(self):
+        tree = tree_with(5)
+        assert MerkleTree.verify_consistency(5, 5, tree.root(), tree.root(), [])
+        assert not MerkleTree.verify_consistency(
+            5, 5, tree.root(), leaf_hash(b"x"), []
+        )
+
+    def test_zero_old_size(self):
+        tree = tree_with(5)
+        assert MerkleTree.verify_consistency(0, 5, EMPTY_ROOT, tree.root(), [])
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ProofError):
+            tree_with(3).consistency_proof(0)
+
+
+class TestAppendOnly:
+    def test_roots_change_on_append(self):
+        tree = MerkleTree()
+        roots = set()
+        for index in range(10):
+            tree.append(f"{index}".encode())
+            roots.add(tree.root())
+        assert len(roots) == 10
+
+    def test_old_roots_stable_under_append(self):
+        tree = tree_with(5)
+        root5 = tree.root()
+        tree.append(b"more")
+        assert tree.root(5) == root5
+
+
+@settings(max_examples=60)
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_inclusion_property(size, data):
+    """Property: generated proofs verify; verification is size-exact."""
+    tree = tree_with(size)
+    index = data.draw(st.integers(min_value=0, max_value=size - 1))
+    proof = tree.inclusion_proof(index)
+    assert MerkleTree.verify_inclusion(tree.leaf(index), index, size, proof, tree.root())
+
+
+@settings(max_examples=60)
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_consistency_property(new_size, data):
+    """Property: consistency proofs verify for every prefix size."""
+    tree = tree_with(new_size)
+    old_size = data.draw(st.integers(min_value=1, max_value=new_size))
+    proof = tree.consistency_proof(old_size)
+    assert MerkleTree.verify_consistency(
+        old_size, new_size, tree.root(old_size), tree.root(), proof
+    )

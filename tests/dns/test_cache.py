@@ -1,0 +1,65 @@
+"""Tests for repro.dns.cache: TTL semantics on the day clock."""
+
+from repro.dns.cache import ResolverCache
+from repro.dns.message import Rcode
+from repro.dns.name import DomainName
+from repro.dns.rdata import A, RRType
+from repro.dns.rrset import RRset
+from repro.timeline import DayClock
+
+NAME = DomainName.parse("example.ru")
+
+
+def make_cache():
+    clock = DayClock("2022-01-01")
+    return clock, ResolverCache(clock)
+
+
+class TestPositive:
+    def test_hit(self):
+        _, cache = make_cache()
+        cache.put_positive(RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=86400))
+        entry = cache.get(NAME, RRType.A)
+        assert entry is not None and not entry.is_negative
+
+    def test_expiry_by_clock(self):
+        clock, cache = make_cache()
+        cache.put_positive(RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=86400))
+        clock.tick(2)
+        assert cache.get(NAME, RRType.A) is None
+
+    def test_sub_day_ttl_lives_within_day(self):
+        clock, cache = make_cache()
+        cache.put_positive(RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=300))
+        assert cache.get(NAME, RRType.A) is not None
+        clock.tick(1)
+        assert cache.get(NAME, RRType.A) is None
+
+
+class TestNegative:
+    def test_nxdomain_cached(self):
+        _, cache = make_cache()
+        cache.put_negative(NAME, RRType.A, Rcode.NXDOMAIN)
+        entry = cache.get(NAME, RRType.A)
+        assert entry.is_negative and entry.rcode is Rcode.NXDOMAIN
+
+    def test_nodata_cached(self):
+        _, cache = make_cache()
+        cache.put_negative(NAME, RRType.NS, Rcode.NOERROR)
+        assert cache.get(NAME, RRType.NS).is_negative
+
+
+class TestStats:
+    def test_hit_miss_accounting(self):
+        _, cache = make_cache()
+        assert cache.get(NAME, RRType.A) is None
+        cache.put_positive(RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=86400))
+        cache.get(NAME, RRType.A)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_flush(self):
+        _, cache = make_cache()
+        cache.put_positive(RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=86400))
+        cache.flush()
+        assert len(cache) == 0

@@ -1,0 +1,137 @@
+"""Tests for repro.dns.idna: punycode (RFC 3492) and IDNA labels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns.idna import (
+    decode_label,
+    encode_label,
+    punycode_decode,
+    punycode_encode,
+    to_ascii,
+    to_unicode,
+)
+from repro.errors import PunycodeError
+
+# RFC 3492 section 7.1 published test vectors (subset).
+RFC3492_VECTORS = [
+    # (unicode, punycode)
+    ("ليهمابتكلموشعربي؟", "egbpdaj6bu4bxfgehfvwxn"),
+    ("他们为什么不说中文", "ihqwcrb4cv8a8dqg056pqjye"),
+    ("Pročprostěnemluvíčesky", "Proprostnemluvesky-uyb24dma41a"),
+    ("למההםפשוטלאמדבריםעברית", "4dbcagdahymbxekheh6e0a7fei0b"),
+    ("почемужеонинеговорятпорусски", "b1abfaaepdrnnbgefbadotcwatmq2g4l"),
+    ("PorquénopuedensimplementehablarenEspañol", "PorqunopuedensimplementehablarenEspaol-fmd56a"),
+    ("3年B組金八先生", "3B-ww4c5e180e575a65lsy2b"),
+    ("安室奈美恵-with-SUPER-MONKEYS", "-with-SUPER-MONKEYS-pc58ag80a8qai00g7n9n"),
+    ("MajiでKoiする5秒前", "MajiKoi5-783gue6qz075azm5e"),
+    ("パフィーdeルンバ", "de-jg4avhby1noc0d"),
+    ("そのスピードで", "d9juau41awczczp"),
+    ("-> $1.00 <-", "-> $1.00 <--"),
+]
+
+
+class TestRfc3492Vectors:
+    @pytest.mark.parametrize("unicode_text,encoded", RFC3492_VECTORS)
+    def test_encode(self, unicode_text, encoded):
+        assert punycode_encode(unicode_text) == encoded
+
+    @pytest.mark.parametrize("unicode_text,encoded", RFC3492_VECTORS)
+    def test_decode(self, unicode_text, encoded):
+        assert punycode_decode(encoded) == unicode_text
+
+
+class TestRussianFederationTld:
+    def test_rf_tld(self):
+        assert to_ascii("рф") == "xn--p1ai"
+        assert to_unicode("xn--p1ai") == "рф"
+
+    def test_matches_stdlib_idna_codec(self):
+        for name in ("рф", "президент.рф", "пример.рф"):
+            assert to_ascii(name) == name.encode("idna").decode("ascii")
+
+    def test_case_folding(self):
+        assert to_ascii("РФ") == "xn--p1ai"
+
+
+class TestLabels:
+    def test_ascii_label_passthrough_lowercased(self):
+        assert encode_label("ExAmPle") == "example"
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(PunycodeError):
+            encode_label("")
+
+    def test_decode_non_ace_label(self):
+        assert decode_label("plain") == "plain"
+
+    def test_overlong_alabel_rejected(self):
+        with pytest.raises(PunycodeError):
+            encode_label("ж" * 60)
+
+
+class TestDottedNames:
+    def test_mixed_labels(self):
+        assert to_ascii("пример.ru") == "xn--e1afmkfd.ru"
+
+    def test_trailing_dot_preserved(self):
+        assert to_ascii("пример.рф.") == "xn--e1afmkfd.xn--p1ai."
+
+    def test_empty_string(self):
+        assert to_ascii("") == ""
+
+    def test_unicode_roundtrip(self):
+        name = "пример.рф"
+        assert to_unicode(to_ascii(name)) == name
+
+
+class TestDecodeErrors:
+    def test_non_ascii_input_rejected(self):
+        with pytest.raises(PunycodeError):
+            punycode_decode("фыва")
+
+    def test_bad_digit_rejected(self):
+        with pytest.raises(PunycodeError):
+            punycode_decode("abc!")
+
+    def test_truncated_rejected(self):
+        valid = punycode_encode("привет")
+        with pytest.raises(PunycodeError):
+            punycode_decode(valid[:-1] + "99999")
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x2FFF), max_size=30))
+def test_punycode_roundtrip(text):
+    """Property: decode(encode(x)) == x for arbitrary BMP text."""
+    assert punycode_decode(punycode_encode(text)) == text
+
+
+@given(
+    st.text(
+        alphabet=st.characters(min_codepoint=0x430, max_codepoint=0x44F),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_cyrillic_matches_stdlib_idna(label):
+    """Property: our encoder agrees with CPython's idna codec on Cyrillic."""
+    ours = encode_label(label)
+    stdlib = label.encode("idna").decode("ascii")
+    assert ours == stdlib
+
+
+@given(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x4FF),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_label_roundtrip_lowercase(label):
+    """Property: lowercase labels survive the A-label round trip."""
+    try:
+        encoded = encode_label(label)
+    except PunycodeError:
+        return  # overlong A-label: rejection is acceptable
+    assert decode_label(encoded) == label
+    assert all(ord(ch) < 0x80 for ch in encoded)

@@ -1,0 +1,63 @@
+"""Tests for repro.dns.message."""
+
+from repro.dns.message import Message, Question, Rcode
+from repro.dns.name import DomainName
+from repro.dns.rdata import A, NS, RRType
+from repro.dns.rrset import RRset
+
+NAME = DomainName.parse("example.ru")
+QUESTION = Question(NAME, RRType.A)
+
+
+class TestQuestion:
+    def test_equality_and_hash(self):
+        assert Question(NAME, RRType.A) == QUESTION
+        assert Question(NAME, RRType.NS) != QUESTION
+        assert len({Question(NAME, RRType.A), QUESTION}) == 1
+
+
+class TestMessageShapes:
+    def test_answer(self):
+        message = Message(
+            QUESTION,
+            answers=[RRset(NAME, RRType.A, [A("1.2.3.4")])],
+            aa=True,
+        )
+        assert message.answer_rrset() is not None
+        assert not message.is_referral
+        assert not message.is_nodata
+
+    def test_referral(self):
+        message = Message(
+            QUESTION,
+            authorities=[RRset(NAME, RRType.NS, [NS("ns1.reg.ru")])],
+        )
+        assert message.is_referral
+        assert not message.is_nodata
+        assert message.answer_rrset() is None
+
+    def test_nodata(self):
+        message = Message(QUESTION)
+        assert message.is_nodata
+        assert not message.is_referral
+
+    def test_nxdomain_is_not_referral(self):
+        message = Message(
+            QUESTION,
+            rcode=Rcode.NXDOMAIN,
+            authorities=[RRset(NAME, RRType.NS, [NS("ns1.reg.ru")])],
+        )
+        assert not message.is_referral
+
+    def test_answer_rrset_filters_by_qtype(self):
+        message = Message(
+            QUESTION,
+            answers=[RRset(NAME, RRType.NS, [NS("ns1.reg.ru")])],
+        )
+        assert message.answer_rrset() is None
+
+    def test_rcode_values(self):
+        assert Rcode.NOERROR.value == 0
+        assert Rcode.SERVFAIL.value == 2
+        assert Rcode.NXDOMAIN.value == 3
+        assert Rcode.REFUSED.value == 5

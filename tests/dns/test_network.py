@@ -1,0 +1,70 @@
+"""Tests for repro.dns.network: the simulated switchboard."""
+
+import pytest
+
+from repro.dns.message import Question, Rcode
+from repro.dns.name import DomainName
+from repro.dns.network import NetworkUnreachable, SimulatedNetwork
+from repro.dns.rdata import A, SOA, RRType
+from repro.dns.rrset import RRset
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+from repro.net.ip import parse_ipv4
+
+
+@pytest.fixture
+def network():
+    zone = Zone(DomainName.parse("example.ru"), SOA("ns1.example.ru", "h.example.ru", 1))
+    zone.add(
+        RRset(DomainName.parse("example.ru"), RRType.A, [A("10.0.0.1")])
+    )
+    server = AuthoritativeServer("test")
+    server.attach_zone(zone)
+    net = SimulatedNetwork()
+    net.attach(parse_ipv4("10.0.0.1"), server)
+    return net
+
+
+QUESTION = Question(DomainName.parse("example.ru"), RRType.A)
+
+
+class TestRouting:
+    def test_query_reaches_server(self, network):
+        response = network.query(parse_ipv4("10.0.0.1"), QUESTION)
+        assert response.rcode is Rcode.NOERROR
+
+    def test_unbound_address_unreachable(self, network):
+        with pytest.raises(NetworkUnreachable):
+            network.query(parse_ipv4("10.9.9.9"), QUESTION)
+
+    def test_query_counter(self, network):
+        before = network.queries_sent
+        network.query(parse_ipv4("10.0.0.1"), QUESTION)
+        assert network.queries_sent == before + 1
+
+    def test_detach(self, network):
+        network.detach(parse_ipv4("10.0.0.1"))
+        with pytest.raises(NetworkUnreachable):
+            network.query(parse_ipv4("10.0.0.1"), QUESTION)
+
+    def test_addresses_listing(self, network):
+        assert network.addresses() == [parse_ipv4("10.0.0.1")]
+
+
+class TestOutages:
+    def test_down_address_unreachable(self, network):
+        network.set_down(parse_ipv4("10.0.0.1"))
+        assert network.is_down(parse_ipv4("10.0.0.1"))
+        with pytest.raises(NetworkUnreachable):
+            network.query(parse_ipv4("10.0.0.1"), QUESTION)
+
+    def test_recovery(self, network):
+        address = parse_ipv4("10.0.0.1")
+        network.set_down(address)
+        network.set_down(address, down=False)
+        assert network.query(address, QUESTION).rcode is Rcode.NOERROR
+
+    def test_server_still_bound_while_down(self, network):
+        address = parse_ipv4("10.0.0.1")
+        network.set_down(address)
+        assert network.server_at(address) is not None

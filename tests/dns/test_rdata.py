@@ -1,0 +1,89 @@
+"""Tests for repro.dns.rdata: record data types and parsing."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.dns.rdata import A, CNAME, NS, SOA, TXT, RRType, parse_rdata
+from repro.errors import ZoneError
+
+
+class TestA:
+    def test_from_string(self):
+        assert A("1.2.3.4").address == 0x01020304
+
+    def test_from_int(self):
+        assert A(0x01020304).to_text() == "1.2.3.4"
+
+    def test_bad_address(self):
+        with pytest.raises(Exception):
+            A("999.1.1.1")
+
+    def test_equality(self):
+        assert A("1.2.3.4") == A(0x01020304)
+        assert A("1.2.3.4") != A("1.2.3.5")
+
+
+class TestNS:
+    def test_target(self):
+        assert NS("ns1.reg.ru").target == DomainName.parse("ns1.reg.ru")
+
+    def test_to_text_has_trailing_dot(self):
+        assert NS("ns1.reg.ru").to_text() == "ns1.reg.ru."
+
+    def test_accepts_domainname(self):
+        target = DomainName.parse("ns1.reg.ru")
+        assert NS(target).target is target
+
+
+class TestSOA:
+    def test_fields(self):
+        soa = SOA("ns1.reg.ru", "hostmaster.reg.ru", 42)
+        assert soa.serial == 42
+        assert soa.minimum == 3600
+
+    def test_negative_serial_rejected(self):
+        with pytest.raises(ZoneError):
+            SOA("a.ru", "b.ru", -1)
+
+    def test_to_text_field_count(self):
+        soa = SOA("ns1.reg.ru", "hostmaster.reg.ru", 1)
+        assert len(soa.to_text().split()) == 7
+
+
+class TestTXT:
+    def test_quoting(self):
+        assert TXT('say "hi"').to_text() == '"say \\"hi\\""'
+
+    def test_equality(self):
+        assert TXT("x") == TXT("x")
+
+
+class TestParseRdata:
+    def test_a(self):
+        assert parse_rdata(RRType.A, "1.2.3.4") == A("1.2.3.4")
+
+    def test_ns(self):
+        assert parse_rdata(RRType.NS, "ns1.reg.ru.") == NS("ns1.reg.ru")
+
+    def test_cname(self):
+        assert parse_rdata(RRType.CNAME, "www.example.ru.") == CNAME("www.example.ru")
+
+    def test_soa_roundtrip(self):
+        soa = SOA("ns1.reg.ru", "hostmaster.reg.ru", 7, 1, 2, 3, 4)
+        parsed = parse_rdata(RRType.SOA, soa.to_text())
+        assert parsed == soa
+
+    def test_soa_wrong_fields(self):
+        with pytest.raises(ZoneError):
+            parse_rdata(RRType.SOA, "a. b. 1 2")
+
+    def test_txt_roundtrip(self):
+        txt = TXT('v=spf1 "quoted" -all')
+        assert parse_rdata(RRType.TXT, txt.to_text()) == txt
+
+    def test_rtype_values_match_iana(self):
+        assert RRType.A.value == 1
+        assert RRType.NS.value == 2
+        assert RRType.CNAME.value == 5
+        assert RRType.SOA.value == 6
+        assert RRType.TXT.value == 16

@@ -1,0 +1,180 @@
+"""Tests for repro.dns.resolver: the iterative walk."""
+
+import pytest
+
+from repro.dns.message import Rcode
+from repro.dns.name import ROOT, DomainName
+from repro.dns.network import SimulatedNetwork
+from repro.dns.rdata import A, CNAME, NS, SOA, RRType
+from repro.dns.resolver import IterativeResolver
+from repro.dns.rrset import RRset
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+from repro.errors import ServfailError
+from repro.net.ip import parse_ipv4
+
+
+def name(text):
+    return DomainName.parse(text)
+
+
+ROOT_IP = parse_ipv4("198.41.0.4")
+RU_TLD_IP = parse_ipv4("198.41.1.1")
+COM_TLD_IP = parse_ipv4("198.41.1.2")
+REGRU_NS_IP = parse_ipv4("20.0.0.10")
+CF_NS_IP = parse_ipv4("20.1.0.10")
+APEX_IP = parse_ipv4("20.0.128.50")
+
+
+@pytest.fixture
+def internet():
+    """Root -> {ru, com}; example.ru on reg.ru NS; glueless cloudflare.com."""
+    network = SimulatedNetwork()
+
+    root_zone = Zone(ROOT, SOA("a.root.invalid", "n.invalid", 1))
+    root_zone.add(RRset(name("ru"), RRType.NS, [NS("a.nic.ru")]))
+    root_zone.add(RRset(name("a.nic.ru"), RRType.A, [A(RU_TLD_IP)]))
+    root_zone.add(RRset(name("com"), RRType.NS, [NS("a.gtld.com")]))
+    root_zone.add(RRset(name("a.gtld.com"), RRType.A, [A(COM_TLD_IP)]))
+    root_server = AuthoritativeServer("root")
+    root_server.attach_zone(root_zone)
+    network.attach(ROOT_IP, root_server)
+
+    ru_zone = Zone(name("ru"), SOA("a.nic.ru", "h.nic.ru", 1))
+    ru_zone.add(RRset(name("reg.ru"), RRType.NS, [NS("ns1.reg.ru")]))
+    ru_zone.add(RRset(name("ns1.reg.ru"), RRType.A, [A(REGRU_NS_IP)]))  # glue
+    ru_zone.add(RRset(name("example.ru"), RRType.NS, [NS("ns1.reg.ru")]))
+    # A glueless delegation to an out-of-TLD name server:
+    ru_zone.add(
+        RRset(name("foreign.ru"), RRType.NS, [NS("alice.ns.cloudflare.com")])
+    )
+    ru_server = AuthoritativeServer("tld:ru")
+    ru_server.attach_zone(ru_zone)
+    network.attach(RU_TLD_IP, ru_server)
+
+    com_zone = Zone(name("com"), SOA("a.gtld.com", "h.gtld.com", 1))
+    com_zone.add(
+        RRset(name("cloudflare.com"), RRType.NS, [NS("alice.ns.cloudflare.com")])
+    )
+    com_zone.add(RRset(name("alice.ns.cloudflare.com"), RRType.A, [A(CF_NS_IP)]))
+    com_server = AuthoritativeServer("tld:com")
+    com_server.attach_zone(com_zone)
+    network.attach(COM_TLD_IP, com_server)
+
+    regru_server = AuthoritativeServer("ns:reg.ru")
+    infra = Zone(name("reg.ru"), SOA("ns1.reg.ru", "h.reg.ru", 1))
+    infra.add(RRset(name("ns1.reg.ru"), RRType.A, [A(REGRU_NS_IP)]))
+    regru_server.attach_zone(infra)
+    example = Zone(name("example.ru"), SOA("ns1.reg.ru", "h.example.ru", 1))
+    example.add(RRset(name("example.ru"), RRType.NS, [NS("ns1.reg.ru")]))
+    example.add(RRset(name("example.ru"), RRType.A, [A(APEX_IP)]))
+    example.add(RRset(name("www.example.ru"), RRType.CNAME, [CNAME("example.ru")]))
+    regru_server.attach_zone(example)
+    network.attach(REGRU_NS_IP, regru_server)
+
+    cf_server = AuthoritativeServer("ns:cloudflare")
+    cf_infra = Zone(name("cloudflare.com"), SOA("alice.ns.cloudflare.com", "h.cf.com", 1))
+    cf_infra.add(RRset(name("alice.ns.cloudflare.com"), RRType.A, [A(CF_NS_IP)]))
+    cf_server.attach_zone(cf_infra)
+    foreign = Zone(name("foreign.ru"), SOA("alice.ns.cloudflare.com", "h.f.ru", 1))
+    foreign.add(
+        RRset(name("foreign.ru"), RRType.NS, [NS("alice.ns.cloudflare.com")])
+    )
+    foreign.add(RRset(name("foreign.ru"), RRType.A, [A("20.1.128.9")]))
+    cf_server.attach_zone(foreign)
+    network.attach(CF_NS_IP, cf_server)
+
+    return network
+
+
+@pytest.fixture
+def resolver(internet):
+    return IterativeResolver(internet, [ROOT_IP])
+
+
+class TestWalk:
+    def test_apex_a(self, resolver):
+        result = resolver.resolve(name("example.ru"), RRType.A)
+        assert result.ok
+        assert result.addresses() == [APEX_IP]
+
+    def test_ns_lookup(self, resolver):
+        result = resolver.resolve(name("example.ru"), RRType.NS)
+        assert result.ns_targets() == [name("ns1.reg.ru")]
+
+    def test_nxdomain(self, resolver):
+        result = resolver.resolve(name("nosuch.example.ru"), RRType.A)
+        assert result.rcode is Rcode.NXDOMAIN
+
+    def test_cname_chase(self, resolver):
+        result = resolver.resolve(name("www.example.ru"), RRType.A)
+        assert result.ok
+        assert result.addresses() == [APEX_IP]
+        assert result.cname_chain == [name("example.ru")]
+
+    def test_glueless_out_of_bailiwick_ns(self, resolver):
+        result = resolver.resolve(name("foreign.ru"), RRType.A)
+        assert result.ok
+        assert result.addresses() == [parse_ipv4("20.1.128.9")]
+
+    def test_nodata(self, resolver):
+        result = resolver.resolve(name("example.ru"), RRType.TXT)
+        assert result.rcode is Rcode.NOERROR
+        assert result.rrset is None
+
+
+class TestCacheBehaviour:
+    def test_second_query_uses_cache(self, internet, resolver):
+        resolver.resolve(name("example.ru"), RRType.A)
+        queries_after_first = internet.queries_sent
+        result = resolver.resolve(name("example.ru"), RRType.A)
+        assert result.ok
+        assert internet.queries_sent == queries_after_first
+
+    def test_sibling_skips_root(self, internet, resolver):
+        resolver.resolve(name("example.ru"), RRType.A)
+        before = internet.queries_sent
+        resolver.resolve(name("reg.ru"), RRType.NS)
+        # Walk starts from the cached .ru cut, not the root.
+        assert internet.queries_sent - before <= 2
+
+    def test_negative_cache(self, internet, resolver):
+        resolver.resolve(name("nosuch.example.ru"), RRType.A)
+        before = internet.queries_sent
+        result = resolver.resolve(name("nosuch.example.ru"), RRType.A)
+        assert result.rcode is Rcode.NXDOMAIN
+        assert internet.queries_sent == before
+
+
+class TestFailures:
+    def test_all_roots_down(self, internet):
+        internet.set_down(ROOT_IP)
+        resolver = IterativeResolver(internet, [ROOT_IP])
+        with pytest.raises(ServfailError):
+            resolver.resolve(name("example.ru"), RRType.A)
+
+    def test_failover_to_second_root(self, internet):
+        second_root = parse_ipv4("198.41.0.8")
+        internet.attach(second_root, internet.server_at(ROOT_IP))
+        internet.set_down(ROOT_IP)
+        resolver = IterativeResolver(internet, [ROOT_IP, second_root])
+        assert resolver.resolve(name("example.ru"), RRType.A).ok
+
+    def test_authoritative_down(self, internet, resolver):
+        internet.set_down(REGRU_NS_IP)
+        with pytest.raises(ServfailError):
+            resolver.resolve(name("example.ru"), RRType.A)
+
+    def test_no_roots_rejected(self, internet):
+        with pytest.raises(Exception):
+            IterativeResolver(internet, [])
+
+
+class TestCnameLoop:
+    def test_loop_detected(self, internet, resolver):
+        regru = internet.server_at(REGRU_NS_IP)
+        zone = regru.zone_for(name("example.ru"))
+        zone.add(RRset(name("l1.example.ru"), RRType.CNAME, [CNAME("l2.example.ru")]))
+        zone.add(RRset(name("l2.example.ru"), RRType.CNAME, [CNAME("l1.example.ru")]))
+        with pytest.raises(ServfailError):
+            resolver.resolve(name("l1.example.ru"), RRType.A)

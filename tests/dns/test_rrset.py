@@ -1,0 +1,64 @@
+"""Tests for repro.dns.rrset."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.dns.rdata import A, CNAME, NS, RRType
+from repro.dns.rrset import RRset
+from repro.errors import ZoneError
+
+NAME = DomainName.parse("example.ru")
+
+
+class TestConstruction:
+    def test_basic(self):
+        rrset = RRset(NAME, RRType.A, [A("1.2.3.4"), A("1.2.3.5")], ttl=300)
+        assert len(rrset) == 2
+        assert rrset.ttl == 300
+
+    def test_empty_rejected(self):
+        with pytest.raises(ZoneError):
+            RRset(NAME, RRType.A, [])
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ZoneError):
+            RRset(NAME, RRType.A, [NS("ns1.reg.ru")])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ZoneError):
+            RRset(NAME, RRType.A, [A("1.2.3.4"), A("1.2.3.4")])
+
+    def test_cname_singleton(self):
+        with pytest.raises(ZoneError):
+            RRset(NAME, RRType.CNAME, [CNAME("a.ru"), CNAME("b.ru")])
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ZoneError):
+            RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=-1)
+
+
+class TestBehaviour:
+    def test_equality_ignores_rdata_order(self):
+        a = RRset(NAME, RRType.A, [A("1.2.3.4"), A("1.2.3.5")])
+        b = RRset(NAME, RRType.A, [A("1.2.3.5"), A("1.2.3.4")])
+        assert a == b
+
+    def test_merged_with(self):
+        base = RRset(NAME, RRType.A, [A("1.2.3.4")])
+        merged = base.merged_with([A("1.2.3.5")])
+        assert len(merged) == 2
+        assert len(base) == 1  # original untouched
+
+    def test_merged_with_duplicate_rejected(self):
+        base = RRset(NAME, RRType.A, [A("1.2.3.4")])
+        with pytest.raises(ZoneError):
+            base.merged_with([A("1.2.3.4")])
+
+    def test_to_text_lines(self):
+        rrset = RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=60)
+        lines = rrset.to_text_lines()
+        assert lines == ["example.ru.\t60\tIN\tA\t1.2.3.4"]
+
+    def test_iteration_preserves_insertion_order(self):
+        rrset = RRset(NAME, RRType.A, [A("9.9.9.9"), A("1.1.1.1")])
+        assert [r.to_text() for r in rrset] == ["9.9.9.9", "1.1.1.1"]

@@ -1,0 +1,119 @@
+"""Tests for repro.dns.server: authoritative answer logic."""
+
+import pytest
+
+from repro.dns.message import Question, Rcode
+from repro.dns.name import DomainName
+from repro.dns.rdata import A, CNAME, NS, SOA, RRType
+from repro.dns.rrset import RRset
+from repro.dns.server import AuthoritativeServer
+from repro.dns.zone import Zone
+from repro.errors import ZoneError
+
+
+def name(text):
+    return DomainName.parse(text)
+
+
+@pytest.fixture
+def server():
+    zone = Zone(name("ru"), SOA("a.nic.ru", "h.nic.ru", 1))
+    zone.add(RRset(name("ru"), RRType.NS, [NS("a.nic.ru")]))
+    zone.add(RRset(name("example.ru"), RRType.NS, [NS("ns1.reg.ru")]))
+    zone.add(RRset(name("ns1.reg.ru"), RRType.A, [A("10.0.0.1")]))
+    zone.add(RRset(name("reg.ru"), RRType.NS, [NS("ns1.reg.ru")]))
+    zone.add(RRset(name("direct.ru"), RRType.A, [A("10.0.0.9")]))
+    zone.add(RRset(name("alias.ru"), RRType.CNAME, [CNAME("direct.ru")]))
+    srv = AuthoritativeServer("tld:ru")
+    srv.attach_zone(zone)
+    return srv
+
+
+class TestAnswers:
+    def test_authoritative_answer(self, server):
+        response = server.query(Question(name("direct.ru"), RRType.A))
+        assert response.rcode is Rcode.NOERROR
+        assert response.aa
+        assert response.answer_rrset().rdatas[0] == A("10.0.0.9")
+
+    def test_nodata(self, server):
+        response = server.query(Question(name("direct.ru"), RRType.NS))
+        assert response.rcode is Rcode.NOERROR
+        assert response.is_nodata
+
+    def test_nxdomain(self, server):
+        response = server.query(Question(name("missing.ru"), RRType.A))
+        assert response.rcode is Rcode.NXDOMAIN
+
+    def test_empty_nonterminal_is_noerror(self, server):
+        # reg.ru exists via ns1.reg.ru glue below... use an enclosing name:
+        zone = server.zones[0]
+        zone.add(RRset(name("a.b.ru"), RRType.A, [A("10.1.1.1")]))
+        response = server.query(Question(name("b.ru"), RRType.A))
+        assert response.rcode is Rcode.NOERROR
+        assert not response.answers
+
+    def test_refused_out_of_zone(self, server):
+        response = server.query(Question(name("example.com"), RRType.A))
+        assert response.rcode is Rcode.REFUSED
+
+    def test_cname_returned_not_chased(self, server):
+        response = server.query(Question(name("alias.ru"), RRType.A))
+        assert response.rcode is Rcode.NOERROR
+        rrset = response.answers[0]
+        assert rrset.rtype is RRType.CNAME
+
+    def test_explicit_cname_query(self, server):
+        response = server.query(Question(name("alias.ru"), RRType.CNAME))
+        assert response.answer_rrset().rtype is RRType.CNAME
+
+
+class TestReferrals:
+    def test_referral_with_glue(self, server):
+        response = server.query(Question(name("www.reg.ru"), RRType.A))
+        assert response.is_referral
+        assert not response.aa
+        assert response.authorities[0].name == name("reg.ru")
+        assert response.additionals[0].name == name("ns1.reg.ru")
+
+    def test_referral_for_cut_ns_query(self, server):
+        response = server.query(Question(name("example.ru"), RRType.NS))
+        assert response.is_referral
+
+    def test_apex_ns_is_authoritative(self, server):
+        response = server.query(Question(name("ru"), RRType.NS))
+        assert response.rcode is Rcode.NOERROR
+        assert response.aa
+        assert response.answer_rrset() is not None
+
+
+class TestZoneManagement:
+    def test_most_specific_zone_wins(self):
+        parent = Zone(name("ru"), SOA("a.nic.ru", "h.nic.ru", 1))
+        child = Zone(name("example.ru"), SOA("ns1.reg.ru", "h.reg.ru", 1))
+        child.add(RRset(name("example.ru"), RRType.A, [A("10.2.2.2")]))
+        server = AuthoritativeServer("both")
+        server.attach_zone(parent)
+        server.attach_zone(child)
+        assert server.zone_for(name("www.example.ru")) is child
+        assert server.zone_for(name("other.ru")) is parent
+
+    def test_detach(self, server):
+        server.detach_zone(name("ru"))
+        response = server.query(Question(name("direct.ru"), RRType.A))
+        assert response.rcode is Rcode.REFUSED
+
+    def test_validate_rejects_parent_and_delegated_child(self):
+        parent = Zone(name("ru"), SOA("a.nic.ru", "h.nic.ru", 1))
+        parent.add(RRset(name("example.ru"), RRType.NS, [NS("ns1.reg.ru")]))
+        child = Zone(name("example.ru"), SOA("ns1.reg.ru", "h.reg.ru", 1))
+        server = AuthoritativeServer("conflicted")
+        server.attach_zone(parent)
+        server.attach_zone(child)
+        with pytest.raises(ZoneError):
+            server.validate()
+
+    def test_validate_accepts_disjoint_zones(self, server):
+        other = Zone(name("example.com"), SOA("ns.example.com", "h.example.com", 1))
+        server.attach_zone(other)
+        server.validate()

@@ -1,0 +1,127 @@
+"""Tests for repro.dns.zone: zone semantics and master-file round trips."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.dns.rdata import A, CNAME, NS, SOA, RRType
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone
+from repro.errors import ZoneError
+
+ORIGIN = DomainName.parse("ru")
+
+
+@pytest.fixture
+def zone():
+    z = Zone(ORIGIN, SOA("a.nic.ru", "hostmaster.nic.ru", 1))
+    z.add(RRset(DomainName.parse("example.ru"), RRType.NS, [NS("ns1.reg.ru")]))
+    z.add(RRset(DomainName.parse("ns1.reg.ru"), RRType.A, [A("10.0.0.1")]))
+    z.add(RRset(DomainName.parse("reg.ru"), RRType.NS, [NS("ns1.reg.ru")]))
+    return z
+
+
+class TestBasics:
+    def test_soa(self, zone):
+        assert zone.soa.serial == 1
+
+    def test_out_of_zone_rejected(self, zone):
+        with pytest.raises(ZoneError):
+            zone.add(RRset(DomainName.parse("example.com"), RRType.A, [A("1.1.1.1")]))
+
+    def test_get_exact(self, zone):
+        assert zone.get(DomainName.parse("ns1.reg.ru"), RRType.A) is not None
+        assert zone.get(DomainName.parse("missing.ru"), RRType.A) is None
+
+    def test_add_merges(self, zone):
+        name = DomainName.parse("ns1.reg.ru")
+        zone.add(RRset(name, RRType.A, [A("10.0.0.2")]))
+        assert len(zone.get(name, RRType.A)) == 2
+
+    def test_remove_rrset(self, zone):
+        name = DomainName.parse("ns1.reg.ru")
+        zone.remove(name, RRType.A)
+        assert zone.get(name, RRType.A) is None
+
+    def test_cannot_remove_soa(self, zone):
+        with pytest.raises(ZoneError):
+            zone.remove(ORIGIN, RRType.SOA)
+
+    def test_cname_exclusivity(self, zone):
+        name = DomainName.parse("alias.ru")
+        zone.add(RRset(name, RRType.CNAME, [CNAME("example.ru")]))
+        with pytest.raises(ZoneError):
+            zone.add(RRset(name, RRType.A, [A("1.1.1.1")]))
+
+    def test_data_then_cname_rejected(self, zone):
+        name = DomainName.parse("host.ru")
+        zone.add(RRset(name, RRType.A, [A("1.1.1.1")]))
+        with pytest.raises(ZoneError):
+            zone.add(RRset(name, RRType.CNAME, [CNAME("example.ru")]))
+
+    def test_bump_serial(self, zone):
+        zone.bump_serial()
+        assert zone.soa.serial == 2
+
+
+class TestDelegation:
+    def test_delegation_for_name_under_cut(self, zone):
+        cut = zone.delegation_for(DomainName.parse("www.example.ru"))
+        assert cut is not None
+        assert cut.name == DomainName.parse("example.ru")
+
+    def test_delegation_for_cut_itself(self, zone):
+        cut = zone.delegation_for(DomainName.parse("example.ru"))
+        assert cut is not None
+
+    def test_no_delegation_at_origin(self, zone):
+        assert zone.delegation_for(ORIGIN) is None
+
+    def test_apex_ns_not_a_cut(self):
+        z = Zone(ORIGIN, SOA("a.nic.ru", "h.nic.ru", 1))
+        z.add(RRset(ORIGIN, RRType.NS, [NS("a.nic.ru")]))
+        assert z.delegation_for(DomainName.parse("x.ru")) is None
+
+    def test_delegations_listing(self, zone):
+        names = zone.names_delegated()
+        assert DomainName.parse("example.ru") in names
+        assert DomainName.parse("reg.ru") in names
+
+    def test_glue_for(self, zone):
+        cut = zone.delegation_for(DomainName.parse("www.reg.ru"))
+        glue = zone.glue_for(cut)
+        assert len(glue) == 1
+        assert glue[0].name == DomainName.parse("ns1.reg.ru")
+
+    def test_glue_skips_out_of_zone_targets(self, zone):
+        name = DomainName.parse("foreign.ru")
+        zone.add(RRset(name, RRType.NS, [NS("ns.example.com")]))
+        cut = zone.delegation_for(DomainName.parse("www.foreign.ru"))
+        assert zone.glue_for(cut) == []
+
+
+class TestTextRoundtrip:
+    def test_roundtrip(self, zone):
+        text = zone.to_text()
+        parsed = Zone.from_text(text)
+        assert parsed.origin == zone.origin
+        assert sorted(map(str, parsed.node_names())) == sorted(
+            map(str, zone.node_names())
+        )
+        assert parsed.soa == zone.soa
+
+    def test_missing_origin_rejected(self):
+        with pytest.raises(ZoneError):
+            Zone.from_text("$TTL 300\n")
+
+    def test_missing_soa_rejected(self):
+        with pytest.raises(ZoneError):
+            Zone.from_text("$ORIGIN ru.\nexample.ru.\t60\tIN\tA\t1.2.3.4\n")
+
+    def test_comments_ignored(self, zone):
+        text = zone.to_text() + "; trailing comment\n"
+        assert Zone.from_text(text).origin == ORIGIN
+
+    def test_unknown_class_rejected(self, zone):
+        text = zone.to_text().replace("\tIN\t", "\tCH\t", 1)
+        with pytest.raises(ZoneError):
+            Zone.from_text(text)

@@ -1,0 +1,66 @@
+"""Property tests: zone master-file round trips for arbitrary zones."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.name import DomainName
+from repro.dns.rdata import A, NS, SOA, TXT, RRType
+from repro.dns.rrset import RRset
+from repro.dns.zone import Zone
+
+_LABEL = st.from_regex(r"[a-z][a-z0-9]{0,8}", fullmatch=True)
+_TTL = st.sampled_from([60, 300, 3600, 86400])
+
+
+@st.composite
+def zones(draw):
+    origin = DomainName((draw(_LABEL), "ru"))
+    zone = Zone(origin, SOA(f"ns1.{origin}", f"hostmaster.{origin}", draw(st.integers(0, 10**6))))
+    used = set()
+    for _ in range(draw(st.integers(0, 8))):
+        label = draw(_LABEL)
+        name = origin.child(label)
+        kind = draw(st.sampled_from(["a", "ns", "txt"]))
+        key = (name, kind)
+        if key in used:
+            continue
+        used.add(key)
+        ttl = draw(_TTL)
+        if kind == "a":
+            addresses = draw(
+                st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=3, unique=True)
+            )
+            zone.add(RRset(name, RRType.A, [A(a) for a in addresses], ttl))
+        elif kind == "ns":
+            targets = draw(
+                st.lists(_LABEL, min_size=1, max_size=3, unique=True)
+            )
+            zone.add(
+                RRset(name, RRType.NS, [NS(f"{t}.nsfarm.ru") for t in targets], ttl)
+            )
+        else:
+            zone.add(RRset(name, RRType.TXT, [TXT(draw(st.text(
+                alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+                max_size=30,
+            )))], ttl))
+    return zone
+
+
+@settings(max_examples=50, deadline=None)
+@given(zones())
+def test_zone_text_roundtrip(zone):
+    """Property: from_text(to_text(zone)) reproduces every RRset."""
+    parsed = Zone.from_text(zone.to_text())
+    assert parsed.origin == zone.origin
+    assert parsed.soa == zone.soa
+    original = {(str(r.name), r.rtype, r.ttl): set(r.rdatas) for r in zone.rrsets()}
+    reparsed = {(str(r.name), r.rtype, r.ttl): set(r.rdatas) for r in parsed.rrsets()}
+    assert original == reparsed
+
+
+@settings(max_examples=50, deadline=None)
+@given(zones())
+def test_zone_roundtrip_is_stable(zone):
+    """Property: a second round trip is byte-identical (canonical form)."""
+    once = Zone.from_text(zone.to_text()).to_text()
+    twice = Zone.from_text(once).to_text()
+    assert once == twice

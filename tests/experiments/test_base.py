@@ -1,0 +1,71 @@
+"""Tests for repro.experiments.base."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult("figX", "Test artefact", "Figure X, Section Y")
+    r.add_series("date", ["2022-01-01", "2022-01-02"])
+    r.add_series("value", [1, 2])
+    r.add_row(metric="m", value=3)
+    r.measured = {"alpha": 1.0}
+    r.paper = {"alpha": 1.1}
+    return r
+
+
+class TestResult:
+    def test_series_length_guard(self, result):
+        with pytest.raises(AnalysisError):
+            result.add_series("bad", [1, 2, 3])
+
+    def test_comparison_rows(self, result):
+        rows = result.comparison_rows()
+        assert rows == [{"metric": "alpha", "measured": 1.0, "paper": 1.1}]
+
+    def test_comparison_handles_missing_paper_value(self, result):
+        result.measured["beta"] = 2.0
+        rows = {row["metric"]: row for row in result.comparison_rows()}
+        assert rows["beta"]["paper"] == "—"
+
+    def test_render_contains_everything(self, result):
+        result.sections.append("custom section text")
+        text = result.render()
+        assert "figX" in text
+        assert "Figure X" in text
+        assert "alpha" in text
+        assert "custom section text" in text
+
+
+class TestCsvExport:
+    def test_writes_all_three_files(self, result, tmp_path):
+        written = result.write_csv(tmp_path)
+        names = {path.name for path in written}
+        assert names == {
+            "figX_series.csv",
+            "figX_rows.csv",
+            "figX_comparison.csv",
+        }
+
+    def test_series_csv_shape(self, result, tmp_path):
+        result.write_csv(tmp_path)
+        lines = (tmp_path / "figX_series.csv").read_text().strip().splitlines()
+        assert lines[0] == "date,value"
+        assert len(lines) == 3
+
+    def test_comparison_csv_content(self, result, tmp_path):
+        result.write_csv(tmp_path)
+        text = (tmp_path / "figX_comparison.csv").read_text()
+        assert "alpha,1.0,1.1" in text
+
+    def test_empty_result_writes_nothing(self, tmp_path):
+        empty = ExperimentResult("e", "Empty", "nowhere")
+        assert empty.write_csv(tmp_path) == []
+
+    def test_creates_directory(self, result, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        result.write_csv(target)
+        assert target.exists()

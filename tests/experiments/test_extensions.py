@@ -1,0 +1,74 @@
+"""Tests for the extension experiments (concentration, GL-25)."""
+
+import pytest
+
+from repro.experiments import EXTENSIONS, run_all, run_experiment
+
+
+class TestRegistry:
+    def test_extension_ids(self):
+        assert set(EXTENSIONS) == {"concentration", "gl25", "dataset", "countries"}
+
+    def test_run_all_with_extensions(self, tiny_context):
+        results = run_all(tiny_context, include_extensions=True)
+        ids = {r.experiment_id for r in results}
+        assert {"concentration", "gl25"} <= ids
+
+    def test_run_all_without_extensions(self, tiny_context):
+        results = run_all(tiny_context)
+        ids = {r.experiment_id for r in results}
+        assert "gl25" not in ids
+
+
+class TestConcentration:
+    def test_ca_market_concentrates_further(self, tiny_context):
+        result = run_experiment("concentration", tiny_context)
+        measured = result.measured
+        assert measured["ca_hhi_post_sanctions"] > measured["ca_hhi_pre_conflict"]
+        assert measured["ca_hhi_post_sanctions"] > 0.9
+        assert measured["ca_leader_post_sanctions"] == "Let's Encrypt"
+        assert measured["ca_highly_concentrated"] is True
+
+    def test_hosting_market_stable(self, tiny_context):
+        measured = run_experiment("concentration", tiny_context).measured
+        assert abs(
+            measured["hosting_hhi_end"] - measured["hosting_hhi_start"]
+        ) < 0.05
+        # Many providers: far from monopoly.
+        assert measured["hosting_hhi_start"] < 0.25
+
+    def test_renders(self, tiny_context):
+        text = run_experiment("concentration", tiny_context).render()
+        assert "HHI" in text or "hhi" in text
+
+
+class TestGl25:
+    def test_no_clear_change(self, tiny_context):
+        measured = run_experiment("gl25", tiny_context).measured
+        assert measured["clear_change_observed"] is False
+        assert measured["max_share_delta_pp"] < 5.0
+
+    def test_rows_cover_continuing_cas(self, tiny_context):
+        result = run_experiment("gl25", tiny_context)
+        issuers = {row["issuer"] for row in result.rows}
+        assert "Let's Encrypt" in issuers
+
+
+class TestDataset:
+    def test_summary_shape(self, tiny_context):
+        measured = run_experiment("dataset", tiny_context).measured
+        assert measured["study_days"] == 1803
+        assert measured["sanctioned_domains"] == 107
+        assert measured["ns_asns_fewer_than_apex_asns"] is True
+
+    def test_unique_domains_scale_back_to_paper_magnitude(self, tiny_context):
+        measured = run_experiment("dataset", tiny_context).measured
+        assert 7_000_000 < measured["unique_domains_scaled_up"] < 18_000_000
+
+
+class TestCountries:
+    def test_flight_to_russia_and_nl(self, tiny_context):
+        measured = run_experiment("countries", tiny_context).measured
+        assert measured["ru_change_pp"] > 0
+        assert measured["nl_change_pp"] > 0
+        assert measured["de_change_pp"] < 0

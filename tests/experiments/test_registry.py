@@ -1,0 +1,41 @@
+"""Tests for repro.experiments.registry: every experiment runs and renders."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_all, run_experiment
+
+EXPECTED_IDS = {
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "table1", "table2", "trustedca", "google", "headline",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artefact_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_unknown_id_raises(self, tiny_context):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", tiny_context)
+
+
+class TestAllExperimentsRun:
+    @pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))
+    def test_runs_and_renders(self, tiny_context, experiment_id):
+        result = run_experiment(experiment_id, tiny_context)
+        assert result.experiment_id == experiment_id
+        assert result.measured, f"{experiment_id} produced no measurements"
+        text = result.render()
+        assert experiment_id in text
+        assert len(text) > 100
+
+    def test_run_all_covers_registry(self, tiny_context):
+        results = run_all(tiny_context)
+        assert {r.experiment_id for r in results} == EXPECTED_IDS
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPECTED_IDS))
+    def test_paper_comparison_present(self, tiny_context, experiment_id):
+        result = run_experiment(experiment_id, tiny_context)
+        assert result.paper, f"{experiment_id} lacks paper reference values"
+        shared = set(result.measured) & set(result.paper)
+        assert shared, f"{experiment_id} has no comparable metrics"

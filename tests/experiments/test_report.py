@@ -1,0 +1,35 @@
+"""Tests for repro.experiments.report."""
+
+import io
+
+from repro.experiments.report import write_markdown_report
+
+
+class TestReport:
+    def test_covers_every_artefact(self, tiny_context):
+        text = write_markdown_report(tiny_context)
+        for heading in (
+            "Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5",
+            "Figure 6", "Figure 7", "Figure 8", "Table 1", "Table 2",
+            "Russian Trusted Root CA", "Google movement", "headline",
+            "market concentration", "General License 25", "dataset summary",
+            "per-country hosting shifts",
+            "Ablations",
+        ):
+            assert heading in text, heading
+
+    def test_mentions_scale_and_seed(self, tiny_context):
+        text = write_markdown_report(tiny_context)
+        assert "1:2500" in text
+        assert str(tiny_context.config.seed) in text
+
+    def test_stream_output(self, tiny_context):
+        stream = io.StringIO()
+        text = write_markdown_report(tiny_context, stream=stream)
+        assert stream.getvalue() == text
+
+    def test_markdown_tables_well_formed(self, tiny_context):
+        text = write_markdown_report(tiny_context)
+        for line in text.splitlines():
+            if line.startswith("|") and not line.startswith("|---"):
+                assert line.count("|") >= 3

@@ -1,0 +1,28 @@
+"""Tests for repro.geo.countries."""
+
+import pytest
+
+from repro.geo.countries import RU, country_name, is_russian, validate_country
+
+
+class TestValidation:
+    def test_accepts_alpha2(self):
+        assert validate_country("NL") == "NL"
+
+    @pytest.mark.parametrize("code", ["ru", "R", "RUS", "R1", ""])
+    def test_rejects_malformed(self, code):
+        with pytest.raises(ValueError):
+            validate_country(code)
+
+
+class TestHelpers:
+    def test_is_russian(self):
+        assert is_russian(RU)
+        assert not is_russian("US")
+        assert not is_russian(None)
+
+    def test_known_name(self):
+        assert country_name("SE") == "Sweden"
+
+    def test_unknown_name_falls_back_to_code(self):
+        assert country_name("ZZ") == "ZZ"

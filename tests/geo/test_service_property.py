@@ -1,0 +1,49 @@
+"""Property test: GeoService epoch selection vs a naive reference."""
+
+import datetime as dt
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.database import GeoDatabaseBuilder
+from repro.geo.service import GeoService
+
+_COUNTRIES = ["RU", "US", "DE", "NL", "SE"]
+
+
+def _db(country):
+    return GeoDatabaseBuilder().add_range(0, 10, country).build()
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2000),  # publish day offset
+            st.sampled_from(_COUNTRIES),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    st.integers(min_value=-100, max_value=2500),  # query day offset
+    st.integers(min_value=0, max_value=30),       # lag
+)
+def test_database_at_matches_naive(publications, query_offset, lag):
+    base = dt.date(2018, 1, 1)
+    # Publication days must be strictly increasing.
+    days = sorted({offset for offset, _ in publications})
+    ordered = [
+        (day, country)
+        for day, (_, country) in zip(days, publications[: len(days)])
+    ]
+
+    service = GeoService(lag_days=lag)
+    for day, country in ordered:
+        service.publish(base + dt.timedelta(days=day), _db(country))
+
+    query_date = base + dt.timedelta(days=query_offset)
+    effective = query_offset - lag
+    expected_country = ordered[0][1]  # fallback to earliest
+    for day, country in ordered:
+        if day <= effective:
+            expected_country = country
+    assert service.lookup(query_date, 5) == expected_country

@@ -1,0 +1,114 @@
+"""Calibration: the WebPKI figures and tables recover the paper's shapes."""
+
+import datetime as dt
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.timeline import Phase
+
+
+@pytest.fixture(scope="module")
+def fig(small_context):
+    cache = {}
+
+    def run(experiment_id):
+        if experiment_id not in cache:
+            cache[experiment_id] = run_experiment(experiment_id, small_context)
+        return cache[experiment_id]
+
+    return run
+
+
+class TestTable1:
+    def test_lets_encrypt_dominates_every_phase(self, fig):
+        shares = fig("table1").measured["shares"]
+        for phase in ("pre-conflict", "pre-sanctions", "post-sanctions"):
+            top_issuer = max(shares[phase], key=shares[phase].get)
+            assert top_issuer == "Let's Encrypt"
+
+    def test_concentration_increases(self, fig):
+        shares = fig("table1").measured["shares"]
+        le = [shares[p]["Let's Encrypt"] for p in
+              ("pre-conflict", "pre-sanctions", "post-sanctions")]
+        assert le[0] < le[1] < le[2]
+        assert 88.0 <= le[0] <= 94.0
+        assert le[2] >= 96.0
+
+    def test_other_cas_collapse_post_sanctions(self, fig):
+        shares = fig("table1").measured["shares"]
+        assert shares["post-sanctions"].get("Other CAs", 0.0) <= 0.5
+
+    def test_globalsign_visible_after_conflict(self, fig):
+        shares = fig("table1").measured["shares"]
+        assert "GlobalSign" in shares["pre-sanctions"] or "GlobalSign" in shares[
+            "post-sanctions"
+        ]
+
+    def test_daily_volume_dips_slightly_not_collapses(self, fig):
+        averages = fig("table1").measured["daily_avg"]
+        pre = averages["pre-conflict"]
+        post = averages["post-sanctions"]
+        assert 0.7 * pre < post <= 1.05 * pre
+
+
+class TestFig8:
+    def test_continuing_cas_match_paper(self, fig):
+        measured = fig("fig8").measured
+        assert measured["continuing_cas"] == [
+            "GlobalSign", "Google Trust Services", "Let's Encrypt",
+        ]
+
+    def test_majority_of_top10_stopped(self, fig):
+        assert 5 <= fig("fig8").measured["stopped_count_of_top10"] <= 7
+
+    def test_lets_encrypt_top_of_ranking(self, fig):
+        assert fig("fig8").measured["top10"][0] == "Let's Encrypt"
+
+
+class TestTable2:
+    def test_digicert_and_sectigo_full_revokers(self, fig):
+        assert fig("table2").measured["full_revokers"] == ["DigiCert", "Sectigo"]
+
+    def test_sanctioned_rates_exceed_overall(self, fig):
+        # The paper: "all CAs have significantly higher revocation rates
+        # for sanctioned domains".  At reproduction scale the sanctioned
+        # sample per CA is small, so the strict inequality is asserted
+        # where the effect is large and with slack elsewhere.
+        rates = fig("table2").measured["rates"]
+        for issuer in ("DigiCert", "Sectigo"):
+            assert rates[issuer]["sanctioned_revoked_pct"] == 100.0
+            assert rates[issuer]["revoked_pct"] < 50.0
+        le = rates["Let's Encrypt"]
+        assert le["sanctioned_revoked_pct"] > le["revoked_pct"]
+        for issuer, values in rates.items():
+            if values["sanctioned_revoked_pct"] > 0:
+                assert (
+                    values["sanctioned_revoked_pct"]
+                    >= 0.5 * values["revoked_pct"] - 1.0
+                ), issuer
+
+    def test_lets_encrypt_rate_small(self, fig):
+        rates = fig("table2").measured["rates"]
+        assert rates["Let's Encrypt"]["revoked_pct"] < 1.0
+        assert rates["Let's Encrypt"]["sanctioned_revoked_pct"] < 5.0
+
+
+class TestTrustedCa:
+    def test_counts_exact(self, fig):
+        measured = fig("trustedca").measured
+        # The state CA set is absolute, so these are exact in expectation.
+        assert measured["rf_domains"] == 2
+        assert measured["sanctioned_secured"] == 36
+        assert 80 <= measured["certificates"] <= 170
+
+    def test_sanctioned_coverage_about_one_third(self, fig):
+        coverage = fig("trustedca").measured["sanctioned_coverage_pct"]
+        assert 30.0 <= coverage <= 38.0
+
+    def test_never_in_ct_logs(self, fig):
+        assert fig("trustedca").measured["in_ct_logs"] == 0
+
+    def test_negligible_next_to_other_cas(self, fig):
+        result = fig("trustedca")
+        assert result.measured["certificates"] * 10 < result.rows[-1]["value"]

@@ -1,0 +1,71 @@
+"""Calibration: provider-movement analyses (Figures 6-7, §3.4 prose)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig(small_context):
+    cache = {}
+
+    def run(experiment_id):
+        if experiment_id not in cache:
+            cache[experiment_id] = run_experiment(experiment_id, small_context)
+        return cache[experiment_id]
+
+    return run
+
+
+class TestFig6Amazon:
+    def test_roughly_half_remained(self, fig):
+        measured = fig("fig6").measured
+        assert 0.30 <= measured["remained_share"] <= 0.58
+        assert 0.35 <= measured["relocated_share"] <= 0.70
+
+    def test_influx_exists(self, fig):
+        measured = fig("fig6").measured
+        assert measured["inflow_new"] + measured["inflow_relocated"] >= 1
+
+
+class TestFig7Sedo:
+    def test_nearly_all_relocated(self, fig):
+        measured = fig("fig7").measured
+        assert measured["relocated_share"] >= 0.85
+
+    def test_tiny_remainder(self, fig):
+        assert fig("fig7").measured["remained_share"] <= 0.08
+
+    def test_serverel_dominant_destination(self, fig):
+        assert fig("fig7").measured["serverel_share_of_relocated"] >= 0.6
+
+    def test_sedo_set_much_larger_than_amazon(self, fig):
+        sedo = fig("fig7").measured["original_scaled"]
+        amazon_rows = {
+            row["category"]: row["count"] for row in fig("fig6").rows
+        }
+        assert sedo > 3 * amazon_rows["in AS on 2022-03-08"]
+
+
+class TestGoogleProse:
+    def test_more_than_half_relocated(self, fig):
+        assert 0.40 <= fig("google").measured["relocated_share"] <= 0.75
+
+    def test_mostly_intra_google(self, fig):
+        assert fig("google").measured["intra_google_share_of_relocated"] >= 0.55
+
+
+class TestCloudflareStability:
+    def test_94_percent_remain(self, small_context):
+        import datetime as dt
+
+        from repro.core.movement import analyze_movement
+
+        asn = small_context.world.catalog.get("cloudflare").primary_asn
+        report = analyze_movement(
+            small_context.collector, asn,
+            dt.date(2022, 3, 7), dt.date(2022, 5, 25),
+        )
+        # Paper: 94% of the original set remain; some churn expected.
+        assert report.remained_share >= 0.85
+        assert report.inflow_total > 0

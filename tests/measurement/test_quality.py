@@ -1,0 +1,64 @@
+"""Tests for repro.measurement.quality."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement import FastCollector, MeasurementHealth
+from repro.measurement.quality import CoveragePoint
+
+
+class TestCoveragePoint:
+    def test_coverage(self):
+        point = CoveragePoint(dt.date(2021, 3, 22), 100, 62)
+        assert point.coverage == pytest.approx(0.62)
+
+    def test_measured_cannot_exceed_seeded(self):
+        with pytest.raises(MeasurementError):
+            CoveragePoint(dt.date(2021, 3, 22), 100, 101)
+
+    def test_zero_seed_full_coverage(self):
+        assert CoveragePoint(dt.date(2021, 3, 22), 0, 0).coverage == 1.0
+
+
+class TestHealth:
+    def test_chronological_enforced(self):
+        health = MeasurementHealth()
+        health.observe(dt.date(2021, 1, 2), 10, 10)
+        with pytest.raises(MeasurementError):
+            health.observe(dt.date(2021, 1, 1), 10, 10)
+
+    def test_outage_detection(self):
+        health = MeasurementHealth(dip_threshold=0.9)
+        health.observe(dt.date(2021, 1, 1), 100, 99)
+        health.observe(dt.date(2021, 1, 2), 100, 60)
+        health.observe(dt.date(2021, 1, 3), 100, 97)
+        assert health.outage_days() == [dt.date(2021, 1, 2)]
+        assert health.worst_day().date == dt.date(2021, 1, 2)
+
+    def test_mean_coverage(self):
+        health = MeasurementHealth()
+        health.observe(dt.date(2021, 1, 1), 100, 100)
+        health.observe(dt.date(2021, 1, 2), 100, 50)
+        assert health.mean_coverage() == pytest.approx(0.75)
+
+    def test_empty_health_rejects_mean(self):
+        with pytest.raises(MeasurementError):
+            MeasurementHealth().mean_coverage()
+
+    def test_bad_threshold(self):
+        with pytest.raises(MeasurementError):
+            MeasurementHealth(dip_threshold=0.0)
+
+
+class TestEndToEnd:
+    def test_detects_the_paper_outage_day(self, tiny_world):
+        """Footnote 8's March 22, 2021 dip is flagged automatically."""
+        collector = FastCollector(tiny_world)
+        health = MeasurementHealth(dip_threshold=0.9)
+        for snapshot in collector.sweep("2021-03-15", "2021-03-29", 1):
+            seeded = tiny_world.population.active_count(snapshot.date)
+            health.observe_snapshot(snapshot, seeded)
+        assert health.outage_days() == [dt.date(2021, 3, 22)]
+        assert health.mean_coverage() > 0.95

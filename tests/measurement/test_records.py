@@ -1,0 +1,45 @@
+"""Tests for repro.measurement.records."""
+
+import datetime as dt
+
+from repro.dns.name import DomainName
+from repro.measurement.records import DomainMeasurement
+
+
+def measurement(**kwargs):
+    defaults = dict(
+        date=dt.date(2022, 3, 1),
+        domain=DomainName.parse("example.ru"),
+        ns_names=("ns2.reg.ru", "ns1.reg.ru"),
+        ns_addresses=(20, 10),
+        apex_addresses=(30,),
+    )
+    defaults.update(kwargs)
+    return DomainMeasurement(**defaults)
+
+
+class TestNormalisation:
+    def test_sorted_on_construction(self):
+        m = measurement()
+        assert m.ns_names == ("ns1.reg.ru", "ns2.reg.ru")
+        assert m.ns_addresses == (10, 20)
+
+    def test_equality_ignores_input_order(self):
+        a = measurement()
+        b = measurement(ns_names=("ns1.reg.ru", "ns2.reg.ru"), ns_addresses=(10, 20))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_domain_index_not_part_of_identity(self):
+        assert measurement(domain_index=1) == measurement(domain_index=2)
+
+
+class TestNsTlds:
+    def test_dedup_sorted(self):
+        m = measurement(
+            ns_names=("ns1.reg.ru", "alice.ns.cloudflare.com", "ns2.reg.ru")
+        )
+        assert m.ns_tlds() == ("com", "ru")
+
+    def test_single(self):
+        assert measurement().ns_tlds() == ("ru",)

@@ -1,0 +1,38 @@
+"""Tests for repro.measurement.resolving: the honest collector."""
+
+import pytest
+
+from repro.measurement.resolving import ResolvingCollector
+
+
+@pytest.fixture(scope="module")
+def collector(tiny_world):
+    return ResolvingCollector(tiny_world)
+
+
+class TestCollect:
+    def test_collects_requested_subset(self, collector, tiny_world):
+        indices = tiny_world.population.active_indices("2022-03-10")[:30]
+        measurements = collector.collect("2022-03-10", indices)
+        assert len(measurements) == 30
+        assert all(m.date.isoformat() == "2022-03-10" for m in measurements)
+
+    def test_every_record_complete(self, collector, tiny_world):
+        indices = tiny_world.population.active_indices("2022-03-10")[:30]
+        for m in collector.collect("2022-03-10", indices):
+            assert m.ns_names
+            assert m.ns_addresses
+            assert m.apex_addresses
+
+    def test_inactive_domain_skipped(self, collector, tiny_world):
+        import numpy as np
+
+        population = tiny_world.population
+        dead = [
+            int(i)
+            for i in np.flatnonzero(~population.active_mask("2022-03-10"))[:3]
+        ]
+        if not dead:
+            pytest.skip("no inactive domain at this date")
+        measurements = collector.collect("2022-03-10", dead)
+        assert measurements == []

@@ -1,0 +1,68 @@
+"""Tests for repro.measurement.seeds: AXFR-based seed lists."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.errors import MeasurementError, ZoneError
+from repro.measurement.seeds import ZoneTransferSeeder
+from repro.sim.dnsbuild import DnsTreeBuilder
+
+
+class TestSeeder:
+    def test_seed_list_recovers_registry_truth(self, tiny_world):
+        """The honest AXFR path recovers the registry's active set.
+
+        The zone also (correctly) delegates provider infrastructure
+        domains like reg.ru and nic.ru — exactly as the real .ru zone
+        does — so the seed list is a superset containing only those
+        extras.
+        """
+        seeder = ZoneTransferSeeder(tiny_world)
+        date = "2022-03-10"
+        seeded = set(seeder.seed_names(date))
+        expected = {
+            tiny_world.population.record(int(i)).name
+            for i in tiny_world.population.active_indices(date)
+        }
+        assert expected <= seeded
+        extras = {str(name) for name in seeded - expected}
+        infra_names = {
+            ".".join(host.hostname.labels[-2:])
+            for provider in tiny_world.catalog
+            for host in provider.ns_hosts
+        }
+        assert extras <= infra_names
+
+    def test_seed_count_changes_over_time(self, tiny_world):
+        seeder = ZoneTransferSeeder(tiny_world)
+        early = seeder.seed_count("2017-06-18")
+        late = seeder.seed_count("2022-05-25")
+        assert early != late
+
+    def test_rf_names_included(self, tiny_world):
+        seeder = ZoneTransferSeeder(tiny_world)
+        names = seeder.seed_names("2022-03-10")
+        assert any(name.tld == "xn--p1ai" for name in names)
+
+    def test_unknown_tld_rejected(self, tiny_world):
+        seeder = ZoneTransferSeeder(tiny_world, tlds=("nosuchtld",))
+        with pytest.raises(MeasurementError):
+            seeder.seed_names("2022-03-10")
+
+
+class TestAxfrPolicy:
+    def test_non_study_tld_refuses_transfer(self, tiny_world):
+        tree = DnsTreeBuilder(tiny_world).build("2022-03-10", [200])
+        com_address = tree.tld_addresses.get("com")
+        assert com_address is not None
+        with pytest.raises(ZoneError):
+            tree.network.transfer(com_address, DomainName.parse("com"))
+
+    def test_axfr_starts_with_soa(self, tiny_world):
+        tree = DnsTreeBuilder(tiny_world).build("2022-03-10", [200])
+        rrsets = tree.network.transfer(
+            tree.tld_addresses["ru"], DomainName.parse("ru")
+        )
+        from repro.dns.rdata import RRType
+
+        assert rrsets[0].rtype is RRType.SOA

@@ -1,0 +1,42 @@
+"""Stateful property test: RoutingTable vs a dict-of-prefixes model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.prefix import Prefix
+from repro.net.rib import RoutingTable
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["announce", "withdraw"]),
+        st.integers(min_value=0, max_value=2**16 - 1),  # network high bits
+        st.integers(min_value=12, max_value=24),        # prefix length
+        st.integers(min_value=1, max_value=999),        # asn
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_OPS, st.integers(min_value=0, max_value=2**32 - 1))
+def test_mutation_sequence_matches_model(operations, probe):
+    """Property: after any announce/withdraw sequence, lookup == model."""
+    table = RoutingTable()
+    model = {}
+    for op, high, length, asn in operations:
+        network = (high << 16) & Prefix.mask_for(length)
+        prefix = Prefix(network, length)
+        if op == "announce":
+            table.announce(prefix, asn)
+            model[prefix] = asn
+        else:
+            table.withdraw(prefix)
+            model.pop(prefix, None)
+
+    best = None
+    for prefix, asn in model.items():
+        if prefix.contains(probe):
+            if best is None or prefix.length > best[0].length:
+                best = (prefix, asn)
+    expected = best[1] if best else None
+    assert table.lookup(probe) == expected
+    assert len(table) == len(model)

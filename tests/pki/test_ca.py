@@ -1,0 +1,131 @@
+"""Tests for repro.pki.ca: issuance and revocation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import IssuanceError, RevocationError
+from repro.pki.ca import CaPolicy, CertificateAuthority
+from repro.pki.crl import RevocationReason
+from repro.pki.ocsp import OcspStatus
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority(
+        "digicert",
+        "DigiCert",
+        "US",
+        CaPolicy(validity_days=365, brands=("DigiCert CA1", "RapidSSL", "GeoTrust")),
+    )
+
+
+class TestIssue:
+    def test_basic(self, ca):
+        cert = ca.issue(["example.ru", "www.example.ru"], "2022-01-10")
+        assert cert.subject_cn == "example.ru"
+        assert cert.issuer.organization == "DigiCert"
+        assert cert.issuer.common_name == "DigiCert CA1"
+        assert cert.not_after == dt.date(2023, 1, 10)
+
+    def test_brand_selection(self, ca):
+        cert = ca.issue(["example.ru"], "2022-01-10", brand="RapidSSL")
+        assert cert.issuer.common_name == "RapidSSL"
+
+    def test_unknown_brand_rejected(self, ca):
+        with pytest.raises(IssuanceError):
+            ca.issue(["example.ru"], "2022-01-10", brand="NoSuchBrand")
+
+    def test_empty_names_rejected(self, ca):
+        with pytest.raises(IssuanceError):
+            ca.issue([], "2022-01-10")
+
+    def test_serials_unique_and_increasing(self, ca):
+        serials = [ca.issue(["x.ru"], "2022-01-10").serial for _ in range(5)]
+        assert serials == sorted(serials)
+        assert len(set(serials)) == 5
+
+    def test_chain_reaches_this_cas_root(self, ca):
+        cert = ca.issue(["example.ru"], "2022-01-10")
+        assert cert.root() is ca.root
+        assert cert.chain_contains_organization("DigiCert")
+
+    def test_validity_override(self, ca):
+        cert = ca.issue(["x.ru"], "2022-01-10", validity_days=90)
+        assert cert.validity_days == 90
+
+    def test_issued_count(self, ca):
+        ca.issue(["a.ru"], "2022-01-10")
+        ca.issue(["b.ru"], "2022-01-11")
+        assert ca.issued_count() == 2
+        assert len(ca.issued_certificates()) == 2
+
+
+class TestRevoke:
+    def test_revocation_flow(self, ca):
+        cert = ca.issue(["example.ru"], "2022-01-10")
+        ca.revoke(cert, "2022-03-01", RevocationReason.PRIVILEGE_WITHDRAWN)
+        assert ca.crl.is_revoked(cert.serial)
+        assert ca.ocsp.status(cert, dt.date(2022, 3, 2)) is OcspStatus.REVOKED
+
+    def test_status_good_before_revocation_date(self, ca):
+        cert = ca.issue(["example.ru"], "2022-01-10")
+        ca.revoke(cert, "2022-03-01")
+        assert ca.ocsp.status(cert, dt.date(2022, 2, 1)) is OcspStatus.GOOD
+
+    def test_foreign_cert_rejected(self, ca):
+        other = CertificateAuthority("le", "Let's Encrypt", "US")
+        cert = other.issue(["example.ru"], "2022-01-10")
+        with pytest.raises(RevocationError):
+            ca.revoke(cert, "2022-03-01")
+
+    def test_double_revocation_rejected(self, ca):
+        cert = ca.issue(["example.ru"], "2022-01-10")
+        ca.revoke(cert, "2022-03-01")
+        with pytest.raises(RevocationError):
+            ca.revoke(cert, "2022-03-02")
+
+    def test_revocation_before_issuance_rejected(self, ca):
+        cert = ca.issue(["example.ru"], "2022-01-10")
+        with pytest.raises(RevocationError):
+            ca.revoke(cert, "2021-12-31")
+
+
+class TestPolicy:
+    def test_default_brand(self):
+        ca = CertificateAuthority("x", "X Corp", "US")
+        assert ca.brands == ["X Corp CA"]
+
+    def test_ct_logging_flag(self):
+        policy = CaPolicy(ct_logging=False, brands=("Sub",))
+        ca = CertificateAuthority("ru", "Russian Trusted Root CA", "RU", policy)
+        assert not ca.policy.ct_logging
+
+    def test_bad_validity_rejected(self):
+        with pytest.raises(IssuanceError):
+            CaPolicy(validity_days=0)
+
+
+class TestSctEmbedding:
+    def test_issue_with_ct_logs_embeds_scts(self):
+        from repro.ctlog.log import CtLog
+
+        ca = CertificateAuthority("le", "Let's Encrypt", "US")
+        logs = [CtLog("argon"), CtLog("xenon")]
+        cert = ca.issue(["example.ru"], "2022-01-10", ct_logs=logs)
+        assert len(cert.scts) == 2
+        assert {sct.log_id for sct in cert.scts} == {"argon", "xenon"}
+        assert all(log.contains(cert) for log in logs)
+
+    def test_non_logging_ca_embeds_nothing(self):
+        from repro.ctlog.log import CtLog
+
+        policy = CaPolicy(ct_logging=False, brands=("Sub",))
+        russian = CertificateAuthority("ru", "Russian Trusted Root CA", "RU", policy)
+        log = CtLog("argon")
+        cert = russian.issue(["bank.ru"], "2022-03-05", ct_logs=[log])
+        assert cert.scts == ()
+        assert not log.contains(cert)
+
+    def test_default_issue_has_no_scts(self, ca):
+        assert ca.issue(["example.ru"], "2022-01-10").scts == ()

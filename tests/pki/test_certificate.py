@@ -1,0 +1,103 @@
+"""Tests for repro.pki.certificate."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import PkiError
+from repro.pki.certificate import Certificate, DistinguishedName
+
+DN = DistinguishedName("R3", "Let's Encrypt", "US")
+
+
+def cert(cn="example.ru", san=("example.ru", "www.example.ru"), **kwargs):
+    defaults = dict(
+        serial=1,
+        issuer=DN,
+        subject_cn=cn,
+        san=san,
+        not_before=dt.date(2022, 1, 1),
+        not_after=dt.date(2022, 4, 1),
+    )
+    defaults.update(kwargs)
+    return Certificate(**defaults)
+
+
+class TestConstruction:
+    def test_negative_serial_rejected(self):
+        with pytest.raises(PkiError):
+            cert(serial=-1)
+
+    def test_inverted_validity_rejected(self):
+        with pytest.raises(PkiError):
+            cert(not_before="2022-04-02", not_after="2022-04-01")
+
+    def test_unicode_names_become_alabels(self):
+        c = cert(cn="пример.рф", san=("пример.рф",))
+        assert c.subject_cn == "xn--e1afmkfd.xn--p1ai"
+
+    def test_fingerprint_stable(self):
+        assert cert().fingerprint == cert().fingerprint
+
+    def test_fingerprint_differs_on_serial(self):
+        assert cert(serial=1).fingerprint != cert(serial=2).fingerprint
+
+
+class TestNameQueries:
+    def test_names_dedup(self):
+        assert cert().names() == ["example.ru", "www.example.ru"]
+
+    def test_tlds(self):
+        c = cert(cn="a.ru", san=("a.ru", "b.com"))
+        assert c.tlds() == ["ru", "com"]
+
+    def test_secures_tld_via_san(self):
+        # Footnote 6: CN *or* SAN may match.
+        c = cert(cn="site.com", san=("site.com", "mirror.ru"))
+        assert c.secures_tld(("ru", "xn--p1ai"))
+
+    def test_secures_rf(self):
+        c = cert(cn="пример.рф", san=())
+        assert c.secures_tld(("ru", "рф"))
+
+    def test_not_matching(self):
+        c = cert(cn="site.com", san=("site.com",))
+        assert not c.secures_tld(("ru", "xn--p1ai"))
+
+    def test_registered_domains(self):
+        c = cert(cn="a.b.example.ru", san=("a.b.example.ru", "www.example.ru"))
+        assert c.registered_domains() == ["example.ru"]
+
+
+class TestValidity:
+    def test_bounds_inclusive(self):
+        c = cert()
+        assert c.is_valid_on("2022-01-01")
+        assert c.is_valid_on("2022-04-01")
+        assert not c.is_valid_on("2022-04-02")
+        assert not c.is_valid_on("2021-12-31")
+
+    def test_validity_days(self):
+        assert cert().validity_days == 90
+
+
+class TestChains:
+    def test_chain_to_root(self):
+        root_dn = DistinguishedName("Root", "Test CA", "US")
+        root = cert(serial=10, issuer=root_dn, cn="Test Root", san=(), is_ca=True)
+        root.issuer_cert = root
+        intermediate = cert(
+            serial=11, issuer=root_dn, cn="Test Sub", san=(), is_ca=True,
+            issuer_cert=root,
+        )
+        leaf = cert(serial=12, issuer_cert=intermediate)
+        chain = leaf.chain()
+        assert chain == [leaf, intermediate, root]
+        assert leaf.root() is root
+        assert leaf.chain_contains_organization("Test CA")
+        assert not leaf.chain_contains_organization("Other CA")
+
+    def test_self_signed_root_chain_is_single(self):
+        root = cert(serial=20, cn="Root", san=(), is_ca=True)
+        root.issuer_cert = root
+        assert root.chain() == [root]

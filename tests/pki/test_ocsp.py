@@ -1,0 +1,28 @@
+"""Tests for repro.pki.ocsp."""
+
+import datetime as dt
+
+from repro.pki.ca import CertificateAuthority
+from repro.pki.ocsp import OcspStatus
+
+
+def test_good_revoked_unknown_trichotomy():
+    ca = CertificateAuthority("le", "Let's Encrypt", "US")
+    other = CertificateAuthority("dc", "DigiCert", "US")
+
+    good = ca.issue(["a.ru"], "2022-01-01")
+    revoked = ca.issue(["b.ru"], "2022-01-01")
+    ca.revoke(revoked, "2022-02-01")
+    foreign = other.issue(["c.ru"], "2022-01-01")
+
+    at = dt.date(2022, 3, 1)
+    assert ca.ocsp.status(good, at) is OcspStatus.GOOD
+    assert ca.ocsp.status(revoked, at) is OcspStatus.REVOKED
+    assert ca.ocsp.status(foreign, at) is OcspStatus.UNKNOWN
+
+
+def test_responder_sees_new_issuance_live():
+    ca = CertificateAuthority("le", "Let's Encrypt", "US")
+    responder = ca.ocsp  # grabbed before issuance
+    cert = ca.issue(["a.ru"], "2022-01-01")
+    assert responder.status(cert, dt.date(2022, 1, 2)) is OcspStatus.GOOD

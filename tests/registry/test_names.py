@@ -1,0 +1,48 @@
+"""Tests for repro.registry.names: the label factory."""
+
+from repro.registry.names import NameFactory
+from repro.rng import derive_rng
+
+
+def factory(seed=1):
+    return NameFactory(derive_rng(seed, "test-names"))
+
+
+class TestUniqueness:
+    def test_ascii_unique(self):
+        gen = factory()
+        labels = [gen.next_ascii() for _ in range(2000)]
+        assert len(labels) == len(set(labels))
+
+    def test_cyrillic_unique(self):
+        gen = factory()
+        labels = [gen.next_cyrillic() for _ in range(500)]
+        assert len(labels) == len(set(labels))
+
+    def test_streams_share_dedupe_space(self):
+        gen = factory()
+        all_labels = [gen.next_ascii() for _ in range(200)] + [
+            gen.next_cyrillic() for _ in range(200)
+        ]
+        assert len(all_labels) == len(set(all_labels))
+
+
+class TestShape:
+    def test_ascii_is_dns_safe(self):
+        gen = factory()
+        for _ in range(200):
+            label = gen.next_ascii()
+            assert label
+            assert set(label) <= set("abcdefghijklmnopqrstuvwxyz0123456789")
+
+    def test_cyrillic_is_cyrillic(self):
+        gen = factory()
+        for _ in range(100):
+            label = gen.next_cyrillic()
+            assert any(ord(ch) > 0x400 for ch in label)
+
+    def test_deterministic(self):
+        gen_a, gen_b = factory(9), factory(9)
+        a = [gen_a.next_ascii() for _ in range(10)]
+        b = [gen_b.next_ascii() for _ in range(10)]
+        assert a == b

@@ -1,0 +1,44 @@
+"""Tests for repro.registry.tld."""
+
+from repro.dns.name import DomainName
+from repro.registry.tld import (
+    RUSSIAN_TLDS,
+    STUDY_TLDS,
+    is_russian_tld,
+    is_study_domain,
+)
+
+
+class TestStudyDomains:
+    def test_ru(self):
+        assert is_study_domain(DomainName.parse("example.ru"))
+
+    def test_rf_unicode(self):
+        assert is_study_domain(DomainName.parse("пример.рф"))
+
+    def test_com_excluded(self):
+        assert not is_study_domain(DomainName.parse("example.com"))
+
+    def test_su_not_in_study(self):
+        assert not is_study_domain(DomainName.parse("example.su"))
+
+
+class TestRussianTlds:
+    def test_su_counts_for_dependency(self):
+        assert is_russian_tld("su")
+
+    def test_unicode_rf(self):
+        assert is_russian_tld("рф")
+        assert is_russian_tld("xn--p1ai")
+
+    def test_case_and_dot_insensitive(self):
+        assert is_russian_tld(".RU")
+
+    def test_none(self):
+        assert not is_russian_tld(None)
+
+    def test_western(self):
+        assert not is_russian_tld("com")
+
+    def test_sets_consistent(self):
+        assert STUDY_TLDS < RUSSIAN_TLDS

@@ -1,0 +1,141 @@
+"""Tests for repro.sim.certsim using the tiny context's PKI bundle."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sim.certsim import RUSSIAN_CA_ORG
+
+
+@pytest.fixture(scope="module")
+def pki(tiny_context):
+    return tiny_context.world.pki
+
+
+class TestBundleShape:
+    def test_all_cas_present(self, pki):
+        orgs = {ca.organization for ca in pki.authorities()}
+        assert {"Let's Encrypt", "DigiCert", "Sectigo", "GlobalSign",
+                RUSSIAN_CA_ORG} <= orgs
+
+    def test_two_ct_logs(self, pki):
+        assert len(pki.logs) == 2
+        assert all(len(log) > 0 for log in pki.logs)
+
+    def test_store_covers_logs(self, pki):
+        for log in pki.logs:
+            for entry in log.get_entries(0, min(len(log) - 1, 50)):
+                assert pki.store.by_fingerprint(
+                    entry.certificate.fingerprint
+                ) is not None
+
+
+class TestCtLoggingPolicy:
+    def test_russian_ca_never_logged(self, pki):
+        for log in pki.logs:
+            for entry in log.entries():
+                assert entry.certificate.issuer.organization != RUSSIAN_CA_ORG
+
+    def test_russian_ca_in_store(self, pki):
+        state_certs = pki.store.filter(
+            lambda cert: cert.issuer.organization == RUSSIAN_CA_ORG
+        )
+        assert state_certs
+        for cert in state_certs[:10]:
+            assert cert.chain_contains_organization(RUSSIAN_CA_ORG)
+
+
+class TestIssuanceStops:
+    def _last_issuance(self, pki, org):
+        dates = [
+            cert.not_before
+            for cert in pki.store
+            if cert.issuer.organization == org
+        ]
+        return max(dates) if dates else None
+
+    def test_digicert_stops_after_leak_window(self, pki):
+        last = self._last_issuance(pki, "DigiCert")
+        assert last is not None
+        assert last <= dt.date(2022, 2, 25) + dt.timedelta(days=45)
+
+    def test_lets_encrypt_continues(self, pki):
+        assert self._last_issuance(pki, "Let's Encrypt") >= dt.date(2022, 5, 10)
+
+    def test_geocerts_stops_at_conflict(self, pki):
+        last = self._last_issuance(pki, "GeoCerts")
+        assert last is None or last < dt.date(2022, 2, 24)
+
+
+class TestRevocations:
+    def test_digicert_revokes_all_sanctioned(self, pki, tiny_context):
+        sanctioned = {
+            str(domain) for domain in tiny_context.world.sanctions.all_domains()
+        }
+        digicert = pki.cas["digicert"]
+        sanc_certs = [
+            cert
+            for cert in digicert.issued_certificates()
+            if set(cert.registered_domains()) & sanctioned
+        ]
+        assert sanc_certs
+        assert all(digicert.crl.is_revoked(cert.serial) for cert in sanc_certs)
+
+    def test_lets_encrypt_revokes_very_few(self, pki):
+        le = pki.cas["letsencrypt"]
+        rate = len(le.crl) / max(le.issued_count(), 1)
+        assert rate < 0.05
+
+
+class TestServingView:
+    def test_serving_includes_state_ca_after_install(self, pki, tiny_context):
+        view = pki.serving_view(tiny_context.world)
+        served_orgs = {
+            cert.issuer.organization for _addr, cert in view(dt.date(2022, 5, 1))
+        }
+        assert RUSSIAN_CA_ORG in served_orgs
+
+    def test_state_cert_preferred_over_later_le(self, pki, tiny_context):
+        # Find a domain with both a Russian-CA cert and a newer LE cert.
+        world = tiny_context.world
+        for index, certs in pki.domain_certs.items():
+            state = [
+                c for c in certs if c.issuer.organization == RUSSIAN_CA_ORG
+            ]
+            others = [
+                c for c in certs if c.issuer.organization != RUSSIAN_CA_ORG
+            ]
+            if state and others and world.population.record(index).is_active(
+                dt.date(2022, 5, 1)
+            ):
+                view = pki.serving_view(world)
+                hosting = world.hosting_state(dt.date(2022, 5, 1))
+                address = world.apex_addresses_for_plan(
+                    index, int(hosting[index])
+                )[0]
+                served = {
+                    addr: cert for addr, cert in view(dt.date(2022, 5, 1))
+                }
+                if address in served:
+                    assert (
+                        served[address].issuer.organization == RUSSIAN_CA_ORG
+                    )
+                    return
+        pytest.skip("no dual-cert domain in tiny world")
+
+
+class TestSctEmbedding:
+    def test_logged_certs_carry_scts(self, pki):
+        for log in pki.logs:
+            for entry in log.get_entries(0, min(len(log) - 1, 30)):
+                assert entry.certificate.scts, entry.certificate
+                assert any(
+                    sct.log_id == log.log_id for sct in entry.certificate.scts
+                )
+
+    def test_russian_ca_certs_carry_none(self, pki):
+        state = pki.store.filter(
+            lambda cert: cert.issuer.organization == RUSSIAN_CA_ORG
+        )
+        assert state
+        assert all(cert.scts == () for cert in state)

@@ -1,0 +1,88 @@
+"""Tests for repro.sim.certsim spec classes (unit level)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.sim.certsim import CaSpec, CertSimConfig, SanctionedIssuanceSpec
+
+CONFLICT = dt.date(2022, 2, 24)
+
+
+class TestCaSpec:
+    def test_weight_before_conflict(self):
+        spec = CaSpec("le", "Let's Encrypt", "US", share=90.0)
+        assert spec.active_weight(dt.date(2022, 1, 1), CONFLICT) == 90.0
+
+    def test_multiplier_after_conflict(self):
+        spec = CaSpec(
+            "gs", "GlobalSign", "JP", share=0.6,
+            share_multiplier_post_conflict=2.0,
+        )
+        assert spec.active_weight(dt.date(2022, 3, 1), CONFLICT) == pytest.approx(1.2)
+
+    def test_stop_date_zeroes_weight(self):
+        spec = CaSpec(
+            "dc", "DigiCert", "US", share=3.4, stop_date=dt.date(2022, 2, 25)
+        )
+        assert spec.active_weight(dt.date(2022, 2, 24), CONFLICT) > 0
+        assert spec.active_weight(dt.date(2022, 2, 25), CONFLICT) == 0.0
+
+    def test_leak_window(self):
+        spec = CaSpec(
+            "dc", "DigiCert", "US", share=3.4,
+            stop_date=dt.date(2022, 2, 25), leak_days=10, leak_rate=0.1,
+        )
+        assert not spec.leaks_on(dt.date(2022, 2, 24))
+        assert spec.leaks_on(dt.date(2022, 2, 25))
+        assert spec.leaks_on(dt.date(2022, 3, 6))
+        assert not spec.leaks_on(dt.date(2022, 3, 7))
+
+    def test_no_stop_no_leak(self):
+        spec = CaSpec("le", "Let's Encrypt", "US", share=90.0)
+        assert not spec.leaks_on(dt.date(2022, 3, 1))
+
+    def test_negative_share_rejected(self):
+        with pytest.raises(ScenarioError):
+            CaSpec("x", "X", "US", share=-1.0)
+
+    def test_default_brand(self):
+        spec = CaSpec("x", "X Corp", "US", share=1.0)
+        assert spec.brands == ("X Corp CA",)
+
+
+class TestSanctionedSpec:
+    def test_revoked_cannot_exceed_issued(self):
+        with pytest.raises(ScenarioError):
+            SanctionedIssuanceSpec(
+                "le", issued=10, revoked=11,
+                revocation_window=("2022-03-01", "2022-03-10"),
+            )
+
+    def test_window_parsing(self):
+        spec = SanctionedIssuanceSpec(
+            "le", issued=10, revoked=2,
+            revocation_window=("2022-03-01", "2022-03-10"),
+            issue_until="2022-02-25",
+        )
+        assert spec.revocation_window[0] == dt.date(2022, 3, 1)
+        assert spec.issue_until == dt.date(2022, 2, 25)
+
+
+class TestCertSimConfig:
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ScenarioError):
+            CertSimConfig(seed=1, scale_factor=0.0, ca_specs=[], sanctioned_specs=[])
+
+    def test_defaults(self):
+        config = CertSimConfig(seed=1, scale_factor=0.01, ca_specs=[],
+                               sanctioned_specs=[])
+        assert config.start < config.conflict_start < config.end
+        assert config.russian_ca_cert_count == 170
+        assert (
+            config.russian_ca_sanctioned_count
+            + config.russian_ca_rf_count
+            + config.russian_ca_external_count
+            < config.russian_ca_cert_count
+        )

@@ -1,0 +1,91 @@
+"""Tests for repro.sim.dnsbuild: the materialised DNS hierarchy."""
+
+import datetime as dt
+
+import pytest
+
+from repro.dns.message import Question, Rcode
+from repro.dns.name import DomainName
+from repro.dns.rdata import RRType
+from repro.dns.resolver import IterativeResolver
+from repro.sim.dnsbuild import DnsTreeBuilder, _registrable
+
+
+class TestRegistrable:
+    def test_plain(self):
+        assert _registrable(DomainName.parse("ns1.reg.ru")) == DomainName.parse(
+            "reg.ru"
+        )
+
+    def test_deep_suffix(self):
+        assert _registrable(
+            DomainName.parse("ns-404.awsdns-04.co.uk")
+        ) == DomainName.parse("awsdns-04.co.uk")
+
+
+@pytest.fixture(scope="module")
+def tree(tiny_world):
+    builder = DnsTreeBuilder(tiny_world)
+    indices = tiny_world.population.active_indices("2022-03-10")[:50]
+    return tiny_world, builder.build("2022-03-10", indices), indices
+
+
+class TestTree:
+    def test_root_answers(self, tree):
+        world, built, _ = tree
+        response = built.network.query(
+            built.root_addresses[0],
+            Question(DomainName.parse("example.ru"), RRType.A),
+        )
+        assert response.is_referral
+
+    def test_full_resolution_of_measured_domain(self, tree):
+        world, built, indices = tree
+        resolver = IterativeResolver(built.network, built.root_addresses)
+        name = world.population.record(int(indices[5])).name
+        result = resolver.resolve(name, RRType.A)
+        assert result.ok
+        expected = set(world.apex_addresses(int(indices[5]), "2022-03-10"))
+        assert set(result.addresses()) == expected
+
+    def test_ns_resolution_matches_world(self, tree):
+        world, built, indices = tree
+        resolver = IterativeResolver(built.network, built.root_addresses)
+        index = int(indices[7])
+        name = world.population.record(index).name
+        result = resolver.resolve(name, RRType.NS)
+        targets = {str(t) for t in result.ns_targets()}
+        assert targets == set(world.ns_hostnames_for(index, "2022-03-10"))
+
+    def test_unmeasured_domain_nxdomain(self, tree):
+        world, built, indices = tree
+        resolver = IterativeResolver(built.network, built.root_addresses)
+        result = resolver.resolve(
+            DomainName.parse("never-in-subset-zz.ru"), RRType.A
+        )
+        assert result.rcode is Rcode.NXDOMAIN
+
+    def test_infra_hosts_resolvable(self, tree):
+        world, built, _ = tree
+        resolver = IterativeResolver(built.network, built.root_addresses)
+        result = resolver.resolve(DomainName.parse("ns1.reg.ru"), RRType.A)
+        assert result.ok
+        epoch = world.epoch_at("2022-03-10")
+        assert result.addresses() == [epoch.ns_addresses["ns1.reg.ru"]]
+
+    def test_rf_domain_resolvable(self, tiny_world):
+        # Build a dedicated tree around a guaranteed .рф domain.
+        import numpy as np
+
+        date = "2022-03-10"
+        active = set(int(i) for i in tiny_world.population.active_indices(date))
+        rf = next(
+            int(i)
+            for i in np.flatnonzero(tiny_world.population.is_rf)
+            if int(i) in active
+        )
+        built = DnsTreeBuilder(tiny_world).build(date, [rf])
+        resolver = IterativeResolver(built.network, built.root_addresses)
+        name = tiny_world.population.record(rf).name
+        assert name.tld == "xn--p1ai"
+        assert resolver.resolve(name, RRType.A).ok

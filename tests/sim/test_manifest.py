@@ -1,0 +1,45 @@
+"""Tests for repro.sim.manifest and the conflict scenario's timeline."""
+
+import datetime as dt
+
+from repro.sim.manifest import ScenarioManifest
+
+
+class TestManifest:
+    def test_entries_sorted(self):
+        manifest = ScenarioManifest()
+        manifest.record("2022-03-09", "Sedo", "pulls the plug")
+        manifest.record("2022-02-24", "conflict", "invasion")
+        dates = [entry[0] for entry in manifest.entries()]
+        assert dates == sorted(dates)
+
+    def test_between(self):
+        manifest = ScenarioManifest()
+        manifest.record("2022-02-24", "a", "x")
+        manifest.record("2022-03-09", "b", "y")
+        manifest.record("2022-04-22", "c", "z")
+        march = manifest.between("2022-03-01", "2022-03-31")
+        assert [entry[1] for entry in march] == ["b"]
+
+    def test_render(self):
+        manifest = ScenarioManifest()
+        manifest.record("2022-03-03", "Netnod", "stops serving")
+        text = manifest.render()
+        assert "2022-03-03" in text and "Netnod" in text
+
+
+class TestConflictTimeline:
+    def test_world_carries_manifest(self, tiny_world):
+        manifest = tiny_world.manifest
+        assert manifest is not None
+        assert len(manifest) >= 12
+
+    def test_key_actors_present(self, tiny_world):
+        actors = {entry[1] for entry in tiny_world.manifest.entries()}
+        assert {"Netnod", "Amazon", "Sedo", "Google", "Cloudflare",
+                "sanctions", "OFAC"} <= actors
+
+    def test_timeline_spans_conflict_window(self, tiny_world):
+        entries = tiny_world.manifest.entries()
+        assert entries[0][0] == dt.date(2022, 2, 24)
+        assert entries[-1][0] >= dt.date(2022, 4, 22)

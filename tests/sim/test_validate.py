@@ -1,0 +1,51 @@
+"""Tests for repro.sim.validate."""
+
+import numpy as np
+import pytest
+
+from repro.sim.validate import validate_world
+
+
+class TestCleanWorld:
+    def test_conflict_world_is_valid(self, tiny_world):
+        assert validate_world(tiny_world) == []
+
+    def test_full_context_world_is_valid(self, tiny_context):
+        assert validate_world(tiny_context.world) == []
+
+
+class TestDetection:
+    def test_detects_out_of_range_plan_id(self, tiny_world):
+        original = tiny_world.base_dns[5]
+        tiny_world.base_dns[5] = 30_000
+        try:
+            issues = validate_world(tiny_world)
+            assert any("plan id out of range" in issue for issue in issues)
+        finally:
+            tiny_world.base_dns[5] = original
+
+    def test_detects_sanctions_mismatch(self, tiny_world):
+        original = tiny_world.sanctioned_indices.copy()
+        tiny_world.sanctioned_indices = np.asarray([500, 501])
+        try:
+            issues = validate_world(tiny_world)
+            assert any("sanctions" in issue for issue in issues)
+        finally:
+            tiny_world.sanctioned_indices = original
+
+    def test_detects_russian_ca_leak_into_ct(self, tiny_context):
+        world = tiny_context.world
+        pki = world.pki
+        russian = pki.cas["russianca"]
+        cert = russian.issue(["leaked.ru"], "2022-03-15")
+        pki.logs[0].add_chain(cert, "2022-03-15")
+        try:
+            issues = validate_world(world)
+            assert any("Russian CA certificate in CT log" in issue for issue in issues)
+        finally:
+            # Remove the poisoned entry to keep the session fixture clean.
+            log = pki.logs[0]
+            log._entries.pop()
+            log._by_fingerprint.pop(cert.fingerprint)
+            log._tree._leaf_hashes.pop()
+            log._tree._memo.clear()

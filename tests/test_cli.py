@@ -1,0 +1,104 @@
+"""Tests for the repro CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+ARGS = ["--scale", "2500", "--no-pki"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["list"])
+        assert args.scale == 1000.0
+        assert args.cadence == 7
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(ARGS + ["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "trustedca" in out
+
+    def test_info(self, capsys):
+        assert main(ARGS + ["info"]) == 0
+        out = capsys.readouterr().out
+        assert "sanctioned domains: 107" in out
+
+    def test_run_fig1(self, capsys, tmp_path):
+        out_file = tmp_path / "fig1.txt"
+        code = main(ARGS + ["--cadence", "30", "run", "fig1", "--out", str(out_file)])
+        assert code == 0
+        assert "fig1" in capsys.readouterr().out
+        assert out_file.read_text().startswith("== fig1")
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(ARGS + ["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_resolve_registered_domain(self, capsys):
+        code = main(
+            ARGS + ["resolve", "sanctioned-entity-000.ru", "--date", "2022-03-02"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ns4-cloud.nic.ru" in out
+        assert "(SE)" in out  # Netnod still serving before March 3
+
+    def test_resolve_unknown_domain(self, capsys):
+        code = main(ARGS + ["resolve", "never-registered-xyz.ru"])
+        assert code == 1
+        assert "not registered" in capsys.readouterr().out
+
+    def test_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["--scale", "2500", "--cadence", "60", "report",
+             "--output", "EXP.md"]
+        )
+        assert code == 0
+        text = pathlib.Path(tmp_path, "EXP.md").read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Figure 1" in text
+
+    def test_bundle(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            ["--scale", "2500", "--cadence", "60", "bundle",
+             "--output", str(out_dir), "--extensions"]
+        )
+        assert code == 0
+        names = {path.name for path in out_dir.iterdir()}
+        assert "fig1.txt" in names
+        assert "fig1_series.csv" in names
+        assert "gl25.txt" in names  # extensions included
+        assert "table2_rows.csv" in names
+        assert "validation.txt" in names
+        assert "timeline.txt" in names
+        assert (out_dir / "validation.txt").read_text().startswith(
+            "world is internally consistent"
+        )
+
+
+    def test_timeline(self, capsys):
+        assert main(ARGS + ["timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "Netnod" in out
+        assert "2022-02-24" in out
+
+
+    def test_list_includes_extensions(self, capsys):
+        assert main(ARGS + ["list"]) == 0
+        out = capsys.readouterr().out
+        assert "concentration" in out and "extensions:" in out
+
+    def test_run_extension(self, capsys):
+        code = main(ARGS + ["--cadence", "60", "run", "countries"])
+        assert code == 0
+        assert "countries" in capsys.readouterr().out
