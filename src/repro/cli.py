@@ -40,12 +40,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--scale", type=float, default=1000.0,
-        help="population scale denominator (default 1000; benches use 250)",
+        "--scale", type=float, default=250.0,
+        help=(
+            "population scale denominator (default 250, the scenario "
+            "default; benches also run at 1:250)"
+        ),
     )
     parser.add_argument(
         "--cadence", type=int, default=7,
         help="sweep cadence in days for longitudinal series (default 7)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for longitudinal sweeps (default 1 = serial)",
     )
     parser.add_argument(
         "--seed", type=int, default=20220224, help="scenario seed"
@@ -64,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment", help="experiment id (see 'list')")
     run_parser.add_argument(
         "--out", default=None, help="also write the rendering to this file"
+    )
+    run_parser.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase timing and cache hit-rate metrics",
     )
 
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
@@ -95,7 +106,12 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
     config = ConflictScenarioConfig(
         scale=args.scale, seed=args.seed, with_pki=not args.no_pki
     )
-    return ExperimentContext(config=config, cadence_days=args.cadence)
+    return ExperimentContext(
+        config=config,
+        cadence_days=args.cadence,
+        workers=args.workers,
+        profile=getattr(args, "profile", False),
+    )
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -134,9 +150,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = run_experiment(args.experiment, _context(args))
+    context = _context(args)
+    result = run_experiment(args.experiment, context)
     text = result.render()
     print(text)
+    if args.profile:
+        print(context.metrics.render())
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")

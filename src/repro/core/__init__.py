@@ -31,6 +31,14 @@ from .labels import (
     snapshot_ns_tld_labels,
 )
 from .movement import MovementReport, analyze_movement, transition_matrix
+from .reducers import (
+    FullSweepDayRecord,
+    FullSweepReducer,
+    RecentDayRecord,
+    RecentWindowReducer,
+    RecentWindowSeries,
+    SweepSeries,
+)
 from .revocation import IssuerRevocation, RevocationTable, analyze_revocations
 from .summary import HeadlineStats, compute_headline_stats
 from .tlddep import (
@@ -74,6 +82,12 @@ __all__ = [
     "MovementReport",
     "analyze_movement",
     "transition_matrix",
+    "FullSweepDayRecord",
+    "FullSweepReducer",
+    "RecentDayRecord",
+    "RecentWindowReducer",
+    "RecentWindowSeries",
+    "SweepSeries",
     "IssuerRevocation",
     "RevocationTable",
     "analyze_revocations",

@@ -7,6 +7,7 @@ either the whole population or a subset (the sanctioned domains).
 
 from __future__ import annotations
 
+import bisect
 import datetime as _dt
 from typing import Callable, Iterable, List, Optional, Sequence
 
@@ -60,6 +61,9 @@ class CompositionSeries:
     def __init__(self, title: str = "") -> None:
         self.title = title
         self._points: List[CompositionPoint] = []
+        # Sorted date index backing O(log n) at()/nearest(); chronological
+        # appends keep it in lockstep with _points.
+        self._dates: List[_dt.date] = []
 
     def __len__(self) -> int:
         return len(self._points)
@@ -75,6 +79,7 @@ class CompositionSeries:
                 f"({point.date} after {self._points[-1].date})"
             )
         self._points.append(point)
+        self._dates.append(point.date)
 
     def add_counts(self, date: _dt.date, full: int, part: int, non: int) -> None:
         """Append one day from raw counts."""
@@ -86,7 +91,7 @@ class CompositionSeries:
 
     def dates(self) -> List[_dt.date]:
         """Series dates."""
-        return [point.date for point in self._points]
+        return list(self._dates)
 
     def shares(self, which: str) -> List[float]:
         """Percentage series for one class."""
@@ -97,17 +102,25 @@ class CompositionSeries:
         return [point.total for point in self._points]
 
     def at(self, date: _dt.date) -> CompositionPoint:
-        """The point for ``date`` (exact match)."""
-        for point in self._points:
-            if point.date == date:
-                return point
+        """The point for ``date`` (exact match, binary search)."""
+        pos = bisect.bisect_left(self._dates, date)
+        if pos < len(self._dates) and self._dates[pos] == date:
+            return self._points[pos]
         raise AnalysisError(f"no composition point for {date}")
 
     def nearest(self, date: _dt.date) -> CompositionPoint:
-        """The point closest in time to ``date``."""
+        """The point closest in time to ``date`` (earlier wins ties)."""
         if not self._points:
             raise AnalysisError("empty composition series")
-        return min(self._points, key=lambda p: abs((p.date - date).days))
+        pos = bisect.bisect_left(self._dates, date)
+        if pos == 0:
+            return self._points[0]
+        if pos == len(self._points):
+            return self._points[-1]
+        before, after = self._points[pos - 1], self._points[pos]
+        if abs((after.date - date).days) < abs((before.date - date).days):
+            return after
+        return before
 
     def first(self) -> CompositionPoint:
         """First point."""

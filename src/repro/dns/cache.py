@@ -8,7 +8,7 @@ the same day), which matches a once-a-day measurement cadence.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..timeline import DayClock
 from .message import Rcode
@@ -16,9 +16,32 @@ from .name import DomainName
 from .rdata import RRType
 from .rrset import RRset
 
-__all__ = ["CacheEntry", "ResolverCache"]
+__all__ = ["CacheEntry", "CacheStats", "ResolverCache"]
 
 _SECONDS_PER_DAY = 86400
+
+
+class CacheStats:
+    """Hit/miss counters for one measurement day (or any window)."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self, hits: int = 0, misses: int = 0) -> None:
+        self.hits = hits
+        self.misses = misses
+
+    @property
+    def total(self) -> int:
+        """Number of lookups counted."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup in [0, 1] (0.0 when nothing was looked up)."""
+        return self.hits / self.total if self.total else 0.0
+
+    def __repr__(self) -> str:
+        return f"CacheStats(hits={self.hits}, misses={self.misses})"
 
 
 class CacheEntry:
@@ -49,6 +72,8 @@ class ResolverCache:
         self._entries: Dict[Tuple[DomainName, RRType], CacheEntry] = {}
         self.hits = 0
         self.misses = 0
+        #: One :class:`CacheStats` per completed day (appended by flush()).
+        self.day_stats: List[CacheStats] = []
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,6 +109,20 @@ class ResolverCache:
         self.hits += 1
         return entry
 
-    def flush(self) -> None:
-        """Drop everything (start of a new measurement day)."""
+    def stats(self) -> CacheStats:
+        """The counters accumulated since the last flush."""
+        return CacheStats(self.hits, self.misses)
+
+    def flush(self) -> CacheStats:
+        """Drop everything (start of a new measurement day).
+
+        Rolls the current hit/miss counters into :attr:`day_stats` and
+        resets them, so per-day hit rates never bleed across days, and
+        returns the closed day's stats.
+        """
+        closed = self.stats()
+        self.day_stats.append(closed)
         self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        return closed

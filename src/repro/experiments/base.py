@@ -57,9 +57,16 @@ class ExperimentResult:
         self.rows.append(dict(columns))
 
     def comparison_rows(self) -> List[Dict[str, object]]:
-        """measured-vs-paper rows for every shared key."""
+        """measured-vs-paper rows for every shared scalar key.
+
+        Structured entries (dicts, e.g. the ``profile`` metrics block)
+        are not comparable against paper scalars and are skipped here;
+        :meth:`render` prints them as their own section.
+        """
         rows = []
         for key in self.measured:
+            if isinstance(self.measured[key], dict):
+                continue
             rows.append(
                 {
                     "metric": key,
@@ -128,16 +135,25 @@ class ExperimentResult:
             lines.append("")
         if self.measured:
             comparison = self.comparison_rows()
-            lines.append("paper vs measured:")
-            lines.append(
-                format_table(
-                    ["metric", "measured", "paper"],
-                    [
-                        [row["metric"], row["measured"], row["paper"]]
-                        for row in comparison
-                    ],
+            if comparison:
+                lines.append("paper vs measured:")
+                lines.append(
+                    format_table(
+                        ["metric", "measured", "paper"],
+                        [
+                            [row["metric"], row["measured"], row["paper"]]
+                            for row in comparison
+                        ],
+                    )
                 )
-            )
-            lines.append("")
+                lines.append("")
+            for key, value in self.measured.items():
+                if isinstance(value, dict):
+                    lines.append(f"{key}:")
+                    lines.extend(
+                        f"  {subkey}: {subvalue}"
+                        for subkey, subvalue in value.items()
+                    )
+                    lines.append("")
         lines.extend(self.sections)
         return "\n".join(lines)

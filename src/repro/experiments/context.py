@@ -1,32 +1,30 @@
 """Shared experiment context: one world, cached sweeps and datasets.
 
 Several figures consume the same five-year sweep; the context runs that
-sweep once and accumulates every longitudinal series in a single pass.
-Likewise for the recent (conflict-window) daily sweep, the CT monitor,
-and the scan dataset.
+sweep once — through the parallel sweep engine — and accumulates every
+longitudinal series in a single pass.  Likewise for the recent
+(conflict-window) daily sweep, the CT monitor, and the scan dataset.
+Every expensive phase is instrumented in :attr:`ExperimentContext.metrics`.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
-import numpy as np
-
-from ..core.composition import CompositionSeries, CompositionPoint
-from ..core.labels import (
-    LABEL_FULL,
-    LABEL_NON,
-    LABEL_PART,
-    snapshot_hosting_geo_labels,
-    snapshot_ns_geo_labels,
-    snapshot_ns_tld_labels,
+from ..core.reducers import (
+    FullSweepReducer,
+    RecentWindowReducer,
+    RecentWindowSeries,
+    SweepSeries,
 )
-from ..core.tlddep import TldSharePoint, TldShareSeries
-from ..core.topasn import AsnSharePoint, AsnShareSeries
+from ..core.composition import CompositionSeries
+from ..core.topasn import AsnShareSeries
 from ..ctlog.monitor import CtMonitor
 from ..errors import AnalysisError
 from ..measurement.fast import FastCollector
+from ..measurement.metrics import SweepMetrics
+from ..measurement.sweep import SweepEngine
 from ..scanner.cuids import UniversalScanDataset
 from ..scanner.tls import TlsScanner
 from ..sim.conflict import ConflictScenarioConfig, build_scenario
@@ -43,16 +41,6 @@ FIG4_PROVIDERS = (
 RECENT_WINDOW_START = _dt.date(2022, 2, 22)
 
 
-class SweepSeries:
-    """Every longitudinal series the five-year sweep produces."""
-
-    def __init__(self) -> None:
-        self.ns_composition = CompositionSeries("NS country composition")
-        self.hosting_composition = CompositionSeries("Hosting country composition")
-        self.tld_composition = CompositionSeries("NS TLD dependency")
-        self.tld_shares = TldShareSeries()
-
-
 class ExperimentContext:
     """Builds (or wraps) a world and caches every shared computation."""
 
@@ -61,19 +49,44 @@ class ExperimentContext:
         world: Optional[World] = None,
         config: Optional[ConflictScenarioConfig] = None,
         cadence_days: int = 7,
+        workers: int = 1,
+        chunk_days: Optional[int] = None,
+        profile: bool = False,
     ) -> None:
         if cadence_days < 1:
             raise AnalysisError(f"cadence must be >= 1 day: {cadence_days}")
+        if workers < 1:
+            raise AnalysisError(f"workers must be >= 1: {workers}")
         self.config = config or ConflictScenarioConfig()
-        self.world = world if world is not None else build_scenario(self.config)
+        self.metrics = SweepMetrics()
+        self.profile = profile
+        if world is not None:
+            self.world = world
+            # A caller-supplied world may not match self.config, so
+            # worker processes cannot rebuild it: sweep in-process.
+            engine_config = None
+        else:
+            with self.metrics.phase("world_build"):
+                self.world = build_scenario(self.config)
+            engine_config = self.config
         self.collector = FastCollector(self.world)
+        self.engine = SweepEngine(
+            self.collector,
+            config=engine_config,
+            workers=workers,
+            chunk_days=chunk_days,
+            metrics=self.metrics,
+        )
         self.cadence_days = cadence_days
         self._full: Optional[SweepSeries] = None
-        self._recent_asn: Optional[AsnShareSeries] = None
-        self._recent_sanctioned: Optional[CompositionSeries] = None
-        self._recent_listed_counts: Optional[List[int]] = None
+        self._recent: Optional[RecentWindowSeries] = None
         self._monitor: Optional[CtMonitor] = None
         self._scans: Optional[UniversalScanDataset] = None
+
+    @property
+    def workers(self) -> int:
+        """Worker processes used for longitudinal sweeps."""
+        return self.engine.workers
 
     # ------------------------------------------------------------------
     # The five-year sweep (Figures 1-3, headline stats)
@@ -83,50 +96,19 @@ class ExperimentContext:
         """All full-period series, computed in one pass and cached."""
         if self._full is not None:
             return self._full
-        series = SweepSeries()
-        for snapshot in self.collector.sweep(
-            STUDY_START, STUDY_END, self.cadence_days
-        ):
-            ns_labels = snapshot_ns_geo_labels(snapshot)
-            host_labels = snapshot_hosting_geo_labels(snapshot)
-            tld_labels = snapshot_ns_tld_labels(snapshot)
-            series.ns_composition.add_counts(
-                snapshot.date,
-                int((ns_labels == LABEL_FULL).sum()),
-                int((ns_labels == LABEL_PART).sum()),
-                int((ns_labels == LABEL_NON).sum()),
+        reducer = FullSweepReducer()
+        with self.metrics.phase("full_sweep"):
+            records = self.engine.run(
+                reducer,
+                STUDY_START,
+                STUDY_END,
+                self.cadence_days,
+                phase="full_sweep",
             )
-            series.hosting_composition.add_counts(
-                snapshot.date,
-                int((host_labels == LABEL_FULL).sum()),
-                int((host_labels == LABEL_PART).sum()),
-                int((host_labels == LABEL_NON).sum()),
-            )
-            series.tld_composition.add_counts(
-                snapshot.date,
-                int((tld_labels == LABEL_FULL).sum()),
-                int((tld_labels == LABEL_PART).sum()),
-                int((tld_labels == LABEL_NON).sum()),
-            )
-            labels = snapshot.epoch.dns_labels
-            plan_counts = np.bincount(
-                snapshot.dns_ids[snapshot.measured],
-                minlength=labels.tld_membership.shape[0],
-            )
-            per_tld = plan_counts @ labels.tld_membership
-            series.tld_shares.add(
-                TldSharePoint(
-                    snapshot.date,
-                    int(len(snapshot.measured)),
-                    {
-                        tld: int(per_tld[col])
-                        for col, tld in enumerate(labels.tld_names)
-                        if per_tld[col] > 0
-                    },
-                )
-            )
-        self._full = series
-        return series
+            self._full = reducer.merge(records)
+        hits = sum(1 for record in records if record.label_cache_hit)
+        self.metrics.record_cache("epoch_labels", hits, len(records) - hits)
+        return self._full
 
     # ------------------------------------------------------------------
     # The recent daily window (Figures 4 and 5)
@@ -138,72 +120,32 @@ class ExperimentContext:
             self.world.catalog.get(key).primary_asn for key in FIG4_PROVIDERS
         ]
 
-    def _run_recent(self) -> None:
-        asns = self.fig4_asns()
-        asn_series = AsnShareSeries(asns)
-        sanctioned_series = CompositionSeries("Sanctioned NS composition")
-        listed_counts: List[int] = []
-        sanctioned = self.world.sanctioned_indices
-
-        matrix_cache: Dict[int, np.ndarray] = {}
-        for snapshot in self.collector.sweep(RECENT_WINDOW_START, STUDY_END, 1):
-            labels = snapshot.epoch.hosting_labels
-            key = id(labels)
-            matrix = matrix_cache.get(key)
-            if matrix is None:
-                matrix = np.zeros((len(labels.asn_sets), len(asns)), dtype=bool)
-                for plan_id, plan_asns in enumerate(labels.asn_sets):
-                    for col, asn in enumerate(asns):
-                        matrix[plan_id, col] = asn in plan_asns
-                matrix_cache[key] = matrix
-            plan_counts = np.bincount(
-                snapshot.hosting_ids[snapshot.measured], minlength=matrix.shape[0]
+    def _run_recent(self) -> RecentWindowSeries:
+        if self._recent is not None:
+            return self._recent
+        reducer = RecentWindowReducer(
+            self.fig4_asns(), self.world.sanctioned_indices
+        )
+        with self.metrics.phase("recent_sweep"):
+            records = self.engine.run(
+                reducer, RECENT_WINDOW_START, STUDY_END, 1, phase="recent_sweep"
             )
-            per_asn = plan_counts @ matrix
-            asn_series.add(
-                AsnSharePoint(
-                    snapshot.date,
-                    int(len(snapshot.measured)),
-                    {asn: int(per_asn[col]) for col, asn in enumerate(asns)},
-                )
-            )
-
-            subset = snapshot.subset(sanctioned)
-            ns_labels = snapshot_ns_geo_labels(snapshot, subset)
-            sanctioned_series.add_counts(
-                snapshot.date,
-                int((ns_labels == LABEL_FULL).sum()),
-                int((ns_labels == LABEL_PART).sum()),
-                int((ns_labels == LABEL_NON).sum()),
-            )
-            listed_counts.append(
-                len(self.world.sanctions.domains_listed_as_of(snapshot.date))
-            )
-
-        self._recent_asn = asn_series
-        self._recent_sanctioned = sanctioned_series
-        self._recent_listed_counts = listed_counts
+            self._recent = reducer.merge(records)
+        hits = sum(1 for record in records if record.label_cache_hit)
+        self.metrics.record_cache("label_matrix", hits, len(records) - hits)
+        return self._recent
 
     def recent_asn_shares(self) -> AsnShareSeries:
         """Figure 4's daily per-ASN shares."""
-        if self._recent_asn is None:
-            self._run_recent()
-        assert self._recent_asn is not None
-        return self._recent_asn
+        return self._run_recent().asn_shares
 
     def recent_sanctioned_composition(self) -> CompositionSeries:
         """Figure 5's daily sanctioned NS composition."""
-        if self._recent_sanctioned is None:
-            self._run_recent()
-        assert self._recent_sanctioned is not None
-        return self._recent_sanctioned
+        return self._run_recent().sanctioned_composition
 
     def recent_listed_counts(self) -> List[int]:
         """Figure 5's black curve: domains listed as of each day."""
-        if self._recent_listed_counts is None:
-            self._run_recent()
-        assert self._recent_listed_counts is not None
-        return self._recent_listed_counts
+        return self._run_recent().listed_counts
 
     # ------------------------------------------------------------------
     # PKI datasets (Figure 8, Tables 1-2, §4.3)
@@ -225,7 +167,8 @@ class ExperimentContext:
                 pki.logs,
                 matcher=lambda cert: cert.secures_tld(("ru", "xn--p1ai")),
             )
-            monitor.poll()
+            with self.metrics.phase("ct_monitor"):
+                monitor.poll()
             self._monitor = monitor
         return self._monitor
 
@@ -240,6 +183,8 @@ class ExperimentContext:
             pki = self._require_pki()
             scanner = TlsScanner(pki.serving_view(self.world))
             dataset = UniversalScanDataset()
-            dataset.run_sweeps(scanner, start, end, step)
+            with self.metrics.phase("tls_scans") as stat:
+                dataset.run_sweeps(scanner, start, end, step)
+                stat.snapshots += (end - start).days // step + 1
             self._scans = dataset
         return self._scans

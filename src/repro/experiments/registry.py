@@ -47,7 +47,10 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; "
             f"known: {sorted(EXPERIMENTS)} + {sorted(EXTENSIONS)}"
         )
-    return runner(context)
+    result = runner(context)
+    if getattr(context, "profile", False):
+        result.measured["profile"] = context.metrics.summary()
+    return result
 
 
 def run_all(

@@ -18,7 +18,13 @@ from ..net.ip import is_valid_ipv4_int
 from ..net.prefix import Prefix
 from .countries import validate_country
 
-__all__ = ["GeoRange", "GeoDatabase", "GeoDatabaseBuilder", "with_override"]
+__all__ = [
+    "GeoRange",
+    "GeoDatabase",
+    "GeoDatabaseBuilder",
+    "merge_adjacent_ranges",
+    "with_override",
+]
 
 
 class GeoRange:
@@ -121,6 +127,21 @@ class GeoDatabase:
         return self._country_codes[index]
 
 
+def merge_adjacent_ranges(ranges: Iterable[GeoRange]) -> List[GeoRange]:
+    """Coalesce contiguous same-country ranges (input may be unsorted)."""
+    merged: List[GeoRange] = []
+    for entry in sorted(ranges, key=lambda r: r.start):
+        if (
+            merged
+            and merged[-1].country == entry.country
+            and merged[-1].end + 1 == entry.start
+        ):
+            merged[-1] = GeoRange(merged[-1].start, entry.end, entry.country)
+        else:
+            merged.append(entry)
+    return merged
+
+
 class GeoDatabaseBuilder:
     """Accumulates prefix-to-country assignments into a :class:`GeoDatabase`."""
 
@@ -139,19 +160,10 @@ class GeoDatabaseBuilder:
 
     def build(self, merge_adjacent: bool = True) -> GeoDatabase:
         """Build the immutable snapshot, optionally merging adjacent ranges."""
-        ordered = sorted(self._ranges)
-        merged: List[GeoRange] = []
-        for start, end, country in ordered:
-            if (
-                merge_adjacent
-                and merged
-                and merged[-1].country == country
-                and merged[-1].end + 1 == start
-            ):
-                merged[-1] = GeoRange(merged[-1].start, end, country)
-            else:
-                merged.append(GeoRange(start, end, country))
-        return GeoDatabase(merged)
+        ranges = [GeoRange(s, e, c) for s, e, c in sorted(self._ranges)]
+        if merge_adjacent:
+            ranges = merge_adjacent_ranges(ranges)
+        return GeoDatabase(ranges)
 
 
 def with_override(
@@ -162,7 +174,9 @@ def with_override(
     Existing ranges overlapping the window are clipped around it.  This is
     how an address-block *transfer* between countries is reflected in a
     fresh geolocation snapshot (e.g. the Netnod-to-RU-CENTER handover in
-    the geolocation-lag ablation).
+    the geolocation-lag ablation).  Adjacent same-country ranges are
+    re-merged on rebuild so repeated overrides (one per scenario event)
+    cannot fragment the database and degrade ``lookup_array``.
     """
     if start > end:
         raise GeolocationError(f"inverted override range: {start} > {end}")
@@ -176,4 +190,4 @@ def with_override(
         if entry.end > end:
             updated.append(GeoRange(end + 1, entry.end, entry.country))
     updated.append(GeoRange(start, end, validate_country(country)))
-    return GeoDatabase(updated)
+    return GeoDatabase(merge_adjacent_ranges(updated))

@@ -1,10 +1,18 @@
 """Measurement: OpenINTEL-style collectors over the simulated world."""
 
 from .fast import DailySnapshot, FastCollector
+from .metrics import PhaseStat, SweepMetrics
 from .quality import CoveragePoint, MeasurementHealth
 from .records import DomainMeasurement
 from .resolving import ResolvingCollector
 from .seeds import ZoneTransferSeeder
+from .sweep import (
+    ProcessChunkExecutor,
+    SerialChunkExecutor,
+    SweepChunk,
+    SweepEngine,
+    partition_chunks,
+)
 
 __all__ = [
     "DailySnapshot",
@@ -12,6 +20,13 @@ __all__ = [
     "MeasurementHealth",
     "FastCollector",
     "DomainMeasurement",
+    "PhaseStat",
+    "ProcessChunkExecutor",
     "ResolvingCollector",
+    "SerialChunkExecutor",
+    "SweepChunk",
+    "SweepEngine",
+    "SweepMetrics",
     "ZoneTransferSeeder",
+    "partition_chunks",
 ]

@@ -10,7 +10,7 @@ throughput.
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Iterator, List, Optional, Sequence, Set
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -43,6 +43,11 @@ class DailySnapshot:
 
     def __len__(self) -> int:
         return len(self.measured)
+
+    @property
+    def world(self) -> World:
+        """The world this snapshot was collected from."""
+        return self._world
 
     def measured_dns_ids(self) -> np.ndarray:
         """DNS plan id per measured domain."""
@@ -106,6 +111,21 @@ class FastCollector:
     def world(self) -> World:
         """The world being measured."""
         return self._world
+
+    @property
+    def outage_dates(self) -> Tuple[_dt.date, ...]:
+        """The configured measurement-outage dates, sorted."""
+        return tuple(sorted(self._outages))
+
+    @property
+    def outage_coverage(self) -> float:
+        """Fraction of domains still measured on an outage day."""
+        return self._outage_coverage
+
+    @property
+    def seed(self) -> int:
+        """The outage-sampling seed."""
+        return self._seed
 
     def collect(self, date: DateLike) -> DailySnapshot:
         """Collect one day (random access)."""

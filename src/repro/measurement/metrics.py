@@ -1,0 +1,155 @@
+"""Sweep instrumentation: per-phase wall time, throughput, cache stats.
+
+A :class:`SweepMetrics` registry hangs off the experiment context.  Each
+expensive phase (world build, full sweep, recent sweep, CT monitor, scan
+sweeps) runs under ``with metrics.phase("name") as stat:`` and records
+how many snapshots it processed; caches report hit/miss counters through
+:meth:`SweepMetrics.record_cache`.  ``repro run <id> --profile`` renders
+the registry, and :func:`repro.experiments.run_experiment` attaches the
+structured :meth:`summary` dict to ``ExperimentResult.measured``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["PhaseStat", "SweepMetrics"]
+
+
+class PhaseStat:
+    """Accumulated timing for one named phase."""
+
+    __slots__ = ("name", "wall_seconds", "snapshots", "runs", "notes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Total wall-clock time spent in this phase, seconds.
+        self.wall_seconds = 0.0
+        #: Snapshots (measurement days) processed by this phase.
+        self.snapshots = 0
+        #: Times the phase ran (cache hits skip reruns).
+        self.runs = 0
+        #: Free-form annotations (executor kind, chunk count, ...).
+        self.notes: Dict[str, object] = {}
+
+    @property
+    def snapshots_per_second(self) -> float:
+        """Throughput; 0.0 when the phase did no timed work."""
+        if self.wall_seconds <= 0.0 or self.snapshots == 0:
+            return 0.0
+        return self.snapshots / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form for structured reporting."""
+        payload: Dict[str, object] = {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "snapshots": self.snapshots,
+            "snapshots_per_second": round(self.snapshots_per_second, 2),
+            "runs": self.runs,
+        }
+        payload.update(self.notes)
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseStat({self.name!r}, {self.wall_seconds:.3f}s, "
+            f"{self.snapshots} snapshots)"
+        )
+
+
+class SweepMetrics:
+    """Registry of phase timings and cache hit/miss counters."""
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, PhaseStat] = {}
+        self._caches: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStat]:
+        """Time one phase run; wall time accumulates across runs."""
+        stat = self._phases.setdefault(name, PhaseStat(name))
+        stat.runs += 1
+        started = time.perf_counter()
+        try:
+            yield stat
+        finally:
+            stat.wall_seconds += time.perf_counter() - started
+
+    def get_phase(self, name: str) -> Optional[PhaseStat]:
+        """The stat for ``name`` if that phase ever ran."""
+        return self._phases.get(name)
+
+    def phases(self) -> List[PhaseStat]:
+        """All phase stats in first-run order."""
+        return list(self._phases.values())
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+
+    def record_cache(self, name: str, hits: int, misses: int) -> None:
+        """Accumulate hit/miss counters for one named cache."""
+        counters = self._caches.setdefault(name, {"hits": 0, "misses": 0})
+        counters["hits"] += int(hits)
+        counters["misses"] += int(misses)
+
+    def cache_hit_rate(self, name: str) -> float:
+        """Hits per lookup in [0, 1] (0.0 for unknown/idle caches)."""
+        counters = self._caches.get(name)
+        if not counters:
+            return 0.0
+        total = counters["hits"] + counters["misses"]
+        return counters["hits"] / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Structured dict: per-phase timing plus cache hit rates."""
+        return {
+            "phases": {
+                name: stat.as_dict() for name, stat in self._phases.items()
+            },
+            "caches": {
+                name: {
+                    "hits": counters["hits"],
+                    "misses": counters["misses"],
+                    "hit_rate": round(self.cache_hit_rate(name), 4),
+                }
+                for name, counters in self._caches.items()
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable profile (what ``--profile`` prints)."""
+        lines = ["profile:"]
+        if not self._phases and not self._caches:
+            lines.append("  (no instrumented work ran)")
+            return "\n".join(lines)
+        for stat in self._phases.values():
+            rate = (
+                f"{stat.snapshots_per_second:,.1f} snapshots/s"
+                if stat.snapshots
+                else "-"
+            )
+            notes = "".join(
+                f" {key}={value}" for key, value in sorted(stat.notes.items())
+            )
+            lines.append(
+                f"  {stat.name:<16} {stat.wall_seconds:8.3f}s  "
+                f"{stat.snapshots:>6} days  {rate}{notes}"
+            )
+        for name, counters in self._caches.items():
+            total = counters["hits"] + counters["misses"]
+            lines.append(
+                f"  cache {name:<10} {counters['hits']}/{total} hits "
+                f"({100.0 * self.cache_hit_rate(name):.1f}%)"
+            )
+        return "\n".join(lines)

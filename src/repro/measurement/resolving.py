@@ -18,6 +18,7 @@ from ..errors import ResolutionError
 from ..timeline import DateLike, DayClock, as_date
 from ..sim.dnsbuild import DnsTreeBuilder
 from ..sim.world import World
+from .metrics import SweepMetrics
 from .records import DomainMeasurement
 
 __all__ = ["ResolvingCollector"]
@@ -26,9 +27,10 @@ __all__ = ["ResolvingCollector"]
 class ResolvingCollector:
     """Measures domains by genuinely resolving them."""
 
-    def __init__(self, world: World) -> None:
+    def __init__(self, world: World, metrics: Optional[SweepMetrics] = None) -> None:
         self._world = world
         self._builder = DnsTreeBuilder(world)
+        self._metrics = metrics
 
     def collect(
         self, date: DateLike, domain_indices: Optional[Sequence[int]] = None
@@ -57,6 +59,13 @@ class ResolvingCollector:
             measurement = self._measure_one(resolver, date_obj, name, index)
             if measurement is not None:
                 results.append(measurement)
+        # Close out the measurement day: per-day cache hit rates feed the
+        # instrumentation layer instead of bleeding into the next day.
+        day_stats = resolver.cache.flush()
+        if self._metrics is not None:
+            self._metrics.record_cache(
+                "resolver", day_stats.hits, day_stats.misses
+            )
         return results
 
     def _measure_one(

@@ -1,0 +1,275 @@
+"""The parallel sweep engine.
+
+Longitudinal sweeps partition their date range into chunks of
+measurement days; each chunk is evaluated by a day reducer (see
+:mod:`repro.core.reducers`) either in-process or across worker
+processes, and the per-chunk record lists are concatenated in date
+order.  Two properties make chunking safe here:
+
+* :meth:`repro.sim.world.World.sweep` derives each day's state from the
+  event log deterministically, so a sweep starting mid-range yields the
+  same :class:`WorldDay` views as the corresponding tail of a full
+  sweep;
+* outage subsampling is keyed per-date (``derive_rng(seed, "outage",
+  date)``), independent of sweep position.
+
+Worker processes rebuild the world from the scenario config (world
+construction is deterministic by seed), so nothing larger than the
+config, the reducer, and the day records ever crosses the process
+boundary.  When no config is available — the caller supplied a
+ready-made world — the engine falls back to the deterministic
+in-process executor, which runs the identical chunked code path
+serially, keeping results bit-identical.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import MeasurementError
+from ..timeline import DateLike, as_date
+from .fast import FastCollector
+from .metrics import SweepMetrics
+
+__all__ = [
+    "SweepChunk",
+    "partition_chunks",
+    "SerialChunkExecutor",
+    "ProcessChunkExecutor",
+    "SweepEngine",
+]
+
+
+class SweepChunk:
+    """A contiguous run of measurement days on the sweep's step grid."""
+
+    __slots__ = ("index", "start", "end", "step")
+
+    def __init__(self, index: int, start: _dt.date, end: _dt.date, step: int) -> None:
+        self.index = index
+        self.start = start
+        self.end = end
+        self.step = step
+
+    @property
+    def days(self) -> int:
+        """Number of measurement days in the chunk."""
+        return (self.end - self.start).days // self.step + 1
+
+    def __repr__(self) -> str:
+        return f"SweepChunk(#{self.index} {self.start}..{self.end} /{self.step})"
+
+
+def partition_chunks(
+    start: DateLike, end: DateLike, step: int, chunk_days: int
+) -> List[SweepChunk]:
+    """Split [start, end] stepped by ``step`` into runs of ``chunk_days``.
+
+    Chunk boundaries stay on the parent grid (every chunk start is
+    ``start + k*step`` days), so the union of chunk sweeps visits exactly
+    the dates the unchunked sweep would.
+    """
+    if step < 1:
+        raise MeasurementError(f"sweep step must be >= 1 day: {step}")
+    if chunk_days < 1:
+        raise MeasurementError(f"chunk size must be >= 1 day: {chunk_days}")
+    start_date, end_date = as_date(start), as_date(end)
+    if start_date > end_date:
+        raise MeasurementError(f"empty sweep {start_date} .. {end_date}")
+    total_days = (end_date - start_date).days // step + 1
+    chunks: List[SweepChunk] = []
+    for first in range(0, total_days, chunk_days):
+        last = min(first + chunk_days, total_days) - 1
+        chunks.append(
+            SweepChunk(
+                len(chunks),
+                start_date + _dt.timedelta(days=first * step),
+                start_date + _dt.timedelta(days=last * step),
+                step,
+            )
+        )
+    return chunks
+
+
+def _reduce_chunk(collector: FastCollector, reducer, chunk: SweepChunk) -> list:
+    """Run one chunk through the reducer (shared by both executors)."""
+    return [
+        reducer.reduce_day(snapshot)
+        for snapshot in collector.sweep(chunk.start, chunk.end, chunk.step)
+    ]
+
+
+class SerialChunkExecutor:
+    """Deterministic in-process executor (the parallel fallback).
+
+    Runs the exact chunked code path the process executor runs, just
+    sequentially against one collector — so tests can exercise chunk
+    semantics without forking, and worlds that exist only in this
+    process can still be swept through the engine.
+    """
+
+    def __init__(self, collector: FastCollector) -> None:
+        self._collector = collector
+
+    @property
+    def kind(self) -> str:
+        """Executor label for instrumentation."""
+        return "serial"
+
+    def map_chunks(self, reducer, chunks: Sequence[SweepChunk]) -> List[list]:
+        """Per-chunk record lists, in chunk order."""
+        return [_reduce_chunk(self._collector, reducer, chunk) for chunk in chunks]
+
+
+# ----------------------------------------------------------------------
+# Process pool executor
+# ----------------------------------------------------------------------
+
+#: Per-worker-process collector cache: scenario key -> FastCollector.
+_WORKER_COLLECTOR: Tuple[Optional[tuple], Optional[FastCollector]] = (None, None)
+
+
+def _scenario_key(config) -> tuple:
+    return (
+        config.scale,
+        config.seed,
+        config.geo_lag_days,
+        config.netnod_mode,
+        config.sanctioned_domain_count,
+    )
+
+
+def _worker_collector(config, collector_args) -> FastCollector:
+    global _WORKER_COLLECTOR
+    outage_dates, outage_coverage, seed = collector_args
+    key = (_scenario_key(config), collector_args)
+    cached_key, cached = _WORKER_COLLECTOR
+    if cached_key == key and cached is not None:
+        return cached
+    # build_world never builds the PKI bundle, and sweeps never read it,
+    # so workers skip that cost regardless of config.with_pki.
+    from ..sim.conflict import build_world
+
+    collector = FastCollector(
+        build_world(config),
+        outage_dates=outage_dates,
+        outage_coverage=outage_coverage,
+        seed=seed,
+    )
+    _WORKER_COLLECTOR = (key, collector)
+    return collector
+
+
+def _reduce_chunk_in_worker(config, collector_args, reducer, chunk):
+    collector = _worker_collector(config, collector_args)
+    return chunk.index, _reduce_chunk(collector, reducer, chunk)
+
+
+class ProcessChunkExecutor:
+    """Evaluates chunks across a :class:`ProcessPoolExecutor`.
+
+    Each worker rebuilds the (deterministic) world from the scenario
+    config on first use and caches it for the rest of its life.
+    """
+
+    def __init__(self, config, collector: FastCollector, workers: int) -> None:
+        if workers < 2:
+            raise MeasurementError(f"process executor needs >= 2 workers: {workers}")
+        self._config = config
+        self._collector_args = (
+            collector.outage_dates,
+            collector.outage_coverage,
+            collector.seed,
+        )
+        self.workers = workers
+
+    @property
+    def kind(self) -> str:
+        """Executor label for instrumentation."""
+        return "process"
+
+    def map_chunks(self, reducer, chunks: Sequence[SweepChunk]) -> List[list]:
+        """Per-chunk record lists, merged back into chunk order."""
+        results: List[Optional[list]] = [None] * len(chunks)
+        with ProcessPoolExecutor(max_workers=min(self.workers, len(chunks))) as pool:
+            futures = [
+                pool.submit(
+                    _reduce_chunk_in_worker,
+                    self._config,
+                    self._collector_args,
+                    reducer,
+                    chunk,
+                )
+                for chunk in chunks
+            ]
+            for future in futures:
+                index, records = future.result()
+                results[index] = records
+        return [records for records in results if records is not None]
+
+
+class SweepEngine:
+    """Partitions sweeps into chunks and merges per-chunk day records."""
+
+    def __init__(
+        self,
+        collector: FastCollector,
+        config=None,
+        workers: int = 1,
+        chunk_days: Optional[int] = None,
+        metrics: Optional[SweepMetrics] = None,
+    ) -> None:
+        if workers < 1:
+            raise MeasurementError(f"workers must be >= 1: {workers}")
+        self._collector = collector
+        self._config = config
+        self.workers = int(workers)
+        self.chunk_days = chunk_days
+        self.metrics = metrics
+
+    @property
+    def parallel_capable(self) -> bool:
+        """True when worker processes can rebuild the world from config."""
+        return self._config is not None
+
+    def _chunk_days_for(self, total_days: int) -> int:
+        if self.chunk_days is not None:
+            return self.chunk_days
+        if self.workers <= 1:
+            return total_days
+        # Four chunks per worker balances load without drowning the pool
+        # in per-chunk overhead.
+        return max(1, -(-total_days // (self.workers * 4)))
+
+    def run(
+        self,
+        reducer,
+        start: DateLike,
+        end: DateLike,
+        step: int = 1,
+        phase: Optional[str] = None,
+    ) -> list:
+        """Reduce every ``step``-th day in [start, end], in date order."""
+        start_date, end_date = as_date(start), as_date(end)
+        total_days = (end_date - start_date).days // step + 1
+        chunks = partition_chunks(
+            start_date, end_date, step, self._chunk_days_for(total_days)
+        )
+        if self.workers > 1 and self.parallel_capable and len(chunks) > 1:
+            executor = ProcessChunkExecutor(self._config, self._collector, self.workers)
+        else:
+            executor = SerialChunkExecutor(self._collector)
+        per_chunk = executor.map_chunks(reducer, chunks)
+        records = [record for chunk_records in per_chunk for record in chunk_records]
+        if self.metrics is not None and phase is not None:
+            stat = self.metrics.get_phase(phase)
+            if stat is not None:
+                stat.snapshots += len(records)
+                stat.notes["executor"] = executor.kind
+                stat.notes["chunks"] = len(chunks)
+                stat.notes["workers"] = (
+                    self.workers if executor.kind == "process" else 1
+                )
+        return records

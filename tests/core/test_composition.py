@@ -52,6 +52,38 @@ class TestSeries:
         with pytest.raises(AnalysisError):
             series.at(dt.date(2022, 1, 5))
 
+    def test_nearest_out_of_range_clamps(self):
+        series = CompositionSeries()
+        series.add_counts(dt.date(2022, 1, 1), 1, 0, 0)
+        series.add_counts(dt.date(2022, 1, 8), 0, 1, 0)
+        assert series.nearest(dt.date(2021, 12, 1)).full == 1
+        assert series.nearest(dt.date(2022, 2, 1)).part == 1
+
+    def test_nearest_tie_prefers_earlier(self):
+        series = CompositionSeries()
+        series.add_counts(dt.date(2022, 1, 1), 1, 0, 0)
+        series.add_counts(dt.date(2022, 1, 5), 0, 1, 0)
+        # 2022-01-03 is equidistant; the earlier point wins (historic
+        # min()-scan behaviour).
+        assert series.nearest(dt.date(2022, 1, 3)).full == 1
+
+    def test_indexed_lookup_matches_linear_scan(self):
+        series = CompositionSeries()
+        base = dt.date(2022, 1, 1)
+        for day in range(0, 60, 7):
+            series.add_counts(base + dt.timedelta(days=day), day, 1, 2)
+        points = series.points()
+        for probe_day in range(-3, 65):
+            probe = base + dt.timedelta(days=probe_day)
+            expected = min(points, key=lambda p: abs((p.date - probe).days))
+            assert series.nearest(probe) is expected
+            exact = [p for p in points if p.date == probe]
+            if exact:
+                assert series.at(probe) is exact[0]
+            else:
+                with pytest.raises(AnalysisError):
+                    series.at(probe)
+
     def test_net_change(self):
         series = CompositionSeries()
         series.add_counts(dt.date(2022, 1, 1), 50, 25, 25)

@@ -63,3 +63,37 @@ class TestStats:
         cache.put_positive(RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=86400))
         cache.flush()
         assert len(cache) == 0
+
+    def test_flush_resets_counters(self):
+        """Regression: counters must not accumulate across measurement days."""
+        _, cache = make_cache()
+        cache.get(NAME, RRType.A)  # miss
+        cache.put_positive(RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=86400))
+        cache.get(NAME, RRType.A)  # hit
+        closed = cache.flush()
+        assert (closed.hits, closed.misses) == (1, 1)
+        assert closed.hit_rate == 0.5
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_per_day_rates_independent(self):
+        """Each day's hit rate reflects that day alone."""
+        _, cache = make_cache()
+        # Day 1: one miss, three hits -> 75%.
+        cache.get(NAME, RRType.A)
+        cache.put_positive(RRset(NAME, RRType.A, [A("1.2.3.4")], ttl=86400))
+        for _ in range(3):
+            cache.get(NAME, RRType.A)
+        cache.flush()
+        # Day 2: a single miss -> 0%, not dragged up by day 1.
+        cache.get(NAME, RRType.A)
+        cache.flush()
+        rates = [day.hit_rate for day in cache.day_stats]
+        assert rates == [0.75, 0.0]
+
+    def test_stats_snapshot_without_flush(self):
+        _, cache = make_cache()
+        assert cache.stats().total == 0
+        cache.get(NAME, RRType.A)
+        snap = cache.stats()
+        assert (snap.hits, snap.misses) == (0, 1)
+        assert cache.misses == 1  # snapshot does not reset

@@ -119,6 +119,34 @@ class TestWithOverride:
         with pytest.raises(GeolocationError):
             with_override(database, 10, 5, "RU")
 
+    def test_adjacent_overrides_remerge(self, database):
+        """Two adjacent same-country overrides coalesce into one range."""
+        ru = Prefix.parse("10.0.0.0/16")
+        patched = with_override(database, ru.first + 10, ru.first + 19, "SE")
+        patched = with_override(patched, ru.first + 20, ru.first + 29, "SE")
+        se_ranges = [r for r in patched.ranges if r.country == "SE"]
+        assert len(se_ranges) == 1
+        assert se_ranges[0].start == ru.first + 10
+        assert se_ranges[0].end == ru.first + 29
+        assert patched.lookup(ru.first + 25) == "SE"
+        assert patched.lookup(ru.first + 30) == "RU"
+
+    def test_repeated_overrides_do_not_fragment(self, database):
+        """Re-applying the same transfer never grows the database."""
+        us = Prefix.parse("10.1.0.0/16")
+        patched = database
+        sizes = []
+        for _ in range(5):
+            patched = with_override(patched, us.first, us.last, "NL")
+            sizes.append(len(patched))
+        assert len(set(sizes)) == 1
+        # Same-country merge with a clipped neighbour: overriding back to
+        # US re-joins nothing (DE neighbour differs) but stays bounded.
+        restored = with_override(patched, us.first, us.last, "US")
+        assert len(restored) == len(database)
+        for probe in (us.first, us.first + 99, us.last):
+            assert restored.lookup(probe) == database.lookup(probe)
+
 
 @given(
     st.lists(

@@ -1,0 +1,118 @@
+"""Tests for repro.measurement.metrics: the sweep instrumentation layer."""
+
+import pytest
+
+from repro.measurement.metrics import PhaseStat, SweepMetrics
+
+
+class TestPhases:
+    def test_phase_times_and_counts(self):
+        metrics = SweepMetrics()
+        with metrics.phase("sweep") as stat:
+            stat.snapshots += 10
+        recorded = metrics.get_phase("sweep")
+        assert recorded is stat
+        assert recorded.wall_seconds >= 0.0
+        assert recorded.snapshots == 10
+        assert recorded.runs == 1
+
+    def test_phase_accumulates_across_runs(self):
+        metrics = SweepMetrics()
+        for _ in range(3):
+            with metrics.phase("sweep") as stat:
+                stat.snapshots += 1
+        assert metrics.get_phase("sweep").runs == 3
+        assert metrics.get_phase("sweep").snapshots == 3
+
+    def test_throughput_zero_without_work(self):
+        stat = PhaseStat("idle")
+        assert stat.snapshots_per_second == 0.0
+
+    def test_phase_order_preserved(self):
+        metrics = SweepMetrics()
+        for name in ("build", "sweep", "scan"):
+            with metrics.phase(name):
+                pass
+        assert [stat.name for stat in metrics.phases()] == [
+            "build", "sweep", "scan",
+        ]
+
+
+class TestCaches:
+    def test_hit_rate(self):
+        metrics = SweepMetrics()
+        metrics.record_cache("resolver", 3, 1)
+        assert metrics.cache_hit_rate("resolver") == pytest.approx(0.75)
+
+    def test_hit_rate_accumulates(self):
+        metrics = SweepMetrics()
+        metrics.record_cache("resolver", 1, 1)
+        metrics.record_cache("resolver", 3, 0)
+        assert metrics.cache_hit_rate("resolver") == pytest.approx(0.8)
+
+    def test_unknown_or_idle_cache(self):
+        metrics = SweepMetrics()
+        assert metrics.cache_hit_rate("nope") == 0.0
+        metrics.record_cache("idle", 0, 0)
+        assert metrics.cache_hit_rate("idle") == 0.0
+
+
+class TestReporting:
+    def test_summary_structure(self):
+        metrics = SweepMetrics()
+        with metrics.phase("sweep") as stat:
+            stat.snapshots += 5
+            stat.notes["executor"] = "serial"
+        metrics.record_cache("label_matrix", 4, 1)
+        summary = metrics.summary()
+        assert summary["phases"]["sweep"]["snapshots"] == 5
+        assert summary["phases"]["sweep"]["executor"] == "serial"
+        assert summary["caches"]["label_matrix"]["hit_rate"] == 0.8
+
+    def test_render_mentions_phases_and_caches(self):
+        metrics = SweepMetrics()
+        with metrics.phase("sweep") as stat:
+            stat.snapshots += 5
+        metrics.record_cache("resolver", 1, 1)
+        text = metrics.render()
+        assert "sweep" in text
+        assert "resolver" in text
+        assert "50.0%" in text
+
+    def test_render_empty(self):
+        assert "no instrumented work" in SweepMetrics().render()
+
+
+class TestContextIntegration:
+    def test_full_sweep_populates_metrics(self, tiny_world):
+        from repro.experiments import ExperimentContext
+
+        context = ExperimentContext(world=tiny_world, cadence_days=60)
+        context.full_sweep()
+        stat = context.metrics.get_phase("full_sweep")
+        assert stat is not None
+        assert stat.snapshots == len(context.full_sweep().ns_composition)
+        assert stat.notes["executor"] == "serial"
+
+    def test_recent_sweep_records_label_cache(self, tiny_world):
+        from repro.experiments import ExperimentContext
+
+        context = ExperimentContext(world=tiny_world, cadence_days=60)
+        days = len(context.recent_asn_shares())
+        summary = context.metrics.summary()
+        counters = summary["caches"]["label_matrix"]
+        assert counters["hits"] + counters["misses"] == days
+        # Epochs are rare relative to days: the cache must mostly hit.
+        assert counters["hits"] > counters["misses"]
+
+
+class TestResolvingCollectorMetrics:
+    def test_resolver_cache_stats_flow_into_metrics(self, tiny_world):
+        from repro.measurement.resolving import ResolvingCollector
+
+        metrics = SweepMetrics()
+        collector = ResolvingCollector(tiny_world, metrics=metrics)
+        indices = tiny_world.population.active_indices("2022-03-04")[:5]
+        results = collector.collect("2022-03-04", indices)
+        assert results
+        assert metrics.cache_hit_rate("resolver") > 0.0

@@ -16,8 +16,9 @@ class TestParser:
 
     def test_defaults(self):
         args = build_parser().parse_args(["list"])
-        assert args.scale == 1000.0
+        assert args.scale == 250.0  # matches ConflictScenarioConfig's default
         assert args.cadence == 7
+        assert args.workers == 1
 
 
 class TestCommands:
