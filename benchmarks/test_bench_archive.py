@@ -1,0 +1,79 @@
+"""Bench: cold archive build vs warm archive-backed Figure 1 replay.
+
+Measures the three costs the archive trades between: building the
+standard archive from scratch (cold), regenerating Figure 1 by live
+simulation, and regenerating it by replaying the archive (warm).  The
+observed speedup is recorded in ``benchmarks/output/archive_speedup.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.archive import ArchiveBuilder
+from repro.experiments import ExperimentContext, run_experiment
+from repro.sim import ConflictScenarioConfig
+
+#: Archive benches run without PKI (sweeps never read it) at a coarser
+#: cadence than the artefact benches, so the cold build stays short.
+ARCHIVE_SCALE = 250.0
+CADENCE = 30
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def test_bench_archive_warm_vs_cold(benchmark, tmp_path):
+    config = ConflictScenarioConfig(scale=ARCHIVE_SCALE, with_pki=False)
+    directory = str(tmp_path / "std")
+
+    started = time.perf_counter()
+    report = ArchiveBuilder(directory, config).build_standard(CADENCE)
+    cold_build_seconds = time.perf_counter() - started
+    # The cadence grid and the daily conflict window overlap, so the
+    # second sub-build legitimately skips a handful of shared days.
+    assert report.written
+
+    started = time.perf_counter()
+    live = run_experiment(
+        "fig1", ExperimentContext(config=config, cadence_days=CADENCE)
+    )
+    live_seconds = time.perf_counter() - started
+
+    def replay():
+        return run_experiment(
+            "fig1",
+            ExperimentContext(
+                config=config, cadence_days=CADENCE, archive=directory
+            ),
+        )
+
+    replayed = benchmark.pedantic(replay, rounds=3, iterations=1)
+    assert replayed.render() == live.render()
+
+    warm_seconds = benchmark.stats.stats.mean
+    record = {
+        "experiment": "fig1",
+        "scale": ARCHIVE_SCALE,
+        "cadence_days": CADENCE,
+        "archived_days": len(report.written),
+        "archive_bytes": report.bytes_written,
+        "cold_build_seconds": round(cold_build_seconds, 3),
+        "live_fig1_seconds": round(live_seconds, 3),
+        "warm_archive_fig1_seconds": round(warm_seconds, 3),
+        # Cold = collect-then-analyse; warm = re-analyse the existing
+        # archive.  This is the paper-pipeline ratio the archive exists
+        # for: measurements are collected once and queried many times.
+        "speedup_cold_vs_warm": round(
+            (cold_build_seconds + warm_seconds) / warm_seconds, 2
+        ),
+        # Reference: replay vs simulating the sweep fresh each run.
+        "speedup_vs_live": round(live_seconds / warm_seconds, 2),
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "archive_speedup.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))

@@ -1,0 +1,41 @@
+"""The persistent measurement archive.
+
+OpenINTEL-style pipelines collect measurements once and query them many
+times; this package is that storage layer for the reproduction.  A
+measurement archive is a directory of compressed, CRC-checked binary
+day shards (:mod:`repro.archive.shard`) described by a versioned,
+scenario-fingerprinted manifest (:mod:`repro.archive.manifest`).
+:class:`ArchiveBuilder` fills it incrementally through the parallel
+sweep engine; :class:`ArchiveCollector` serves it back through the
+standard collector interface, making every experiment an archive read
+instead of a re-simulation.
+"""
+
+from .builder import (
+    ArchiveBuilder,
+    ArchiveShardReducer,
+    BuildReport,
+    RECENT_DAILY_START,
+    shard_filename,
+    standard_plan_dates,
+)
+from .manifest import Manifest, scenario_fingerprint
+from .shard import DayShardRecord, read_shard, write_shard
+from .store import ArchiveCollector, ArchivedSnapshot, MeasurementArchive
+
+__all__ = [
+    "ArchiveBuilder",
+    "ArchiveShardReducer",
+    "BuildReport",
+    "RECENT_DAILY_START",
+    "Manifest",
+    "scenario_fingerprint",
+    "DayShardRecord",
+    "read_shard",
+    "write_shard",
+    "ArchiveCollector",
+    "ArchivedSnapshot",
+    "MeasurementArchive",
+    "shard_filename",
+    "standard_plan_dates",
+]

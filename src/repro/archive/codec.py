@@ -1,0 +1,160 @@
+"""Binary encoding primitives for archive day shards.
+
+Everything a shard stores reduces to three encodings:
+
+* **uvarint** — LEB128 unsigned varints (7 payload bits per byte);
+* **zigzag** — signed-to-unsigned mapping so small negative deltas stay
+  one byte;
+* **delta runs** — integer sequences stored as a zigzag-encoded first
+  value followed by zigzag deltas, which collapses sorted index and
+  address columns to ~1 byte per element.
+
+Strings (domain names, NS host names) are length-prefixed UTF-8; NS
+names additionally go through a per-shard pool because the same fleet
+hostnames repeat for thousands of domains.
+
+All functions operate on ``bytearray``/``memoryview`` so the shard
+writer can assemble one payload buffer and compress it in a single
+pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ArchiveError
+
+__all__ = [
+    "write_uvarint",
+    "read_uvarint",
+    "zigzag",
+    "unzigzag",
+    "write_svarint",
+    "read_svarint",
+    "write_delta_run",
+    "read_delta_run",
+    "write_string",
+    "read_string",
+    "write_int32_array",
+    "read_int32_array",
+]
+
+
+def write_uvarint(buffer: bytearray, value: int) -> None:
+    """Append one unsigned LEB128 varint."""
+    if value < 0:
+        raise ArchiveError(f"uvarint cannot encode negative value: {value}")
+    while value > 0x7F:
+        buffer.append((value & 0x7F) | 0x80)
+        value >>= 7
+    buffer.append(value)
+
+
+def read_uvarint(view: memoryview, offset: int) -> Tuple[int, int]:
+    """Read one uvarint; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    length = len(view)
+    while True:
+        if offset >= length:
+            raise ArchiveError("truncated varint in shard payload")
+        byte = view[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 70:
+            raise ArchiveError("varint longer than 10 bytes in shard payload")
+
+
+def zigzag(value: int) -> int:
+    """Map a signed int to an unsigned one (small magnitudes stay small)."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def unzigzag(value: int) -> int:
+    """Inverse of :func:`zigzag`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def write_svarint(buffer: bytearray, value: int) -> None:
+    """Append one zigzag-encoded signed varint."""
+    write_uvarint(buffer, zigzag(value))
+
+
+def read_svarint(view: memoryview, offset: int) -> Tuple[int, int]:
+    """Read one signed (zigzag) varint; returns ``(value, next_offset)``."""
+    raw, offset = read_uvarint(view, offset)
+    return unzigzag(raw), offset
+
+
+def write_delta_run(buffer: bytearray, values: Sequence[int]) -> None:
+    """Append ``len, first, delta...`` for one integer sequence.
+
+    Deltas are zigzag-encoded, so the sequence need not be sorted —
+    sorted runs simply compress best.  Order is preserved exactly.
+    """
+    write_uvarint(buffer, len(values))
+    previous = 0
+    for value in values:
+        value = int(value)
+        write_svarint(buffer, value - previous)
+        previous = value
+
+
+def read_delta_run(view: memoryview, offset: int) -> Tuple[List[int], int]:
+    """Read one delta run; returns ``(values, next_offset)``."""
+    count, offset = read_uvarint(view, offset)
+    values: List[int] = []
+    previous = 0
+    for _ in range(count):
+        delta, offset = read_svarint(view, offset)
+        previous += delta
+        values.append(previous)
+    return values, offset
+
+
+def write_int32_array(buffer: bytearray, values: Sequence[int]) -> None:
+    """Append ``len`` plus a little-endian int32 array.
+
+    Fixed-width columns decode through one vectorised ``np.frombuffer``
+    instead of a per-value Python loop; zlib recovers most of the size
+    difference against varints.  Values must fit in int32.
+    """
+    array = np.asarray(values, dtype=np.int64)
+    if array.size and (
+        array.max(initial=0) > np.iinfo(np.int32).max
+        or array.min(initial=0) < np.iinfo(np.int32).min
+    ):
+        raise ArchiveError("int32 column value out of range")
+    write_uvarint(buffer, array.size)
+    buffer.extend(array.astype("<i4").tobytes())
+
+
+def read_int32_array(view: memoryview, offset: int) -> Tuple[List[int], int]:
+    """Read one int32 array; returns ``(values, next_offset)``."""
+    count, offset = read_uvarint(view, offset)
+    end = offset + 4 * count
+    if end > len(view):
+        raise ArchiveError("truncated int32 array in shard payload")
+    values = np.frombuffer(view[offset:end], dtype="<i4").tolist()
+    return values, end
+
+
+def write_string(buffer: bytearray, text: str) -> None:
+    """Append one length-prefixed UTF-8 string."""
+    data = text.encode("utf-8")
+    write_uvarint(buffer, len(data))
+    buffer.extend(data)
+
+
+def read_string(view: memoryview, offset: int) -> Tuple[str, int]:
+    """Read one length-prefixed UTF-8 string; returns ``(text, next_offset)``."""
+    length, offset = read_uvarint(view, offset)
+    end = offset + length
+    if end > len(view):
+        raise ArchiveError("truncated string in shard payload")
+    return bytes(view[offset:end]).decode("utf-8"), end

@@ -1,0 +1,467 @@
+"""The binary day-shard format: one file per measured day.
+
+A shard is everything the pipeline knows about one measurement day,
+stored columnarly:
+
+* the measured domain indices (fixed-width int32, decoded vectorised;
+  outage days store the subsampled set, so replaying a shard replays
+  the outage exactly);
+* per-measured-domain DNS and hosting plan ids (the fast path's raw
+  material — scattering them back over the population reconstructs a
+  :class:`~repro.measurement.fast.DailySnapshot` bit-for-bit);
+* a per-shard NS name pool plus a per-DNS-plan table of NS names and
+  addresses (fleet hostnames repeat for thousands of domains, so the
+  pool collapses the dominant string column);
+* per-domain A-label names and sorted apex address runs — with the plan
+  table these materialise every
+  :class:`~repro.measurement.records.DomainMeasurement` of the day
+  without touching a world.
+
+The payload is a single zlib-compressed buffer behind a fixed header
+carrying a CRC32 of the *uncompressed* payload, so corruption is caught
+before any value is trusted.  Writes are build-order independent and
+byte-deterministic: the same day record always serialises to the same
+bytes, which is what makes interrupted-then-resumed archive builds
+byte-identical to uninterrupted ones.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import os
+import struct
+import zlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..dns.name import DomainName
+from ..errors import ArchiveError
+from ..measurement.records import DomainMeasurement
+from .codec import (
+    read_delta_run,
+    read_int32_array,
+    read_string,
+    read_svarint,
+    read_uvarint,
+    write_delta_run,
+    write_int32_array,
+    write_string,
+    write_svarint,
+    write_uvarint,
+)
+
+__all__ = ["SHARD_MAGIC", "SHARD_VERSION", "DayShardRecord", "write_shard", "read_shard"]
+
+SHARD_MAGIC = b"REPROARC"
+SHARD_VERSION = 1
+
+#: ``magic, version, flags, date ordinal, record count, payload crc32,
+#: uncompressed payload length``.
+_HEADER = struct.Struct("<8sHHIIIQ")
+
+#: Fixed compression level: determinism requires one canonical encoding.
+_ZLIB_LEVEL = 6
+
+
+class DayShardRecord:
+    """One day's measurements in shard (column) form.
+
+    ``measured``/``dns_ids``/``hosting_ids``/``domains``/``apex`` are
+    parallel per-measured-domain columns; ``dns_plan_ns`` maps each DNS
+    plan id appearing in ``dns_ids`` to its ``(ns_names, ns_addresses)``
+    tuple for the day's infrastructure epoch.
+    """
+
+    __slots__ = (
+        "date",
+        "epoch_start_day",
+        "population_size",
+        "measured",
+        "dns_ids",
+        "hosting_ids",
+        "_dns_plan_ns",
+        "_domains",
+        "_apex",
+        "_positions",
+        "_tail",
+    )
+
+    def __init__(
+        self,
+        date: _dt.date,
+        epoch_start_day: int,
+        population_size: int,
+        measured: Sequence[int],
+        dns_ids: Sequence[int],
+        hosting_ids: Sequence[int],
+        dns_plan_ns: Dict[int, Tuple[Tuple[str, ...], Tuple[int, ...]]],
+        domains: Sequence[str],
+        apex: Sequence[Tuple[int, ...]],
+    ) -> None:
+        count = len(measured)
+        for name, column in (
+            ("dns_ids", dns_ids),
+            ("hosting_ids", hosting_ids),
+            ("domains", domains),
+            ("apex", apex),
+        ):
+            if len(column) != count:
+                raise ArchiveError(
+                    f"column {name!r} length {len(column)} != {count} measured"
+                )
+        missing = {int(p) for p in dns_ids} - set(dns_plan_ns)
+        if missing:
+            raise ArchiveError(f"dns plans missing from the shard table: {sorted(missing)}")
+        self.date = date
+        self.epoch_start_day = int(epoch_start_day)
+        self.population_size = int(population_size)
+        self.measured = [int(v) for v in measured]
+        self.dns_ids = [int(v) for v in dns_ids]
+        self.hosting_ids = [int(v) for v in hosting_ids]
+        self._dns_plan_ns = {
+            int(plan_id): (tuple(names), tuple(int(a) for a in addresses))
+            for plan_id, (names, addresses) in dns_plan_ns.items()
+        }
+        self._domains = [str(d) for d in domains]
+        self._apex = [tuple(int(a) for a in addresses) for addresses in apex]
+        self._positions: Optional[Dict[int, int]] = None
+        self._tail: Optional[Tuple[bytes, int]] = None
+
+    # ------------------------------------------------------------------
+    # Lazily-decoded columns
+    # ------------------------------------------------------------------
+    #
+    # Reducer sweeps only ever read the three numeric columns above; the
+    # NS plan table, domain names, and apex runs are needed solely to
+    # materialise DomainMeasurement records.  A record decoded from disk
+    # therefore keeps the undecoded payload tail and thaws these columns
+    # on first access, which makes archive-backed sweeps pay for the
+    # structural columns only.
+
+    def _thaw(self) -> None:
+        payload, offset = self._tail  # type: ignore[misc]
+        view = memoryview(payload)
+        count = len(self.measured)
+
+        pool_size, offset = read_uvarint(view, offset)
+        pool: List[str] = []
+        for _ in range(pool_size):
+            name, offset = read_string(view, offset)
+            pool.append(name)
+
+        plan_count, offset = read_uvarint(view, offset)
+        dns_plan_ns: Dict[int, Tuple[Tuple[str, ...], Tuple[int, ...]]] = {}
+        for _ in range(plan_count):
+            plan_id, offset = read_uvarint(view, offset)
+            name_count, offset = read_uvarint(view, offset)
+            names = []
+            for _ in range(name_count):
+                pool_id, offset = read_uvarint(view, offset)
+                names.append(pool[pool_id])
+            addresses, offset = read_delta_run(view, offset)
+            dns_plan_ns[plan_id] = (tuple(names), tuple(addresses))
+
+        domains: List[str] = []
+        for _ in range(count):
+            domain, offset = read_string(view, offset)
+            domains.append(domain)
+        apex: List[Tuple[int, ...]] = []
+        for _ in range(count):
+            addresses, offset = read_delta_run(view, offset)
+            apex.append(tuple(addresses))
+        if offset != len(view):
+            raise ArchiveError(
+                f"{len(view) - offset} trailing bytes in shard payload"
+            )
+        missing = {int(p) for p in self.dns_ids} - set(dns_plan_ns)
+        if missing:
+            raise ArchiveError(
+                f"dns plans missing from the shard table: {sorted(missing)}"
+            )
+        self._dns_plan_ns = dns_plan_ns
+        self._domains = domains
+        self._apex = apex
+        self._tail = None
+
+    @property
+    def dns_plan_ns(self) -> Dict[int, Tuple[Tuple[str, ...], Tuple[int, ...]]]:
+        """Per-DNS-plan ``(ns_names, ns_addresses)`` for the day's epoch."""
+        if self._tail is not None:
+            self._thaw()
+        return self._dns_plan_ns
+
+    @property
+    def domains(self) -> List[str]:
+        """Per-measured-domain A-label names."""
+        if self._tail is not None:
+            self._thaw()
+        return self._domains
+
+    @property
+    def apex(self) -> List[Tuple[int, ...]]:
+        """Per-measured-domain sorted apex address tuples."""
+        if self._tail is not None:
+            self._thaw()
+        return self._apex
+
+    # ------------------------------------------------------------------
+    # Construction from a live snapshot
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot,
+        apex_cache: Optional[Dict[Tuple[int, int], Tuple[int, ...]]] = None,
+        plan_cache: Optional[Dict[Tuple[int, int], Tuple[Tuple[str, ...], Tuple[int, ...]]]] = None,
+    ) -> "DayShardRecord":
+        """Columnarise one :class:`DailySnapshot`.
+
+        The caches are keyed by ``(domain_index, hosting_id)`` and
+        ``(epoch_start_day, dns_id)``; assignments change rarely, so a
+        builder that threads the same dicts through consecutive days
+        materialises each plan/apex tuple once instead of once per day.
+        """
+        world = snapshot.world
+        epoch = snapshot.epoch
+        apex_cache = {} if apex_cache is None else apex_cache
+        plan_cache = {} if plan_cache is None else plan_cache
+
+        measured = [int(index) for index in snapshot.measured]
+        dns_ids = [int(v) for v in snapshot.dns_ids[snapshot.measured]]
+        hosting_ids = [int(v) for v in snapshot.hosting_ids[snapshot.measured]]
+
+        dns_plan_ns: Dict[int, Tuple[Tuple[str, ...], Tuple[int, ...]]] = {}
+        for plan_id in sorted(set(dns_ids)):
+            key = (epoch.start_day, plan_id)
+            entry = plan_cache.get(key)
+            if entry is None:
+                names = tuple(
+                    str(hostname)
+                    for hostname in world.dns_plans.plan(plan_id).ns_hostnames
+                )
+                entry = (names, tuple(epoch.ns_addresses[name] for name in names))
+                plan_cache[key] = entry
+            dns_plan_ns[plan_id] = entry
+
+        domains: List[str] = []
+        apex: List[Tuple[int, ...]] = []
+        for position, domain_index in enumerate(measured):
+            domains.append(str(world.population.record(domain_index).name))
+            key = (domain_index, hosting_ids[position])
+            addresses = apex_cache.get(key)
+            if addresses is None:
+                addresses = tuple(
+                    sorted(world.apex_addresses_for_plan(domain_index, key[1]))
+                )
+                apex_cache[key] = addresses
+            apex.append(addresses)
+
+        return cls(
+            snapshot.date,
+            epoch.start_day,
+            len(snapshot.dns_ids),
+            measured,
+            dns_ids,
+            hosting_ids,
+            dns_plan_ns,
+            domains,
+            apex,
+        )
+
+    # ------------------------------------------------------------------
+    # Record materialisation
+    # ------------------------------------------------------------------
+
+    def measurement_at(self, position: int) -> DomainMeasurement:
+        """The :class:`DomainMeasurement` of the ``position``-th column entry."""
+        names, addresses = self.dns_plan_ns[self.dns_ids[position]]
+        return DomainMeasurement(
+            self.date,
+            DomainName.parse(self.domains[position]),
+            names,
+            addresses,
+            self.apex[position],
+            domain_index=self.measured[position],
+        )
+
+    def measurement_for(self, domain_index: int) -> DomainMeasurement:
+        """The record of one measured domain (by population index)."""
+        if self._positions is None:
+            self._positions = {
+                index: position for position, index in enumerate(self.measured)
+            }
+        position = self._positions.get(int(domain_index))
+        if position is None:
+            raise ArchiveError(
+                f"domain {domain_index} was not measured on {self.date}"
+            )
+        return self.measurement_at(position)
+
+    def measurements(self) -> Iterator[DomainMeasurement]:
+        """All of the day's records, in measured order."""
+        for position in range(len(self.measured)):
+            yield self.measurement_at(position)
+
+    def key(self) -> Tuple:
+        """Comparable content tuple (used by round-trip tests)."""
+        return (
+            self.date,
+            self.epoch_start_day,
+            self.population_size,
+            self.measured,
+            self.dns_ids,
+            self.hosting_ids,
+            self.dns_plan_ns,
+            self.domains,
+            self.apex,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DayShardRecord):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __repr__(self) -> str:
+        return f"DayShardRecord({self.date}, {len(self.measured)} measured)"
+
+
+# ----------------------------------------------------------------------
+# Serialisation
+# ----------------------------------------------------------------------
+
+def _encode_payload(record: DayShardRecord) -> bytearray:
+    buffer = bytearray()
+    write_svarint(buffer, record.epoch_start_day)
+    write_uvarint(buffer, record.population_size)
+    # Structural columns are fixed-width so readers can decode them
+    # vectorised; the string/apex columns below stay varint-packed.
+    write_int32_array(buffer, record.measured)
+    write_int32_array(buffer, record.dns_ids)
+    write_int32_array(buffer, record.hosting_ids)
+
+    # NS name pool, first-seen over plans in id order (deterministic).
+    pool: Dict[str, int] = {}
+    plan_ids = sorted(record.dns_plan_ns)
+    for plan_id in plan_ids:
+        for name in record.dns_plan_ns[plan_id][0]:
+            pool.setdefault(name, len(pool))
+    write_uvarint(buffer, len(pool))
+    for name in pool:
+        write_string(buffer, name)
+
+    write_uvarint(buffer, len(plan_ids))
+    for plan_id in plan_ids:
+        names, addresses = record.dns_plan_ns[plan_id]
+        write_uvarint(buffer, plan_id)
+        write_uvarint(buffer, len(names))
+        for name in names:
+            write_uvarint(buffer, pool[name])
+        write_delta_run(buffer, addresses)
+
+    for domain in record.domains:
+        write_string(buffer, domain)
+    for addresses in record.apex:
+        write_delta_run(buffer, addresses)
+    return buffer
+
+
+def _decode_payload(date: _dt.date, count: int, payload: bytes) -> DayShardRecord:
+    """Decode the structural columns; string/apex columns stay lazy.
+
+    The payload has already passed its CRC check, so the undecoded tail
+    is known intact — :meth:`DayShardRecord._thaw` parses it on first
+    record materialisation.
+    """
+    view = memoryview(payload)
+    offset = 0
+    epoch_start_day, offset = read_svarint(view, offset)
+    population_size, offset = read_uvarint(view, offset)
+    measured, offset = read_int32_array(view, offset)
+    if len(measured) != count:
+        raise ArchiveError(
+            f"shard header claims {count} records, payload has {len(measured)}"
+        )
+    dns_ids, offset = read_int32_array(view, offset)
+    hosting_ids, offset = read_int32_array(view, offset)
+    if len(dns_ids) != count or len(hosting_ids) != count:
+        raise ArchiveError(
+            f"shard id columns ({len(dns_ids)}/{len(hosting_ids)}) do not "
+            f"match {count} records"
+        )
+
+    record = object.__new__(DayShardRecord)
+    record.date = date
+    record.epoch_start_day = epoch_start_day
+    record.population_size = population_size
+    record.measured = measured
+    record.dns_ids = dns_ids
+    record.hosting_ids = hosting_ids
+    record._dns_plan_ns = {}
+    record._domains = []
+    record._apex = []
+    record._positions = None
+    record._tail = (payload, offset)
+    return record
+
+
+def write_shard(path: str, record: DayShardRecord) -> Tuple[int, int]:
+    """Serialise ``record`` to ``path`` atomically.
+
+    Returns ``(file_bytes, payload_crc32)``.  The write goes through a
+    same-directory temp file and :func:`os.replace`, so concurrent
+    builder workers and interrupted builds never leave a torn shard
+    behind the final name.
+    """
+    payload = bytes(_encode_payload(record))
+    crc = zlib.crc32(payload)
+    compressed = zlib.compress(payload, _ZLIB_LEVEL)
+    header = _HEADER.pack(
+        SHARD_MAGIC,
+        SHARD_VERSION,
+        0,
+        record.date.toordinal(),
+        len(record.measured),
+        crc,
+        len(payload),
+    )
+    blob = header + compressed
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    with open(temp_path, "wb") as handle:
+        handle.write(blob)
+    os.replace(temp_path, path)
+    return len(blob), crc
+
+
+def read_shard(path: str, expected_crc: Optional[int] = None) -> DayShardRecord:
+    """Load and verify one shard; raises :class:`ArchiveError` on damage."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise ArchiveError(f"cannot read shard {path}: {exc}") from exc
+    if len(blob) < _HEADER.size:
+        raise ArchiveError(f"shard {path} is shorter than its header")
+    magic, version, _flags, ordinal, count, crc, payload_length = _HEADER.unpack_from(
+        blob
+    )
+    if magic != SHARD_MAGIC:
+        raise ArchiveError(f"shard {path} has bad magic {magic!r}")
+    if version != SHARD_VERSION:
+        raise ArchiveError(
+            f"shard {path} has format version {version}, expected {SHARD_VERSION}"
+        )
+    if expected_crc is not None and crc != expected_crc:
+        raise ArchiveError(
+            f"shard {path} crc {crc:#010x} does not match the manifest"
+        )
+    try:
+        payload = zlib.decompress(blob[_HEADER.size:])
+    except zlib.error as exc:
+        raise ArchiveError(f"shard {path} failed to decompress: {exc}") from exc
+    if len(payload) != payload_length:
+        raise ArchiveError(
+            f"shard {path} payload length {len(payload)} != header {payload_length}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise ArchiveError(f"shard {path} is corrupt (crc mismatch)")
+    return _decode_payload(_dt.date.fromordinal(ordinal), count, payload)

@@ -1,0 +1,268 @@
+"""Reading side of the measurement archive.
+
+:class:`MeasurementArchive` opens an archive directory, validates its
+manifest, and serves CRC-checked day shards through a small LRU cache
+(the full-period and conflict-window sweeps overlap, so hot days are
+re-read from memory).  :class:`ArchiveCollector` then exposes the exact
+collector interface the experiment layer already consumes —
+``collect(date)`` and ``sweep(start, end, step)`` yielding snapshot
+objects — so every :mod:`repro.core` reducer runs unchanged off disk.
+
+Bit-identical results are structural, not incidental: an
+:class:`ArchivedSnapshot` scatters the shard's per-measured plan ids
+back over the population and borrows the epoch label tables from a
+world rebuilt from the same scenario config, which is precisely the
+state the live :class:`~repro.measurement.fast.FastCollector` computes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import os
+import time
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ArchiveError
+from ..measurement.fast import DailySnapshot
+from ..measurement.metrics import SweepMetrics
+from ..measurement.records import DomainMeasurement
+from ..timeline import DateLike, as_date
+from ..sim.world import World
+from .manifest import Manifest
+from .shard import DayShardRecord, read_shard
+
+__all__ = ["MeasurementArchive", "ArchivedSnapshot", "ArchiveCollector"]
+
+#: Shards kept decoded in memory (the two standard sweeps overlap).
+_DEFAULT_CACHE_SHARDS = 16
+
+
+class MeasurementArchive:
+    """An opened on-disk archive: manifest plus cached shard access."""
+
+    def __init__(
+        self,
+        directory: str,
+        metrics: Optional[SweepMetrics] = None,
+        cache_shards: int = _DEFAULT_CACHE_SHARDS,
+    ) -> None:
+        self.directory = str(directory)
+        self.manifest = Manifest.load(self.directory)
+        self.metrics = metrics
+        self._cache_shards = max(1, int(cache_shards))
+        self._cache: "OrderedDict[_dt.date, DayShardRecord]" = OrderedDict()
+
+    def __contains__(self, date: DateLike) -> bool:
+        return as_date(date) in self.manifest.days
+
+    def path_for(self, date: DateLike) -> str:
+        """The shard path for ``date`` (which must be covered)."""
+        date_obj = as_date(date)
+        entry = self.manifest.days.get(date_obj)
+        if entry is None:
+            raise ArchiveError(
+                f"archive {self.directory} does not cover {date_obj} "
+                "(extend it with 'repro archive build')"
+            )
+        return os.path.join(self.directory, entry.file)
+
+    def load_day(self, date: DateLike) -> DayShardRecord:
+        """The day's shard record, CRC-verified, via the LRU cache."""
+        date_obj = as_date(date)
+        cached = self._cache.get(date_obj)
+        if cached is not None:
+            self._cache.move_to_end(date_obj)
+            if self.metrics is not None:
+                self.metrics.record_cache("archive_shards", 1, 0)
+            return cached
+        entry = self.manifest.days.get(date_obj)
+        if entry is None:
+            raise ArchiveError(
+                f"archive {self.directory} does not cover {date_obj} "
+                "(extend it with 'repro archive build')"
+            )
+        started = time.perf_counter()
+        record = read_shard(
+            os.path.join(self.directory, entry.file), expected_crc=entry.crc32
+        )
+        elapsed = time.perf_counter() - started
+        if record.date != date_obj:
+            raise ArchiveError(
+                f"shard {entry.file} contains {record.date}, manifest says {date_obj}"
+            )
+        if len(record.measured) != entry.records:
+            raise ArchiveError(
+                f"shard {entry.file} has {len(record.measured)} records, "
+                f"manifest says {entry.records}"
+            )
+        if self.metrics is not None:
+            self.metrics.record_cache("archive_shards", 0, 1)
+            with self.metrics.phase("archive_read") as stat:
+                pass
+            stat.wall_seconds += elapsed
+            stat.snapshots += 1
+            stat.notes["bytes"] = int(stat.notes.get("bytes", 0)) + entry.bytes
+        self._cache[date_obj] = record
+        while len(self._cache) > self._cache_shards:
+            self._cache.popitem(last=False)
+        return record
+
+    def verify(self) -> List[str]:
+        """Re-read every shard against the manifest; returns problems found."""
+        problems: List[str] = []
+        listed = set()
+        for date in self.manifest.covered_dates():
+            entry = self.manifest.days[date]
+            listed.add(entry.file)
+            path = os.path.join(self.directory, entry.file)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                problems.append(f"{date}: shard file {entry.file} is missing")
+                continue
+            if size != entry.bytes:
+                problems.append(
+                    f"{date}: {entry.file} is {size} bytes, manifest says {entry.bytes}"
+                )
+                continue
+            try:
+                record = read_shard(path, expected_crc=entry.crc32)
+            except ArchiveError as exc:
+                problems.append(f"{date}: {exc}")
+                continue
+            if record.date != date:
+                problems.append(
+                    f"{date}: {entry.file} contains {record.date} instead"
+                )
+            elif len(record.measured) != entry.records:
+                problems.append(
+                    f"{date}: {entry.file} has {len(record.measured)} records, "
+                    f"manifest says {entry.records}"
+                )
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(".shard") and name not in listed:
+                problems.append(
+                    f"{name} is not listed in the manifest "
+                    "(interrupted build; rerun 'repro archive build' to adopt it)"
+                )
+        return problems
+
+
+class ArchivedSnapshot(DailySnapshot):
+    """A :class:`DailySnapshot` reconstructed from a day shard.
+
+    Plan-id columns are scattered back over the full population (only
+    positions named by ``measured`` are ever read), and the epoch label
+    tables come from the companion world.  Per-domain record
+    materialisation is overridden to read the shard's own measurement
+    columns, so sampling does not touch the world's slow path.
+    """
+
+    __slots__ = ("_record",)
+
+    def __init__(self, world: World, record: DayShardRecord) -> None:
+        if record.population_size != len(world.population):
+            raise ArchiveError(
+                f"shard for {record.date} covers a population of "
+                f"{record.population_size}, world has {len(world.population)}"
+            )
+        epoch = world.epoch_at(record.date)
+        if epoch.start_day != record.epoch_start_day:
+            raise ArchiveError(
+                f"shard for {record.date} was built under epoch "
+                f"{record.epoch_start_day}, world derives {epoch.start_day} "
+                "(stale archive?)"
+            )
+        measured = np.asarray(record.measured, dtype=np.int64)
+        dns_ids = np.zeros(record.population_size, dtype=np.int32)
+        hosting_ids = np.zeros(record.population_size, dtype=np.int32)
+        dns_ids[measured] = np.asarray(record.dns_ids, dtype=np.int32)
+        hosting_ids[measured] = np.asarray(record.hosting_ids, dtype=np.int32)
+        self.date = record.date
+        self.measured = measured
+        self.dns_ids = dns_ids
+        self.hosting_ids = hosting_ids
+        self.epoch = epoch
+        self._world = world
+        self._record = record
+
+    @property
+    def shard(self) -> DayShardRecord:
+        """The underlying day-shard record."""
+        return self._record
+
+    def measurement_for(self, domain_index: int) -> DomainMeasurement:
+        """Materialise one record from the shard's stored columns."""
+        return self._record.measurement_for(int(domain_index))
+
+
+class ArchiveCollector:
+    """Serves archived measurement days through the collector interface.
+
+    Mirrors :class:`~repro.measurement.fast.FastCollector`: ``collect``
+    for random access, ``sweep`` for longitudinal iteration, and the
+    outage parameters the measurements were collected under (outages are
+    baked into each shard's measured set, so replay is exact).
+    """
+
+    def __init__(self, archive: MeasurementArchive, world: World) -> None:
+        self._archive = archive
+        if archive.manifest.population_size != len(world.population):
+            raise ArchiveError(
+                f"archive population ({archive.manifest.population_size}) "
+                f"does not match the world ({len(world.population)})"
+            )
+        self._world = world
+
+    @property
+    def archive(self) -> MeasurementArchive:
+        """The backing archive."""
+        return self._archive
+
+    @property
+    def world(self) -> World:
+        """The companion world (epoch labels, sanctions, catalog)."""
+        return self._world
+
+    @property
+    def outage_dates(self) -> Tuple[_dt.date, ...]:
+        """Outage dates the archived measurements were collected under."""
+        return tuple(
+            as_date(text) for text in self._archive.manifest.collector["outage_dates"]
+        )
+
+    @property
+    def outage_coverage(self) -> float:
+        """Outage-day coverage the measurements were collected under."""
+        return float(self._archive.manifest.collector["outage_coverage"])
+
+    @property
+    def seed(self) -> int:
+        """The outage-sampling seed used at collection time."""
+        return int(self._archive.manifest.collector["seed"])
+
+    def collect(self, date: DateLike) -> ArchivedSnapshot:
+        """Load one archived day (random access)."""
+        return ArchivedSnapshot(self._world, self._archive.load_day(date))
+
+    def sweep(
+        self, start: DateLike, end: DateLike, step: int = 1
+    ) -> Iterator[ArchivedSnapshot]:
+        """Replay every ``step`` days in [start, end] from disk."""
+        if step < 1:
+            raise ArchiveError(f"sweep step must be >= 1 day: {step}")
+        day = as_date(start)
+        end_date = as_date(end)
+        while day <= end_date:
+            yield self.collect(day)
+            day += _dt.timedelta(days=step)
+
+    def records(
+        self, date: DateLike, domain_indices: Optional[Sequence[int]] = None
+    ) -> List[DomainMeasurement]:
+        """Materialised records for one day (the resolving-path interface)."""
+        snapshot = self.collect(date)
+        return list(snapshot.measurements(domain_indices))

@@ -3,12 +3,18 @@
 Commands:
 
 * ``list`` — show every reproducible artefact,
-* ``run <id>`` — regenerate one figure/table and print it,
+* ``run <id>`` — regenerate one figure/table and print it
+  (``--archive PATH`` replays a persistent measurement archive instead
+  of re-simulating the sweeps),
 * ``report`` — regenerate EXPERIMENTS.md,
 * ``info`` — summarise the built world,
 * ``resolve <name> --date D`` — honestly resolve a domain through the
   simulated root/TLD/authoritative hierarchy and show what the
-  measurement pipeline records.
+  measurement pipeline records,
+* ``archive build|status|verify`` — manage the on-disk measurement
+  archive (incremental builds, coverage summary, CRC verification),
+* ``bundle`` — export every artefact plus a machine-readable
+  ``bundle.json`` manifest.
 """
 
 from __future__ import annotations
@@ -76,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print per-phase timing and cache hit-rate metrics",
     )
+    run_parser.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="replay sweeps from a measurement archive instead of simulating",
+    )
 
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument(
@@ -99,6 +109,44 @@ def build_parser() -> argparse.ArgumentParser:
     bundle_parser.add_argument(
         "--extensions", action="store_true", help="include extension analyses"
     )
+    bundle_parser.add_argument(
+        "--profile", action="store_true",
+        help="record per-phase timing metrics in bundle.json",
+    )
+
+    archive_parser = sub.add_parser(
+        "archive", help="manage the persistent measurement archive"
+    )
+    archive_sub = archive_parser.add_subparsers(
+        dest="archive_command", required=True
+    )
+    archive_build = archive_sub.add_parser(
+        "build", help="build or extend an archive (incremental, resumable)"
+    )
+    archive_build.add_argument("path", help="archive directory")
+    archive_build.add_argument(
+        "--start", default=None,
+        help="first day of a custom range (default: the standard plan — "
+        "full study at --cadence plus the conflict window daily)",
+    )
+    archive_build.add_argument(
+        "--end", default=None, help="last day of a custom range"
+    )
+    archive_build.add_argument(
+        "--step", type=int, default=1, help="day step of a custom range"
+    )
+    archive_build.add_argument(
+        "--profile", action="store_true",
+        help="print build/write timing metrics",
+    )
+    archive_status = archive_sub.add_parser(
+        "status", help="summarise an archive's coverage and size"
+    )
+    archive_status.add_argument("path", help="archive directory")
+    archive_verify = archive_sub.add_parser(
+        "verify", help="re-read every shard and check it against the manifest"
+    )
+    archive_verify.add_argument("path", help="archive directory")
     return parser
 
 
@@ -111,6 +159,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         cadence_days=args.cadence,
         workers=args.workers,
         profile=getattr(args, "profile", False),
+        archive=getattr(args, "archive", None),
     )
 
 
@@ -150,8 +199,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    context = _context(args)
-    result = run_experiment(args.experiment, context)
+    from .errors import ArchiveError
+
+    try:
+        context = _context(args)
+        result = run_experiment(args.experiment, context)
+    except ArchiveError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     text = result.render()
     print(text)
     if args.profile:
@@ -218,6 +273,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 
 def _cmd_bundle(args: argparse.Namespace) -> int:
+    import json
     import pathlib
 
     from .experiments import run_all
@@ -226,11 +282,19 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
     target = pathlib.Path(args.output)
     target.mkdir(parents=True, exist_ok=True)
     results = run_all(context, include_extensions=args.extensions)
+    experiments = []
     for result in results:
-        (target / f"{result.experiment_id}.txt").write_text(
-            result.render() + "\n", encoding="utf-8"
+        text_path = target / f"{result.experiment_id}.txt"
+        text_path.write_text(result.render() + "\n", encoding="utf-8")
+        written = result.write_csv(target)
+        experiments.append(
+            {
+                "id": result.experiment_id,
+                "title": result.title,
+                "paper_reference": result.paper_reference,
+                "files": [text_path.name] + [path.name for path in written],
+            }
         )
-        result.write_csv(target)
 
     from .sim.validate import validate_world
 
@@ -240,12 +304,105 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
          "\n".join(issues) + "\n"),
         encoding="utf-8",
     )
+    extra_files = ["validation.txt"]
     if context.world.manifest is not None:
         (target / "timeline.txt").write_text(
             context.world.manifest.render() + "\n", encoding="utf-8"
         )
+        extra_files.append("timeline.txt")
+
+    manifest = {
+        "bundle_format": 1,
+        "scenario": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "cadence_days": args.cadence,
+            "workers": args.workers,
+            "with_pki": not args.no_pki,
+        },
+        "include_extensions": bool(args.extensions),
+        "experiments": experiments,
+        "extra_files": extra_files,
+    }
+    if args.profile:
+        manifest["profile"] = context.metrics.summary()
+    (target / "bundle.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     print(f"wrote {len(results)} artefacts to {target}/")
     return 0
+
+
+def _cmd_archive(args: argparse.Namespace) -> int:
+    from .archive import ArchiveBuilder, MeasurementArchive
+    from .archive.builder import standard_plan_dates
+    from .errors import ArchiveError
+    from .measurement.metrics import SweepMetrics
+
+    if args.archive_command == "build":
+        config = ConflictScenarioConfig(
+            scale=args.scale, seed=args.seed, with_pki=False
+        )
+        metrics = SweepMetrics()
+        builder = ArchiveBuilder(
+            args.path, config, workers=args.workers, metrics=metrics
+        )
+        if args.start is not None or args.end is not None:
+            if args.start is None or args.end is None:
+                print("--start and --end must be given together", file=sys.stderr)
+                return 2
+            report = builder.build(args.start, args.end, args.step)
+        else:
+            report = builder.build_standard(args.cadence)
+        print(
+            f"archived {len(report.written)} days "
+            f"({report.bytes_written:,} bytes, {report.segments} segments); "
+            f"{len(report.skipped)} already covered"
+        )
+        if args.profile:
+            print(metrics.render())
+        return 0
+
+    try:
+        archive = MeasurementArchive(args.path)
+    except ArchiveError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+    if args.archive_command == "status":
+        manifest = archive.manifest
+        covered = manifest.covered_dates()
+        print(f"archive:        {args.path}")
+        print(f"scenario:       {manifest.scenario}")
+        print(f"population:     {manifest.population_size:,} domains")
+        print(f"days covered:   {len(covered)}")
+        if covered:
+            print(f"first day:      {covered[0]}")
+            print(f"last day:       {covered[-1]}")
+        print(f"records:        {manifest.total_records():,}")
+        print(f"shard bytes:    {manifest.total_bytes():,}")
+        standard = standard_plan_dates(args.cadence)
+        missing = manifest.missing_dates(standard)
+        print(
+            f"standard plan:  {len(standard) - len(missing)}/{len(standard)} "
+            f"days present (cadence {args.cadence})"
+        )
+        return 0
+
+    if args.archive_command == "verify":
+        problems = archive.verify()
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            print(f"{len(problems)} problem(s) found", file=sys.stderr)
+            return 1
+        print(
+            f"archive ok: {len(archive.manifest.days)} shards, "
+            f"{archive.manifest.total_bytes():,} bytes verified"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled archive command {args.archive_command!r}")
 
 
 _COMMANDS = {
@@ -256,6 +413,7 @@ _COMMANDS = {
     "resolve": _cmd_resolve,
     "bundle": _cmd_bundle,
     "timeline": _cmd_timeline,
+    "archive": _cmd_archive,
 }
 
 

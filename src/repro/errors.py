@@ -91,5 +91,9 @@ class MeasurementError(ReproError):
     """A measurement collector was driven incorrectly."""
 
 
+class ArchiveError(ReproError):
+    """A measurement archive is corrupt, stale, or mismatched."""
+
+
 class AnalysisError(ReproError):
     """An analysis accumulator received inconsistent input."""

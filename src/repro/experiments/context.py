@@ -5,12 +5,17 @@ sweep once — through the parallel sweep engine — and accumulates every
 longitudinal series in a single pass.  Likewise for the recent
 (conflict-window) daily sweep, the CT monitor, and the scan dataset.
 Every expensive phase is instrumented in :attr:`ExperimentContext.metrics`.
+
+A context can also be **archive-backed**: given a persistent measurement
+archive (see :mod:`repro.archive`) whose scenario fingerprint matches the
+config, sweeps replay stored day shards through the identical reducers
+instead of re-deriving world days, so experiments become disk reads.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from ..core.reducers import (
     FullSweepReducer,
@@ -52,14 +57,32 @@ class ExperimentContext:
         workers: int = 1,
         chunk_days: Optional[int] = None,
         profile: bool = False,
+        archive: Optional[Union[str, "MeasurementArchive"]] = None,
     ) -> None:
         if cadence_days < 1:
             raise AnalysisError(f"cadence must be >= 1 day: {cadence_days}")
         if workers < 1:
             raise AnalysisError(f"workers must be >= 1: {workers}")
+        if archive is not None and world is not None:
+            raise AnalysisError(
+                "pass either a prebuilt world or an archive, not both"
+            )
         self.config = config or ConflictScenarioConfig()
         self.metrics = SweepMetrics()
         self.profile = profile
+        self.archive: Optional["MeasurementArchive"] = None
+        if archive is not None:
+            from ..archive.store import MeasurementArchive
+
+            if isinstance(archive, MeasurementArchive):
+                self.archive = archive
+                if self.archive.metrics is None:
+                    self.archive.metrics = self.metrics
+            else:
+                self.archive = MeasurementArchive(archive, metrics=self.metrics)
+            # A stale or foreign archive must be refused, not silently
+            # mixed with a freshly simulated world.
+            self.archive.manifest.check_scenario(self.config)
         if world is not None:
             self.world = world
             # A caller-supplied world may not match self.config, so
@@ -69,7 +92,14 @@ class ExperimentContext:
             with self.metrics.phase("world_build"):
                 self.world = build_scenario(self.config)
             engine_config = self.config
-        self.collector = FastCollector(self.world)
+        if self.archive is not None:
+            from ..archive.store import ArchiveCollector
+
+            self.collector = ArchiveCollector(self.archive, self.world)
+            # Shard reads are cheap; archive sweeps stay in-process.
+            engine_config = None
+        else:
+            self.collector = FastCollector(self.world)
         self.engine = SweepEngine(
             self.collector,
             config=engine_config,

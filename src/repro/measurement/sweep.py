@@ -77,7 +77,9 @@ def partition_chunks(
         raise MeasurementError(f"chunk size must be >= 1 day: {chunk_days}")
     start_date, end_date = as_date(start), as_date(end)
     if start_date > end_date:
-        raise MeasurementError(f"empty sweep {start_date} .. {end_date}")
+        raise MeasurementError(
+            f"sweep start {start_date} is after its end {end_date}"
+        )
     total_days = (end_date - start_date).days // step + 1
     chunks: List[SweepChunk] = []
     for first in range(0, total_days, chunk_days):
@@ -251,8 +253,19 @@ class SweepEngine:
         step: int = 1,
         phase: Optional[str] = None,
     ) -> list:
-        """Reduce every ``step``-th day in [start, end], in date order."""
+        """Reduce every ``step``-th day in [start, end], in date order.
+
+        A ``step`` larger than the whole range is valid and measures
+        exactly the start day; an inverted range or non-positive step is
+        rejected up front rather than surfacing as confusing chunking.
+        """
+        if step < 1:
+            raise MeasurementError(f"sweep step must be >= 1 day: {step}")
         start_date, end_date = as_date(start), as_date(end)
+        if start_date > end_date:
+            raise MeasurementError(
+                f"sweep start {start_date} is after its end {end_date}"
+            )
         total_days = (end_date - start_date).days // step + 1
         chunks = partition_chunks(
             start_date, end_date, step, self._chunk_days_for(total_days)

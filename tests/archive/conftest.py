@@ -1,0 +1,43 @@
+"""Archive fixtures: one built archive plus matched live/archive contexts.
+
+Everything here runs at the sweep-test scale (1:5000, ~1.1k concurrent
+domains) so the session pays for exactly one standard archive build and
+one live reference sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.archive import ArchiveBuilder
+from repro.experiments import ExperimentContext
+from repro.sim import ConflictScenarioConfig
+
+#: Cadence shared by the archive build and both contexts.
+CADENCE = 60
+
+
+@pytest.fixture(scope="session")
+def archive_config():
+    return ConflictScenarioConfig(scale=5000.0, with_pki=False)
+
+
+@pytest.fixture(scope="session")
+def built_archive(tmp_path_factory, archive_config):
+    """A standard-plan archive (full study at CADENCE + conflict window daily)."""
+    directory = tmp_path_factory.mktemp("archive") / "std"
+    ArchiveBuilder(str(directory), archive_config).build_standard(CADENCE)
+    return str(directory)
+
+
+@pytest.fixture(scope="session")
+def live_context(archive_config):
+    """The simulated reference every archive-backed result must match."""
+    return ExperimentContext(config=archive_config, cadence_days=CADENCE)
+
+
+@pytest.fixture(scope="session")
+def archive_context(archive_config, built_archive):
+    return ExperimentContext(
+        config=archive_config, cadence_days=CADENCE, archive=built_archive
+    )

@@ -1,0 +1,164 @@
+"""Tests for repro.archive.builder: incremental, resumable, parallel builds."""
+
+import datetime as dt
+import hashlib
+import os
+import pathlib
+
+import pytest
+
+from repro.archive import ArchiveBuilder, standard_plan_dates
+from repro.archive.builder import RECENT_DAILY_START, _segments, shard_filename
+from repro.archive.manifest import Manifest
+from repro.errors import ArchiveError
+from repro.sim import ConflictScenarioConfig
+from repro.timeline import STUDY_END, STUDY_START
+
+START = dt.date(2022, 2, 20)
+MID = dt.date(2022, 2, 25)
+END = dt.date(2022, 3, 3)
+
+
+def archive_digest(directory) -> str:
+    """SHA-256 over every file (name + bytes) in an archive directory."""
+    digest = hashlib.sha256()
+    for name in sorted(os.listdir(directory)):
+        digest.update(name.encode("utf-8"))
+        digest.update(pathlib.Path(directory, name).read_bytes())
+    return digest.hexdigest()
+
+
+class TestPlanHelpers:
+    def test_standard_plan_bounds(self):
+        dates = standard_plan_dates(60)
+        assert dates[0] == STUDY_START
+        assert dates[-1] == STUDY_END
+        # The conflict window is covered daily regardless of cadence.
+        day = RECENT_DAILY_START
+        while day <= STUDY_END:
+            assert day in dates
+            day += dt.timedelta(days=1)
+
+    def test_standard_plan_bad_cadence(self):
+        with pytest.raises(ArchiveError):
+            standard_plan_dates(0)
+
+    def test_segments_split_on_stride_change(self):
+        dates = [
+            dt.date(2022, 1, 1),
+            dt.date(2022, 1, 8),
+            dt.date(2022, 1, 15),
+            dt.date(2022, 2, 1),
+            dt.date(2022, 2, 2),
+            dt.date(2022, 2, 3),
+        ]
+        runs = _segments(dates)
+        assert (dt.date(2022, 1, 1), dt.date(2022, 1, 15), 7) in runs
+        assert (dt.date(2022, 2, 1), dt.date(2022, 2, 3), 1) in runs
+        covered = set()
+        for run_start, run_end, stride in runs:
+            day = run_start
+            while day <= run_end:
+                covered.add(day)
+                day += dt.timedelta(days=stride)
+        assert covered == set(dates)
+
+    def test_segments_single_date(self):
+        assert _segments([dt.date(2022, 1, 1)]) == [
+            (dt.date(2022, 1, 1), dt.date(2022, 1, 1), 1)
+        ]
+
+
+class TestIncrementalBuild:
+    def test_build_then_noop(self, tmp_path, archive_config):
+        builder = ArchiveBuilder(str(tmp_path / "arch"), archive_config)
+        report = builder.build(START, END)
+        wanted = (END - START).days + 1
+        assert len(report.written) == wanted
+        assert report.skipped == []
+        assert report.bytes_written > 0
+        again = builder.build(START, END)
+        assert again.written == []
+        assert len(again.skipped) == wanted
+        assert again.bytes_written == 0
+
+    def test_extension_writes_only_missing(self, tmp_path, archive_config):
+        directory = str(tmp_path / "arch")
+        ArchiveBuilder(directory, archive_config).build(START, MID)
+        report = ArchiveBuilder(directory, archive_config).build(START, END)
+        assert report.written == [
+            MID + dt.timedelta(days=offset)
+            for offset in range(1, (END - MID).days + 1)
+        ]
+        manifest = Manifest.load(directory)
+        assert len(manifest.covered_dates()) == (END - START).days + 1
+
+    def test_shard_files_match_manifest(self, tmp_path, archive_config):
+        directory = tmp_path / "arch"
+        ArchiveBuilder(str(directory), archive_config).build(START, MID)
+        manifest = Manifest.load(str(directory))
+        for date, entry in manifest.days.items():
+            assert entry.file == shard_filename(date)
+            assert (directory / entry.file).stat().st_size == entry.bytes
+
+
+class TestResumeByteIdentity:
+    """Interrupted-then-continued builds converge on identical bytes."""
+
+    def test_two_phase_build_equals_single_build(self, tmp_path, archive_config):
+        single = str(tmp_path / "single")
+        ArchiveBuilder(single, archive_config).build(START, END)
+        resumed = str(tmp_path / "resumed")
+        ArchiveBuilder(resumed, archive_config).build(START, MID)
+        ArchiveBuilder(resumed, archive_config).build(START, END)
+        assert archive_digest(resumed) == archive_digest(single)
+
+    def test_orphan_shard_is_adopted(self, tmp_path, archive_config):
+        """A written-but-unregistered shard (mid-segment kill) is rebuilt over."""
+        single = str(tmp_path / "single")
+        ArchiveBuilder(single, archive_config).build(START, END)
+        torn = str(tmp_path / "torn")
+        ArchiveBuilder(torn, archive_config).build(START, END)
+        # Forget the last day in the manifest but leave its shard file on
+        # disk — exactly what dying between write_shard and manifest.save
+        # leaves behind.
+        manifest = Manifest.load(torn)
+        del manifest.days[END]
+        manifest.save(torn)
+        ArchiveBuilder(torn, archive_config).build(START, END)
+        assert archive_digest(torn) == archive_digest(single)
+
+    def test_parallel_build_equals_serial(self, tmp_path, archive_config):
+        serial = str(tmp_path / "serial")
+        ArchiveBuilder(serial, archive_config).build(START, END)
+        parallel = str(tmp_path / "parallel")
+        ArchiveBuilder(
+            parallel, archive_config, workers=2, chunk_days=3
+        ).build(START, END)
+        assert archive_digest(parallel) == archive_digest(serial)
+
+
+class TestRefusals:
+    def test_scenario_mismatch_refused(self, tmp_path, archive_config):
+        directory = str(tmp_path / "arch")
+        ArchiveBuilder(directory, archive_config).build(START, MID)
+        other = ConflictScenarioConfig(scale=2500.0, with_pki=False)
+        with pytest.raises(ArchiveError, match="different scenario"):
+            ArchiveBuilder(directory, other).build(START, END)
+
+    def test_collector_params_mismatch_refused(self, tmp_path, archive_config):
+        directory = str(tmp_path / "arch")
+        ArchiveBuilder(directory, archive_config).build(START, MID)
+        with pytest.raises(ArchiveError, match="outage parameters"):
+            ArchiveBuilder(directory, archive_config, collector_seed=8).build(
+                START, END
+            )
+
+    def test_bad_ranges_rejected(self, tmp_path, archive_config):
+        builder = ArchiveBuilder(str(tmp_path / "arch"), archive_config)
+        with pytest.raises(ArchiveError):
+            builder.build(END, START)
+        with pytest.raises(ArchiveError):
+            builder.build(START, END, step=0)
+        with pytest.raises(ArchiveError):
+            builder.build_standard(cadence_days=0)

@@ -1,0 +1,120 @@
+"""Tests for repro.archive.codec: varints, zigzag, delta runs, strings."""
+
+import pytest
+
+from repro.archive.codec import (
+    read_delta_run,
+    read_int32_array,
+    read_string,
+    read_svarint,
+    read_uvarint,
+    unzigzag,
+    write_delta_run,
+    write_int32_array,
+    write_string,
+    write_svarint,
+    write_uvarint,
+    zigzag,
+)
+from repro.errors import ArchiveError
+
+
+def roundtrip(writer, reader, value):
+    buffer = bytearray()
+    writer(buffer, value)
+    result, offset = reader(memoryview(bytes(buffer)), 0)
+    assert offset == len(buffer)
+    return result
+
+
+class TestUvarint:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 300, 16383, 16384, 2**35, 2**63 - 1]
+    )
+    def test_roundtrip(self, value):
+        assert roundtrip(write_uvarint, read_uvarint, value) == value
+
+    def test_single_byte_below_128(self):
+        buffer = bytearray()
+        write_uvarint(buffer, 127)
+        assert len(buffer) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ArchiveError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_rejected(self):
+        buffer = bytearray()
+        write_uvarint(buffer, 300)
+        with pytest.raises(ArchiveError):
+            read_uvarint(memoryview(bytes(buffer[:-1])), 0)
+
+    def test_overlong_rejected(self):
+        with pytest.raises(ArchiveError):
+            read_uvarint(memoryview(b"\x80" * 11 + b"\x01"), 0)
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value", [0, 1, -1, 63, -64, 2**40, -(2**40)])
+    def test_inverse(self, value):
+        assert unzigzag(zigzag(value)) == value
+
+    def test_small_magnitudes_stay_small(self):
+        assert zigzag(-1) == 1
+        assert zigzag(1) == 2
+        assert zigzag(-64) < 128  # one varint byte
+
+    @pytest.mark.parametrize("value", [0, 5, -5, 1720, -100000])
+    def test_svarint_roundtrip(self, value):
+        assert roundtrip(write_svarint, read_svarint, value) == value
+
+
+class TestDeltaRun:
+    @pytest.mark.parametrize(
+        "values",
+        [[], [7], [1, 4, 7, 200], [5, 3, 9, 0], [10, 10, 10]],
+    )
+    def test_roundtrip_preserves_order(self, values):
+        assert roundtrip(write_delta_run, read_delta_run, values) == values
+
+    def test_sorted_run_is_compact(self):
+        buffer = bytearray()
+        write_delta_run(buffer, list(range(1000, 1100)))
+        # length + first value + 99 single-byte deltas.
+        assert len(buffer) < 110
+
+    def test_truncated_rejected(self):
+        buffer = bytearray()
+        write_delta_run(buffer, [1, 2, 3])
+        with pytest.raises(ArchiveError):
+            read_delta_run(memoryview(bytes(buffer[:-1])), 0)
+
+
+class TestInt32Array:
+    @pytest.mark.parametrize("values", [[], [7], [1, 4, 7, 200], [5, 3, -9, 0]])
+    def test_roundtrip_preserves_order(self, values):
+        assert roundtrip(write_int32_array, read_int32_array, values) == values
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ArchiveError):
+            write_int32_array(bytearray(), [2**31])
+
+    def test_truncated_rejected(self):
+        buffer = bytearray()
+        write_int32_array(buffer, [1, 2, 3])
+        with pytest.raises(ArchiveError):
+            read_int32_array(memoryview(bytes(buffer[:-1])), 0)
+
+
+class TestString:
+    @pytest.mark.parametrize(
+        "text", ["", "ns1.reg.ru", "xn--e1afmkfd.xn--p1ai", "пример.рф"]
+    )
+    def test_roundtrip(self, text):
+        assert roundtrip(write_string, read_string, text) == text
+
+    def test_truncated_rejected(self):
+        buffer = bytearray()
+        write_string(buffer, "example.ru")
+        with pytest.raises(ArchiveError):
+            read_string(memoryview(bytes(buffer[:-1])), 0)

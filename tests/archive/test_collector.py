@@ -1,0 +1,149 @@
+"""Archive-backed experiments must be bit-identical to live simulation."""
+
+import shutil
+
+import pytest
+
+from repro.archive import ArchiveCollector, MeasurementArchive
+from repro.errors import AnalysisError, ArchiveError
+from repro.experiments import ExperimentContext, run_experiment
+from repro.measurement.fast import DEFAULT_OUTAGE_DATES
+
+
+def sweep_series_equal(a, b):
+    """Assert two SweepSeries are bit-identical."""
+    for attr in ("ns_composition", "hosting_composition", "tld_composition"):
+        pa, pb = getattr(a, attr).points(), getattr(b, attr).points()
+        assert len(pa) == len(pb)
+        for x, y in zip(pa, pb):
+            assert (x.date, x.full, x.part, x.non) == (
+                y.date, y.full, y.part, y.non,
+            )
+    sa, sb = list(a.tld_shares), list(b.tld_shares)
+    assert len(sa) == len(sb)
+    for x, y in zip(sa, sb):
+        assert (x.date, x.total, x.counts) == (y.date, y.total, y.counts)
+
+
+class TestBitIdenticalResults:
+    """The acceptance bar: replayed figures render byte-for-byte the same."""
+
+    @pytest.mark.parametrize("experiment_id", ["fig1", "headline", "fig4", "fig5"])
+    def test_renders_identical(self, experiment_id, live_context, archive_context):
+        live = run_experiment(experiment_id, live_context)
+        archived = run_experiment(experiment_id, archive_context)
+        assert archived.render() == live.render()
+        assert archived.measured == live.measured
+
+    def test_full_sweep_series_identical(self, live_context, archive_context):
+        sweep_series_equal(live_context.full_sweep(), archive_context.full_sweep())
+
+    def test_recent_window_identical(self, live_context, archive_context):
+        live = list(live_context.recent_asn_shares())
+        archived = list(archive_context.recent_asn_shares())
+        assert len(live) == len(archived)
+        for x, y in zip(live, archived):
+            assert (x.date, x.total, x.counts) == (y.date, y.total, y.counts)
+        assert (
+            live_context.recent_listed_counts()
+            == archive_context.recent_listed_counts()
+        )
+
+    def test_measurements_identical(self, live_context, archive_context):
+        """Per-domain records materialised from shard columns match the world."""
+        live = live_context.collector.collect("2022-03-04")
+        archived = archive_context.collector.collect("2022-03-04")
+        assert list(archived.measured) == list(live.measured)
+        for domain_index in list(archived.measured)[:25]:
+            assert archived.measurement_for(domain_index) == (
+                live.measurement_for(domain_index)
+            )
+
+
+class TestCollectorInterface:
+    def test_outage_params_come_from_manifest(self, archive_context):
+        collector = archive_context.collector
+        assert isinstance(collector, ArchiveCollector)
+        assert collector.outage_dates == DEFAULT_OUTAGE_DATES
+        assert collector.seed == 7
+
+    def test_records_interface(self, archive_context):
+        records = archive_context.collector.records("2022-03-04")
+        assert records
+        sample = records[0]
+        assert sample.domain_index is not None
+        assert sample.ns_names == tuple(sorted(sample.ns_names))
+
+    def test_metrics_wired(self, archive_config, built_archive):
+        context = ExperimentContext(
+            config=archive_config, cadence_days=60, archive=built_archive
+        )
+        context.full_sweep()
+        assert context.metrics.get_phase("archive_read") is not None
+        summary = context.metrics.summary()
+        assert "archive_shards" in summary["caches"]
+        assert summary["phases"]["archive_read"]["bytes"] > 0
+
+    def test_archive_instance_accepted(self, archive_config, built_archive):
+        archive = MeasurementArchive(built_archive)
+        context = ExperimentContext(
+            config=archive_config, cadence_days=60, archive=archive
+        )
+        assert context.archive is archive
+        # The context attaches its own metrics to an unmetered archive.
+        assert archive.metrics is context.metrics
+
+
+class TestRefusals:
+    def test_uncovered_date_refused(self, archive_config, built_archive):
+        """A finer cadence than the archive was built for must not silently thin."""
+        context = ExperimentContext(
+            config=archive_config, cadence_days=7, archive=built_archive
+        )
+        with pytest.raises(ArchiveError, match="does not cover"):
+            context.full_sweep()
+
+    def test_scenario_mismatch_refused_at_open(self, built_archive):
+        from repro.sim import ConflictScenarioConfig
+
+        with pytest.raises(ArchiveError, match="different scenario"):
+            ExperimentContext(
+                config=ConflictScenarioConfig(scale=2500.0, with_pki=False),
+                archive=built_archive,
+            )
+
+    def test_world_and_archive_both_refused(self, tiny_world, built_archive):
+        with pytest.raises(AnalysisError, match="not both"):
+            ExperimentContext(world=tiny_world, archive=built_archive)
+
+    def test_population_mismatch_refused(self, tiny_world, built_archive):
+        with pytest.raises(ArchiveError, match="does not match the world"):
+            ArchiveCollector(MeasurementArchive(built_archive), tiny_world)
+
+
+class TestVerify:
+    def test_clean_archive_verifies(self, built_archive):
+        assert MeasurementArchive(built_archive).verify() == []
+
+    def test_corruption_and_orphans_reported(self, tmp_path, built_archive):
+        copy = tmp_path / "copy"
+        shutil.copytree(built_archive, copy)
+        archive = MeasurementArchive(str(copy))
+        entry = archive.manifest.days[archive.manifest.covered_dates()[0]]
+        shard_path = copy / entry.file
+        blob = bytearray(shard_path.read_bytes())
+        blob[-1] ^= 0xFF
+        shard_path.write_bytes(bytes(blob))
+        (copy / "2031-01-01.shard").write_bytes(b"stray")
+        problems = MeasurementArchive(str(copy)).verify()
+        assert any(entry.file in problem for problem in problems)
+        assert any("not listed in the manifest" in problem for problem in problems)
+
+    def test_missing_shard_reported(self, tmp_path, built_archive):
+        copy = tmp_path / "copy"
+        shutil.copytree(built_archive, copy)
+        archive = MeasurementArchive(str(copy))
+        entry = archive.manifest.days[archive.manifest.covered_dates()[-1]]
+        (copy / entry.file).unlink()
+        problems = archive.verify()
+        assert any("missing" in problem for problem in problems)

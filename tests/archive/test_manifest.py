@@ -1,0 +1,134 @@
+"""Tests for repro.archive.manifest: fingerprint, persistence, refusal."""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.archive.manifest import (
+    MANIFEST_NAME,
+    SCHEMA_VERSION,
+    DayEntry,
+    Manifest,
+    scenario_fingerprint,
+)
+from repro.errors import ArchiveError
+from repro.sim import ConflictScenarioConfig
+
+COLLECTOR = {"outage_dates": ["2021-03-22"], "outage_coverage": 0.55, "seed": 7}
+
+
+def manifest(config=None):
+    config = config or ConflictScenarioConfig(scale=5000.0, with_pki=False)
+    return Manifest(scenario_fingerprint(config), COLLECTOR, 1234)
+
+
+class TestFingerprint:
+    def test_fields(self):
+        config = ConflictScenarioConfig(scale=5000.0, with_pki=False)
+        fingerprint = scenario_fingerprint(config)
+        assert fingerprint == {
+            "scale": config.scale,
+            "seed": config.seed,
+            "geo_lag_days": config.geo_lag_days,
+            "netnod_mode": config.netnod_mode,
+            "sanctioned_domain_count": config.sanctioned_domain_count,
+        }
+
+    def test_with_pki_not_part_of_identity(self):
+        """Sweeps never read the PKI bundle, so the flag must not split archives."""
+        assert scenario_fingerprint(
+            ConflictScenarioConfig(scale=5000.0, with_pki=False)
+        ) == scenario_fingerprint(ConflictScenarioConfig(scale=5000.0, with_pki=True))
+
+    def test_check_scenario_accepts_match(self):
+        manifest().check_scenario(ConflictScenarioConfig(scale=5000.0, with_pki=False))
+
+    def test_check_scenario_names_mismatched_fields(self):
+        with pytest.raises(ArchiveError, match="scale"):
+            manifest().check_scenario(
+                ConflictScenarioConfig(scale=2500.0, with_pki=False)
+            )
+        with pytest.raises(ArchiveError, match="seed"):
+            manifest().check_scenario(
+                ConflictScenarioConfig(scale=5000.0, seed=99, with_pki=False)
+            )
+
+
+class TestCoverage:
+    def test_add_and_query(self):
+        m = manifest()
+        day = dt.date(2022, 3, 4)
+        m.add_day(DayEntry(day, "2022-03-04.shard", 100, 7, 0xDEAD))
+        assert m.covered_dates() == [day]
+        assert m.missing_dates([day, dt.date(2022, 3, 5)]) == [dt.date(2022, 3, 5)]
+        assert m.total_bytes() == 100
+        assert m.total_records() == 7
+
+    def test_add_day_overwrites(self):
+        m = manifest()
+        day = dt.date(2022, 3, 4)
+        m.add_day(DayEntry(day, "2022-03-04.shard", 100, 7, 1))
+        m.add_day(DayEntry(day, "2022-03-04.shard", 120, 8, 2))
+        assert m.total_bytes() == 120
+        assert m.days[day].crc32 == 2
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        m = manifest()
+        m.add_day(DayEntry(dt.date(2022, 3, 4), "2022-03-04.shard", 100, 7, 0xDEAD))
+        m.save(str(tmp_path))
+        loaded = Manifest.load(str(tmp_path))
+        assert loaded.scenario == m.scenario
+        assert loaded.collector == m.collector
+        assert loaded.population_size == m.population_size
+        assert loaded.covered_dates() == m.covered_dates()
+        entry = loaded.days[dt.date(2022, 3, 4)]
+        assert (entry.file, entry.bytes, entry.records, entry.crc32) == (
+            "2022-03-04.shard", 100, 7, 0xDEAD,
+        )
+
+    def test_save_bytes_deterministic(self, tmp_path):
+        m = manifest()
+        m.add_day(DayEntry(dt.date(2022, 3, 4), "2022-03-04.shard", 100, 7, 3))
+        m.save(str(tmp_path))
+        first = (tmp_path / MANIFEST_NAME).read_bytes()
+        m.save(str(tmp_path))
+        assert (tmp_path / MANIFEST_NAME).read_bytes() == first
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(ArchiveError, match="no archive manifest"):
+            Manifest.load(str(tmp_path))
+
+    def test_invalid_json(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json", encoding="utf-8")
+        with pytest.raises(ArchiveError, match="not valid JSON"):
+            Manifest.load(str(tmp_path))
+
+    def test_foreign_format_refused(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"format": "something-else"}), encoding="utf-8"
+        )
+        with pytest.raises(ArchiveError, match="not a measurement-archive"):
+            Manifest.load(str(tmp_path))
+
+    def test_future_schema_version_refused(self, tmp_path):
+        m = manifest()
+        path = m.save(str(tmp_path))
+        raw = json.loads(open(path, encoding="utf-8").read())
+        raw["schema_version"] = SCHEMA_VERSION + 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(raw, handle)
+        with pytest.raises(ArchiveError, match="schema version"):
+            Manifest.load(str(tmp_path))
+
+    def test_malformed_days_refused(self, tmp_path):
+        m = manifest()
+        path = m.save(str(tmp_path))
+        raw = json.loads(open(path, encoding="utf-8").read())
+        raw["days"] = {"2022-03-04": {"file": "x.shard"}}  # missing fields
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(raw, handle)
+        with pytest.raises(ArchiveError, match="malformed"):
+            Manifest.load(str(tmp_path))

@@ -1,0 +1,178 @@
+"""Tests for repro.archive.shard: round-trips, corruption, materialisation."""
+
+import datetime as dt
+import struct
+import zlib
+
+import pytest
+
+from repro.archive.shard import (
+    SHARD_MAGIC,
+    SHARD_VERSION,
+    DayShardRecord,
+    read_shard,
+    write_shard,
+)
+from repro.dns.name import DomainName
+from repro.errors import ArchiveError
+from repro.measurement.fast import FastCollector
+
+_HEADER = struct.Struct("<8sHHIIIQ")
+
+
+def record(**overrides):
+    """A small hand-built day shard (includes a punycode .рф domain)."""
+    defaults = dict(
+        date=dt.date(2022, 3, 4),
+        epoch_start_day=1720,
+        population_size=10,
+        measured=[1, 4, 7],
+        dns_ids=[2, 2, 5],
+        hosting_ids=[3, 1, 3],
+        dns_plan_ns={
+            2: (("ns1.reg.ru", "ns2.reg.ru"), (101, 102)),
+            5: (("alice.ns.cloudflare.com",), (250,)),
+        },
+        domains=["a.ru", "b.ru", "xn--e1afmkfd.xn--p1ai"],
+        apex=[(11,), (12, 13), ()],
+    )
+    defaults.update(overrides)
+    return DayShardRecord(**defaults)
+
+
+class TestRecordValidation:
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ArchiveError, match="dns_ids"):
+            record(dns_ids=[2, 2])
+
+    def test_missing_plan_rejected(self):
+        with pytest.raises(ArchiveError, match="dns plans missing"):
+            record(dns_ids=[2, 2, 9])
+
+    def test_equality_is_content_based(self):
+        assert record() == record()
+        assert record() != record(hosting_ids=[3, 1, 4])
+
+
+class TestRoundTrip:
+    def test_write_read_equal(self, tmp_path):
+        original = record()
+        path = str(tmp_path / "day.shard")
+        file_bytes, crc = write_shard(path, original)
+        assert file_bytes == (tmp_path / "day.shard").stat().st_size
+        loaded = read_shard(path, expected_crc=crc)
+        assert loaded == original
+        assert loaded.key() == original.key()
+
+    def test_bytes_deterministic(self, tmp_path):
+        write_shard(str(tmp_path / "a.shard"), record())
+        write_shard(str(tmp_path / "b.shard"), record())
+        assert (tmp_path / "a.shard").read_bytes() == (
+            tmp_path / "b.shard"
+        ).read_bytes()
+
+    def test_no_temp_files_left(self, tmp_path):
+        write_shard(str(tmp_path / "day.shard"), record())
+        assert [p.name for p in tmp_path.iterdir()] == ["day.shard"]
+
+    def test_punycode_domain_survives(self, tmp_path):
+        path = str(tmp_path / "day.shard")
+        write_shard(path, record())
+        loaded = read_shard(path)
+        measurement = loaded.measurement_for(7)
+        assert measurement.domain == DomainName.parse("пример.рф")
+        assert str(measurement.domain) == "xn--e1afmkfd.xn--p1ai"
+        assert measurement.domain_index == 7
+        assert measurement.ns_names == ("alice.ns.cloudflare.com",)
+        assert measurement.apex_addresses == ()
+
+    def test_measurement_columns(self, tmp_path):
+        path = str(tmp_path / "day.shard")
+        write_shard(path, record())
+        loaded = read_shard(path)
+        first = loaded.measurement_at(0)
+        assert first.domain == DomainName.parse("a.ru")
+        assert first.ns_names == ("ns1.reg.ru", "ns2.reg.ru")
+        assert first.ns_addresses == (101, 102)
+        assert first.apex_addresses == (11,)
+        assert len(list(loaded.measurements())) == 3
+        with pytest.raises(ArchiveError, match="not measured"):
+            loaded.measurement_for(2)
+
+
+class TestCorruption:
+    def test_flipped_payload_byte_detected(self, tmp_path):
+        path = tmp_path / "day.shard"
+        write_shard(str(path), record())
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArchiveError):
+            read_shard(str(path))
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "day.shard"
+        write_shard(str(path), record())
+        path.write_bytes(path.read_bytes()[: _HEADER.size - 2])
+        with pytest.raises(ArchiveError, match="shorter than its header"):
+            read_shard(str(path))
+
+    def test_bad_magic_detected(self, tmp_path):
+        path = tmp_path / "day.shard"
+        write_shard(str(path), record())
+        blob = bytearray(path.read_bytes())
+        blob[:8] = b"NOTASHRD"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArchiveError, match="bad magic"):
+            read_shard(str(path))
+
+    def test_future_version_refused(self, tmp_path):
+        path = tmp_path / "day.shard"
+        write_shard(str(path), record())
+        blob = bytearray(path.read_bytes())
+        _, _, flags, ordinal, count, crc, length = _HEADER.unpack_from(blob)
+        blob[: _HEADER.size] = _HEADER.pack(
+            SHARD_MAGIC, SHARD_VERSION + 1, flags, ordinal, count, crc, length
+        )
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArchiveError, match="format version"):
+            read_shard(str(path))
+
+    def test_manifest_crc_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "day.shard")
+        _, crc = write_shard(path, record())
+        with pytest.raises(ArchiveError, match="does not match the manifest"):
+            read_shard(path, expected_crc=crc ^ 1)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArchiveError, match="cannot read shard"):
+            read_shard(str(tmp_path / "absent.shard"))
+
+
+class TestFromSnapshot:
+    """Columnarising a live snapshot must reproduce its measurements."""
+
+    def test_snapshot_roundtrip(self, tmp_path, tiny_world):
+        snapshot = FastCollector(tiny_world).collect("2022-03-04")
+        built = DayShardRecord.from_snapshot(snapshot)
+        path = str(tmp_path / "day.shard")
+        write_shard(path, built)
+        loaded = read_shard(path)
+        assert loaded == built
+        assert loaded.population_size == len(tiny_world.population)
+        assert loaded.epoch_start_day == snapshot.epoch.start_day
+        for domain_index in loaded.measured[:20]:
+            assert loaded.measurement_for(domain_index) == (
+                snapshot.measurement_for(domain_index)
+            )
+
+    def test_caches_are_reused(self, tiny_world):
+        apex_cache, plan_cache = {}, {}
+        first = DayShardRecord.from_snapshot(
+            FastCollector(tiny_world).collect("2022-03-04"), apex_cache, plan_cache
+        )
+        assert apex_cache and plan_cache
+        again = DayShardRecord.from_snapshot(
+            FastCollector(tiny_world).collect("2022-03-04"), apex_cache, plan_cache
+        )
+        assert again == first

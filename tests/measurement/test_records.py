@@ -33,6 +33,26 @@ class TestNormalisation:
     def test_domain_index_not_part_of_identity(self):
         assert measurement(domain_index=1) == measurement(domain_index=2)
 
+    def test_apex_sorted_on_construction(self):
+        m = measurement(apex_addresses=(50, 30, 40))
+        assert m.apex_addresses == (30, 40, 50)
+
+    def test_domain_index_defaults_to_none(self):
+        """Raw (resolving-path) records carry no registry index."""
+        assert measurement().domain_index is None
+
+
+class TestIdnDomains:
+    def test_rf_domain_normalises_to_alabel(self):
+        m = measurement(domain=DomainName.parse("пример.рф"))
+        assert str(m.domain) == "xn--e1afmkfd.xn--p1ai"
+        assert m.domain == DomainName.parse("xn--e1afmkfd.xn--p1ai")
+        assert m.domain.tld == "xn--p1ai"
+
+    def test_rf_ns_tld(self):
+        m = measurement(ns_names=("ns1.xn--e1afmkfd.xn--p1ai", "ns1.reg.ru"))
+        assert m.ns_tlds() == ("ru", "xn--p1ai")
+
 
 class TestNsTlds:
     def test_dedup_sorted(self):

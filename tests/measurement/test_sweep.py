@@ -90,6 +90,32 @@ class TestPartition:
             partition_chunks("2022-01-01", "2022-01-02", 1, 0)
 
 
+class TestRunValidation:
+    """SweepEngine.run rejects degenerate ranges up front."""
+
+    def test_inverted_range_rejected(self, tiny_world):
+        engine = SweepEngine(FastCollector(tiny_world))
+        with pytest.raises(MeasurementError, match="after its end"):
+            engine.run(FullSweepReducer(), "2022-01-02", "2022-01-01", 1)
+
+    def test_non_positive_step_rejected(self, tiny_world):
+        engine = SweepEngine(FastCollector(tiny_world))
+        for step in (0, -3):
+            with pytest.raises(MeasurementError, match="step must be >= 1"):
+                engine.run(FullSweepReducer(), START, END, step)
+
+    def test_step_larger_than_range_measures_start_only(self, tiny_world):
+        engine = SweepEngine(FastCollector(tiny_world))
+        records = engine.run(FullSweepReducer(), START, START + dt.timedelta(days=3), 365)
+        assert [record.date for record in records] == [START]
+
+    def test_partition_step_larger_than_range(self):
+        chunks = partition_chunks("2022-01-01", "2022-01-04", 365, 10)
+        assert len(chunks) == 1
+        assert chunks[0].days == 1
+        assert chunks[0].start == chunks[0].end == dt.date(2022, 1, 1)
+
+
 class TestSerialChunking:
     """The in-process fallback: any chunking must be bit-identical."""
 

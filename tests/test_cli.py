@@ -87,6 +87,34 @@ class TestCommands:
         )
 
 
+    def test_bundle_json_manifest(self, tmp_path):
+        import json
+
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            ["--scale", "2500", "--cadence", "60", "bundle",
+             "--output", str(out_dir), "--profile"]
+        )
+        assert code == 0
+        manifest = json.loads((out_dir / "bundle.json").read_text())
+        assert manifest["bundle_format"] == 1
+        assert manifest["scenario"] == {
+            "scale": 2500.0,
+            "seed": 20220224,
+            "cadence_days": 60,
+            "workers": 1,
+            "with_pki": True,
+        }
+        assert manifest["include_extensions"] is False
+        ids = [entry["id"] for entry in manifest["experiments"]]
+        assert "fig1" in ids and "headline" in ids
+        for entry in manifest["experiments"]:
+            assert entry["title"]
+            for name in entry["files"]:
+                assert (out_dir / name).exists()
+        assert "validation.txt" in manifest["extra_files"]
+        assert "full_sweep" in manifest["profile"]["phases"]
+
     def test_timeline(self, capsys):
         assert main(ARGS + ["timeline"]) == 0
         out = capsys.readouterr().out
@@ -103,3 +131,80 @@ class TestCommands:
         code = main(ARGS + ["--cadence", "60", "run", "countries"])
         assert code == 0
         assert "countries" in capsys.readouterr().out
+
+
+class TestArchiveCommands:
+    """The archive build/status/verify verbs and ``run --archive``."""
+
+    @pytest.fixture(scope="class")
+    def cli_archive(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-archive") / "std"
+        code = main(
+            ARGS + ["--cadence", "60", "archive", "build", str(directory)]
+        )
+        assert code == 0
+        return directory
+
+    def test_build_reports_days(self, cli_archive, capsys):
+        # Second build over the same plan is a no-op resume.
+        code = main(ARGS + ["--cadence", "60", "archive", "build", str(cli_archive)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "archived 0 days" in out
+        assert "already covered" in out
+
+    def test_custom_range_needs_both_bounds(self, cli_archive, capsys):
+        code = main(
+            ARGS + ["archive", "build", str(cli_archive), "--start", "2022-03-01"]
+        )
+        assert code == 2
+        assert "together" in capsys.readouterr().err
+
+    def test_status(self, cli_archive, capsys):
+        assert main(ARGS + ["--cadence", "60", "archive", "status", str(cli_archive)]) == 0
+        out = capsys.readouterr().out
+        assert "days covered" in out
+        assert "standard plan" in out
+        # The standard plan at the build cadence is fully present.
+        assert "0/" not in out.split("standard plan:")[1]
+
+    def test_verify_clean(self, cli_archive, capsys):
+        assert main(ARGS + ["archive", "verify", str(cli_archive)]) == 0
+        assert "archive ok" in capsys.readouterr().out
+
+    def test_verify_detects_corruption(self, cli_archive, tmp_path, capsys):
+        import shutil
+
+        copy = tmp_path / "corrupt"
+        shutil.copytree(cli_archive, copy)
+        shard = sorted(copy.glob("*.shard"))[0]
+        blob = bytearray(shard.read_bytes())
+        blob[-1] ^= 0xFF
+        shard.write_bytes(bytes(blob))
+        assert main(ARGS + ["archive", "verify", str(copy)]) == 1
+        assert "problem(s) found" in capsys.readouterr().err
+
+    def test_status_on_missing_archive(self, tmp_path, capsys):
+        assert main(ARGS + ["archive", "status", str(tmp_path / "nope")]) == 1
+        assert "manifest" in capsys.readouterr().err
+
+    def test_run_from_archive_matches_live(self, cli_archive, tmp_path, capsys):
+        live = tmp_path / "live.txt"
+        replayed = tmp_path / "replayed.txt"
+        assert main(
+            ARGS + ["--cadence", "60", "run", "fig1", "--out", str(live)]
+        ) == 0
+        assert main(
+            ARGS + ["--cadence", "60", "run", "fig1",
+                    "--archive", str(cli_archive), "--out", str(replayed)]
+        ) == 0
+        capsys.readouterr()
+        assert replayed.read_text() == live.read_text()
+
+    def test_run_refuses_mismatched_archive(self, cli_archive, capsys):
+        code = main(
+            ["--scale", "5000", "--no-pki", "--cadence", "60",
+             "run", "fig1", "--archive", str(cli_archive)]
+        )
+        assert code == 1
+        assert "different scenario" in capsys.readouterr().err
