@@ -24,7 +24,8 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ArchiveError
+from ..errors import ArchiveError, ArchiveMismatchError
+from ..faults import sync_fault_metrics
 from ..measurement.fast import DEFAULT_OUTAGE_DATES, _OUTAGE_COVERAGE, FastCollector
 from ..measurement.metrics import SweepMetrics
 from ..measurement.sweep import SweepEngine
@@ -89,16 +90,18 @@ class ArchiveShardReducer:
     every time.  They are dropped on pickling, like the other reducers.
     """
 
-    def __init__(self, directory: str) -> None:
+    def __init__(self, directory: str, faults=None) -> None:
         self.directory = str(directory)
+        self.faults = faults
         self._apex_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self._plan_cache: Dict[Tuple[int, int], Tuple[Tuple[str, ...], Tuple[int, ...]]] = {}
 
     def __getstate__(self):
-        return {"directory": self.directory}
+        return {"directory": self.directory, "faults": self.faults}
 
     def __setstate__(self, state) -> None:
         self.directory = state["directory"]
+        self.faults = state.get("faults")
         self._apex_cache = {}
         self._plan_cache = {}
 
@@ -109,7 +112,9 @@ class ArchiveShardReducer:
             snapshot, self._apex_cache, self._plan_cache
         )
         name = shard_filename(record.date)
-        file_bytes, crc = write_shard(os.path.join(self.directory, name), record)
+        file_bytes, crc = write_shard(
+            os.path.join(self.directory, name), record, faults=self.faults
+        )
         return ShardInfo(
             record.date,
             name,
@@ -203,12 +208,14 @@ class ArchiveBuilder:
         outage_dates: Sequence[_dt.date] = DEFAULT_OUTAGE_DATES,
         outage_coverage: float = _OUTAGE_COVERAGE,
         collector_seed: int = 7,
+        faults=None,
     ) -> None:
         self.directory = str(directory)
         self.config = config
         self.workers = int(workers)
         self.chunk_days = chunk_days
         self.metrics = metrics
+        self.faults = faults
         self._outage_dates = tuple(sorted(as_date(d) for d in outage_dates))
         self._outage_coverage = float(outage_coverage)
         self._collector_seed = int(collector_seed)
@@ -242,6 +249,7 @@ class ArchiveBuilder:
                 workers=self.workers,
                 chunk_days=self.chunk_days,
                 metrics=self.metrics,
+                faults=self.faults,
             )
         return self._engine
 
@@ -257,7 +265,7 @@ class ArchiveBuilder:
             manifest = Manifest.load(self.directory)
             manifest.check_scenario(self.config)
             if manifest.collector != self._collector_params():
-                raise ArchiveError(
+                raise ArchiveMismatchError(
                     "archive was collected under different outage parameters "
                     f"(archive={manifest.collector}, "
                     f"requested={self._collector_params()})"
@@ -284,10 +292,10 @@ class ArchiveBuilder:
         if not missing:
             # Still (re)write the manifest so a fresh no-op build of an
             # empty range leaves a valid archive behind.
-            manifest.save(self.directory)
+            manifest.save(self.directory, faults=self.faults)
             return BuildReport([], skipped, 0, 0)
         engine = self._ensure_engine()
-        reducer = ArchiveShardReducer(self.directory)
+        reducer = ArchiveShardReducer(self.directory, faults=self.faults)
         os.makedirs(self.directory, exist_ok=True)
         written: List[_dt.date] = []
         bytes_written = 0
@@ -308,7 +316,7 @@ class ArchiveBuilder:
                 bytes_written += info.bytes
             # Flush after every segment: an interruption costs at most
             # the in-flight segment, never what is already on disk.
-            manifest.save(self.directory)
+            manifest.save(self.directory, faults=self.faults)
             if self.metrics is not None:
                 with self.metrics.phase("archive_write") as stat:
                     pass
@@ -318,6 +326,8 @@ class ArchiveBuilder:
                     int(stat.notes.get("bytes", 0))
                     + sum(info.bytes for info in infos)
                 )
+        if self.metrics is not None:
+            sync_fault_metrics(self.faults, self.metrics)
         return BuildReport(written, skipped, bytes_written, len(segments))
 
     def build_standard(self, cadence_days: int = 7) -> BuildReport:
@@ -339,5 +349,7 @@ class ArchiveBuilder:
         )
 
     def open(self) -> MeasurementArchive:
-        """Open the built archive for reading."""
-        return MeasurementArchive(self.directory, metrics=self.metrics)
+        """Open the built archive for reading (self-healing enabled)."""
+        return MeasurementArchive(
+            self.directory, metrics=self.metrics, config=self.config
+        )

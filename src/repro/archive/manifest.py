@@ -23,7 +23,8 @@ import json
 import os
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import ArchiveError
+from ..errors import ArchiveError, ArchiveMismatchError
+from ..ioutil import atomic_write_bytes
 from ..measurement.sweep import _scenario_key
 
 __all__ = ["SCHEMA_VERSION", "MANIFEST_NAME", "scenario_fingerprint", "DayEntry", "Manifest"]
@@ -125,7 +126,7 @@ class Manifest:
                 for field in set(self.scenario) | set(wanted)
                 if self.scenario.get(field) != wanted.get(field)
             )
-            raise ArchiveError(
+            raise ArchiveMismatchError(
                 "archive was built for a different scenario "
                 f"(mismatched fields: {', '.join(differing)}; "
                 f"archive={self.scenario}, requested={wanted})"
@@ -148,14 +149,13 @@ class Manifest:
             },
         }
 
-    def save(self, directory: str) -> str:
+    def save(self, directory: str, faults=None) -> str:
         """Atomically (re)write ``manifest.json``; returns its path."""
         path = os.path.join(directory, MANIFEST_NAME)
         text = json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
-        temp_path = f"{path}.tmp.{os.getpid()}"
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        os.replace(temp_path, path)
+        atomic_write_bytes(
+            path, text.encode("utf-8"), faults=faults, site="manifest.write"
+        )
         return path
 
     @classmethod

@@ -17,24 +17,27 @@ stored columnarly:
   :class:`~repro.measurement.records.DomainMeasurement` of the day
   without touching a world.
 
-The payload is a single zlib-compressed buffer behind a fixed header
-carrying a CRC32 of the *uncompressed* payload, so corruption is caught
-before any value is trusted.  Writes are build-order independent and
-byte-deterministic: the same day record always serialises to the same
-bytes, which is what makes interrupted-then-resumed archive builds
-byte-identical to uninterrupted ones.
+The payload is a single zlib-compressed buffer behind a fixed header.
+Format version 2 computes the header CRC32 over the header itself (with
+the CRC field zeroed) followed by the *uncompressed* payload, so a bit
+flip anywhere in the file — including the date ordinal or record count
+in the header — is caught before any value is trusted.  Writes are
+build-order independent and byte-deterministic: the same day record
+always serialises to the same bytes, which is what makes
+interrupted-then-resumed archive builds byte-identical to uninterrupted
+ones.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
-import os
 import struct
 import zlib
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dns.name import DomainName
-from ..errors import ArchiveError
+from ..errors import ArchiveCorruptError, ArchiveError, ArchiveStaleError
+from ..ioutil import atomic_write_bytes
 from ..measurement.records import DomainMeasurement
 from .codec import (
     read_delta_run,
@@ -49,10 +52,17 @@ from .codec import (
     write_uvarint,
 )
 
-__all__ = ["SHARD_MAGIC", "SHARD_VERSION", "DayShardRecord", "write_shard", "read_shard"]
+__all__ = [
+    "SHARD_MAGIC",
+    "SHARD_VERSION",
+    "DayShardRecord",
+    "encode_shard",
+    "write_shard",
+    "read_shard",
+]
 
 SHARD_MAGIC = b"REPROARC"
-SHARD_VERSION = 1
+SHARD_VERSION = 2
 
 #: ``magic, version, flags, date ordinal, record count, payload crc32,
 #: uncompressed payload length``.
@@ -404,64 +414,91 @@ def _decode_payload(date: _dt.date, count: int, payload: bytes) -> DayShardRecor
     return record
 
 
-def write_shard(path: str, record: DayShardRecord) -> Tuple[int, int]:
-    """Serialise ``record`` to ``path`` atomically.
+def _shard_crc(
+    flags: int, ordinal: int, count: int, payload_length: int, payload: bytes
+) -> int:
+    """Header-covering CRC32: header bytes with the CRC field zeroed,
+    then the uncompressed payload — every stored header field (flags
+    included) is part of the checksummed message."""
+    zeroed = _HEADER.pack(
+        SHARD_MAGIC, SHARD_VERSION, flags, ordinal, count, 0, payload_length
+    )
+    return zlib.crc32(payload, zlib.crc32(zeroed))
 
-    Returns ``(file_bytes, payload_crc32)``.  The write goes through a
-    same-directory temp file and :func:`os.replace`, so concurrent
-    builder workers and interrupted builds never leave a torn shard
-    behind the final name.
+
+def encode_shard(record: DayShardRecord) -> Tuple[bytes, int]:
+    """Serialise ``record`` to its canonical on-disk bytes.
+
+    Returns ``(blob, crc32)``; the CRC covers the header (with its CRC
+    field zeroed) plus the uncompressed payload.
     """
     payload = bytes(_encode_payload(record))
-    crc = zlib.crc32(payload)
-    compressed = zlib.compress(payload, _ZLIB_LEVEL)
+    ordinal = record.date.toordinal()
+    count = len(record.measured)
+    crc = _shard_crc(0, ordinal, count, len(payload), payload)
     header = _HEADER.pack(
-        SHARD_MAGIC,
-        SHARD_VERSION,
-        0,
-        record.date.toordinal(),
-        len(record.measured),
-        crc,
-        len(payload),
+        SHARD_MAGIC, SHARD_VERSION, 0, ordinal, count, crc, len(payload)
     )
-    blob = header + compressed
-    temp_path = f"{path}.tmp.{os.getpid()}"
-    with open(temp_path, "wb") as handle:
-        handle.write(blob)
-    os.replace(temp_path, path)
+    return header + zlib.compress(payload, _ZLIB_LEVEL), crc
+
+
+def write_shard(
+    path: str, record: DayShardRecord, faults=None, retries: int = 6
+) -> Tuple[int, int]:
+    """Serialise ``record`` to ``path`` atomically.
+
+    Returns ``(file_bytes, crc32)``.  The write goes through
+    :func:`repro.ioutil.atomic_write_bytes` (same-directory temp file +
+    ``os.replace`` with transient-error retry), so concurrent builder
+    workers, injected faults, and interrupted builds never leave a torn
+    shard behind the final name.
+    """
+    blob, crc = encode_shard(record)
+    atomic_write_bytes(path, blob, faults=faults, site="shard.write", retries=retries)
     return len(blob), crc
 
 
 def read_shard(path: str, expected_crc: Optional[int] = None) -> DayShardRecord:
-    """Load and verify one shard; raises :class:`ArchiveError` on damage."""
+    """Load and verify one shard; raises :class:`ArchiveError` on damage.
+
+    The failure is classified by subclass: damaged bytes raise
+    :class:`ArchiveCorruptError`; a healthy shard that disagrees with
+    the manifest's expected CRC raises :class:`ArchiveStaleError`.
+    """
     try:
         with open(path, "rb") as handle:
             blob = handle.read()
     except OSError as exc:
-        raise ArchiveError(f"cannot read shard {path}: {exc}") from exc
+        raise ArchiveCorruptError(f"cannot read shard {path}: {exc}") from exc
     if len(blob) < _HEADER.size:
-        raise ArchiveError(f"shard {path} is shorter than its header")
-    magic, version, _flags, ordinal, count, crc, payload_length = _HEADER.unpack_from(
+        raise ArchiveCorruptError(f"shard {path} is shorter than its header")
+    magic, version, flags, ordinal, count, crc, payload_length = _HEADER.unpack_from(
         blob
     )
     if magic != SHARD_MAGIC:
-        raise ArchiveError(f"shard {path} has bad magic {magic!r}")
+        raise ArchiveCorruptError(f"shard {path} has bad magic {magic!r}")
     if version != SHARD_VERSION:
         raise ArchiveError(
             f"shard {path} has format version {version}, expected {SHARD_VERSION}"
         )
     if expected_crc is not None and crc != expected_crc:
-        raise ArchiveError(
+        raise ArchiveStaleError(
             f"shard {path} crc {crc:#010x} does not match the manifest"
         )
+    decompressor = zlib.decompressobj()
     try:
-        payload = zlib.decompress(blob[_HEADER.size:])
+        payload = decompressor.decompress(blob[_HEADER.size:])
+        payload += decompressor.flush()
     except zlib.error as exc:
-        raise ArchiveError(f"shard {path} failed to decompress: {exc}") from exc
+        raise ArchiveCorruptError(f"shard {path} failed to decompress: {exc}") from exc
+    if not decompressor.eof or decompressor.unused_data:
+        raise ArchiveCorruptError(
+            f"shard {path} has trailing or truncated compressed data"
+        )
     if len(payload) != payload_length:
-        raise ArchiveError(
+        raise ArchiveCorruptError(
             f"shard {path} payload length {len(payload)} != header {payload_length}"
         )
-    if zlib.crc32(payload) != crc:
-        raise ArchiveError(f"shard {path} is corrupt (crc mismatch)")
+    if _shard_crc(flags, ordinal, count, payload_length, payload) != crc:
+        raise ArchiveCorruptError(f"shard {path} is corrupt (crc mismatch)")
     return _decode_payload(_dt.date.fromordinal(ordinal), count, payload)

@@ -13,6 +13,14 @@ Bit-identical results are structural, not incidental: an
 back over the population and borrows the epoch label tables from a
 world rebuilt from the same scenario config, which is precisely the
 state the live :class:`~repro.measurement.fast.FastCollector` computes.
+
+The archive is **self-healing** when opened with its scenario config: a
+shard that fails its CRC (or any other integrity check) is quarantined
+— renamed aside, never deleted — and rebuilt in place from the config,
+which by shard-byte determinism reproduces the original bytes exactly.
+:meth:`MeasurementArchive.repair` runs the same quarantine-and-rebuild
+over every problem :meth:`verify_detailed` finds, and transient read
+errors are retried with bounded backoff before any of that triggers.
 """
 
 from __future__ import annotations
@@ -25,7 +33,14 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ArchiveError
+from ..errors import (
+    ArchiveError,
+    ArchiveMismatchError,
+    ArchiveStaleError,
+    RecoveryError,
+)
+from ..faults import TransientIOError
+from ..ioutil import backoff_seconds
 from ..measurement.fast import DailySnapshot
 from ..measurement.metrics import SweepMetrics
 from ..measurement.records import DomainMeasurement
@@ -34,26 +49,110 @@ from ..sim.world import World
 from .manifest import Manifest
 from .shard import DayShardRecord, read_shard
 
-__all__ = ["MeasurementArchive", "ArchivedSnapshot", "ArchiveCollector"]
+__all__ = [
+    "Problem",
+    "RepairReport",
+    "MeasurementArchive",
+    "ArchivedSnapshot",
+    "ArchiveCollector",
+]
 
 #: Shards kept decoded in memory (the two standard sweeps overlap).
 _DEFAULT_CACHE_SHARDS = 16
 
+#: Suffix quarantined shards are renamed to (not matched by the
+#: ``*.shard`` orphan scan, so they never look adoptable).
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+class Problem:
+    """One classified archive integrity problem.
+
+    ``kind`` is a stable machine-readable tag: ``missing-shard``,
+    ``truncated``, ``stale-manifest-crc``, ``corrupt``,
+    ``date-mismatch``, ``record-count``, or ``orphan``.
+    """
+
+    __slots__ = ("kind", "date", "file", "message")
+
+    def __init__(
+        self,
+        kind: str,
+        date: Optional[_dt.date],
+        file: Optional[str],
+        message: str,
+    ) -> None:
+        self.kind = kind
+        self.date = date
+        self.file = file
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+    def __repr__(self) -> str:
+        return f"Problem({self.kind!r}, {self.date}, {self.file!r})"
+
+
+class RepairReport:
+    """Outcome of one :meth:`MeasurementArchive.repair` call."""
+
+    __slots__ = ("quarantined", "rebuilt", "remaining")
+
+    def __init__(
+        self,
+        quarantined: List[str],
+        rebuilt: List[_dt.date],
+        remaining: List[Problem],
+    ) -> None:
+        #: Files renamed aside (``*.quarantined``), never deleted.
+        self.quarantined = quarantined
+        #: Dates re-swept and re-archived, chronological.
+        self.rebuilt = rebuilt
+        #: Problems still present after the repair (empty on success).
+        self.remaining = remaining
+
+    @property
+    def ok(self) -> bool:
+        """True when the archive verified clean after the repair."""
+        return not self.remaining
+
+    def __repr__(self) -> str:
+        return (
+            f"RepairReport({len(self.quarantined)} quarantined, "
+            f"{len(self.rebuilt)} rebuilt, {len(self.remaining)} remaining)"
+        )
+
 
 class MeasurementArchive:
-    """An opened on-disk archive: manifest plus cached shard access."""
+    """An opened on-disk archive: manifest plus cached shard access.
+
+    When ``config`` (the scenario the archive was built from) is
+    supplied, damaged shards self-heal on read: quarantine, rebuild
+    from the config, re-read.  Without a config the archive is
+    read-only and damage raises the classified :class:`ArchiveError`.
+    """
 
     def __init__(
         self,
         directory: str,
         metrics: Optional[SweepMetrics] = None,
         cache_shards: int = _DEFAULT_CACHE_SHARDS,
+        config=None,
+        faults=None,
+        read_retries: int = 3,
+        retry_backoff: float = 0.01,
     ) -> None:
         self.directory = str(directory)
         self.manifest = Manifest.load(self.directory)
         self.metrics = metrics
+        self.config = config
+        self.faults = faults
+        self.read_retries = int(read_retries)
+        self.retry_backoff = float(retry_backoff)
         self._cache_shards = max(1, int(cache_shards))
         self._cache: "OrderedDict[_dt.date, DayShardRecord]" = OrderedDict()
+        self._rebuilder = None
 
     def __contains__(self, date: DateLike) -> bool:
         return as_date(date) in self.manifest.days
@@ -70,7 +169,12 @@ class MeasurementArchive:
         return os.path.join(self.directory, entry.file)
 
     def load_day(self, date: DateLike) -> DayShardRecord:
-        """The day's shard record, CRC-verified, via the LRU cache."""
+        """The day's shard record, CRC-verified, via the LRU cache.
+
+        Transient read errors retry with bounded backoff; integrity
+        failures self-heal (quarantine + rebuild) when the archive was
+        opened with its scenario config.
+        """
         date_obj = as_date(date)
         cached = self._cache.get(date_obj)
         if cached is not None:
@@ -84,17 +188,43 @@ class MeasurementArchive:
                 f"archive {self.directory} does not cover {date_obj} "
                 "(extend it with 'repro archive build')"
             )
-        started = time.perf_counter()
-        record = read_shard(
-            os.path.join(self.directory, entry.file), expected_crc=entry.crc32
-        )
+        try:
+            record = self._read_day(date_obj, entry)
+        except ArchiveMismatchError:
+            raise
+        except ArchiveError as exc:
+            if self.config is None:
+                raise
+            record = self._heal_day(date_obj, exc)
+        self._cache[date_obj] = record
+        while len(self._cache) > self._cache_shards:
+            self._cache.popitem(last=False)
+        return record
+
+    def _read_day(self, date_obj: _dt.date, entry) -> DayShardRecord:
+        """One CRC-checked shard read, with transient-error retry."""
+        path = os.path.join(self.directory, entry.file)
+        for attempt in range(self.read_retries + 1):
+            started = time.perf_counter()
+            try:
+                if self.faults is not None:
+                    self.faults.check("shard.read", f"{entry.file}#{attempt}")
+                record = read_shard(path, expected_crc=entry.crc32)
+                break
+            except TransientIOError as exc:
+                if attempt >= self.read_retries:
+                    raise RecoveryError(
+                        f"could not read shard {entry.file} after "
+                        f"{attempt + 1} attempts: {exc}"
+                    ) from exc
+                time.sleep(backoff_seconds(attempt, self.retry_backoff))
         elapsed = time.perf_counter() - started
         if record.date != date_obj:
-            raise ArchiveError(
+            raise ArchiveStaleError(
                 f"shard {entry.file} contains {record.date}, manifest says {date_obj}"
             )
         if len(record.measured) != entry.records:
-            raise ArchiveError(
+            raise ArchiveStaleError(
                 f"shard {entry.file} has {len(record.measured)} records, "
                 f"manifest says {entry.records}"
             )
@@ -105,14 +235,112 @@ class MeasurementArchive:
             stat.wall_seconds += elapsed
             stat.snapshots += 1
             stat.notes["bytes"] = int(stat.notes.get("bytes", 0)) + entry.bytes
-        self._cache[date_obj] = record
-        while len(self._cache) > self._cache_shards:
-            self._cache.popitem(last=False)
         return record
 
-    def verify(self) -> List[str]:
-        """Re-read every shard against the manifest; returns problems found."""
-        problems: List[str] = []
+    # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+
+    def _builder(self, config, workers: int = 1):
+        """An :class:`ArchiveBuilder` matching the manifest's collector.
+
+        Cached across heals so the rebuild world is constructed once.
+        The collector parameters (outage dates, coverage, seed) come
+        from the manifest itself, so a rebuilt shard reproduces the
+        original measurements exactly.
+        """
+        if self._rebuilder is None or self._rebuilder.config is not config:
+            from .builder import ArchiveBuilder
+
+            collector = self.manifest.collector
+            self._rebuilder = ArchiveBuilder(
+                self.directory,
+                config,
+                workers=workers,
+                metrics=self.metrics,
+                outage_dates=[as_date(t) for t in collector["outage_dates"]],
+                outage_coverage=float(collector["outage_coverage"]),
+                collector_seed=int(collector["seed"]),
+            )
+        return self._rebuilder
+
+    def _quarantine(self, file: str) -> bool:
+        """Rename a damaged shard aside; returns False if it was absent."""
+        path = os.path.join(self.directory, file)
+        if not os.path.exists(path):
+            return False
+        os.replace(path, path + QUARANTINE_SUFFIX)
+        return True
+
+    def _heal_day(self, date_obj: _dt.date, cause: ArchiveError) -> DayShardRecord:
+        """Quarantine and rebuild one damaged day, then re-read it."""
+        entry = self.manifest.days[date_obj]
+        self._quarantine(entry.file)
+        del self.manifest.days[date_obj]
+        self.manifest.save(self.directory)
+        if self.metrics is not None:
+            self.metrics.record_recovery("shards_quarantined", 1)
+        self._builder(self.config).build(date_obj, date_obj, 1)
+        self.manifest = Manifest.load(self.directory)
+        entry = self.manifest.days.get(date_obj)
+        if entry is None:
+            raise RecoveryError(
+                f"rebuild of {date_obj} produced no shard (original error: {cause})"
+            ) from cause
+        record = self._read_day(date_obj, entry)
+        if self.metrics is not None:
+            self.metrics.record_recovery("shards_rebuilt", 1)
+        return record
+
+    def repair(self, config=None, workers: int = 1) -> RepairReport:
+        """Quarantine and rebuild everything :meth:`verify_detailed` flags.
+
+        ``config`` must describe the scenario the archive was built
+        from (checked against the manifest fingerprint —
+        :class:`ArchiveMismatchError` otherwise).  Orphan shards from
+        interrupted builds are quarantined too; rebuilding is driven
+        from the manifest, which stays authoritative.
+        """
+        config = config if config is not None else self.config
+        if config is None:
+            raise ArchiveError(
+                "repair needs the archive's scenario config to rebuild shards"
+            )
+        self.manifest.check_scenario(config)
+        problems = self.verify_detailed()
+        if not problems:
+            return RepairReport([], [], [])
+        quarantined: List[str] = []
+        bad_dates: List[_dt.date] = []
+        for problem in problems:
+            if problem.file is not None and self._quarantine(problem.file):
+                quarantined.append(problem.file)
+            if problem.date is not None:
+                bad_dates.append(problem.date)
+                self.manifest.days.pop(problem.date, None)
+        bad_dates = sorted(set(bad_dates))
+        self.manifest.save(self.directory)
+        if self.metrics is not None and quarantined:
+            self.metrics.record_recovery("shards_quarantined", len(quarantined))
+        if bad_dates:
+            from .builder import _segments
+
+            builder = self._builder(config, workers=workers)
+            for seg_start, seg_end, seg_step in _segments(bad_dates):
+                builder.build(seg_start, seg_end, seg_step)
+            if self.metrics is not None:
+                self.metrics.record_recovery("shards_rebuilt", len(bad_dates))
+        self.manifest = Manifest.load(self.directory)
+        self._cache.clear()
+        return RepairReport(quarantined, bad_dates, self.verify_detailed())
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+
+    def verify_detailed(self) -> List[Problem]:
+        """Re-read every shard against the manifest; classified problems."""
+        problems: List[Problem] = []
         listed = set()
         for date in self.manifest.covered_dates():
             entry = self.manifest.days[date]
@@ -121,34 +349,73 @@ class MeasurementArchive:
             try:
                 size = os.path.getsize(path)
             except OSError:
-                problems.append(f"{date}: shard file {entry.file} is missing")
+                problems.append(
+                    Problem(
+                        "missing-shard",
+                        date,
+                        entry.file,
+                        f"{date}: shard file {entry.file} is missing",
+                    )
+                )
                 continue
             if size != entry.bytes:
                 problems.append(
-                    f"{date}: {entry.file} is {size} bytes, manifest says {entry.bytes}"
+                    Problem(
+                        "truncated",
+                        date,
+                        entry.file,
+                        f"{date}: {entry.file} is {size} bytes, "
+                        f"manifest says {entry.bytes}",
+                    )
                 )
                 continue
             try:
                 record = read_shard(path, expected_crc=entry.crc32)
+            except ArchiveStaleError as exc:
+                problems.append(
+                    Problem("stale-manifest-crc", date, entry.file, f"{date}: {exc}")
+                )
+                continue
             except ArchiveError as exc:
-                problems.append(f"{date}: {exc}")
+                problems.append(
+                    Problem("corrupt", date, entry.file, f"{date}: {exc}")
+                )
                 continue
             if record.date != date:
                 problems.append(
-                    f"{date}: {entry.file} contains {record.date} instead"
+                    Problem(
+                        "date-mismatch",
+                        date,
+                        entry.file,
+                        f"{date}: {entry.file} contains {record.date} instead",
+                    )
                 )
             elif len(record.measured) != entry.records:
                 problems.append(
-                    f"{date}: {entry.file} has {len(record.measured)} records, "
-                    f"manifest says {entry.records}"
+                    Problem(
+                        "record-count",
+                        date,
+                        entry.file,
+                        f"{date}: {entry.file} has {len(record.measured)} records, "
+                        f"manifest says {entry.records}",
+                    )
                 )
         for name in sorted(os.listdir(self.directory)):
             if name.endswith(".shard") and name not in listed:
                 problems.append(
-                    f"{name} is not listed in the manifest "
-                    "(interrupted build; rerun 'repro archive build' to adopt it)"
+                    Problem(
+                        "orphan",
+                        None,
+                        name,
+                        f"{name} is not listed in the manifest "
+                        "(interrupted build; rerun 'repro archive build' to adopt it)",
+                    )
                 )
         return problems
+
+    def verify(self) -> List[str]:
+        """Re-read every shard against the manifest; returns problems found."""
+        return [str(problem) for problem in self.verify_detailed()]
 
 
 class ArchivedSnapshot(DailySnapshot):

@@ -11,10 +11,16 @@ Commands:
 * ``resolve <name> --date D`` — honestly resolve a domain through the
   simulated root/TLD/authoritative hierarchy and show what the
   measurement pipeline records,
-* ``archive build|status|verify`` — manage the on-disk measurement
-  archive (incremental builds, coverage summary, CRC verification),
+* ``archive build|status|verify|repair`` — manage the on-disk
+  measurement archive (incremental builds, coverage summary, CRC
+  verification, quarantine-and-rebuild repair),
 * ``bundle`` — export every artefact plus a machine-readable
   ``bundle.json`` manifest.
+
+The global ``--fault-seed``/``--fault-rate`` options attach a
+deterministic fault-injection plan (see :mod:`repro.faults`) to
+whatever pipeline the command drives; exit codes and fault semantics
+are documented in ``docs/archive.md`` and ``docs/faults.md``.
 """
 
 from __future__ import annotations
@@ -67,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-pki", action="store_true",
         help="skip the certificate simulation (faster; disables PKI artefacts)",
     )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help=(
+            "enable deterministic fault injection with this seed "
+            "(same seed => identical injected-fault sequence)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.05, metavar="RATE",
+        help="per-site fault probability when --fault-seed is set (default 0.05)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list reproducible artefacts")
@@ -81,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--profile", action="store_true",
         help="print per-phase timing and cache hit-rate metrics",
+    )
+    run_parser.add_argument(
+        "--profile-json", default=None, metavar="PATH",
+        help="write the structured metrics summary (JSON) to this file",
     )
     run_parser.add_argument(
         "--archive", default=None, metavar="PATH",
@@ -139,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print build/write timing metrics",
     )
+    archive_build.add_argument(
+        "--profile-json", default=None, metavar="PATH",
+        help="write the structured metrics summary (JSON) to this file",
+    )
     archive_status = archive_sub.add_parser(
         "status", help="summarise an archive's coverage and size"
     )
@@ -147,7 +172,39 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="re-read every shard and check it against the manifest"
     )
     archive_verify.add_argument("path", help="archive directory")
+    archive_repair = archive_sub.add_parser(
+        "repair",
+        help="quarantine damaged shards and rebuild them from the scenario",
+    )
+    archive_repair.add_argument("path", help="archive directory")
+    archive_repair.add_argument(
+        "--profile", action="store_true",
+        help="print repair timing and recovery metrics",
+    )
+    archive_repair.add_argument(
+        "--profile-json", default=None, metavar="PATH",
+        help="write the structured metrics summary (JSON) to this file",
+    )
     return parser
+
+
+def _fault_plan(args: argparse.Namespace):
+    """The CLI-selected fault plan, or None when injection is off."""
+    if getattr(args, "fault_seed", None) is None:
+        return None
+    from .faults import default_plan
+
+    return default_plan(args.fault_seed, rate=args.fault_rate)
+
+
+def _write_profile_json(path: Optional[str], metrics) -> None:
+    if not path:
+        return
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics.summary(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _context(args: argparse.Namespace) -> ExperimentContext:
@@ -160,6 +217,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         workers=args.workers,
         profile=getattr(args, "profile", False),
         archive=getattr(args, "archive", None),
+        faults=_fault_plan(args),
     )
 
 
@@ -211,6 +269,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(text)
     if args.profile:
         print(context.metrics.render())
+    _write_profile_json(getattr(args, "profile_json", None), context.metrics)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
@@ -336,24 +395,34 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
 def _cmd_archive(args: argparse.Namespace) -> int:
     from .archive import ArchiveBuilder, MeasurementArchive
     from .archive.builder import standard_plan_dates
-    from .errors import ArchiveError
+    from .errors import ArchiveError, ArchiveMismatchError, RecoveryError
     from .measurement.metrics import SweepMetrics
 
+    faults = _fault_plan(args)
     if args.archive_command == "build":
         config = ConflictScenarioConfig(
             scale=args.scale, seed=args.seed, with_pki=False
         )
         metrics = SweepMetrics()
         builder = ArchiveBuilder(
-            args.path, config, workers=args.workers, metrics=metrics
+            args.path, config, workers=args.workers, metrics=metrics, faults=faults
         )
-        if args.start is not None or args.end is not None:
-            if args.start is None or args.end is None:
-                print("--start and --end must be given together", file=sys.stderr)
-                return 2
-            report = builder.build(args.start, args.end, args.step)
-        else:
-            report = builder.build_standard(args.cadence)
+        try:
+            if args.start is not None or args.end is not None:
+                if args.start is None or args.end is None:
+                    print(
+                        "--start and --end must be given together", file=sys.stderr
+                    )
+                    return 2
+                report = builder.build(args.start, args.end, args.step)
+            else:
+                report = builder.build_standard(args.cadence)
+        except ArchiveMismatchError as exc:
+            print(str(exc), file=sys.stderr)
+            return 3
+        except (ArchiveError, RecoveryError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
         print(
             f"archived {len(report.written)} days "
             f"({report.bytes_written:,} bytes, {report.segments} segments); "
@@ -361,13 +430,47 @@ def _cmd_archive(args: argparse.Namespace) -> int:
         )
         if args.profile:
             print(metrics.render())
+        _write_profile_json(getattr(args, "profile_json", None), metrics)
         return 0
 
     try:
-        archive = MeasurementArchive(args.path)
+        archive = MeasurementArchive(args.path, faults=faults)
     except ArchiveError as exc:
         print(str(exc), file=sys.stderr)
-        return 1
+        # `status` predates the richer codes and keeps its historical 1;
+        # verify/repair use 4 for "no readable manifest at that path".
+        return 1 if args.archive_command == "status" else 4
+
+    if args.archive_command == "repair":
+        config = ConflictScenarioConfig(
+            scale=args.scale, seed=args.seed, with_pki=False
+        )
+        metrics = SweepMetrics()
+        archive.metrics = metrics
+        try:
+            report = archive.repair(config, workers=args.workers)
+        except ArchiveMismatchError as exc:
+            print(str(exc), file=sys.stderr)
+            return 3
+        except (ArchiveError, RecoveryError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(
+            f"quarantined {len(report.quarantined)} file(s), "
+            f"rebuilt {len(report.rebuilt)} day(s)"
+        )
+        if args.profile:
+            print(metrics.render())
+        _write_profile_json(getattr(args, "profile_json", None), metrics)
+        if not report.ok:
+            for problem in report.remaining:
+                print(str(problem), file=sys.stderr)
+            print(
+                f"{len(report.remaining)} problem(s) remain after repair",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     if args.archive_command == "status":
         manifest = archive.manifest

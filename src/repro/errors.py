@@ -95,5 +95,25 @@ class ArchiveError(ReproError):
     """A measurement archive is corrupt, stale, or mismatched."""
 
 
+class ArchiveCorruptError(ArchiveError):
+    """Shard bytes are damaged (bit flip, truncation, bad decode)."""
+
+
+class ArchiveStaleError(ArchiveError):
+    """A shard disagrees with the manifest (CRC, date, record count)."""
+
+
+class ArchiveMismatchError(ArchiveError):
+    """An archive was built under a different scenario or collector."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is ill-configured."""
+
+
+class RecoveryError(ReproError):
+    """The pipeline could not self-heal within its retry budget."""
+
+
 class AnalysisError(ReproError):
     """An analysis accumulator received inconsistent input."""

@@ -58,6 +58,7 @@ class ExperimentContext:
         chunk_days: Optional[int] = None,
         profile: bool = False,
         archive: Optional[Union[str, "MeasurementArchive"]] = None,
+        faults=None,
     ) -> None:
         if cadence_days < 1:
             raise AnalysisError(f"cadence must be >= 1 day: {cadence_days}")
@@ -70,6 +71,7 @@ class ExperimentContext:
         self.config = config or ConflictScenarioConfig()
         self.metrics = SweepMetrics()
         self.profile = profile
+        self.faults = faults
         self.archive: Optional["MeasurementArchive"] = None
         if archive is not None:
             from ..archive.store import MeasurementArchive
@@ -78,8 +80,15 @@ class ExperimentContext:
                 self.archive = archive
                 if self.archive.metrics is None:
                     self.archive.metrics = self.metrics
+                if self.archive.config is None:
+                    # Enables in-place self-healing of damaged shards.
+                    self.archive.config = self.config
+                if self.archive.faults is None:
+                    self.archive.faults = faults
             else:
-                self.archive = MeasurementArchive(archive, metrics=self.metrics)
+                self.archive = MeasurementArchive(
+                    archive, metrics=self.metrics, config=self.config, faults=faults
+                )
             # A stale or foreign archive must be refused, not silently
             # mixed with a freshly simulated world.
             self.archive.manifest.check_scenario(self.config)
@@ -106,6 +115,7 @@ class ExperimentContext:
             workers=workers,
             chunk_days=chunk_days,
             metrics=self.metrics,
+            faults=faults,
         )
         self.cadence_days = cadence_days
         self._full: Optional[SweepSeries] = None

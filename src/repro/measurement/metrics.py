@@ -65,6 +65,7 @@ class SweepMetrics:
     def __init__(self) -> None:
         self._phases: Dict[str, PhaseStat] = {}
         self._caches: Dict[str, Dict[str, int]] = {}
+        self._recovery: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Phases
@@ -108,11 +109,28 @@ class SweepMetrics:
         return counters["hits"] / total if total else 0.0
 
     # ------------------------------------------------------------------
+    # Recovery counters
+    # ------------------------------------------------------------------
+
+    def record_recovery(self, name: str, count: int = 1) -> None:
+        """Count a self-healing action (retry, quarantine, rebuild...).
+
+        The standard counter names are ``faults_injected``,
+        ``chunk_retries``, ``pool_failures``, ``degraded_to_serial``,
+        ``shards_quarantined``, and ``shards_rebuilt``.
+        """
+        self._recovery[name] = self._recovery.get(name, 0) + int(count)
+
+    def recovery_count(self, name: str) -> int:
+        """How often the named recovery action ran (0 if never)."""
+        return self._recovery.get(name, 0)
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 
     def summary(self) -> Dict[str, object]:
-        """Structured dict: per-phase timing plus cache hit rates."""
+        """Structured dict: per-phase timing, cache hit rates, recovery."""
         return {
             "phases": {
                 name: stat.as_dict() for name, stat in self._phases.items()
@@ -125,12 +143,13 @@ class SweepMetrics:
                 }
                 for name, counters in self._caches.items()
             },
+            "recovery": dict(self._recovery),
         }
 
     def render(self) -> str:
         """Human-readable profile (what ``--profile`` prints)."""
         lines = ["profile:"]
-        if not self._phases and not self._caches:
+        if not self._phases and not self._caches and not self._recovery:
             lines.append("  (no instrumented work ran)")
             return "\n".join(lines)
         for stat in self._phases.values():
@@ -152,4 +171,6 @@ class SweepMetrics:
                 f"  cache {name:<10} {counters['hits']}/{total} hits "
                 f"({100.0 * self.cache_hit_rate(name):.1f}%)"
             )
+        for name, count in self._recovery.items():
+            lines.append(f"  recovery {name:<20} {count}")
         return "\n".join(lines)

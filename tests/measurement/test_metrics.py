@@ -57,6 +57,35 @@ class TestCaches:
         assert metrics.cache_hit_rate("idle") == 0.0
 
 
+class TestRecoveryCounters:
+    def test_record_and_read(self):
+        metrics = SweepMetrics()
+        assert metrics.recovery_count("chunk_retries") == 0
+        metrics.record_recovery("chunk_retries")
+        metrics.record_recovery("chunk_retries", 2)
+        assert metrics.recovery_count("chunk_retries") == 3
+
+    def test_summary_includes_recovery(self):
+        metrics = SweepMetrics()
+        metrics.record_recovery("faults_injected", 4)
+        metrics.record_recovery("degraded_to_serial")
+        assert metrics.summary()["recovery"] == {
+            "faults_injected": 4,
+            "degraded_to_serial": 1,
+        }
+
+    def test_render_lists_recovery_counters(self):
+        metrics = SweepMetrics()
+        metrics.record_recovery("shards_quarantined", 2)
+        text = metrics.render()
+        assert "recovery" in text
+        assert "shards_quarantined" in text
+        assert "2" in text
+
+    def test_idle_metrics_have_empty_recovery(self):
+        assert SweepMetrics().summary()["recovery"] == {}
+
+
 class TestReporting:
     def test_summary_structure(self):
         metrics = SweepMetrics()
