@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""End-to-end smoke for ``repro serve``: build a tiny archive, start the
+service as a real subprocess, drive a scripted query mix (including one
+coalesced concurrent burst), check /metrics counters, and shut it down
+with SIGINT.
+
+Run from the repository root (CI runs it as the service-smoke job)::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+
+Exit code 0 means every check passed.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+SCALE = "5000"
+CADENCE = "90"
+ARGS = ["--scale", SCALE, "--no-pki", "--cadence", CADENCE]
+
+#: One request per endpoint class (the scripted mix).
+QUERY_MIX = [
+    "/healthz",
+    "/",
+    "/v1/experiments",
+    "/v1/headline",
+    "/v1/series/ns_composition?start=2022-01-01&end=2022-06-01",
+    "/v1/records/2022-03-04?tld=ru&limit=5",
+    "/v1/records/2022-03-04?tld=%D1%80%D1%84&limit=5",
+    "/v1/query?kind=catalog",
+]
+
+COALESCED_PATH = "/v1/records/2022-03-03?tld=ru&limit=10"
+COALESCED_BURST = 8
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fetch(base: str, path: str) -> bytes:
+    with urllib.request.urlopen(base + path, timeout=60) as response:
+        if response.status != 200:
+            fail(f"{path} returned {response.status}")
+        return response.read()
+
+
+def wait_for_port(process: subprocess.Popen) -> int:
+    """Read the announced port off the serve banner."""
+    line = process.stdout.readline().decode()
+    if not line.startswith("serving on http://"):
+        fail(f"unexpected serve banner: {line!r}")
+    return int(line.rsplit(":", 1)[1])
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as scratch:
+        archive = f"{scratch}/archive"
+        print(f"+ building archive at {archive}")
+        build = subprocess.run(
+            [sys.executable, "-m", "repro", *ARGS, "archive", "build",
+             archive],
+            stdout=subprocess.PIPE,
+        )
+        if build.returncode != 0:
+            fail(f"archive build exited {build.returncode}")
+
+        print("+ starting repro serve")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", *ARGS, "serve",
+             "--archive", archive, "--port", "0"],
+            stdout=subprocess.PIPE,
+        )
+        try:
+            port = wait_for_port(process)
+            base = f"http://127.0.0.1:{port}"
+            print(f"+ serving on {base}")
+
+            for path in QUERY_MIX:
+                payload = json.loads(fetch(base, path))
+                if "error" in payload:
+                    fail(f"{path} answered with an error: {payload}")
+            print(f"+ query mix ok ({len(QUERY_MIX)} requests)")
+
+            # One coalesced concurrent burst: identical requests racing.
+            with ThreadPoolExecutor(max_workers=COALESCED_BURST) as pool:
+                bodies = set(
+                    pool.map(
+                        lambda _: fetch(base, COALESCED_PATH),
+                        range(COALESCED_BURST),
+                    )
+                )
+            if len(bodies) != 1:
+                fail("coalesced burst produced diverging answers")
+            print(f"+ concurrent burst ok ({COALESCED_BURST} identical requests)")
+
+            # Fetch twice: an endpoint's own request is recorded after
+            # its response renders, so the second read sees the first.
+            fetch(base, "/metrics")
+            metrics = json.loads(fetch(base, "/metrics"))["metrics"]
+            counters = metrics.get("counters", {})
+            if counters.get("requests_total", 0) <= 0:
+                fail(f"requests_total not counted: {counters}")
+            if counters.get("requests_coalesced", 0) <= 0:
+                fail(f"burst did not coalesce: {counters}")
+            endpoints = metrics.get("endpoints", {})
+            for endpoint in ("headline", "records", "query", "metrics"):
+                if endpoints.get(endpoint, {}).get("requests", 0) <= 0:
+                    fail(f"endpoint {endpoint!r} not counted: {endpoints}")
+            hits = metrics["caches"]["query_results"]["hits"]
+            if hits < COALESCED_BURST - 1:
+                fail(f"expected >= {COALESCED_BURST - 1} cache hits, saw {hits}")
+            print(
+                "+ metrics ok "
+                f"(total={counters['requests_total']}, "
+                f"coalesced={counters['requests_coalesced']}, hits={hits})"
+            )
+
+            print("+ sending SIGINT")
+            process.send_signal(signal.SIGINT)
+            code = process.wait(timeout=60)
+            if code != 0:
+                fail(f"serve exited {code} after SIGINT")
+            print("+ graceful shutdown ok")
+
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                try:
+                    urllib.request.urlopen(base + "/healthz", timeout=1)
+                    fail("service still answering after shutdown")
+                except urllib.error.URLError:
+                    break
+            print("PASS: service smoke complete")
+            return 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The unified, versioned analysis API.
+
+One vocabulary for every consumer::
+
+    from repro.api import QuerySpec, execute_query
+
+    result = execute_query(context, QuerySpec("experiment", experiment="fig1"))
+    print(result.to_json())
+
+``repro query`` (offline) and ``repro serve`` (HTTP) both route through
+:class:`~repro.api.facade.AnalysisFacade`, so the same spec produces
+byte-identical JSON on either path.
+"""
+
+from .facade import AnalysisFacade, execute_query
+from .spec import (
+    QUERY_KINDS,
+    SCHEMA_VERSION,
+    SERIES_NAMES,
+    QueryResult,
+    QuerySpec,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "QUERY_KINDS",
+    "SERIES_NAMES",
+    "QuerySpec",
+    "QueryResult",
+    "AnalysisFacade",
+    "execute_query",
+]

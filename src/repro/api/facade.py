@@ -1,0 +1,327 @@
+"""The analysis facade: one entry point for every consumer.
+
+:class:`AnalysisFacade` owns the cached longitudinal sweeps that used to
+live directly on :class:`~repro.experiments.context.ExperimentContext`
+(whose ``full_sweep()``/``_run_recent()`` are now thin deprecated shims
+over this class) and executes :class:`~repro.api.spec.QuerySpec` queries
+against them.  ``repro query``, ``repro serve``, and the figure
+experiments all route through here, so the offline CLI path and the
+HTTP service are one code path producing byte-identical JSON.
+
+The facade is thread-safe: the service executes queries on a bounded
+thread pool, and the sweep caches are computed at most once under a
+lock while cached reads stay lock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..core.reducers import (
+    FullSweepReducer,
+    RecentWindowReducer,
+    RecentWindowSeries,
+    SweepSeries,
+)
+from ..core.summary import compute_headline_stats
+from ..errors import QueryError
+from ..net.ip import format_ipv4
+from ..timeline import STUDY_END, STUDY_START, as_date
+from .spec import SCHEMA_VERSION, SERIES_NAMES, QueryResult, QuerySpec
+
+__all__ = ["AnalysisFacade", "execute_query"]
+
+#: Default page size for day-level record slices (kept bounded so one
+#: request cannot materialise an entire population).
+DEFAULT_RECORDS_LIMIT = 100
+
+SpecLike = Union[QuerySpec, Dict[str, object], str]
+
+
+def _as_spec(spec: SpecLike) -> QuerySpec:
+    if isinstance(spec, QuerySpec):
+        return spec
+    if isinstance(spec, str):
+        return QuerySpec.from_json(spec)
+    if isinstance(spec, dict):
+        return QuerySpec.from_dict(spec)
+    raise QueryError(f"cannot build a query spec from {type(spec).__name__}")
+
+
+def _range_indices(
+    dates: Sequence[str], start: Optional[str], end: Optional[str]
+) -> List[int]:
+    """Positions of ISO ``dates`` falling inside the [start, end] slice.
+
+    ISO dates order lexicographically, so the comparison stays on the
+    already-rendered strings.
+    """
+    lo = as_date(start).isoformat() if start else None
+    hi = as_date(end).isoformat() if end else None
+    return [
+        position
+        for position, day in enumerate(dates)
+        if (lo is None or day >= lo) and (hi is None or day <= hi)
+    ]
+
+
+class AnalysisFacade:
+    """Query front-end over one :class:`ExperimentContext`."""
+
+    def __init__(self, context) -> None:
+        self._context = context
+        self._lock = threading.RLock()
+        self._full: Optional[SweepSeries] = None
+        self._recent: Optional[RecentWindowSeries] = None
+
+    @property
+    def context(self):
+        """The backing experiment context (world, engine, metrics)."""
+        return self._context
+
+    # ------------------------------------------------------------------
+    # The shared sweeps (formerly ExperimentContext.full_sweep/_run_recent)
+    # ------------------------------------------------------------------
+
+    def full_sweep(self) -> SweepSeries:
+        """All full-period series, computed in one pass and cached."""
+        if self._full is not None:
+            return self._full
+        context = self._context
+        with self._lock:
+            if self._full is not None:
+                return self._full
+            reducer = FullSweepReducer()
+            with context.metrics.phase("full_sweep"):
+                records = context.engine.run(
+                    reducer,
+                    STUDY_START,
+                    STUDY_END,
+                    context.cadence_days,
+                    phase="full_sweep",
+                )
+                merged = reducer.merge(records)
+            hits = sum(1 for record in records if record.label_cache_hit)
+            context.metrics.record_cache(
+                "epoch_labels", hits, len(records) - hits
+            )
+            self._full = merged
+        return self._full
+
+    def recent_window(self) -> RecentWindowSeries:
+        """The conflict-window daily series bundle, cached."""
+        if self._recent is not None:
+            return self._recent
+        context = self._context
+        with self._lock:
+            if self._recent is not None:
+                return self._recent
+            from ..experiments.context import RECENT_WINDOW_START
+
+            reducer = RecentWindowReducer(
+                context.fig4_asns(), context.world.sanctioned_indices
+            )
+            with context.metrics.phase("recent_sweep"):
+                records = context.engine.run(
+                    reducer,
+                    RECENT_WINDOW_START,
+                    STUDY_END,
+                    1,
+                    phase="recent_sweep",
+                )
+                merged = reducer.merge(records)
+            hits = sum(1 for record in records if record.label_cache_hit)
+            context.metrics.record_cache(
+                "label_matrix", hits, len(records) - hits
+            )
+            self._recent = merged
+        return self._recent
+
+    def headline(self) -> Dict[str, object]:
+        """The paper's headline numbers as a flat dict."""
+        sweep = self.full_sweep()
+        return compute_headline_stats(
+            sweep.hosting_composition,
+            sweep.ns_composition,
+            sweep.tld_composition,
+            sweep.tld_shares,
+        ).as_dict()
+
+    # ------------------------------------------------------------------
+    # The unified entry point
+    # ------------------------------------------------------------------
+
+    def query(self, spec: SpecLike) -> QueryResult:
+        """Execute one query spec; the single analysis entry point."""
+        spec = _as_spec(spec)
+        if spec.kind == "experiment":
+            return self._query_experiment(spec)
+        if spec.kind == "series":
+            return QueryResult("series", spec.to_dict(), self._series_data(spec))
+        if spec.kind == "headline":
+            return QueryResult("headline", spec.to_dict(), self.headline())
+        if spec.kind == "records":
+            return QueryResult("records", spec.to_dict(), self._records_data(spec))
+        if spec.kind == "catalog":
+            return QueryResult("catalog", spec.to_dict(), self._catalog_data())
+        raise QueryError(f"unhandled query kind {spec.kind!r}")
+
+    def query_json(self, spec: SpecLike) -> str:
+        """Execute one query and return the canonical JSON text."""
+        return self.query(spec).to_json()
+
+    # ------------------------------------------------------------------
+    # Per-kind execution
+    # ------------------------------------------------------------------
+
+    def _query_experiment(self, spec: QuerySpec) -> QueryResult:
+        from ..experiments.registry import run_experiment
+
+        try:
+            result = run_experiment(spec.experiment, self._context)
+        except KeyError as exc:
+            raise QueryError(str(exc.args[0]) if exc.args else str(exc)) from exc
+        # Echo the caller's canonical spec (run_experiment builds its own).
+        result.spec = spec.to_dict()
+        return result
+
+    def _composition_data(self, series) -> Dict[str, object]:
+        points = series.points()
+        return {
+            "title": series.title,
+            "dates": [point.date.isoformat() for point in points],
+            "full": [point.full for point in points],
+            "part": [point.part for point in points],
+            "non": [point.non for point in points],
+            "total": [point.total for point in points],
+            "full_pct": [round(point.share("full"), 4) for point in points],
+            "part_pct": [round(point.share("part"), 4) for point in points],
+            "non_pct": [round(point.share("non"), 4) for point in points],
+        }
+
+    def _series_data(self, spec: QuerySpec) -> Dict[str, object]:
+        name = spec.series
+        if name in ("ns_composition", "hosting_composition", "tld_composition"):
+            series = getattr(self.full_sweep(), name)
+            data = self._composition_data(series)
+        elif name == "sanctioned_composition":
+            data = self._composition_data(self.recent_window().sanctioned_composition)
+        elif name == "tld_shares":
+            shares = self.full_sweep().tld_shares
+            data = {
+                "dates": [point.date.isoformat() for point in shares],
+                "total": [point.total for point in shares],
+                "shares_pct": {
+                    tld: [round(value, 4) for value in shares.share_series(tld)]
+                    for tld in shares.tlds_seen()
+                },
+            }
+        elif name == "asn_shares":
+            from ..experiments.context import FIG4_PROVIDERS
+
+            series = self.recent_window().asn_shares
+            catalog = self._context.world.catalog
+            providers = {
+                key: catalog.get(key).primary_asn for key in FIG4_PROVIDERS
+            }
+            data = {
+                "dates": [day.isoformat() for day in series.dates()],
+                "providers": {key: int(asn) for key, asn in providers.items()},
+                "counts": {
+                    key: series.count_series(asn)
+                    for key, asn in providers.items()
+                },
+                "shares_pct": {
+                    key: [round(value, 4) for value in series.share_series(asn)]
+                    for key, asn in providers.items()
+                },
+            }
+        elif name == "listed_counts":
+            recent = self.recent_window()
+            data = {
+                "dates": [
+                    point.date.isoformat()
+                    for point in recent.sanctioned_composition.points()
+                ],
+                "listed": list(recent.listed_counts),
+            }
+        else:  # unreachable: QuerySpec validated the name
+            raise QueryError(f"unknown series {name!r}")
+
+        keep = _range_indices(data["dates"], spec.start, spec.end)
+        if len(keep) != len(data["dates"]):
+            data = _slice_columns(data, keep)
+        data["series"] = name
+        return data
+
+    def _records_data(self, spec: QuerySpec) -> Dict[str, object]:
+        date = as_date(spec.date)
+        snapshot = self._context.collector.collect(date)
+        population = self._context.world.population
+        matched = [
+            int(index)
+            for index in snapshot.measured
+            if spec.tld is None
+            or population.record(int(index)).name.tld == spec.tld
+        ]
+        offset = spec.offset or 0
+        limit = DEFAULT_RECORDS_LIMIT if spec.limit is None else spec.limit
+        page = matched[offset : offset + limit]
+        records = []
+        for index in page:
+            measurement = snapshot.measurement_for(index)
+            records.append(
+                {
+                    "index": index,
+                    "domain": str(measurement.domain),
+                    "domain_unicode": measurement.domain.to_unicode(),
+                    "ns_names": list(measurement.ns_names),
+                    "ns_addresses": [
+                        format_ipv4(address)
+                        for address in measurement.ns_addresses
+                    ],
+                    "apex_addresses": [
+                        format_ipv4(address)
+                        for address in measurement.apex_addresses
+                    ],
+                }
+            )
+        return {
+            "date": date.isoformat(),
+            "measured_total": int(len(snapshot.measured)),
+            "matched_total": len(matched),
+            "offset": offset,
+            "limit": limit,
+            "records": records,
+        }
+
+    def _catalog_data(self) -> Dict[str, object]:
+        from ..experiments.registry import EXPERIMENTS, EXTENSIONS
+
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kinds": ["experiment", "series", "headline", "records", "catalog"],
+            "experiments": sorted(EXPERIMENTS),
+            "extensions": sorted(EXTENSIONS),
+            "series": list(SERIES_NAMES),
+        }
+
+
+def _slice_columns(data: Dict[str, object], keep: List[int]) -> Dict[str, object]:
+    """Restrict every parallel column of a series payload to ``keep``."""
+    length = len(data["dates"])
+
+    def cut(value):
+        if isinstance(value, list) and len(value) == length:
+            return [value[position] for position in keep]
+        if isinstance(value, dict):
+            return {key: cut(item) for key, item in value.items()}
+        return value
+
+    return {key: cut(value) for key, value in data.items()}
+
+
+def execute_query(context, spec: SpecLike) -> QueryResult:
+    """Run one query against a context through its facade."""
+    return context.api.query(spec)

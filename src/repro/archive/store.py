@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import os
+import threading
 import time
 from collections import OrderedDict
 from typing import Iterator, List, Optional, Sequence, Tuple
@@ -153,6 +154,9 @@ class MeasurementArchive:
         self._cache_shards = max(1, int(cache_shards))
         self._cache: "OrderedDict[_dt.date, DayShardRecord]" = OrderedDict()
         self._rebuilder = None
+        # The query service shares one archive across executor threads;
+        # the decoded-shard LRU (and self-healing) must be race-free.
+        self._lock = threading.RLock()
 
     def __contains__(self, date: DateLike) -> bool:
         return as_date(date) in self.manifest.days
@@ -176,30 +180,56 @@ class MeasurementArchive:
         opened with its scenario config.
         """
         date_obj = as_date(date)
-        cached = self._cache.get(date_obj)
-        if cached is not None:
-            self._cache.move_to_end(date_obj)
-            if self.metrics is not None:
-                self.metrics.record_cache("archive_shards", 1, 0)
-            return cached
-        entry = self.manifest.days.get(date_obj)
-        if entry is None:
-            raise ArchiveError(
-                f"archive {self.directory} does not cover {date_obj} "
-                "(extend it with 'repro archive build')"
-            )
-        try:
-            record = self._read_day(date_obj, entry)
-        except ArchiveMismatchError:
-            raise
-        except ArchiveError as exc:
-            if self.config is None:
+        with self._lock:
+            cached = self._cache.get(date_obj)
+            if cached is not None:
+                self._cache.move_to_end(date_obj)
+                if self.metrics is not None:
+                    self.metrics.record_cache("archive_shards", 1, 0)
+                return cached
+            entry = self.manifest.days.get(date_obj)
+            if entry is None:
+                raise ArchiveError(
+                    f"archive {self.directory} does not cover {date_obj} "
+                    "(extend it with 'repro archive build')"
+                )
+            try:
+                record = self._read_day(date_obj, entry)
+            except ArchiveMismatchError:
                 raise
-            record = self._heal_day(date_obj, exc)
-        self._cache[date_obj] = record
-        while len(self._cache) > self._cache_shards:
-            self._cache.popitem(last=False)
-        return record
+            except ArchiveError as exc:
+                if self.config is None:
+                    raise
+                record = self._heal_day(date_obj, exc)
+            self._cache[date_obj] = record
+            while len(self._cache) > self._cache_shards:
+                self._cache.popitem(last=False)
+            return record
+
+    def load_range(
+        self, start: DateLike, end: DateLike, step: int = 1
+    ) -> List[DayShardRecord]:
+        """Every covered day record in ``[start, end]`` at ``step`` days.
+
+        A range read for the serving layer: each day goes through the
+        shared LRU (so concurrent requests over overlapping windows hit
+        memory), and days the archive does not cover raise, exactly as
+        :meth:`load_day` would.
+        """
+        if step < 1:
+            raise ArchiveError(f"range step must be >= 1 day: {step}")
+        start_date = as_date(start)
+        end_date = as_date(end)
+        if start_date > end_date:
+            raise ArchiveError(
+                f"inverted range: {start_date} > {end_date}"
+            )
+        records: List[DayShardRecord] = []
+        day = start_date
+        while day <= end_date:
+            records.append(self.load_day(day))
+            day += _dt.timedelta(days=step)
+        return records
 
     def _read_day(self, date_obj: _dt.date, entry) -> DayShardRecord:
         """One CRC-checked shard read, with transient-error retry."""
@@ -331,7 +361,8 @@ class MeasurementArchive:
             if self.metrics is not None:
                 self.metrics.record_recovery("shards_rebuilt", len(bad_dates))
         self.manifest = Manifest.load(self.directory)
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
         return RepairReport(quarantined, bad_dates, self.verify_detailed())
 
     # ------------------------------------------------------------------

@@ -15,7 +15,11 @@ Commands:
   measurement archive (incremental builds, coverage summary, CRC
   verification, quarantine-and-rebuild repair),
 * ``bundle`` — export every artefact plus a machine-readable
-  ``bundle.json`` manifest.
+  ``bundle.json`` manifest,
+* ``query`` — answer one :class:`repro.api.QuerySpec` offline and print
+  the canonical JSON envelope (byte-identical to the HTTP service),
+* ``serve`` — start the archive-backed HTTP query service
+  (see :mod:`repro.service` and docs/service.md).
 
 The global ``--fault-seed``/``--fault-rate`` options attach a
 deterministic fault-injection plan (see :mod:`repro.faults`) to
@@ -132,7 +136,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bundle_parser.add_argument(
         "--profile", action="store_true",
-        help="record per-phase timing metrics in bundle.json",
+        help=(
+            "record per-phase timing and cache hit/miss metrics "
+            "(including archive shard counters) in bundle.json"
+        ),
+    )
+    bundle_parser.add_argument(
+        "--profile-json", default=None, metavar="PATH",
+        help="write the structured metrics summary (JSON) to this file",
+    )
+    bundle_parser.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="replay sweeps from a measurement archive instead of simulating",
+    )
+
+    query_parser = sub.add_parser(
+        "query",
+        help="answer one query spec offline (canonical JSON on stdout)",
+    )
+    query_parser.add_argument(
+        "spec", nargs="?", default=None,
+        help="query spec as a JSON object (alternative to the flags)",
+    )
+    query_parser.add_argument(
+        "--kind", default=None,
+        help="query kind: experiment|series|headline|records|catalog",
+    )
+    query_parser.add_argument(
+        "--experiment", default=None, help="experiment id (kind=experiment)"
+    )
+    query_parser.add_argument(
+        "--series", default=None, help="series name (kind=series)"
+    )
+    query_parser.add_argument(
+        "--start", default=None, help="series range start (ISO date)"
+    )
+    query_parser.add_argument(
+        "--end", default=None, help="series range end (ISO date)"
+    )
+    query_parser.add_argument(
+        "--date", default=None, help="measurement day (kind=records)"
+    )
+    query_parser.add_argument(
+        "--tld", default=None,
+        help="TLD filter for records (Unicode or A-label)",
+    )
+    query_parser.add_argument(
+        "--offset", type=int, default=None, help="records page offset"
+    )
+    query_parser.add_argument(
+        "--limit", type=int, default=None, help="records page size"
+    )
+    query_parser.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="replay sweeps from a measurement archive instead of simulating",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve", help="start the archive-backed HTTP query service"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8321,
+        help="bind port (default 8321; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="serve from a measurement archive instead of simulating",
+    )
+    serve_parser.add_argument(
+        "--max-concurrency", type=int, default=4, metavar="N",
+        help="worker threads computing queries (default 4)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help=(
+            "distinct in-flight queries before new ones get 503 + "
+            "Retry-After (default 32)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--cache-results", type=int, default=128, metavar="N",
+        help="query results kept in the serving LRU (default 128)",
     )
 
     archive_parser = sub.add_parser(
@@ -388,8 +475,79 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
     (target / "bundle.json").write_text(
         json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+    _write_profile_json(getattr(args, "profile_json", None), context.metrics)
     print(f"wrote {len(results)} artefacts to {target}/")
     return 0
+
+
+_QUERY_FLAG_FIELDS = (
+    "kind", "experiment", "series", "start", "end",
+    "date", "tld", "offset", "limit",
+)
+
+
+def _query_spec(args: argparse.Namespace):
+    """A QuerySpec from the positional JSON or the individual flags."""
+    from .api import QuerySpec
+
+    if args.spec is not None:
+        return QuerySpec.from_json(args.spec)
+    payload = {
+        field: getattr(args, field)
+        for field in _QUERY_FLAG_FIELDS
+        if getattr(args, field) is not None
+    }
+    return QuerySpec.from_dict(payload)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .errors import QueryError
+
+    try:
+        spec = _query_spec(args)
+    except QueryError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        context = _context(args)
+        print(context.api.query_json(spec))
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import run_service
+
+    try:
+        context = _context(args)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+    def announce(service) -> None:
+        print(f"serving on http://{args.host}:{service.port}", flush=True)
+
+    try:
+        return asyncio.run(
+            run_service(
+                context,
+                host=args.host,
+                port=args.port,
+                ready=announce,
+                max_concurrency=args.max_concurrency,
+                queue_limit=args.queue_limit,
+                cache_results=args.cache_results,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        return 0
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
 
 
 def _cmd_archive(args: argparse.Namespace) -> int:
@@ -517,6 +675,8 @@ _COMMANDS = {
     "bundle": _cmd_bundle,
     "timeline": _cmd_timeline,
     "archive": _cmd_archive,
+    "query": _cmd_query,
+    "serve": _cmd_serve,
 }
 
 

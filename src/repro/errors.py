@@ -117,3 +117,7 @@ class RecoveryError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis accumulator received inconsistent input."""
+
+
+class QueryError(ReproError):
+    """A query spec is malformed or names an unknown target."""

@@ -9,6 +9,7 @@ comparison, and a plain-text rendering.
 from __future__ import annotations
 
 import csv
+import json
 import pathlib
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -75,6 +76,33 @@ class ExperimentResult:
                 }
             )
         return rows
+
+    def as_payload(self) -> Dict[str, object]:
+        """The machine-readable payload (what ``to_json`` serialises).
+
+        This is the stable per-experiment shape inside the versioned
+        :class:`~repro.api.spec.QueryResult` envelope: identity fields
+        plus every series column, table row, and measured/paper scalar.
+        """
+        from ..api.spec import jsonify
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "series": jsonify(self.series),
+            "rows": jsonify(self.rows),
+            "measured": jsonify(self.measured),
+            "paper": jsonify(self.paper),
+            "sections": list(self.sections),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text of :meth:`as_payload`."""
+        return json.dumps(
+            self.as_payload(), sort_keys=True, separators=(",", ":"),
+            ensure_ascii=True,
+        )
 
     def write_csv(self, directory: Union[str, pathlib.Path]) -> List[pathlib.Path]:
         """Export the result as CSV files for downstream plotting.

@@ -15,14 +15,10 @@ instead of re-deriving world days, so experiments become disk reads.
 from __future__ import annotations
 
 import datetime as _dt
+import warnings
 from typing import List, Optional, Union
 
-from ..core.reducers import (
-    FullSweepReducer,
-    RecentWindowReducer,
-    RecentWindowSeries,
-    SweepSeries,
-)
+from ..core.reducers import RecentWindowSeries, SweepSeries
 from ..core.composition import CompositionSeries
 from ..core.topasn import AsnShareSeries
 from ..ctlog.monitor import CtMonitor
@@ -34,7 +30,6 @@ from ..scanner.cuids import UniversalScanDataset
 from ..scanner.tls import TlsScanner
 from ..sim.conflict import ConflictScenarioConfig, build_scenario
 from ..sim.world import World
-from ..timeline import STUDY_END, STUDY_START
 
 __all__ = ["SweepSeries", "ExperimentContext"]
 
@@ -118,8 +113,7 @@ class ExperimentContext:
             faults=faults,
         )
         self.cadence_days = cadence_days
-        self._full: Optional[SweepSeries] = None
-        self._recent: Optional[RecentWindowSeries] = None
+        self._api = None
         self._monitor: Optional[CtMonitor] = None
         self._scans: Optional[UniversalScanDataset] = None
 
@@ -128,27 +122,32 @@ class ExperimentContext:
         """Worker processes used for longitudinal sweeps."""
         return self.engine.workers
 
+    @property
+    def api(self) -> "AnalysisFacade":
+        """The unified query facade over this context (see :mod:`repro.api`).
+
+        Owns the cached sweeps and the :meth:`AnalysisFacade.query`
+        entry point the CLI and the HTTP service share.
+        """
+        if self._api is None:
+            from ..api.facade import AnalysisFacade
+
+            self._api = AnalysisFacade(self)
+        return self._api
+
     # ------------------------------------------------------------------
     # The five-year sweep (Figures 1-3, headline stats)
     # ------------------------------------------------------------------
 
     def full_sweep(self) -> SweepSeries:
-        """All full-period series, computed in one pass and cached."""
-        if self._full is not None:
-            return self._full
-        reducer = FullSweepReducer()
-        with self.metrics.phase("full_sweep"):
-            records = self.engine.run(
-                reducer,
-                STUDY_START,
-                STUDY_END,
-                self.cadence_days,
-                phase="full_sweep",
-            )
-            self._full = reducer.merge(records)
-        hits = sum(1 for record in records if record.label_cache_hit)
-        self.metrics.record_cache("epoch_labels", hits, len(records) - hits)
-        return self._full
+        """Deprecated shim: use :meth:`api` (``context.api.full_sweep()``)."""
+        warnings.warn(
+            "ExperimentContext.full_sweep() is deprecated; route through "
+            "the unified facade: context.api.full_sweep() / repro.api",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.api.full_sweep()
 
     # ------------------------------------------------------------------
     # The recent daily window (Figures 4 and 5)
@@ -161,31 +160,26 @@ class ExperimentContext:
         ]
 
     def _run_recent(self) -> RecentWindowSeries:
-        if self._recent is not None:
-            return self._recent
-        reducer = RecentWindowReducer(
-            self.fig4_asns(), self.world.sanctioned_indices
+        """Deprecated shim: use ``context.api.recent_window()``."""
+        warnings.warn(
+            "ExperimentContext._run_recent() is deprecated; route through "
+            "the unified facade: context.api.recent_window() / repro.api",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        with self.metrics.phase("recent_sweep"):
-            records = self.engine.run(
-                reducer, RECENT_WINDOW_START, STUDY_END, 1, phase="recent_sweep"
-            )
-            self._recent = reducer.merge(records)
-        hits = sum(1 for record in records if record.label_cache_hit)
-        self.metrics.record_cache("label_matrix", hits, len(records) - hits)
-        return self._recent
+        return self.api.recent_window()
 
     def recent_asn_shares(self) -> AsnShareSeries:
         """Figure 4's daily per-ASN shares."""
-        return self._run_recent().asn_shares
+        return self.api.recent_window().asn_shares
 
     def recent_sanctioned_composition(self) -> CompositionSeries:
         """Figure 5's daily sanctioned NS composition."""
-        return self._run_recent().sanctioned_composition
+        return self.api.recent_window().sanctioned_composition
 
     def recent_listed_counts(self) -> List[int]:
         """Figure 5's black curve: domains listed as of each day."""
-        return self._run_recent().listed_counts
+        return self.api.recent_window().listed_counts
 
     # ------------------------------------------------------------------
     # PKI datasets (Figure 8, Tables 1-2, §4.3)

@@ -13,7 +13,7 @@ __all__ = ["run"]
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Regenerate Figure 1 from a full-period sweep."""
-    series = context.full_sweep().ns_composition
+    series = context.api.full_sweep().ns_composition
     result = ExperimentResult(
         "fig1",
         "Country composition of name-server infrastructure",

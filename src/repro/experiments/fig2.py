@@ -13,7 +13,7 @@ __all__ = ["run"]
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Regenerate Figure 2 from the full-period sweep."""
-    series = context.full_sweep().tld_composition
+    series = context.api.full_sweep().tld_composition
     result = ExperimentResult(
         "fig2",
         "TLD dependency composition of NS names",

@@ -14,7 +14,7 @@ _DISPLAY = {"xn--p1ai": "рф"}
 
 def run(context: ExperimentContext, top_k: int = 5) -> ExperimentResult:
     """Regenerate Figure 3 (top-5 NS TLD shares) from the full sweep."""
-    shares = context.full_sweep().tld_shares
+    shares = context.api.full_sweep().tld_shares
     result = ExperimentResult(
         "fig3",
         f"Top {top_k} TLDs of authoritative NS names",

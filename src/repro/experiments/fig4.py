@@ -14,7 +14,7 @@ _RUSSIAN_BIG4 = ("regru", "rucenter", "timeweb", "beget")
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Regenerate Figure 4: daily domain share per tracked hosting ASN."""
-    series = context.recent_asn_shares()
+    series = context.api.recent_window().asn_shares
     catalog = context.world.catalog
     result = ExperimentResult(
         "fig4",

@@ -17,8 +17,9 @@ _MAR4 = _dt.date(2022, 3, 4)
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Regenerate Figure 5 from the daily conflict-window sweep."""
-    series = context.recent_sanctioned_composition()
-    listed = context.recent_listed_counts()
+    recent = context.api.recent_window()
+    series = recent.sanctioned_composition
+    listed = recent.listed_counts
     result = ExperimentResult(
         "fig5",
         "NS country composition of sanctioned domains",

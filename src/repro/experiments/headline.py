@@ -12,7 +12,7 @@ __all__ = ["run"]
 
 def run(context: ExperimentContext) -> ExperimentResult:
     """Regenerate the paper's headline numbers from the full sweep."""
-    sweep = context.full_sweep()
+    sweep = context.api.full_sweep()
     stats = compute_headline_stats(
         sweep.hosting_composition,
         sweep.ns_composition,

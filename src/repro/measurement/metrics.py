@@ -66,6 +66,8 @@ class SweepMetrics:
         self._phases: Dict[str, PhaseStat] = {}
         self._caches: Dict[str, Dict[str, int]] = {}
         self._recovery: Dict[str, int] = {}
+        self._endpoints: Dict[str, Dict[str, object]] = {}
+        self._counters: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Phases
@@ -109,6 +111,45 @@ class SweepMetrics:
         return counters["hits"] / total if total else 0.0
 
     # ------------------------------------------------------------------
+    # Service endpoints
+    # ------------------------------------------------------------------
+
+    def record_endpoint(
+        self, name: str, seconds: float, status: int
+    ) -> None:
+        """Accumulate one served request for a named endpoint.
+
+        Tracks request count, error count (HTTP status >= 400), total
+        and maximum latency; ``/metrics`` and ``--profile-json`` expose
+        the aggregate under ``endpoints``.
+        """
+        stat = self._endpoints.setdefault(
+            name,
+            {"requests": 0, "errors": 0, "wall_seconds": 0.0, "max_seconds": 0.0},
+        )
+        stat["requests"] = int(stat["requests"]) + 1
+        if int(status) >= 400:
+            stat["errors"] = int(stat["errors"]) + 1
+        stat["wall_seconds"] = float(stat["wall_seconds"]) + float(seconds)
+        stat["max_seconds"] = max(float(stat["max_seconds"]), float(seconds))
+
+    def endpoint_stats(self, name: str) -> Optional[Dict[str, object]]:
+        """The accumulated stats for one endpoint (None if never hit)."""
+        return self._endpoints.get(name)
+
+    # ------------------------------------------------------------------
+    # Free-form counters (coalesced requests, backpressure rejections...)
+    # ------------------------------------------------------------------
+
+    def record_counter(self, name: str, count: int = 1) -> None:
+        """Bump one named monotonic counter."""
+        self._counters[name] = self._counters.get(name, 0) + int(count)
+
+    def counter(self, name: str) -> int:
+        """The named counter's value (0 if never bumped)."""
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
     # Recovery counters
     # ------------------------------------------------------------------
 
@@ -144,12 +185,35 @@ class SweepMetrics:
                 for name, counters in self._caches.items()
             },
             "recovery": dict(self._recovery),
+            "endpoints": {
+                name: {
+                    "requests": stat["requests"],
+                    "errors": stat["errors"],
+                    "wall_seconds": round(float(stat["wall_seconds"]), 6),
+                    "max_seconds": round(float(stat["max_seconds"]), 6),
+                    "mean_seconds": round(
+                        float(stat["wall_seconds"]) / int(stat["requests"]), 6
+                    )
+                    if stat["requests"]
+                    else 0.0,
+                }
+                for name, stat in self._endpoints.items()
+            },
+            "counters": dict(self._counters),
         }
 
     def render(self) -> str:
         """Human-readable profile (what ``--profile`` prints)."""
         lines = ["profile:"]
-        if not self._phases and not self._caches and not self._recovery:
+        if not any(
+            (
+                self._phases,
+                self._caches,
+                self._recovery,
+                self._endpoints,
+                self._counters,
+            )
+        ):
             lines.append("  (no instrumented work ran)")
             return "\n".join(lines)
         for stat in self._phases.values():
@@ -173,4 +237,17 @@ class SweepMetrics:
             )
         for name, count in self._recovery.items():
             lines.append(f"  recovery {name:<20} {count}")
+        for name, stat in self._endpoints.items():
+            mean = (
+                float(stat["wall_seconds"]) / int(stat["requests"])
+                if stat["requests"]
+                else 0.0
+            )
+            lines.append(
+                f"  endpoint {name:<20} {stat['requests']:>5} req  "
+                f"{stat['errors']} err  mean {1000.0 * mean:.1f}ms  "
+                f"max {1000.0 * float(stat['max_seconds']):.1f}ms"
+            )
+        for name, count in self._counters.items():
+            lines.append(f"  counter {name:<21} {count}")
         return "\n".join(lines)

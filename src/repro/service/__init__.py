@@ -1,0 +1,19 @@
+"""``repro.service`` — archive-backed HTTP query service.
+
+The asyncio serving layer over :mod:`repro.api`: ``repro serve`` binds a
+:class:`QueryService`, which answers the same :class:`~repro.api.spec.QuerySpec`
+queries as offline ``repro query`` with byte-identical canonical JSON.
+See docs/service.md for the endpoint and schema reference.
+"""
+
+from .http import HttpError, HttpRequest, HttpResponse, read_request
+from .server import QueryService, run_service
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "QueryService",
+    "read_request",
+    "run_service",
+]

@@ -1,0 +1,411 @@
+"""The archive-backed query service: ``repro serve``.
+
+An asyncio HTTP/1.1 server over one
+:class:`~repro.api.facade.AnalysisFacade`.  Every endpoint — including
+the convenience routes — normalises its input into a
+:class:`~repro.api.spec.QuerySpec` and goes through one code path, the
+same one ``repro query`` uses offline, so both emit byte-identical
+canonical JSON.
+
+Serving mechanics:
+
+* **result cache** — canonical JSON texts in an LRU keyed by
+  :meth:`QuerySpec.cache_key` (hits skip all computation);
+* **request coalescing** — concurrent identical queries await a single
+  in-flight computation instead of repeating it;
+* **bounded concurrency + backpressure** — computations run on a
+  fixed-size thread pool; once the number of distinct in-flight
+  computations reaches the queue limit, new work is refused with
+  ``503`` and a ``Retry-After`` header rather than queued without bound;
+* **graceful shutdown** — stop accepting, drain in-flight work, then
+  close (``repro serve`` wires this to SIGINT/SIGTERM).
+
+Per-endpoint request/latency counters and the context's sweep/cache
+metrics are exposed at ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Optional, Set, Tuple
+
+from ..api.spec import SCHEMA_VERSION, QueryResult, QuerySpec, jsonify
+from ..errors import QueryError, ReproError
+from .http import HttpError, HttpRequest, HttpResponse, read_request, split_path
+
+__all__ = ["QueryService", "run_service"]
+
+#: Defaults for the serving knobs (also the CLI defaults).
+DEFAULT_MAX_CONCURRENCY = 4
+DEFAULT_QUEUE_LIMIT = 32
+DEFAULT_CACHE_RESULTS = 128
+DEFAULT_RETRY_AFTER = 1
+
+#: Spec fields accepted as query-string parameters on GET /v1/query.
+_PARAM_FIELDS = (
+    "kind", "experiment", "series", "start", "end",
+    "date", "tld", "offset", "limit",
+)
+
+
+class QueryService:
+    """One serving instance over an experiment context."""
+
+    def __init__(
+        self,
+        context,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        cache_results: int = DEFAULT_CACHE_RESULTS,
+        retry_after: int = DEFAULT_RETRY_AFTER,
+    ) -> None:
+        if max_concurrency < 1:
+            raise QueryError(f"max_concurrency must be >= 1: {max_concurrency}")
+        if queue_limit < 1:
+            raise QueryError(f"queue_limit must be >= 1: {queue_limit}")
+        self._context = context
+        self._facade = context.api
+        self._metrics = context.metrics
+        self._queue_limit = int(queue_limit)
+        self._retry_after = max(1, int(retry_after))
+        self._cache_results = max(0, int(cache_results))
+        self._cache: "OrderedDict[str, str]" = OrderedDict()
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(max_concurrency), thread_name_prefix="repro-query"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise QueryError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self, timeout: float = 10.0) -> None:
+        """Graceful stop: refuse new connections, drain in-flight work."""
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + timeout
+        while self._connections and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                response = HttpResponse.error(400, str(exc))
+            else:
+                if request is None:
+                    return
+                response = await self.handle(request)
+            writer.write(response.to_bytes())
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+            if task is not None:
+                self._connections.discard(task)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Route one request; records per-endpoint metrics."""
+        started = time.perf_counter()
+        endpoint, response = await self._route(request)
+        elapsed = time.perf_counter() - started
+        self._metrics.record_endpoint(endpoint, elapsed, response.status)
+        self._metrics.record_counter("requests_total")
+        return response
+
+    async def _route(self, request: HttpRequest) -> Tuple[str, HttpResponse]:
+        segments = split_path(request.path)
+        try:
+            if segments == ():
+                return "root", self._info_response()
+            if segments == ("healthz",):
+                return "healthz", self._health_response()
+            if segments == ("metrics",):
+                return "metrics", self._metrics_response()
+            if segments[0] != "v1":
+                return "unknown", HttpResponse.error(
+                    404, f"no such endpoint: {request.path}"
+                )
+            return await self._route_v1(request, segments[1:])
+        except HttpError as exc:
+            return "bad-request", HttpResponse.error(400, str(exc))
+        except QueryError as exc:
+            return "bad-request", HttpResponse.error(400, str(exc))
+
+    async def _route_v1(
+        self, request: HttpRequest, tail: Tuple[str, ...]
+    ) -> Tuple[str, HttpResponse]:
+        params = request.params
+        if tail == ("query",):
+            if request.method == "POST":
+                spec = QuerySpec.from_dict(self._object_body(request))
+            elif request.method == "GET":
+                spec = QuerySpec.from_dict(
+                    {
+                        field: params[field]
+                        for field in _PARAM_FIELDS
+                        if field in params
+                    }
+                )
+            else:
+                return "query", HttpResponse.error(
+                    405, f"{request.method} not allowed on /v1/query"
+                )
+            return "query", await self._query_response(spec)
+        if request.method != "GET":
+            return "v1", HttpResponse.error(
+                405, f"{request.method} not allowed on {request.path}"
+            )
+        if tail == ("experiments",):
+            return "experiments", await self._query_response(
+                QuerySpec("catalog")
+            )
+        if len(tail) == 2 and tail[0] == "experiments":
+            spec = QuerySpec("experiment", experiment=tail[1])
+            return "experiments", await self._query_response(spec)
+        if len(tail) == 2 and tail[0] == "series":
+            spec = QuerySpec(
+                "series",
+                series=tail[1],
+                start=params.get("start"),
+                end=params.get("end"),
+            )
+            return "series", await self._query_response(spec)
+        if tail == ("headline",):
+            return "headline", await self._query_response(QuerySpec("headline"))
+        if len(tail) == 2 and tail[0] == "records":
+            spec = QuerySpec(
+                "records",
+                date=tail[1],
+                tld=params.get("tld"),
+                offset=params.get("offset"),
+                limit=params.get("limit"),
+            )
+            return "records", await self._query_response(spec)
+        return "unknown", HttpResponse.error(
+            404, f"no such endpoint: {request.path}"
+        )
+
+    @staticmethod
+    def _object_body(request: HttpRequest) -> Dict[str, object]:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HttpError("query spec body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # The unified query path: cache -> coalesce -> compute
+    # ------------------------------------------------------------------
+
+    async def _query_response(self, spec: QuerySpec) -> HttpResponse:
+        key = spec.cache_key()
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._metrics.record_cache("query_results", 1, 0)
+            return HttpResponse.json(200, cached, {"X-Cache": "hit"})
+
+        future = self._inflight.get(key)
+        if future is not None:
+            # Coalesce: ride the computation a concurrent identical
+            # request already started.
+            self._metrics.record_cache("query_results", 1, 0)
+            self._metrics.record_counter("requests_coalesced")
+            status, text = await asyncio.shield(future)
+            header = "coalesced" if status == 200 else None
+            return HttpResponse.json(
+                status, text, {"X-Cache": header} if header else None
+            )
+
+        if len(self._inflight) >= self._queue_limit:
+            self._metrics.record_counter("requests_rejected")
+            return HttpResponse.error(
+                503,
+                f"query queue is full ({self._queue_limit} in flight); "
+                "retry shortly",
+                {"Retry-After": str(self._retry_after)},
+            )
+
+        self._metrics.record_cache("query_results", 0, 1)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[key] = future
+        outcome = (503, self._error_text(503, "service shutting down"))
+        try:
+            try:
+                outcome = await loop.run_in_executor(
+                    self._executor, self._compute, spec
+                )
+            except Exception as exc:  # defensive: _compute handles ReproError
+                outcome = (500, self._error_text(500, f"internal error: {exc}"))
+        finally:
+            # Resolve waiters and clear the slot even if we were cancelled
+            # mid-shutdown, so coalesced requests never hang.
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(outcome)
+        status, text = outcome
+        if status == 200 and self._cache_results:
+            self._cache_put(key, text)
+        return HttpResponse.json(status, text)
+
+    def _compute(self, spec: QuerySpec) -> Tuple[int, str]:
+        """Synchronous query execution (runs on the worker pool)."""
+        try:
+            return 200, self._facade.query_json(spec)
+        except QueryError as exc:
+            return 400, self._error_text(400, str(exc))
+        except ReproError as exc:
+            return 500, self._error_text(500, str(exc))
+
+    @staticmethod
+    def _error_text(status: int, message: str) -> str:
+        return json.dumps(
+            {
+                "schema_version": SCHEMA_VERSION,
+                "error": {"status": status, "message": message},
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    # ------------------------------------------------------------------
+    # Result LRU
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, key: str) -> Optional[str]:
+        text = self._cache.get(key)
+        if text is not None:
+            self._cache.move_to_end(key)
+        return text
+
+    def _cache_put(self, key: str, text: str) -> None:
+        self._cache[key] = text
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_results:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+
+    def _info_response(self) -> HttpResponse:
+        payload = {
+            "service": "repro-query-service",
+            "schema_version": SCHEMA_VERSION,
+            "endpoints": [
+                "GET /healthz",
+                "GET /metrics",
+                "GET|POST /v1/query",
+                "GET /v1/experiments",
+                "GET /v1/experiments/<id>",
+                "GET /v1/series/<name>?start=&end=",
+                "GET /v1/headline",
+                "GET /v1/records/<date>?tld=&offset=&limit=",
+            ],
+        }
+        return HttpResponse.json(
+            200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        )
+
+    def _health_response(self) -> HttpResponse:
+        payload = {
+            "status": "closing" if self._closing else "ok",
+            "schema_version": SCHEMA_VERSION,
+            "inflight": len(self._inflight),
+        }
+        return HttpResponse.json(
+            200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        )
+
+    def _metrics_response(self) -> HttpResponse:
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "metrics": jsonify(self._metrics.summary()),
+            "service": {
+                "inflight": len(self._inflight),
+                "cached_results": len(self._cache),
+                "queue_limit": self._queue_limit,
+            },
+        }
+        return HttpResponse.json(
+            200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        )
+
+
+async def run_service(
+    context,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    ready=None,
+    stop_event: Optional[asyncio.Event] = None,
+    **options,
+) -> int:
+    """Start a service, announce readiness, and serve until stopped.
+
+    ``ready`` (if given) is called with the started :class:`QueryService`
+    once the socket is bound; ``stop_event`` ends the loop (``repro
+    serve`` sets it from SIGINT/SIGTERM).  Returns the process exit code.
+    """
+    service = QueryService(context, **options)
+    await service.start(host, port)
+    if ready is not None:
+        ready(service)
+    event = stop_event if stop_event is not None else asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if stop_event is None:
+        import signal
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, event.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+    await event.wait()
+    await service.shutdown()
+    return 0

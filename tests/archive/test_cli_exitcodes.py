@@ -134,4 +134,6 @@ class TestBuildExitCodes:
         )
         assert code == 0
         payload = json.loads(out_path.read_text())
-        assert set(payload) == {"phases", "caches", "recovery"}
+        assert set(payload) == {
+            "phases", "caches", "recovery", "endpoints", "counters",
+        }

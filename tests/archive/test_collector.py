@@ -1,5 +1,6 @@
 """Archive-backed experiments must be bit-identical to live simulation."""
 
+import datetime
 import shutil
 
 import pytest
@@ -36,7 +37,7 @@ class TestBitIdenticalResults:
         assert archived.measured == live.measured
 
     def test_full_sweep_series_identical(self, live_context, archive_context):
-        sweep_series_equal(live_context.full_sweep(), archive_context.full_sweep())
+        sweep_series_equal(live_context.api.full_sweep(), archive_context.api.full_sweep())
 
     def test_recent_window_identical(self, live_context, archive_context):
         live = list(live_context.recent_asn_shares())
@@ -78,7 +79,7 @@ class TestCollectorInterface:
         context = ExperimentContext(
             config=archive_config, cadence_days=60, archive=built_archive
         )
-        context.full_sweep()
+        context.api.full_sweep()
         assert context.metrics.get_phase("archive_read") is not None
         summary = context.metrics.summary()
         assert "archive_shards" in summary["caches"]
@@ -101,7 +102,7 @@ class TestRefusals:
             config=archive_config, cadence_days=7, archive=built_archive
         )
         with pytest.raises(ArchiveError, match="does not cover"):
-            context.full_sweep()
+            context.api.full_sweep()
 
     def test_scenario_mismatch_refused_at_open(self, built_archive):
         from repro.sim import ConflictScenarioConfig
@@ -147,3 +148,52 @@ class TestVerify:
         (copy / entry.file).unlink()
         problems = archive.verify()
         assert any("missing" in problem for problem in problems)
+
+
+class TestLoadRange:
+    """Range reads share the day-shard LRU with single-day reads."""
+
+    def test_range_matches_per_day_loads(self, built_archive):
+        archive = MeasurementArchive(built_archive)
+        records = archive.load_range("2022-02-24", "2022-02-26")
+        assert len(records) == 3
+        for offset, record in enumerate(records):
+            day = datetime.date(2022, 2, 24 + offset)
+            assert record is archive.load_day(day)
+
+    def test_range_step_skips_days(self, built_archive):
+        archive = MeasurementArchive(built_archive)
+        records = archive.load_range("2022-02-24", "2022-03-02", step=3)
+        assert len(records) == 3
+
+    def test_inverted_range_rejected(self, built_archive):
+        archive = MeasurementArchive(built_archive)
+        with pytest.raises(ArchiveError, match="inverted range"):
+            archive.load_range("2022-03-05", "2022-03-01")
+        with pytest.raises(ArchiveError, match="step"):
+            archive.load_range("2022-03-01", "2022-03-05", step=0)
+
+    def test_uncovered_day_raises(self, built_archive):
+        archive = MeasurementArchive(built_archive)
+        with pytest.raises(ArchiveError, match="does not cover"):
+            archive.load_range("2031-01-01", "2031-01-02")
+
+    def test_concurrent_readers_share_cache(self, built_archive):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.measurement.metrics import SweepMetrics
+
+        metrics = SweepMetrics()
+        archive = MeasurementArchive(built_archive, metrics=metrics)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(
+                pool.map(
+                    lambda _: archive.load_range("2022-02-24", "2022-02-26"),
+                    range(4),
+                )
+            )
+        assert all(result == results[0] for result in results)
+        counters = metrics.summary()["caches"]["archive_shards"]
+        # 3 distinct days were read from disk exactly once each.
+        assert counters["misses"] == 3
+        assert counters["hits"] == 9

@@ -20,8 +20,8 @@ class TestConstruction:
 class TestCaching:
     def test_full_sweep_cached(self, tiny_world):
         context = ExperimentContext(world=tiny_world, cadence_days=60)
-        first = context.full_sweep()
-        second = context.full_sweep()
+        first = context.api.full_sweep()
+        second = context.api.full_sweep()
         assert first is second
 
     def test_recent_series_cached(self, tiny_world):
@@ -34,7 +34,7 @@ class TestCaching:
 
     def test_all_series_same_length(self, tiny_world):
         context = ExperimentContext(world=tiny_world, cadence_days=60)
-        sweep = context.full_sweep()
+        sweep = context.api.full_sweep()
         lengths = {
             len(sweep.ns_composition),
             len(sweep.hosting_composition),
@@ -42,6 +42,22 @@ class TestCaching:
             len(sweep.tld_shares),
         }
         assert len(lengths) == 1
+
+
+class TestDeprecatedShims:
+    """full_sweep()/_run_recent() survive as warning shims over the facade."""
+
+    def test_full_sweep_warns_and_delegates(self, tiny_world):
+        context = ExperimentContext(world=tiny_world, cadence_days=60)
+        with pytest.warns(DeprecationWarning, match="full_sweep"):
+            sweep = context.full_sweep()
+        assert sweep is context.api.full_sweep()
+
+    def test_run_recent_warns_and_delegates(self, tiny_world):
+        context = ExperimentContext(world=tiny_world, cadence_days=60)
+        with pytest.warns(DeprecationWarning, match="_run_recent"):
+            recent = context._run_recent()
+        assert recent is context.api.recent_window()
 
 
 class TestFig4Asns:

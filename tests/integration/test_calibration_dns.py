@@ -38,13 +38,13 @@ class TestFig1NsComposition:
         assert 3.5 <= change <= 10.0
 
     def test_stable_before_conflict(self, small_context):
-        series = small_context.full_sweep().ns_composition
+        series = small_context.api.full_sweep().ns_composition
         early = series.nearest(dt.date(2018, 1, 1)).share("full")
         late_pre = series.nearest(dt.date(2022, 2, 20)).share("full")
         assert abs(late_pre - early) < 3.5
 
     def test_jump_concentrated_after_conflict(self, small_context):
-        series = small_context.full_sweep().ns_composition
+        series = small_context.api.full_sweep().ns_composition
         pre = series.nearest(dt.date(2022, 2, 20)).share("full")
         post = series.nearest(dt.date(2022, 5, 25)).share("full")
         assert post - pre > 4.0

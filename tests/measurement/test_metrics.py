@@ -117,10 +117,10 @@ class TestContextIntegration:
         from repro.experiments import ExperimentContext
 
         context = ExperimentContext(world=tiny_world, cadence_days=60)
-        context.full_sweep()
+        context.api.full_sweep()
         stat = context.metrics.get_phase("full_sweep")
         assert stat is not None
-        assert stat.snapshots == len(context.full_sweep().ns_composition)
+        assert stat.snapshots == len(context.api.full_sweep().ns_composition)
         assert stat.notes["executor"] == "serial"
 
     def test_recent_sweep_records_label_cache(self, tiny_world):

@@ -171,7 +171,7 @@ class TestParallelEquivalence:
             config=engine_config, cadence_days=60, workers=4
         )
         sweep_series_equal(
-            serial_context.full_sweep(), parallel_context.full_sweep()
+            serial_context.api.full_sweep(), parallel_context.api.full_sweep()
         )
         stat = parallel_context.metrics.get_phase("full_sweep")
         assert stat.notes["executor"] == "process"

@@ -1,0 +1,121 @@
+"""Service fixtures: a tiny archive plus a threaded service harness.
+
+The archive is built once per session at 1:20000 (a few hundred
+concurrent domains) with a coarse 90-day cadence, so the standard plan
+stays fast while still covering the full study period — which lets
+series/headline queries replay from disk exactly as production serving
+would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.archive import ArchiveBuilder
+from repro.experiments import ExperimentContext
+from repro.service import QueryService
+from repro.sim import ConflictScenarioConfig
+
+#: Scenario shared by the archive build, every service context, and the
+#: CLI equivalence runs (which rebuild it from these numbers).
+SERVICE_SCALE = 20000.0
+SERVICE_CADENCE = 90
+
+
+def service_config() -> ConflictScenarioConfig:
+    return ConflictScenarioConfig(scale=SERVICE_SCALE, with_pki=False)
+
+
+@pytest.fixture(scope="session")
+def service_archive(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("service") / "archive"
+    ArchiveBuilder(str(directory), service_config()).build_standard(
+        SERVICE_CADENCE
+    )
+    return str(directory)
+
+
+def fresh_context(service_archive: str) -> ExperimentContext:
+    """An archive-backed context with its own (empty) metrics."""
+    return ExperimentContext(
+        config=service_config(),
+        cadence_days=SERVICE_CADENCE,
+        archive=service_archive,
+    )
+
+
+class ServiceThread:
+    """Run one QueryService on a background event loop.
+
+    ``with ServiceThread(context) as svc: svc.get("/healthz")`` — the
+    exit path performs the service's graceful shutdown.
+    """
+
+    def __init__(self, context, **options) -> None:
+        self._context = context
+        self._options = options
+        self._ready = threading.Event()
+        self._failure: Exception | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self.service: QueryService | None = None
+        self.port: int | None = None
+
+    def __enter__(self) -> "ServiceThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(60), "service did not start in time"
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=60)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:  # surfaced to the test thread
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.service = QueryService(self._context, **self._options)
+        await self.service.start("127.0.0.1", 0)
+        self.port = self.service.port
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await self.service.shutdown()
+
+    # ------------------------------------------------------------------
+    # Plain blocking HTTP helpers for test threads
+    # ------------------------------------------------------------------
+
+    def url(self, path: str) -> str:
+        return f"http://127.0.0.1:{self.port}{path}"
+
+    def request(self, path: str, data: bytes | None = None):
+        """(status, headers, body) without raising on HTTP errors."""
+        request = urllib.request.Request(self.url(path), data=data)
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
+    def get(self, path: str):
+        return self.request(path)
+
+    def post(self, path: str, body: bytes):
+        return self.request(path, data=body)

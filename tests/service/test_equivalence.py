@@ -1,0 +1,127 @@
+"""Offline/online equivalence: ``repro query`` and the HTTP service must
+return byte-identical canonical JSON for the same QuerySpec over the
+same archive.
+
+This is the contract that makes the service trustworthy: serving is a
+transport, not a second implementation.
+"""
+
+import json
+import urllib.parse
+
+import pytest
+
+from repro.cli import main
+
+from .conftest import (
+    SERVICE_CADENCE,
+    SERVICE_SCALE,
+    ServiceThread,
+    fresh_context,
+)
+
+#: The query mix both paths answer (flags form for the CLI).
+SPECS = [
+    {"kind": "catalog"},
+    {"kind": "headline"},
+    {
+        "kind": "series", "series": "ns_composition",
+        "start": "2022-01-01", "end": "2022-06-01",
+    },
+    {"kind": "series", "series": "tld_shares"},
+    {"kind": "records", "date": "2022-03-04", "tld": "ru", "limit": 5},
+    # The same filter written in Unicode and punycode must collapse to
+    # one canonical answer.
+    {"kind": "records", "date": "2022-03-04", "tld": "рф", "limit": 5},
+    {"kind": "records", "date": "2022-03-04", "tld": "xn--p1ai", "limit": 5},
+]
+
+CLI_BASE = [
+    "--scale", str(int(SERVICE_SCALE)),
+    "--no-pki",
+    "--cadence", str(SERVICE_CADENCE),
+]
+
+
+def cli_query_bytes(service_archive, spec, capsys) -> bytes:
+    argv = CLI_BASE + ["query", json.dumps(spec), "--archive", service_archive]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert out.endswith("\n")
+    return out[:-1].encode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def served(service_archive):
+    with ServiceThread(fresh_context(service_archive)) as svc:
+        yield svc
+
+
+@pytest.mark.parametrize(
+    "spec", SPECS, ids=lambda spec: json.dumps(spec, ensure_ascii=False)
+)
+def test_cli_and_http_bytes_agree(service_archive, served, spec, capsys):
+    offline = cli_query_bytes(service_archive, spec, capsys)
+    status, _, online = served.post(
+        "/v1/query", json.dumps(spec).encode("utf-8")
+    )
+    assert status == 200
+    assert offline == online
+
+
+def test_get_query_string_matches_post(served):
+    spec = {"kind": "records", "date": "2022-03-04", "tld": "рф", "limit": 5}
+    query = urllib.parse.urlencode(spec)
+    get_status, _, get_body = served.get(f"/v1/query?{query}")
+    post_status, _, post_body = served.post(
+        "/v1/query", json.dumps(spec).encode("utf-8")
+    )
+    assert (get_status, post_status) == (200, 200)
+    assert get_body == post_body
+
+
+def test_convenience_route_matches_generic_query(served):
+    convenience = served.get(
+        "/v1/series/ns_composition?start=2022-01-01&end=2022-06-01"
+    )
+    generic = served.post(
+        "/v1/query",
+        json.dumps(
+            {
+                "kind": "series", "series": "ns_composition",
+                "start": "2022-01-01", "end": "2022-06-01",
+            }
+        ).encode(),
+    )
+    assert convenience[0] == generic[0] == 200
+    assert convenience[2] == generic[2]
+
+
+def test_cli_flags_match_cli_json(service_archive, capsys):
+    json_form = cli_query_bytes(
+        service_archive,
+        {"kind": "records", "date": "2022-03-04", "tld": "рф", "limit": 5},
+        capsys,
+    )
+    argv = CLI_BASE + [
+        "query", "--kind", "records", "--date", "2022-03-04",
+        "--tld", "рф", "--limit", "5", "--archive", service_archive,
+    ]
+    assert main(argv) == 0
+    flags_form = capsys.readouterr().out[:-1].encode("utf-8")
+    assert flags_form == json_form
+
+
+def test_payloads_are_ascii_canonical(served):
+    status, _, body = served.post(
+        "/v1/query",
+        json.dumps(
+            {"kind": "records", "date": "2022-03-04", "tld": "рф", "limit": 5}
+        ).encode(),
+    )
+    assert status == 200
+    text = body.decode("ascii")  # ensure_ascii envelope
+    assert text == json.dumps(
+        json.loads(text), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True,
+    )

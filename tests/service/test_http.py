@@ -1,0 +1,110 @@
+"""Unit tests for the HTTP/1.1 plumbing in repro.service.http."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    HttpResponse,
+    read_request,
+    split_path,
+)
+
+
+def parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /v1/headline HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/headline"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_query_string_and_percent_decoding(self):
+        request = parse(
+            b"GET /v1/records/2022-03-04?tld=%D1%80%D1%84&limit=3 HTTP/1.1\r\n\r\n"
+        )
+        assert request.path == "/v1/records/2022-03-04"
+        assert request.params == {"tld": "рф", "limit": "3"}
+
+    def test_post_body_json(self):
+        body = json.dumps({"kind": "headline"}).encode()
+        raw = (
+            b"POST /v1/query HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.json() == {"kind": "headline"}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError, match="malformed request line"):
+            parse(b"GETONLY\r\n\r\n")
+
+    def test_unsupported_protocol(self):
+        with pytest.raises(HttpError, match="unsupported protocol"):
+            parse(b"GET / SPDY/9\r\n\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError, match="Content-Length"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: lots\r\n\r\n")
+
+    def test_oversized_body_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n"
+        with pytest.raises(HttpError, match="Content-Length"):
+            parse(raw)
+
+    def test_too_many_headers(self):
+        headers = b"".join(
+            b"X-H%d: v\r\n" % index for index in range(100)
+        )
+        with pytest.raises(HttpError, match="too many headers"):
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+
+    def test_body_not_json(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{"
+        )
+        with pytest.raises(HttpError, match="not valid JSON"):
+            request.json()
+
+
+class TestHttpResponse:
+    def test_wire_form(self):
+        response = HttpResponse.json(200, '{"x":1}', {"X-Cache": "hit"})
+        raw = response.to_bytes()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 7" in head
+        assert b"Connection: close" in head
+        assert b"X-Cache: hit" in head
+        assert body == b'{"x":1}'
+
+    def test_error_envelope(self):
+        response = HttpResponse.error(503, "slow down", {"Retry-After": "1"})
+        payload = json.loads(response.body)
+        assert payload["error"] == {"status": 503, "message": "slow down"}
+        assert "schema_version" in payload
+        assert b"Retry-After: 1" in response.to_bytes()
+
+
+class TestSplitPath:
+    def test_segments(self):
+        assert split_path("/v1/series/x") == ("v1", "series", "x")
+        assert split_path("/") == ()
+        assert split_path("") == ()

@@ -208,3 +208,72 @@ class TestArchiveCommands:
         )
         assert code == 1
         assert "different scenario" in capsys.readouterr().err
+
+    def test_bundle_profile_json_counts_archive_cache(
+        self, cli_archive, tmp_path, capsys
+    ):
+        import json
+
+        out_dir = tmp_path / "artifacts"
+        profile_path = tmp_path / "metrics.json"
+        code = main(
+            ARGS + ["--cadence", "60", "bundle",
+                    "--output", str(out_dir),
+                    "--archive", str(cli_archive),
+                    "--profile", "--profile-json", str(profile_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        manifest = json.loads((out_dir / "bundle.json").read_text())
+        shards = manifest["profile"]["caches"]["archive_shards"]
+        assert shards["hits"] + shards["misses"] > 0
+        # --profile-json carries the identical summary.
+        standalone = json.loads(profile_path.read_text())
+        assert standalone["caches"]["archive_shards"] == shards
+
+
+class TestQueryCommand:
+    """``repro query``: offline canonical JSON with contractual exit codes."""
+
+    def test_catalog_roundtrip(self, capsys):
+        import json
+
+        assert main(ARGS + ["query", '{"kind": "catalog"}']) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert "fig1" in payload["data"]["experiments"]
+
+    def test_flags_build_the_spec(self, capsys):
+        import json
+
+        code = main(
+            ARGS + ["--cadence", "60", "query",
+                    "--kind", "records", "--date", "2022-03-04",
+                    "--tld", "RU", "--limit", "2"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["tld"] == "ru"
+        assert len(payload["data"]["records"]) == 2
+
+    def test_bad_spec_is_usage_error(self, capsys):
+        assert main(ARGS + ["query", '{"kind": "mystery"}']) == 2
+        assert "unknown query kind" in capsys.readouterr().err
+
+    def test_unknown_experiment_exits_one(self, capsys):
+        code = main(
+            ARGS + ["query", "--kind", "experiment", "--experiment", "fig99"]
+        )
+        assert code == 1
+        assert "fig99" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8321
+        assert args.max_concurrency == 4
+        assert args.queue_limit == 32
+        assert args.cache_results == 128
+        assert args.archive is None
