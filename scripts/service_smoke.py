@@ -1,8 +1,14 @@
 #!/usr/bin/env python
 """End-to-end smoke for ``repro serve``: build a tiny archive, start the
-service as a real subprocess, drive a scripted query mix (including one
-coalesced concurrent burst), check /metrics counters, and shut it down
-with SIGINT.
+service as a real subprocess *with one targeted fault injected*, drive a
+scripted query mix through the resilient :class:`repro.client.QueryClient`
+(including one coalesced concurrent burst), check /metrics counters, and
+shut the server down with SIGINT.
+
+The injected fault is a deterministic ``service.compute`` STALL on the
+headline query: the smoke run must absorb it inside the overall request
+deadline — proving the serving deadline machinery and the client retry
+policy compose — and ``/metrics`` must report the injection.
 
 Run from the repository root (CI runs it as the service-smoke job)::
 
@@ -23,9 +29,23 @@ import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
+sys.path.insert(0, "src")
+
+from repro.client import ClientError, QueryClient  # noqa: E402
+
 SCALE = "5000"
 CADENCE = "90"
 ARGS = ["--scale", SCALE, "--no-pki", "--cadence", CADENCE]
+
+#: Deterministic fault plan for the serve subprocess: every headline
+#: computation stalls for 300 ms; nothing else is touched.
+FAULT_SEED = "11"
+FAULT_FLAGS = ["--fault-seed", FAULT_SEED, "--fault-rate", "1.0"]
+SERVE_FAULT_FLAGS = ["--fault-match", '"kind":"headline"', "--fault-stall-ms", "300"]
+
+#: Per-request time budget the client attaches; generous enough to absorb
+#: the injected stall, tight enough to catch a hang.
+DEADLINE_MS = 20_000
 
 #: One request per endpoint class (the scripted mix).
 QUERY_MIX = [
@@ -48,11 +68,24 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
-def fetch(base: str, path: str) -> bytes:
-    with urllib.request.urlopen(base + path, timeout=60) as response:
-        if response.status != 200:
-            fail(f"{path} returned {response.status}")
-        return response.read()
+def make_client(port: int) -> QueryClient:
+    return QueryClient(
+        f"http://127.0.0.1:{port}",
+        timeout=60.0,
+        retries=3,
+        deadline_ms=DEADLINE_MS,
+        seed=int(FAULT_SEED),
+    )
+
+
+def fetch(client: QueryClient, path: str) -> bytes:
+    try:
+        response = client.get(path)
+    except ClientError as exc:
+        fail(f"{path} failed: {exc}")
+    if response.status != 200:
+        fail(f"{path} returned {response.status}")
+    return response.body
 
 
 def wait_for_port(process: subprocess.Popen) -> int:
@@ -75,39 +108,47 @@ def main() -> int:
         if build.returncode != 0:
             fail(f"archive build exited {build.returncode}")
 
-        print("+ starting repro serve")
+        print("+ starting repro serve (with one injected STALL fault)")
         process = subprocess.Popen(
-            [sys.executable, "-m", "repro", *ARGS, "serve",
-             "--archive", archive, "--port", "0"],
+            [sys.executable, "-m", "repro", *ARGS, *FAULT_FLAGS, "serve",
+             "--archive", archive, "--port", "0", *SERVE_FAULT_FLAGS],
             stdout=subprocess.PIPE,
         )
         try:
             port = wait_for_port(process)
-            base = f"http://127.0.0.1:{port}"
-            print(f"+ serving on {base}")
+            client = make_client(port)
+            print(f"+ serving on http://127.0.0.1:{port}")
+            client.wait_ready(deadline_seconds=30.0)
 
+            started = time.monotonic()
             for path in QUERY_MIX:
-                payload = json.loads(fetch(base, path))
+                payload = json.loads(fetch(client, path))
                 if "error" in payload:
                     fail(f"{path} answered with an error: {payload}")
-            print(f"+ query mix ok ({len(QUERY_MIX)} requests)")
+            elapsed = time.monotonic() - started
+            if elapsed > DEADLINE_MS / 1000.0:
+                fail(f"query mix overran the deadline budget: {elapsed:.1f}s")
+            print(
+                f"+ query mix ok ({len(QUERY_MIX)} requests in {elapsed:.1f}s, "
+                "injected stall absorbed)"
+            )
 
-            # One coalesced concurrent burst: identical requests racing.
+            # One coalesced concurrent burst: identical requests racing,
+            # each thread with its own client.
+            def burst_fetch(_):
+                return fetch(make_client(port), COALESCED_PATH)
+
             with ThreadPoolExecutor(max_workers=COALESCED_BURST) as pool:
-                bodies = set(
-                    pool.map(
-                        lambda _: fetch(base, COALESCED_PATH),
-                        range(COALESCED_BURST),
-                    )
-                )
+                bodies = set(pool.map(burst_fetch, range(COALESCED_BURST)))
             if len(bodies) != 1:
                 fail("coalesced burst produced diverging answers")
             print(f"+ concurrent burst ok ({COALESCED_BURST} identical requests)")
 
             # Fetch twice: an endpoint's own request is recorded after
             # its response renders, so the second read sees the first.
-            fetch(base, "/metrics")
-            metrics = json.loads(fetch(base, "/metrics"))["metrics"]
+            fetch(client, "/metrics")
+            payload = json.loads(fetch(client, "/metrics"))
+            metrics = payload["metrics"]
             counters = metrics.get("counters", {})
             if counters.get("requests_total", 0) <= 0:
                 fail(f"requests_total not counted: {counters}")
@@ -120,10 +161,23 @@ def main() -> int:
             hits = metrics["caches"]["query_results"]["hits"]
             if hits < COALESCED_BURST - 1:
                 fail(f"expected >= {COALESCED_BURST - 1} cache hits, saw {hits}")
+
+            # The injected stall must be visible in the recovery section,
+            # and the serving state must still be healthy: the fault was
+            # absorbed, not merely dodged.
+            injected = metrics.get("recovery", {}).get("faults_injected", 0)
+            if injected < 1:
+                fail(f"no injected fault reported in /metrics: {metrics}")
+            service = payload.get("service", {})
+            if service.get("state") != "ready":
+                fail(f"service degraded after absorbing the stall: {service}")
+            if service.get("breaker", {}).get("state") != "closed":
+                fail(f"breaker not closed: {service}")
             print(
                 "+ metrics ok "
                 f"(total={counters['requests_total']}, "
-                f"coalesced={counters['requests_coalesced']}, hits={hits})"
+                f"coalesced={counters['requests_coalesced']}, hits={hits}, "
+                f"faults_injected={injected})"
             )
 
             print("+ sending SIGINT")
@@ -136,7 +190,9 @@ def main() -> int:
             deadline = time.monotonic() + 5
             while time.monotonic() < deadline:
                 try:
-                    urllib.request.urlopen(base + "/healthz", timeout=1)
+                    urllib.request.urlopen(
+                        f"http://127.0.0.1:{port}/healthz", timeout=1
+                    )
                     fail("service still answering after shutdown")
                 except urllib.error.URLError:
                     break

@@ -12,6 +12,7 @@ One vocabulary for every consumer::
 byte-identical JSON on either path.
 """
 
+from .deadline import Deadline, check_deadline, current_deadline, deadline_scope
 from .facade import AnalysisFacade, execute_query
 from .spec import (
     QUERY_KINDS,
@@ -29,4 +30,8 @@ __all__ = [
     "QueryResult",
     "AnalysisFacade",
     "execute_query",
+    "Deadline",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
 ]

@@ -1,0 +1,109 @@
+"""Per-request time budgets carried through the analysis layer.
+
+A :class:`Deadline` is an absolute point on the monotonic clock.  The
+serving layer mints one per request (from the ``X-Repro-Deadline-Ms``
+header or the server default) and installs it for the duration of the
+computation with :func:`deadline_scope`; the expensive phases below —
+facade sweeps, day-record collection, archive shard reads — call
+:func:`check_deadline` at their boundaries, so a request whose budget
+has run out stops burning a worker thread at the next phase boundary
+instead of computing an answer nobody is waiting for.
+
+The scope rides a :class:`contextvars.ContextVar`, so offline callers
+(``repro query`` without a deadline, library users, the sweep pipeline)
+pay a single context-variable read that returns ``None`` and nothing
+else.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import DeadlineExceeded
+
+__all__ = [
+    "Deadline",
+    "check_deadline",
+    "current_deadline",
+    "deadline_scope",
+]
+
+#: Ceiling on per-request budgets (10 minutes); keeps one absurd header
+#: from pinning a worker slot for hours.
+MAX_DEADLINE_MS = 600_000
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock."""
+
+    __slots__ = ("expires_at", "budget_ms")
+
+    def __init__(self, expires_at: float, budget_ms: int) -> None:
+        self.expires_at = float(expires_at)
+        #: The original budget, for error messages and metrics.
+        self.budget_ms = int(budget_ms)
+
+    @classmethod
+    def after_ms(cls, budget_ms: int) -> "Deadline":
+        """A deadline ``budget_ms`` milliseconds from now (clamped)."""
+        if budget_ms < 1:
+            raise DeadlineExceeded(f"deadline budget must be >= 1 ms: {budget_ms}")
+        budget_ms = min(int(budget_ms), MAX_DEADLINE_MS)
+        return cls(time.monotonic() + budget_ms / 1000.0, budget_ms)
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        """True once the budget has run out."""
+        return time.monotonic() >= self.expires_at
+
+    def check(self, phase: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget has run out."""
+        if self.expired():
+            where = f" at {phase}" if phase else ""
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_ms} ms exceeded{where}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Deadline({self.budget_ms}ms, {self.remaining():.3f}s left)"
+
+
+_current: "contextvars.ContextVar[Optional[Deadline]]" = contextvars.ContextVar(
+    "repro_deadline", default=None
+)
+
+
+def current_deadline() -> Optional[Deadline]:
+    """The deadline installed for this execution context, if any."""
+    return _current.get()
+
+
+@contextmanager
+def deadline_scope(deadline: Optional[Deadline]) -> Iterator[Optional[Deadline]]:
+    """Install ``deadline`` for the dynamic extent of the block.
+
+    ``None`` is accepted and installs nothing, so call sites can pass
+    an optional deadline straight through.
+    """
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)
+
+
+def check_deadline(phase: str = "") -> None:
+    """Phase-boundary hook: raise if the installed deadline expired.
+
+    A no-op (one context-variable read) when no deadline is installed,
+    which is every non-serving code path.
+    """
+    deadline = _current.get()
+    if deadline is not None:
+        deadline.check(phase)

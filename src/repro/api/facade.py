@@ -28,6 +28,7 @@ from ..core.summary import compute_headline_stats
 from ..errors import QueryError
 from ..net.ip import format_ipv4
 from ..timeline import STUDY_END, STUDY_START, as_date
+from .deadline import check_deadline
 from .spec import SCHEMA_VERSION, SERIES_NAMES, QueryResult, QuerySpec
 
 __all__ = ["AnalysisFacade", "execute_query"]
@@ -92,6 +93,7 @@ class AnalysisFacade:
         with self._lock:
             if self._full is not None:
                 return self._full
+            check_deadline("full_sweep")
             reducer = FullSweepReducer()
             with context.metrics.phase("full_sweep"):
                 records = context.engine.run(
@@ -117,6 +119,7 @@ class AnalysisFacade:
         with self._lock:
             if self._recent is not None:
                 return self._recent
+            check_deadline("recent_sweep")
             from ..experiments.context import RECENT_WINDOW_START
 
             reducer = RecentWindowReducer(
@@ -153,8 +156,16 @@ class AnalysisFacade:
     # ------------------------------------------------------------------
 
     def query(self, spec: SpecLike) -> QueryResult:
-        """Execute one query spec; the single analysis entry point."""
+        """Execute one query spec; the single analysis entry point.
+
+        Phase boundaries (here, the shared sweeps, and archive shard
+        reads) check the remaining request budget via
+        :func:`~repro.api.deadline.check_deadline`, so a query whose
+        deadline has passed stops early instead of computing an answer
+        nobody is waiting for.
+        """
         spec = _as_spec(spec)
+        check_deadline("query")
         if spec.kind == "experiment":
             return self._query_experiment(spec)
         if spec.kind == "series":
@@ -257,6 +268,7 @@ class AnalysisFacade:
 
     def _records_data(self, spec: QuerySpec) -> Dict[str, object]:
         date = as_date(spec.date)
+        check_deadline("records_collect")
         snapshot = self._context.collector.collect(date)
         population = self._context.world.population
         matched = [

@@ -30,7 +30,7 @@ import os
 import threading
 import time
 from collections import OrderedDict
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from ..errors import (
     ArchiveStaleError,
     RecoveryError,
 )
+from ..api.deadline import check_deadline
 from ..faults import TransientIOError
 from ..ioutil import backoff_seconds
 from ..measurement.fast import DailySnapshot
@@ -153,6 +154,9 @@ class MeasurementArchive:
         self.retry_backoff = float(retry_backoff)
         self._cache_shards = max(1, int(cache_shards))
         self._cache: "OrderedDict[_dt.date, DayShardRecord]" = OrderedDict()
+        #: Per-date uncached-read ordinals keying service.archive_read
+        #: fault decisions (a retry re-rolls under a fresh key).
+        self._service_reads: Dict[_dt.date, int] = {}
         self._rebuilder = None
         # The query service shares one archive across executor threads;
         # the decoded-shard LRU (and self-healing) must be race-free.
@@ -187,6 +191,19 @@ class MeasurementArchive:
                 if self.metrics is not None:
                     self.metrics.record_cache("archive_shards", 1, 0)
                 return cached
+            # A read that must leave memory is a phase boundary: a
+            # request whose budget already ran out stops here instead
+            # of decoding a shard nobody is waiting for.
+            check_deadline("archive_read")
+            if self.faults is not None:
+                # The service-level read fault: unlike shard.read below
+                # it is NOT retried in-path — it surfaces as a failed
+                # query so the breaker and client retries recover it.
+                ordinal = self._service_reads.get(date_obj, 0)
+                self._service_reads[date_obj] = ordinal + 1
+                self.faults.check(
+                    "service.archive_read", f"{date_obj}#{ordinal}"
+                )
             entry = self.manifest.days.get(date_obj)
             if entry is None:
                 raise ArchiveError(

@@ -191,6 +191,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--archive", default=None, metavar="PATH",
         help="replay sweeps from a measurement archive instead of simulating",
     )
+    query_parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help=(
+            "execute the query against a running service instead of "
+            "computing offline (e.g. http://127.0.0.1:8321); the JSON "
+            "printed is byte-identical either way"
+        ),
+    )
+    query_parser.add_argument(
+        "--deadline-ms", type=int, default=None, metavar="MS",
+        help="per-request deadline sent as X-Repro-Deadline-Ms (with --url)",
+    )
+    query_parser.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="retry budget for transient service failures (with --url; default 3)",
+    )
 
     serve_parser = sub.add_parser(
         "serve", help="start the archive-backed HTTP query service"
@@ -220,6 +236,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--cache-results", type=int, default=128, metavar="N",
         help="query results kept in the serving LRU (default 128)",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms", type=int, default=30000, metavar="MS",
+        help=(
+            "default per-request deadline; clients may lower or raise it "
+            "per request via X-Repro-Deadline-Ms (default 30000)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="classified failures in the window that open the breaker (default 5)",
+    )
+    serve_parser.add_argument(
+        "--breaker-window", type=float, default=30.0, metavar="SECONDS",
+        help="sliding failure window feeding the breaker (default 30)",
+    )
+    serve_parser.add_argument(
+        "--breaker-cooldown", type=float, default=2.0, metavar="SECONDS",
+        help="open time before the breaker half-opens for a probe (default 2)",
+    )
+    serve_parser.add_argument(
+        "--fault-match", default=None, metavar="SUBSTRING",
+        help=(
+            "restrict injected service faults to decision keys containing "
+            "this substring (with --fault-seed; see docs/faults.md)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--fault-stall-ms", type=int, default=50, metavar="MS",
+        help="length of injected service.compute stalls (default 50)",
+    )
+    serve_parser.add_argument(
+        "--profile-json", default=None, metavar="PATH",
+        help="write the metrics summary (JSON) on shutdown to this file",
     )
 
     archive_parser = sub.add_parser(
@@ -275,10 +325,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _fault_plan(args: argparse.Namespace):
-    """The CLI-selected fault plan, or None when injection is off."""
+def _fault_plan(args: argparse.Namespace, service: bool = False):
+    """The CLI-selected fault plan, or None when injection is off.
+
+    ``repro serve`` gets the service-layer mix (compute stalls, archive
+    read errors, response-write aborts); every other command gets the
+    pipeline mix.
+    """
     if getattr(args, "fault_seed", None) is None:
         return None
+    if service:
+        from .faults import service_plan
+
+        return service_plan(
+            args.fault_seed,
+            rate=args.fault_rate,
+            stall_seconds=args.fault_stall_ms / 1000.0,
+            match=args.fault_match,
+        )
     from .faults import default_plan
 
     return default_plan(args.fault_seed, rate=args.fault_rate)
@@ -294,7 +358,9 @@ def _write_profile_json(path: Optional[str], metrics) -> None:
         handle.write("\n")
 
 
-def _context(args: argparse.Namespace) -> ExperimentContext:
+def _context(
+    args: argparse.Namespace, service: bool = False
+) -> ExperimentContext:
     config = ConflictScenarioConfig(
         scale=args.scale, seed=args.seed, with_pki=not args.no_pki
     )
@@ -304,7 +370,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         workers=args.workers,
         profile=getattr(args, "profile", False),
         archive=getattr(args, "archive", None),
-        faults=_fault_plan(args),
+        faults=_fault_plan(args, service=service),
     )
 
 
@@ -508,6 +574,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     except QueryError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.url is not None:
+        return _remote_query(args, spec)
     try:
         context = _context(args)
         print(context.api.query_json(spec))
@@ -517,13 +585,46 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _remote_query(args: argparse.Namespace, spec) -> int:
+    """``repro query --url``: the same spec against a running service.
+
+    Prints exactly the service's canonical JSON body, so offline,
+    remote-fresh, and remote-stale answers are byte-identical on
+    stdout; stale answers additionally get a note on stderr.
+    """
+    from .client import ClientError, QueryClient
+
+    client = QueryClient(
+        args.url, retries=args.retries, deadline_ms=args.deadline_ms
+    )
+    try:
+        response = client.query(spec)
+    except ClientError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if response.status == 200:
+        print(response.text)
+        if response.stale:
+            print(
+                "note: stale answer served from cache (service degraded)",
+                file=sys.stderr,
+            )
+        return 0
+    try:
+        message = response.json()["error"]["message"]
+    except (ValueError, KeyError, TypeError):
+        message = response.text
+    print(f"HTTP {response.status}: {message}", file=sys.stderr)
+    return 2 if response.status < 500 else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from .service import run_service
 
     try:
-        context = _context(args)
+        context = _context(args, service=True)
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 1
@@ -532,7 +633,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving on http://{args.host}:{service.port}", flush=True)
 
     try:
-        return asyncio.run(
+        code = asyncio.run(
             run_service(
                 context,
                 host=args.host,
@@ -541,13 +642,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_concurrency=args.max_concurrency,
                 queue_limit=args.queue_limit,
                 cache_results=args.cache_results,
+                deadline_ms=args.deadline_ms,
+                breaker_threshold=args.breaker_threshold,
+                breaker_window=args.breaker_window,
+                breaker_cooldown=args.breaker_cooldown,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
-        return 0
+        code = 0
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 1
+    from .faults import sync_fault_metrics
+
+    sync_fault_metrics(context.faults, context.metrics)
+    _write_profile_json(getattr(args, "profile_json", None), context.metrics)
+    return code
 
 
 def _cmd_archive(args: argparse.Namespace) -> int:

@@ -1,0 +1,302 @@
+"""A resilient stdlib client for the query service.
+
+:class:`QueryClient` is the blessed way to talk to ``repro serve`` from
+scripts and from ``repro query --url``: a synchronous ``http.client``
+wrapper that survives exactly the failure modes the service is allowed
+to exhibit under its resilience contract —
+
+* **transient connection failures** (the service aborts a response
+  write under injected faults; real networks drop packets) are retried
+  against a bounded budget;
+* **503 Service Unavailable** (backpressure, open circuit breaker,
+  shutdown) is retried, honouring the ``Retry-After`` header;
+* **504 Gateway Timeout** (a blown per-request deadline) is retried —
+  the next attempt gets a fresh budget;
+* backoff between attempts is exponential with **deterministic
+  jitter**: the jitter stream is seeded through :func:`repro.rng.derive_rng`,
+  so two runs of the same script pause for the same total time and a
+  chaos test can assert on retry behaviour exactly.
+
+Only idempotent work is ever retried.  ``GET``/``HEAD`` are idempotent
+by definition; ``POST /v1/query`` is a pure read in this API, so
+:meth:`QueryClient.query` opts in explicitly.  Everything else fails
+fast on the first error.
+
+The client is stdlib-only (``http.client``), matching the repo's
+no-new-dependencies rule, and never follows redirects — the service
+emits none.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from .errors import ReproError
+from .rng import derive_rng
+
+__all__ = ["ClientError", "ClientResponse", "QueryClient"]
+
+#: Statuses that are worth a retry: the service says "not right now",
+#: not "never".
+RETRYABLE_STATUSES = frozenset({503, 504})
+
+#: Default retry budget (total attempts = retries + 1).
+DEFAULT_RETRIES = 3
+
+#: Backoff shape: min(cap, base * 2**attempt) plus up to 50% jitter.
+DEFAULT_BACKOFF_BASE = 0.1
+DEFAULT_BACKOFF_CAP = 2.0
+
+#: Upper bound on any single sleep, Retry-After included — a server
+#: asking for a five-minute pause should not wedge a smoke script.
+DEFAULT_MAX_SLEEP = 5.0
+
+
+class ClientError(ReproError):
+    """The request failed after exhausting its retry budget."""
+
+
+class ClientResponse:
+    """One HTTP response, fully read."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: Dict[str, str], body: bytes) -> None:
+        self.status = status
+        #: Header names are lower-cased; last occurrence wins.
+        self.headers = headers
+        self.body = body
+
+    @property
+    def text(self) -> str:
+        """The body decoded as UTF-8."""
+        return self.body.decode("utf-8")
+
+    @property
+    def stale(self) -> bool:
+        """True when the service answered from cache in degraded mode."""
+        return self.headers.get("x-repro-stale", "").lower() == "true"
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """The parsed ``Retry-After`` header (seconds), if present."""
+        raw = self.headers.get("retry-after")
+        if raw is None:
+            return None
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            return None
+
+    def json(self) -> object:
+        """The body decoded as JSON."""
+        return json.loads(self.text)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:
+        flag = " stale" if self.stale else ""
+        return f"ClientResponse({self.status}{flag}, {len(self.body)} bytes)"
+
+
+class QueryClient:
+    """Synchronous client for one ``repro serve`` instance.
+
+    ``seed`` fixes the backoff jitter stream; two clients built with the
+    same seed sleep for identical durations on identical retry
+    sequences.  ``sleep`` and a fake transport are injectable for
+    tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retries: int = DEFAULT_RETRIES,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        max_sleep: float = DEFAULT_MAX_SLEEP,
+        deadline_ms: Optional[int] = None,
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"//{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ClientError(f"only http:// service URLs are supported: {base_url}")
+        if not parts.hostname:
+            raise ClientError(f"service URL has no host: {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = float(timeout)
+        if retries < 0:
+            raise ClientError(f"retries must be >= 0: {retries}")
+        self.retries = int(retries)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.max_sleep = float(max_sleep)
+        self.deadline_ms = deadline_ms
+        self._sleep = sleep
+        self._jitter = derive_rng(seed, "client", "backoff", f"{self.host}:{self.port}")
+        #: (attempts, sleeps) bookkeeping for the last request — the
+        #: smoke script and chaos tests assert on these.
+        self.last_attempts = 0
+        self.last_slept = 0.0
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _once(
+        self, method: str, path: str, body: Optional[bytes], headers: Dict[str, str]
+    ) -> ClientResponse:
+        """One attempt: connect, send, read fully, close."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            raw = connection.getresponse()
+            payload = raw.read()
+            collected = {
+                name.lower(): value for name, value in raw.getheaders()
+            }
+            return ClientResponse(raw.status, collected, payload)
+        finally:
+            connection.close()
+
+    def _backoff(self, attempt: int, hint: Optional[float]) -> float:
+        """Seconds to sleep before retry ``attempt`` (0-based)."""
+        delay = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        delay += delay * 0.5 * float(self._jitter.random())
+        if hint is not None:
+            delay = max(delay, hint)
+        return min(delay, self.max_sleep)
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+        idempotent: Optional[bool] = None,
+    ) -> ClientResponse:
+        """Issue one request, retrying transient failures when allowed.
+
+        ``idempotent`` defaults from the method (GET/HEAD yes, anything
+        else no); pass ``True`` for write-shaped calls that are really
+        pure reads.  Non-idempotent requests get exactly one attempt.
+        """
+        if idempotent is None:
+            idempotent = method.upper() in ("GET", "HEAD")
+        sent = dict(headers or {})
+        if self.deadline_ms is not None:
+            sent.setdefault("X-Repro-Deadline-Ms", str(int(self.deadline_ms)))
+        if body is not None:
+            sent.setdefault("Content-Type", "application/json")
+        budget = self.retries if idempotent else 0
+        self.last_attempts = 0
+        self.last_slept = 0.0
+        failure: Optional[str] = None
+        for attempt in range(budget + 1):
+            self.last_attempts = attempt + 1
+            hint: Optional[float] = None
+            try:
+                response = self._once(method, path, body, sent)
+            except (
+                ConnectionError,
+                socket.timeout,
+                socket.gaierror,
+                http.client.HTTPException,
+                OSError,
+            ) as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+            else:
+                if response.status not in RETRYABLE_STATUSES:
+                    return response
+                failure = f"HTTP {response.status}"
+                hint = response.retry_after
+                if attempt >= budget:
+                    # Out of budget: surface the service's own answer
+                    # (a structured 503/504 envelope) over an exception.
+                    return response
+            if attempt >= budget:
+                break
+            pause = self._backoff(attempt, hint)
+            self.last_slept += pause
+            self._sleep(pause)
+        raise ClientError(
+            f"{method} {path} failed after {self.last_attempts} attempt(s): "
+            f"{failure}"
+        )
+
+    # ------------------------------------------------------------------
+    # Service verbs
+    # ------------------------------------------------------------------
+
+    def get(self, path: str, **kwargs) -> ClientResponse:
+        return self.request("GET", path, **kwargs)
+
+    def query(self, spec) -> ClientResponse:
+        """Execute one query spec remotely.
+
+        Accepts a :class:`~repro.api.spec.QuerySpec`, a dict, or JSON
+        text; posts the canonical spec and retries under the idempotent
+        policy — the query API is a pure read.
+        """
+        from .api.spec import QuerySpec
+
+        if isinstance(spec, QuerySpec):
+            payload = spec.to_dict()
+        elif isinstance(spec, str):
+            payload = QuerySpec.from_json(spec).to_dict()
+        elif isinstance(spec, dict):
+            payload = QuerySpec.from_dict(spec).to_dict()
+        else:
+            raise ClientError(
+                f"cannot build a query spec from {type(spec).__name__}"
+            )
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return self.request(
+            "POST", "/v1/query", body=body.encode("utf-8"), idempotent=True
+        )
+
+    def healthz(self) -> ClientResponse:
+        return self.get("/healthz")
+
+    def metrics(self) -> ClientResponse:
+        return self.get("/metrics")
+
+    def wait_ready(
+        self, deadline_seconds: float = 10.0, interval: float = 0.1
+    ) -> Dict[str, object]:
+        """Poll ``/healthz`` until the service answers; return its payload.
+
+        Accepts any serving state (``live``/``ready``/``degraded``) —
+        readiness here means the socket answers, not that the breaker is
+        closed.  Raises :class:`ClientError` on timeout.
+        """
+        stop = time.monotonic() + deadline_seconds
+        last: Optional[str] = None
+        while time.monotonic() < stop:
+            try:
+                response = self._once("GET", "/healthz", None, {})
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                last = f"{type(exc).__name__}: {exc}"
+            else:
+                if response.status == 200:
+                    payload = response.json()
+                    if isinstance(payload, dict):
+                        return payload
+                last = f"HTTP {response.status}"
+            self._sleep(interval)
+        raise ClientError(
+            f"service at {self.host}:{self.port} not ready after "
+            f"{deadline_seconds:.1f}s ({last})"
+        )

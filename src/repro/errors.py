@@ -119,5 +119,13 @@ class AnalysisError(ReproError):
     """An analysis accumulator received inconsistent input."""
 
 
+class DeadlineExceeded(ReproError):
+    """A request's time budget ran out before the work completed.
+
+    The serving layer maps this to HTTP 504; offline callers see it
+    only if they installed a deadline themselves.
+    """
+
+
 class QueryError(ReproError):
     """A query spec is malformed or names an unknown target."""

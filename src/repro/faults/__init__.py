@@ -13,6 +13,7 @@ from .plan import (
     IO_ERROR,
     KILL,
     KINDS,
+    SERVICE_SITES,
     SITES,
     STALL,
     FaultPlan,
@@ -21,6 +22,7 @@ from .plan import (
     WorkerCrashed,
     default_plan,
     mark_worker_process,
+    service_plan,
     sync_fault_metrics,
 )
 
@@ -32,11 +34,13 @@ __all__ = [
     "STALL",
     "KINDS",
     "SITES",
+    "SERVICE_SITES",
     "FaultPlan",
     "FaultSpec",
     "TransientIOError",
     "WorkerCrashed",
     "default_plan",
+    "service_plan",
     "mark_worker_process",
     "sync_fault_metrics",
 ]

@@ -33,11 +33,13 @@ __all__ = [
     "STALL",
     "KINDS",
     "SITES",
+    "SERVICE_SITES",
     "TransientIOError",
     "WorkerCrashed",
     "FaultSpec",
     "FaultPlan",
     "default_plan",
+    "service_plan",
     "sync_fault_metrics",
 ]
 
@@ -68,7 +70,18 @@ SITES = {
     "manifest.write": "manifest write, mid-way through the temp file",
     "manifest.write.bytes": "manifest bytes on their way to disk (corruption)",
     "shard.read": "shard read from an opened archive (transient IO)",
+    "service.compute": "query computation entering the serving worker pool",
+    "service.archive_read": (
+        "service-level archive day read (fails the query; unlike "
+        "shard.read it is not retried in-path, so the breaker sees it)"
+    ),
+    "service.response_write": "HTTP response bytes on their way to the client",
 }
+
+#: The injection sites the serving path owns (``repro serve``).
+SERVICE_SITES = (
+    "service.compute", "service.archive_read", "service.response_write",
+)
 
 #: Set in worker processes so :data:`KILL` knows it may really die.
 _IN_WORKER = False
@@ -286,6 +299,37 @@ def default_plan(seed: int, rate: float = 0.05) -> FaultPlan:
             "manifest.write": FaultSpec(IO_ERROR, rate),
             "manifest.write.bytes": FaultSpec(CORRUPT, rate),
             "shard.read": FaultSpec(IO_ERROR, rate),
+        },
+    )
+
+
+def service_plan(
+    seed: int,
+    rate: float = 0.05,
+    stall_seconds: float = 0.05,
+    match: Optional[str] = None,
+) -> FaultPlan:
+    """The fault mix ``repro serve --fault-seed`` enables.
+
+    Only the service-layer sites fire: computations stall, archive day
+    reads fail with transient IO errors that the serving path (unlike
+    the build path) does *not* retry internally — they surface as
+    classified failures so the circuit breaker and the client retry
+    policy do the recovering — and a bounded number of response writes
+    abort mid-flight.  ``match`` restricts every site to keys containing
+    the substring (a date, a spec fragment, a path), which is how the
+    chaos suite targets one query deterministically.
+    """
+    return FaultPlan(
+        seed,
+        {
+            "service.compute": FaultSpec(
+                STALL, rate, stall_seconds=stall_seconds, match=match
+            ),
+            "service.archive_read": FaultSpec(IO_ERROR, rate, match=match),
+            "service.response_write": FaultSpec(
+                IO_ERROR, rate, max_injections=2, match=match
+            ),
         },
     )
 

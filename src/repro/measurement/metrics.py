@@ -11,6 +11,7 @@ structured :meth:`summary` dict to ``ExperimentResult.measured``.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
@@ -68,6 +69,20 @@ class SweepMetrics:
         self._recovery: Dict[str, int] = {}
         self._endpoints: Dict[str, Dict[str, object]] = {}
         self._counters: Dict[str, int] = {}
+        # The service records from executor threads while /metrics
+        # renders on the event loop; every mutation and every snapshot
+        # holds this one lock, so a summary is a single consistent
+        # copy, never a mix of per-field reads mid-update.
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Phases
@@ -76,13 +91,15 @@ class SweepMetrics:
     @contextmanager
     def phase(self, name: str) -> Iterator[PhaseStat]:
         """Time one phase run; wall time accumulates across runs."""
-        stat = self._phases.setdefault(name, PhaseStat(name))
-        stat.runs += 1
+        with self._lock:
+            stat = self._phases.setdefault(name, PhaseStat(name))
+            stat.runs += 1
         started = time.perf_counter()
         try:
             yield stat
         finally:
-            stat.wall_seconds += time.perf_counter() - started
+            with self._lock:
+                stat.wall_seconds += time.perf_counter() - started
 
     def get_phase(self, name: str) -> Optional[PhaseStat]:
         """The stat for ``name`` if that phase ever ran."""
@@ -98,17 +115,21 @@ class SweepMetrics:
 
     def record_cache(self, name: str, hits: int, misses: int) -> None:
         """Accumulate hit/miss counters for one named cache."""
-        counters = self._caches.setdefault(name, {"hits": 0, "misses": 0})
-        counters["hits"] += int(hits)
-        counters["misses"] += int(misses)
+        with self._lock:
+            counters = self._caches.setdefault(
+                name, {"hits": 0, "misses": 0}
+            )
+            counters["hits"] += int(hits)
+            counters["misses"] += int(misses)
 
     def cache_hit_rate(self, name: str) -> float:
         """Hits per lookup in [0, 1] (0.0 for unknown/idle caches)."""
-        counters = self._caches.get(name)
-        if not counters:
-            return 0.0
-        total = counters["hits"] + counters["misses"]
-        return counters["hits"] / total if total else 0.0
+        with self._lock:
+            counters = self._caches.get(name)
+            if not counters:
+                return 0.0
+            total = counters["hits"] + counters["misses"]
+            return counters["hits"] / total if total else 0.0
 
     # ------------------------------------------------------------------
     # Service endpoints
@@ -123,15 +144,19 @@ class SweepMetrics:
         and maximum latency; ``/metrics`` and ``--profile-json`` expose
         the aggregate under ``endpoints``.
         """
-        stat = self._endpoints.setdefault(
-            name,
-            {"requests": 0, "errors": 0, "wall_seconds": 0.0, "max_seconds": 0.0},
-        )
-        stat["requests"] = int(stat["requests"]) + 1
-        if int(status) >= 400:
-            stat["errors"] = int(stat["errors"]) + 1
-        stat["wall_seconds"] = float(stat["wall_seconds"]) + float(seconds)
-        stat["max_seconds"] = max(float(stat["max_seconds"]), float(seconds))
+        with self._lock:
+            stat = self._endpoints.setdefault(
+                name,
+                {"requests": 0, "errors": 0,
+                 "wall_seconds": 0.0, "max_seconds": 0.0},
+            )
+            stat["requests"] = int(stat["requests"]) + 1
+            if int(status) >= 400:
+                stat["errors"] = int(stat["errors"]) + 1
+            stat["wall_seconds"] = float(stat["wall_seconds"]) + float(seconds)
+            stat["max_seconds"] = max(
+                float(stat["max_seconds"]), float(seconds)
+            )
 
     def endpoint_stats(self, name: str) -> Optional[Dict[str, object]]:
         """The accumulated stats for one endpoint (None if never hit)."""
@@ -142,12 +167,22 @@ class SweepMetrics:
     # ------------------------------------------------------------------
 
     def record_counter(self, name: str, count: int = 1) -> None:
-        """Bump one named monotonic counter."""
-        self._counters[name] = self._counters.get(name, 0) + int(count)
+        """Bump one named monotonic counter.
+
+        The serving layer's standard names: ``requests_total``,
+        ``requests_coalesced``, ``requests_rejected``,
+        ``requests_stale`` (degraded-mode answers from the result LRU),
+        ``deadline_exceeded`` (requests answered 504), and the breaker
+        transition counters ``breaker_opened`` / ``breaker_half_open``
+        / ``breaker_closed``.
+        """
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(count)
 
     def counter(self, name: str) -> int:
         """The named counter's value (0 if never bumped)."""
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     # ------------------------------------------------------------------
     # Recovery counters
@@ -160,47 +195,55 @@ class SweepMetrics:
         ``chunk_retries``, ``pool_failures``, ``degraded_to_serial``,
         ``shards_quarantined``, and ``shards_rebuilt``.
         """
-        self._recovery[name] = self._recovery.get(name, 0) + int(count)
+        with self._lock:
+            self._recovery[name] = self._recovery.get(name, 0) + int(count)
 
     def recovery_count(self, name: str) -> int:
         """How often the named recovery action ran (0 if never)."""
-        return self._recovery.get(name, 0)
+        with self._lock:
+            return self._recovery.get(name, 0)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 
     def summary(self) -> Dict[str, object]:
-        """Structured dict: per-phase timing, cache hit rates, recovery."""
-        return {
-            "phases": {
-                name: stat.as_dict() for name, stat in self._phases.items()
-            },
-            "caches": {
-                name: {
-                    "hits": counters["hits"],
-                    "misses": counters["misses"],
-                    "hit_rate": round(self.cache_hit_rate(name), 4),
-                }
-                for name, counters in self._caches.items()
-            },
-            "recovery": dict(self._recovery),
-            "endpoints": {
-                name: {
-                    "requests": stat["requests"],
-                    "errors": stat["errors"],
-                    "wall_seconds": round(float(stat["wall_seconds"]), 6),
-                    "max_seconds": round(float(stat["max_seconds"]), 6),
-                    "mean_seconds": round(
-                        float(stat["wall_seconds"]) / int(stat["requests"]), 6
-                    )
-                    if stat["requests"]
-                    else 0.0,
-                }
-                for name, stat in self._endpoints.items()
-            },
-            "counters": dict(self._counters),
-        }
+        """Structured dict: per-phase timing, cache hit rates, recovery.
+
+        Taken as one consistent copy under the registry lock, so a
+        snapshot rendered while requests are in flight never mixes a
+        counter's old value with a sibling's new one.
+        """
+        with self._lock:
+            return {
+                "phases": {
+                    name: stat.as_dict() for name, stat in self._phases.items()
+                },
+                "caches": {
+                    name: {
+                        "hits": counters["hits"],
+                        "misses": counters["misses"],
+                        "hit_rate": round(self.cache_hit_rate(name), 4),
+                    }
+                    for name, counters in self._caches.items()
+                },
+                "recovery": dict(self._recovery),
+                "endpoints": {
+                    name: {
+                        "requests": stat["requests"],
+                        "errors": stat["errors"],
+                        "wall_seconds": round(float(stat["wall_seconds"]), 6),
+                        "max_seconds": round(float(stat["max_seconds"]), 6),
+                        "mean_seconds": round(
+                            float(stat["wall_seconds"]) / int(stat["requests"]), 6
+                        )
+                        if stat["requests"]
+                        else 0.0,
+                    }
+                    for name, stat in self._endpoints.items()
+                },
+                "counters": dict(self._counters),
+            }
 
     def render(self) -> str:
         """Human-readable profile (what ``--profile`` prints)."""

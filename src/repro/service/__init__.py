@@ -3,10 +3,21 @@
 The asyncio serving layer over :mod:`repro.api`: ``repro serve`` binds a
 :class:`QueryService`, which answers the same :class:`~repro.api.spec.QuerySpec`
 queries as offline ``repro query`` with byte-identical canonical JSON.
-See docs/service.md for the endpoint and schema reference.
+Resilience (per-request deadlines, the circuit breaker, serve-stale
+degraded mode) lives in :mod:`repro.service.resilience` and the server
+module.  See docs/service.md for the endpoint and schema reference.
 """
 
 from .http import HttpError, HttpRequest, HttpResponse, read_request
+from .resilience import (
+    ADMIT_DENY,
+    ADMIT_FRESH,
+    ADMIT_PROBE,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
 from .server import QueryService, run_service
 
 __all__ = [
@@ -16,4 +27,11 @@ __all__ = [
     "QueryService",
     "read_request",
     "run_service",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "ADMIT_FRESH",
+    "ADMIT_PROBE",
+    "ADMIT_DENY",
 ]

@@ -34,6 +34,7 @@ _REASONS = {
     405: "Method Not Allowed",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -161,7 +162,9 @@ async def read_request(
     while True:
         try:
             raw = await reader.readuntil(b"\r\n")
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+        except asyncio.LimitOverrunError as exc:
+            raise HttpError("header line too long") from exc
+        except asyncio.IncompleteReadError as exc:
             raise HttpError("connection closed mid headers") from exc
         if raw in (b"\r\n", b"\n"):
             break
@@ -188,7 +191,10 @@ async def read_request(
                 body = await reader.readexactly(length)
             except asyncio.IncompleteReadError as exc:
                 raise HttpError("connection closed mid body") from exc
-    return HttpRequest(method.upper(), target, headers, body)
+    try:
+        return HttpRequest(method.upper(), target, headers, body)
+    except ValueError as exc:  # urlsplit rejects some malformed targets
+        raise HttpError(f"unparsable request target {target!r}: {exc}") from exc
 
 
 def split_path(path: str) -> Tuple[str, ...]:

@@ -1,0 +1,188 @@
+"""Serving-side failure containment: the circuit breaker.
+
+The breaker sits between the HTTP layer and the facade/archive
+computation.  Classified backend failures (5xx outcomes: internal
+errors, injected faults surfacing from the archive, blown deadlines)
+feed a sliding window; once the window holds ``failure_threshold``
+failures the breaker **opens** and the service stops burning worker
+threads on a backend that is currently failing — answering from the
+result LRU with stale markers where it can, and with ``503`` +
+``Retry-After`` where it cannot.  After ``cooldown_seconds`` the
+breaker goes **half-open** and admits a bounded number of probe
+computations; one probe success closes it again, one probe failure
+re-opens it.
+
+The breaker is driven only from the event loop, so it needs no lock;
+transition counters are mirrored into :class:`SweepMetrics` (which is
+itself thread-safe) through the ``on_transition`` callback.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from ..errors import QueryError
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "ADMIT_FRESH", "ADMIT_PROBE",
+           "ADMIT_DENY", "CircuitBreaker"]
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Admission decisions: compute normally, compute as a recovery probe,
+#: or do not compute (serve stale / refuse).
+ADMIT_FRESH = "fresh"
+ADMIT_PROBE = "probe"
+ADMIT_DENY = "deny"
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine over classified failures."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        window_seconds: float = 30.0,
+        cooldown_seconds: float = 2.0,
+        half_open_probes: int = 1,
+        on_transition: Optional[Callable[[str, str], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise QueryError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        if window_seconds <= 0.0:
+            raise QueryError(f"window_seconds must be > 0: {window_seconds}")
+        if cooldown_seconds < 0.0:
+            raise QueryError(f"cooldown_seconds must be >= 0: {cooldown_seconds}")
+        if half_open_probes < 1:
+            raise QueryError(f"half_open_probes must be >= 1: {half_open_probes}")
+        self.failure_threshold = int(failure_threshold)
+        self.window_seconds = float(window_seconds)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.half_open_probes = int(half_open_probes)
+        self._on_transition = on_transition
+        self._clock = clock
+        self._state = CLOSED
+        self._failures: Deque[float] = deque()
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._transitions: Dict[str, int] = {CLOSED: 0, OPEN: 0, HALF_OPEN: 0}
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """The current state (refreshing open → half-open on cooldown)."""
+        if self._state == OPEN and self._cooldown_over():
+            self._transition(HALF_OPEN)
+        return self._state
+
+    def _cooldown_over(self) -> bool:
+        return self._clock() - self._opened_at >= self.cooldown_seconds
+
+    def _transition(self, state: str) -> None:
+        previous = self._state
+        if previous == state:
+            return
+        self._state = state
+        self._transitions[state] += 1
+        if state == OPEN:
+            self._opened_at = self._clock()
+        if state == HALF_OPEN:
+            self._probes_inflight = 0
+        if state == CLOSED:
+            self._failures.clear()
+            self._probes_inflight = 0
+        if self._on_transition is not None:
+            self._on_transition(previous, state)
+
+    def _prune(self) -> None:
+        horizon = self._clock() - self.window_seconds
+        while self._failures and self._failures[0] < horizon:
+            self._failures.popleft()
+
+    # ------------------------------------------------------------------
+    # Admission + accounting
+    # ------------------------------------------------------------------
+
+    def admit(self) -> str:
+        """Decide how one computation may proceed right now.
+
+        :data:`ADMIT_FRESH` while closed, :data:`ADMIT_PROBE` for the
+        bounded half-open probes, :data:`ADMIT_DENY` otherwise.
+        """
+        state = self.state  # refreshes open → half-open
+        if state == CLOSED:
+            return ADMIT_FRESH
+        if state == HALF_OPEN and self._probes_inflight < self.half_open_probes:
+            self._probes_inflight += 1
+            return ADMIT_PROBE
+        return ADMIT_DENY
+
+    def release_probe(self) -> None:
+        """Hand back a probe admission that consumed no backend work.
+
+        Cache hits, coalesced waits, and queue rejections admit as
+        probes but never touch the backend — they must neither close
+        nor re-open the breaker, only free the probe slot for a real
+        computation.
+        """
+        self._probes_inflight = max(0, self._probes_inflight - 1)
+
+    def record_success(self, probe: bool = False) -> None:
+        """A computation succeeded; a successful probe closes the breaker."""
+        if probe:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+        if self._state == HALF_OPEN:
+            self._transition(CLOSED)
+
+    def record_failure(self, probe: bool = False) -> None:
+        """A classified failure; may open (or re-open) the breaker."""
+        if probe:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+        if self._state == HALF_OPEN:
+            self._transition(OPEN)
+            return
+        self._failures.append(self._clock())
+        self._prune()
+        if self._state == CLOSED and len(self._failures) >= self.failure_threshold:
+            self._transition(OPEN)
+
+    # ------------------------------------------------------------------
+    # Introspection (what /metrics exposes)
+    # ------------------------------------------------------------------
+
+    def retry_after(self) -> int:
+        """Whole seconds a denied client should wait before retrying."""
+        if self._state != OPEN:
+            return 1
+        remaining = self.cooldown_seconds - (self._clock() - self._opened_at)
+        return max(1, int(remaining + 0.999))
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe view of the breaker for ``/metrics``."""
+        self._prune()
+        return {
+            "state": self.state,
+            "failures_in_window": len(self._failures),
+            "failure_threshold": self.failure_threshold,
+            "window_seconds": self.window_seconds,
+            "cooldown_seconds": self.cooldown_seconds,
+            "opened_total": self._transitions[OPEN],
+            "half_open_total": self._transitions[HALF_OPEN],
+            "closed_total": self._transitions[CLOSED],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self._state}, "
+            f"failures={len(self._failures)}/{self.failure_threshold})"
+        )

@@ -17,11 +17,25 @@ Serving mechanics:
   fixed-size thread pool; once the number of distinct in-flight
   computations reaches the queue limit, new work is refused with
   ``503`` and a ``Retry-After`` header rather than queued without bound;
-* **graceful shutdown** — stop accepting, drain in-flight work, then
-  close (``repro serve`` wires this to SIGINT/SIGTERM).
+* **per-request deadlines** — every request carries a time budget
+  (``X-Repro-Deadline-Ms`` header, else the server default); a blown
+  budget answers ``504`` instead of hanging, and the in-flight
+  computation exits at its next phase boundary
+  (see :mod:`repro.api.deadline`);
+* **circuit breaker + serve-stale degraded mode** — classified backend
+  failures open a :class:`~repro.service.resilience.CircuitBreaker`;
+  while it is open, queries the result LRU can answer are served
+  **stale** (byte-identical body, ``X-Repro-Stale``/``Warning``
+  headers) and everything else gets ``503`` + ``Retry-After``; after
+  the cooldown a bounded probe either closes it or re-opens it;
+* **graceful shutdown** — stop accepting, cancel computations still
+  queued for the worker pool (their clients get a clean ``503``),
+  drain in-flight work, then close (``repro serve`` wires this to
+  SIGINT/SIGTERM).
 
-Per-endpoint request/latency counters and the context's sweep/cache
-metrics are exposed at ``GET /metrics``.
+Per-endpoint request/latency counters, breaker state, and the
+context's sweep/cache metrics are exposed at ``GET /metrics``;
+``GET /healthz`` reports the ``live|ready|degraded`` serving state.
 """
 
 from __future__ import annotations
@@ -30,12 +44,23 @@ import asyncio
 import json
 import time
 from collections import OrderedDict
+from concurrent.futures import Future as ConcurrentFuture
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Optional, Set, Tuple
 
-from ..api.spec import SCHEMA_VERSION, QueryResult, QuerySpec, jsonify
-from ..errors import QueryError, ReproError
+from ..api.deadline import MAX_DEADLINE_MS, Deadline, deadline_scope
+from ..api.spec import SCHEMA_VERSION, QuerySpec, jsonify
+from ..errors import DeadlineExceeded, QueryError, ReproError
+from ..faults import TransientIOError, WorkerCrashed, sync_fault_metrics
 from .http import HttpError, HttpRequest, HttpResponse, read_request, split_path
+from .resilience import (
+    ADMIT_DENY,
+    ADMIT_PROBE,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
 
 __all__ = ["QueryService", "run_service"]
 
@@ -44,12 +69,33 @@ DEFAULT_MAX_CONCURRENCY = 4
 DEFAULT_QUEUE_LIMIT = 32
 DEFAULT_CACHE_RESULTS = 128
 DEFAULT_RETRY_AFTER = 1
+DEFAULT_DEADLINE_MS = 30_000
+DEFAULT_BREAKER_THRESHOLD = 5
+DEFAULT_BREAKER_WINDOW = 30.0
+DEFAULT_BREAKER_COOLDOWN = 2.0
+
+#: The request header carrying a per-request deadline budget.
+DEADLINE_HEADER = "x-repro-deadline-ms"
+
+#: Response headers marking a degraded-mode answer from the result LRU.
+STALE_HEADERS = {
+    "X-Cache": "stale",
+    "X-Repro-Stale": "true",
+    "Warning": '110 repro-query-service "stale response served while degraded"',
+}
 
 #: Spec fields accepted as query-string parameters on GET /v1/query.
 _PARAM_FIELDS = (
     "kind", "experiment", "series", "start", "end",
     "date", "tld", "offset", "limit",
 )
+
+#: Breaker transition → metrics counter name.
+_BREAKER_COUNTERS = {
+    OPEN: "breaker_opened",
+    HALF_OPEN: "breaker_half_open",
+    CLOSED: "breaker_closed",
+}
 
 
 class QueryService:
@@ -62,19 +108,40 @@ class QueryService:
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
         cache_results: int = DEFAULT_CACHE_RESULTS,
         retry_after: int = DEFAULT_RETRY_AFTER,
+        deadline_ms: int = DEFAULT_DEADLINE_MS,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_window: float = DEFAULT_BREAKER_WINDOW,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
     ) -> None:
         if max_concurrency < 1:
             raise QueryError(f"max_concurrency must be >= 1: {max_concurrency}")
         if queue_limit < 1:
             raise QueryError(f"queue_limit must be >= 1: {queue_limit}")
+        if deadline_ms < 1:
+            raise QueryError(f"deadline_ms must be >= 1: {deadline_ms}")
         self._context = context
         self._facade = context.api
         self._metrics = context.metrics
+        self._faults = getattr(context, "faults", None)
         self._queue_limit = int(queue_limit)
         self._retry_after = max(1, int(retry_after))
         self._cache_results = max(0, int(cache_results))
+        self._deadline_ms = min(int(deadline_ms), MAX_DEADLINE_MS)
+        self._breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            window_seconds=breaker_window,
+            cooldown_seconds=breaker_cooldown,
+            on_transition=self._note_breaker_transition,
+        )
         self._cache: "OrderedDict[str, str]" = OrderedDict()
         self._inflight: Dict[str, asyncio.Future] = {}
+        #: The executor futures behind ``_inflight``; shutdown cancels
+        #: the ones a worker thread has not picked up yet.
+        self._pending: Dict[str, ConcurrentFuture] = {}
+        #: Per-key compute ordinals (fault-decision keys re-roll on retry).
+        self._compute_counts: Dict[str, int] = {}
+        #: Per-path response-write ordinals, same purpose.
+        self._write_counts: Dict[str, int] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=int(max_concurrency), thread_name_prefix="repro-query"
         )
@@ -99,12 +166,24 @@ class QueryService:
             raise QueryError("service is not started")
         return self._server.sockets[0].getsockname()[1]
 
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The serving circuit breaker (tests and /metrics read it)."""
+        return self._breaker
+
     async def shutdown(self, timeout: float = 10.0) -> None:
-        """Graceful stop: refuse new connections, drain in-flight work."""
+        """Graceful stop: refuse new connections, drain in-flight work.
+
+        Computations still *queued* for the worker pool are cancelled
+        up front — their handlers answer a clean ``503`` immediately —
+        while computations a worker already picked up drain normally.
+        """
         self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        for pending in list(self._pending.values()):
+            pending.cancel()  # only succeeds before a worker starts it
         deadline = time.monotonic() + timeout
         while self._connections and time.monotonic() < deadline:
             await asyncio.sleep(0.02)
@@ -124,6 +203,7 @@ class QueryService:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
+        request: Optional[HttpRequest] = None
         try:
             try:
                 request = await read_request(reader)
@@ -133,7 +213,14 @@ class QueryService:
                 if request is None:
                     return
                 response = await self.handle(request)
-            writer.write(response.to_bytes())
+            payload = self._render_payload(request, response)
+            if payload is None:
+                # Injected response-write failure: the connection dies
+                # mid-response, exactly like a flaky network path; the
+                # resilient client's retry budget covers this.
+                self._metrics.record_counter("responses_aborted")
+                return
+            writer.write(payload)
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
@@ -145,6 +232,22 @@ class QueryService:
                 pass
             if task is not None:
                 self._connections.discard(task)
+
+    def _render_payload(
+        self, request: Optional[HttpRequest], response: HttpResponse
+    ) -> Optional[bytes]:
+        """Wire bytes for one response, or None on an injected write fault."""
+        payload = response.to_bytes()
+        if self._faults is None or request is None:
+            return payload
+        ordinal = self._write_counts.get(request.path, 0)
+        self._write_counts[request.path] = ordinal + 1
+        try:
+            return self._faults.corrupt_bytes(
+                "service.response_write", f"{request.path}#{ordinal}", payload
+            )
+        except (TransientIOError, WorkerCrashed):
+            return None
 
     # ------------------------------------------------------------------
     # Routing
@@ -159,6 +262,19 @@ class QueryService:
         self._metrics.record_counter("requests_total")
         return response
 
+    def _request_deadline(self, request: HttpRequest) -> Deadline:
+        """The request's time budget: header override or server default."""
+        raw = request.headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return Deadline.after_ms(self._deadline_ms)
+        try:
+            budget = int(raw)
+        except ValueError as exc:
+            raise HttpError(f"bad {DEADLINE_HEADER} header {raw!r}") from exc
+        if budget < 1:
+            raise HttpError(f"{DEADLINE_HEADER} must be >= 1: {budget}")
+        return Deadline.after_ms(budget)
+
     async def _route(self, request: HttpRequest) -> Tuple[str, HttpResponse]:
         segments = split_path(request.path)
         try:
@@ -172,14 +288,15 @@ class QueryService:
                 return "unknown", HttpResponse.error(
                     404, f"no such endpoint: {request.path}"
                 )
-            return await self._route_v1(request, segments[1:])
+            deadline = self._request_deadline(request)
+            return await self._route_v1(request, segments[1:], deadline)
         except HttpError as exc:
             return "bad-request", HttpResponse.error(400, str(exc))
         except QueryError as exc:
             return "bad-request", HttpResponse.error(400, str(exc))
 
     async def _route_v1(
-        self, request: HttpRequest, tail: Tuple[str, ...]
+        self, request: HttpRequest, tail: Tuple[str, ...], deadline: Deadline
     ) -> Tuple[str, HttpResponse]:
         params = request.params
         if tail == ("query",):
@@ -197,18 +314,18 @@ class QueryService:
                 return "query", HttpResponse.error(
                     405, f"{request.method} not allowed on /v1/query"
                 )
-            return "query", await self._query_response(spec)
+            return "query", await self._query_response(spec, deadline)
         if request.method != "GET":
             return "v1", HttpResponse.error(
                 405, f"{request.method} not allowed on {request.path}"
             )
         if tail == ("experiments",):
             return "experiments", await self._query_response(
-                QuerySpec("catalog")
+                QuerySpec("catalog"), deadline
             )
         if len(tail) == 2 and tail[0] == "experiments":
             spec = QuerySpec("experiment", experiment=tail[1])
-            return "experiments", await self._query_response(spec)
+            return "experiments", await self._query_response(spec, deadline)
         if len(tail) == 2 and tail[0] == "series":
             spec = QuerySpec(
                 "series",
@@ -216,9 +333,11 @@ class QueryService:
                 start=params.get("start"),
                 end=params.get("end"),
             )
-            return "series", await self._query_response(spec)
+            return "series", await self._query_response(spec, deadline)
         if tail == ("headline",):
-            return "headline", await self._query_response(QuerySpec("headline"))
+            return "headline", await self._query_response(
+                QuerySpec("headline"), deadline
+            )
         if len(tail) == 2 and tail[0] == "records":
             spec = QuerySpec(
                 "records",
@@ -227,7 +346,7 @@ class QueryService:
                 offset=params.get("offset"),
                 limit=params.get("limit"),
             )
-            return "records", await self._query_response(spec)
+            return "records", await self._query_response(spec, deadline)
         return "unknown", HttpResponse.error(
             404, f"no such endpoint: {request.path}"
         )
@@ -240,29 +359,61 @@ class QueryService:
         return payload
 
     # ------------------------------------------------------------------
-    # The unified query path: cache -> coalesce -> compute
+    # The unified query path:
+    # cache -> breaker -> coalesce -> compute (under deadline)
     # ------------------------------------------------------------------
 
-    async def _query_response(self, spec: QuerySpec) -> HttpResponse:
+    async def _query_response(
+        self, spec: QuerySpec, deadline: Deadline
+    ) -> HttpResponse:
         key = spec.cache_key()
+        if self._closing:
+            return self._shutdown_response()
         cached = self._cache_get(key)
+        admission = self._breaker.admit()
         if cached is not None:
+            if admission == ADMIT_PROBE:
+                # A cache hit consumes no backend work; hand the probe
+                # slot back without judging the backend either way.
+                self._breaker.release_probe()
+            if admission == ADMIT_DENY:
+                # Degraded mode: the backend is failing, but we hold a
+                # previously-fresh answer — serve it, marked stale.
+                return self._stale_response(key, cached)
             self._metrics.record_cache("query_results", 1, 0)
             return HttpResponse.json(200, cached, {"X-Cache": "hit"})
+
+        if admission == ADMIT_DENY:
+            self._metrics.record_counter("breaker_rejected")
+            return HttpResponse.error(
+                503,
+                "service degraded (circuit breaker open) and no cached "
+                "answer exists for this query; retry shortly",
+                {"Retry-After": str(self._breaker.retry_after())},
+            )
 
         future = self._inflight.get(key)
         if future is not None:
             # Coalesce: ride the computation a concurrent identical
-            # request already started.
+            # request already started (it keeps its own probe slot).
+            if admission == ADMIT_PROBE:
+                self._breaker.release_probe()
             self._metrics.record_cache("query_results", 1, 0)
             self._metrics.record_counter("requests_coalesced")
-            status, text = await asyncio.shield(future)
+            try:
+                status, text = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=deadline.remaining()
+                )
+            except asyncio.TimeoutError:
+                return self._deadline_response(key, deadline)
             header = "coalesced" if status == 200 else None
             return HttpResponse.json(
                 status, text, {"X-Cache": header} if header else None
             )
 
         if len(self._inflight) >= self._queue_limit:
+            if admission == ADMIT_PROBE:
+                self._breaker.release_probe()
             self._metrics.record_counter("requests_rejected")
             return HttpResponse.error(
                 503,
@@ -271,6 +422,7 @@ class QueryService:
                 {"Retry-After": str(self._retry_after)},
             )
 
+        probe = admission == ADMIT_PROBE
         self._metrics.record_cache("query_results", 0, 1)
         loop = asyncio.get_running_loop()
         future = loop.create_future()
@@ -278,30 +430,127 @@ class QueryService:
         outcome = (503, self._error_text(503, "service shutting down"))
         try:
             try:
-                outcome = await loop.run_in_executor(
-                    self._executor, self._compute, spec
+                ordinal = self._compute_counts.get(key, 0)
+                self._compute_counts[key] = ordinal + 1
+                pending = self._executor.submit(
+                    self._compute, spec, deadline, f"{key}#{ordinal}"
                 )
-            except Exception as exc:  # defensive: _compute handles ReproError
+                self._pending[key] = pending
+                outcome = await asyncio.wait_for(
+                    asyncio.shield(asyncio.wrap_future(pending)),
+                    timeout=deadline.remaining(),
+                )
+            except asyncio.TimeoutError:
+                # The worker thread exits at its next phase-boundary
+                # deadline check; nobody is left waiting on it.
+                outcome = (
+                    504,
+                    self._error_text(
+                        504,
+                        f"deadline of {deadline.budget_ms} ms exceeded "
+                        "before the computation finished",
+                    ),
+                )
+            except asyncio.CancelledError:
+                # Shutdown cancelled a computation still queued for the
+                # pool: answer a clean 503 instead of dropping the
+                # connection.
+                outcome = (503, self._error_text(503, "service shutting down"))
+            except Exception as exc:  # defensive: _compute classifies its own
                 outcome = (500, self._error_text(500, f"internal error: {exc}"))
         finally:
             # Resolve waiters and clear the slot even if we were cancelled
             # mid-shutdown, so coalesced requests never hang.
+            self._pending.pop(key, None)
             self._inflight.pop(key, None)
             if not future.done():
                 future.set_result(outcome)
         status, text = outcome
+        self._account_outcome(status, probe)
+        if status == 504:
+            self._metrics.record_counter("deadline_exceeded")
+        if status in (500, 504):
+            stale = self._cache_get(key)
+            if stale is not None:
+                return self._stale_response(key, stale)
         if status == 200 and self._cache_results:
             self._cache_put(key, text)
-        return HttpResponse.json(status, text)
+        headers = (
+            {"Retry-After": str(self._retry_after)}
+            if status in (503, 504)
+            else None
+        )
+        return HttpResponse.json(status, text, headers)
 
-    def _compute(self, spec: QuerySpec) -> Tuple[int, str]:
+    def _account_outcome(self, status: int, probe: bool) -> None:
+        """Feed one computation outcome to the breaker.
+
+        5xx backend outcomes (internal errors, blown deadlines) are
+        classified failures; 200 and 4xx prove the backend reachable
+        and count as successes.  The shutdown 503 judges nothing.
+        """
+        if status in (500, 504):
+            self._breaker.record_failure(probe=probe)
+        elif status < 500:
+            self._breaker.record_success(probe=probe)
+        elif probe:
+            self._breaker.release_probe()
+
+    def _compute(
+        self, spec: QuerySpec, deadline: Deadline, fault_key: str
+    ) -> Tuple[int, str]:
         """Synchronous query execution (runs on the worker pool)."""
         try:
-            return 200, self._facade.query_json(spec)
+            with deadline_scope(deadline):
+                deadline.check("compute_start")
+                if self._faults is not None:
+                    self._faults.check("service.compute", fault_key)
+                return 200, self._facade.query_json(spec)
+        except DeadlineExceeded as exc:
+            return 504, self._error_text(504, str(exc))
         except QueryError as exc:
             return 400, self._error_text(400, str(exc))
         except ReproError as exc:
             return 500, self._error_text(500, str(exc))
+        except (OSError, RuntimeError) as exc:
+            # Injected service faults and real IO trouble surface here
+            # as classified backend failures the breaker counts.
+            return 500, self._error_text(500, f"backend failure: {exc}")
+
+    def _note_breaker_transition(self, previous: str, state: str) -> None:
+        self._metrics.record_counter(_BREAKER_COUNTERS[state])
+
+    # ------------------------------------------------------------------
+    # Degraded-mode responses
+    # ------------------------------------------------------------------
+
+    def _stale_response(self, key: str, text: str) -> HttpResponse:
+        """A previously-fresh cached answer, marked stale.
+
+        The *body* is the cached canonical JSON, byte-identical to the
+        fresh response; staleness travels only in headers, so offline,
+        remote-fresh, and remote-stale answers all compare equal.
+        """
+        self._metrics.record_cache("query_results", 1, 0)
+        self._metrics.record_counter("requests_stale")
+        return HttpResponse.json(200, text, dict(STALE_HEADERS))
+
+    def _deadline_response(self, key: str, deadline: Deadline) -> HttpResponse:
+        self._metrics.record_counter("deadline_exceeded")
+        stale = self._cache_get(key)
+        if stale is not None:
+            return self._stale_response(key, stale)
+        return HttpResponse.error(
+            504,
+            f"deadline of {deadline.budget_ms} ms exceeded",
+            {"Retry-After": str(self._retry_after)},
+        )
+
+    def _shutdown_response(self) -> HttpResponse:
+        return HttpResponse.error(
+            503, "service shutting down",
+            {"Retry-After": str(self._retry_after)},
+        )
 
     @staticmethod
     def _error_text(status: int, message: str) -> str:
@@ -353,9 +602,26 @@ class QueryService:
             200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
         )
 
+    def _serving_state(self) -> str:
+        """The ``live|ready|degraded`` state machine.
+
+        ``live`` — the process answers but is not (or no longer)
+        accepting query work: starting up or draining for shutdown;
+        ``ready`` — healthy, breaker closed;
+        ``degraded`` — the breaker is open or probing half-open, so
+        queries are answered stale-from-cache or refused.
+        """
+        if self._closing or self._server is None:
+            return "live"
+        if self._breaker.state != CLOSED:
+            return "degraded"
+        return "ready"
+
     def _health_response(self) -> HttpResponse:
         payload = {
-            "status": "closing" if self._closing else "ok",
+            "status": self._serving_state(),
+            "closing": self._closing,
+            "breaker": self._breaker.state,
             "schema_version": SCHEMA_VERSION,
             "inflight": len(self._inflight),
         }
@@ -364,13 +630,17 @@ class QueryService:
         )
 
     def _metrics_response(self) -> HttpResponse:
+        sync_fault_metrics(self._faults, self._metrics)
         payload = {
             "schema_version": SCHEMA_VERSION,
             "metrics": jsonify(self._metrics.summary()),
             "service": {
+                "state": self._serving_state(),
                 "inflight": len(self._inflight),
                 "cached_results": len(self._cache),
                 "queue_limit": self._queue_limit,
+                "deadline_ms": self._deadline_ms,
+                "breaker": self._breaker.snapshot(),
             },
         }
         return HttpResponse.json(

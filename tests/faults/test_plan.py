@@ -14,6 +14,7 @@ from repro.faults import (
     CRASH,
     IO_ERROR,
     KILL,
+    SERVICE_SITES,
     SITES,
     STALL,
     FaultPlan,
@@ -21,6 +22,7 @@ from repro.faults import (
     TransientIOError,
     WorkerCrashed,
     default_plan,
+    service_plan,
     sync_fault_metrics,
 )
 from repro.measurement.metrics import SweepMetrics
@@ -197,9 +199,15 @@ class TestValidationAndPickling:
 
 
 class TestDefaultPlanAndMetrics:
-    def test_default_plan_covers_every_site(self):
+    def test_default_plan_covers_every_pipeline_site(self):
         plan = default_plan(5, rate=0.25)
-        assert set(plan.sites) == set(SITES)
+        assert set(plan.sites) == set(SITES) - set(SERVICE_SITES)
+
+    def test_service_plan_covers_every_service_site(self):
+        plan = service_plan(5, rate=0.25, match="headline")
+        assert set(plan.sites) == set(SERVICE_SITES)
+        for site in SERVICE_SITES:
+            assert plan.sites[site].match == "headline"
 
     def test_sync_fault_metrics_reports_deltas_once(self):
         plan = FaultPlan(1, {"shard.write": FaultSpec(IO_ERROR, 1.0)})

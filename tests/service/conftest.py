@@ -77,7 +77,10 @@ class ServiceThread:
 
     def __exit__(self, *exc_info) -> None:
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # a test already stopped the service; loop is closed
         if self._thread is not None:
             self._thread.join(timeout=60)
 

@@ -1,0 +1,610 @@
+"""The serving resilience layer.
+
+Unit coverage for the circuit breaker and deadline primitives, plus
+in-process service tests for the degraded-mode behaviours the chaos
+suite later exercises end-to-end: serve-stale, 504-on-deadline,
+queued-request cancellation during shutdown, and the resilient client's
+retry policy (against a scripted transport, so no real sleeping).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api.deadline import (
+    MAX_DEADLINE_MS,
+    Deadline,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+from repro.client import ClientError, ClientResponse, QueryClient
+from repro.errors import DeadlineExceeded, QueryError, ReproError
+from repro.measurement.metrics import SweepMetrics
+from repro.service import (
+    ADMIT_DENY,
+    ADMIT_FRESH,
+    ADMIT_PROBE,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+
+from .conftest import ServiceThread, fresh_context
+
+
+class FakeClock:
+    """A controllable monotonic clock for breaker unit tests."""
+
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(clock, **overrides) -> CircuitBreaker:
+    options = dict(
+        failure_threshold=3,
+        window_seconds=10.0,
+        cooldown_seconds=5.0,
+        clock=clock,
+    )
+    options.update(overrides)
+    return CircuitBreaker(**options)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_failures(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.admit() == ADMIT_DENY
+
+    def test_old_failures_age_out_of_the_window(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(11.0)  # both fall out of the 10s window
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_half_opens_with_bounded_probes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.admit() == ADMIT_DENY
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.admit() == ADMIT_PROBE
+        # Only one probe slot by default; the next request is denied.
+        assert breaker.admit() == ADMIT_DENY
+
+    def test_probe_success_closes_and_clears_history(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.admit() == ADMIT_PROBE
+        breaker.record_success(probe=True)
+        assert breaker.state == CLOSED
+        # History was cleared: the next failure starts from zero.
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.admit() == ADMIT_FRESH
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.admit() == ADMIT_PROBE
+        breaker.record_failure(probe=True)
+        assert breaker.state == OPEN
+        # The fresh open gets a fresh cooldown.
+        clock.advance(4.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_release_probe_frees_slot_without_judging(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.admit() == ADMIT_PROBE
+        assert breaker.admit() == ADMIT_DENY
+        breaker.release_probe()  # cache hit: no backend work happened
+        assert breaker.state == HALF_OPEN
+        assert breaker.admit() == ADMIT_PROBE
+
+    def test_retry_after_tracks_remaining_cooldown(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after() == 5
+        clock.advance(3.0)
+        assert breaker.retry_after() == 2
+        clock.advance(2.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.retry_after() == 1
+
+    def test_transition_callback_and_snapshot(self):
+        clock = FakeClock()
+        seen = []
+        breaker = make_breaker(
+            clock, on_transition=lambda prev, state: seen.append((prev, state))
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        breaker.admit()
+        breaker.record_success(probe=True)
+        assert seen == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == CLOSED
+        assert snapshot["opened_total"] == 1
+        assert snapshot["half_open_total"] == 1
+        assert snapshot["closed_total"] == 1
+
+    def test_option_validation(self):
+        with pytest.raises(QueryError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(QueryError):
+            CircuitBreaker(window_seconds=0.0)
+        with pytest.raises(QueryError):
+            CircuitBreaker(cooldown_seconds=-1.0)
+        with pytest.raises(QueryError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestDeadline:
+    def test_after_ms_clamps_to_ceiling(self):
+        deadline = Deadline.after_ms(10 * MAX_DEADLINE_MS)
+        assert deadline.budget_ms == MAX_DEADLINE_MS
+        with pytest.raises(DeadlineExceeded):
+            Deadline.after_ms(0)
+
+    def test_remaining_and_expiry(self):
+        fresh = Deadline.after_ms(60_000)
+        assert not fresh.expired()
+        assert 0.0 < fresh.remaining() <= 60.0
+        spent = Deadline(time.monotonic() - 1.0, 5)
+        assert spent.expired()
+        assert spent.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            spent.check("records_collect")
+        assert "records_collect" in str(excinfo.value)
+        assert "5 ms" in str(excinfo.value)
+
+    def test_scope_installs_and_restores(self):
+        assert current_deadline() is None
+        check_deadline("outside")  # no-op without a scope
+        deadline = Deadline.after_ms(60_000)
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+            check_deadline("inside")
+            with deadline_scope(None):
+                assert current_deadline() is None
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_check_deadline_raises_inside_expired_scope(self):
+        spent = Deadline(time.monotonic() - 1.0, 5)
+        with deadline_scope(spent):
+            with pytest.raises(DeadlineExceeded):
+                check_deadline("phase")
+        check_deadline("phase")  # restored: no-op again
+
+
+def _failing(message="backend down"):
+    def fail(spec):
+        raise ReproError(message)
+
+    return fail
+
+
+class TestServeStale:
+    def test_breaker_opens_and_cached_queries_go_stale(self, service_archive):
+        context = fresh_context(service_archive)
+        with ServiceThread(
+            context, breaker_threshold=2, breaker_cooldown=60.0
+        ) as svc:
+            status, _, fresh_body = svc.get("/v1/headline")
+            assert status == 200
+
+            facade = context.api
+            original = facade.query_json
+            facade.query_json = _failing()
+            try:
+                # Two distinct uncached queries fail => breaker opens.
+                assert svc.get("/v1/experiments")[0] == 500
+                assert svc.get("/v1/series/listed_counts")[0] == 500
+                assert svc.service.breaker.state == OPEN
+
+                # Cached query: 200 with the identical body, marked stale.
+                status, headers, stale_body = svc.get("/v1/headline")
+                assert status == 200
+                assert stale_body == fresh_body
+                assert headers.get("X-Repro-Stale") == "true"
+                assert headers.get("X-Cache") == "stale"
+                assert "stale response" in headers.get("Warning", "")
+
+                # Uncached query: refused with Retry-After, not computed.
+                status, headers, body = svc.get(
+                    "/v1/records/2022-03-04?limit=1"
+                )
+                assert status == 503
+                assert int(headers["Retry-After"]) >= 1
+                assert "circuit breaker" in json.loads(body)["error"]["message"]
+
+                status, _, body = svc.get("/healthz")
+                assert json.loads(body)["status"] == "degraded"
+            finally:
+                facade.query_json = original
+        assert context.metrics.counter("requests_stale") == 1
+        assert context.metrics.counter("breaker_rejected") == 1
+        assert context.metrics.counter("breaker_opened") == 1
+
+    def test_recovery_probe_closes_breaker(self, service_archive):
+        context = fresh_context(service_archive)
+        with ServiceThread(
+            context, breaker_threshold=2, breaker_cooldown=0.2
+        ) as svc:
+            facade = context.api
+            original = facade.query_json
+            facade.query_json = _failing()
+            try:
+                assert svc.get("/v1/experiments")[0] == 500
+                assert svc.get("/v1/series/listed_counts")[0] == 500
+            finally:
+                facade.query_json = original
+            assert svc.service.breaker.state == OPEN
+
+            time.sleep(0.3)  # cooldown elapses; next query is the probe
+            status, _, _ = svc.get("/v1/headline")
+            assert status == 200
+            assert svc.service.breaker.state == CLOSED
+            status, _, body = svc.get("/healthz")
+            assert json.loads(body)["status"] == "ready"
+        assert context.metrics.counter("breaker_half_open") == 1
+        assert context.metrics.counter("breaker_closed") == 1
+
+    def test_backend_error_without_cache_is_plain_500(self, service_archive):
+        # With the result cache disabled there is nothing to fall back
+        # on, so a backend failure surfaces as the structured 500
+        # envelope (and still counts toward opening the breaker).
+        context = fresh_context(service_archive)
+        with ServiceThread(
+            context, breaker_threshold=5, cache_results=0
+        ) as svc:
+            facade = context.api
+            original = facade.query_json
+            assert svc.get("/v1/headline")[0] == 200
+            facade.query_json = _failing()
+            try:
+                status, _, body = svc.get("/v1/headline")
+                assert status == 500
+                assert "backend down" in json.loads(body)["error"]["message"]
+                snapshot = svc.service.breaker.snapshot()
+                assert snapshot["failures_in_window"] == 1
+                assert snapshot["state"] == CLOSED
+            finally:
+                facade.query_json = original
+
+
+class TestHttpDeadlines:
+    def test_blown_deadline_answers_504_quickly(self, service_archive):
+        context = fresh_context(service_archive)
+        with ServiceThread(context) as svc:
+            facade = context.api
+            original = facade.query_json
+            release = threading.Event()
+
+            def slow(spec):
+                release.wait(10)
+                return original(spec)
+
+            facade.query_json = slow
+            try:
+                started = time.monotonic()
+                request = _request_with_deadline(svc, "/v1/headline", 200)
+                elapsed = time.monotonic() - started
+                status, headers, body = request
+                assert status == 504
+                assert elapsed < 5.0
+                assert "deadline" in json.loads(body)["error"]["message"]
+                assert "Retry-After" in headers
+            finally:
+                release.set()
+                facade.query_json = original
+        assert context.metrics.counter("deadline_exceeded") == 1
+
+    def test_cached_answer_beats_a_tiny_deadline(self, service_archive):
+        context = fresh_context(service_archive)
+        with ServiceThread(context) as svc:
+            status, _, fresh_body = svc.get("/v1/headline")
+            assert status == 200
+            facade = context.api
+            original = facade.query_json
+            release = threading.Event()
+            facade.query_json = lambda spec: (release.wait(10), original(spec))[1]
+            try:
+                # The cached headline under a tiny deadline is answered
+                # from cache instantly: 200 fresh, no computation, no 504.
+                status, headers, body = _request_with_deadline(
+                    svc, "/v1/headline", 150
+                )
+                assert status == 200
+                assert headers.get("X-Cache") == "hit"
+                assert body == fresh_body
+            finally:
+                release.set()
+                facade.query_json = original
+
+    def test_invalid_deadline_header_is_400(self, service_archive):
+        context = fresh_context(service_archive)
+        with ServiceThread(context) as svc:
+            status, _, body = _request_with_header(
+                svc, "/v1/headline", "not-a-number"
+            )
+            assert status == 400
+            assert "x-repro-deadline-ms" in (
+                json.loads(body)["error"]["message"].lower()
+            )
+            status, _, _ = _request_with_header(svc, "/v1/headline", "0")
+            assert status == 400
+
+
+def _request_with_header(svc, path, value):
+    import urllib.error
+    import urllib.request
+
+    request = urllib.request.Request(
+        svc.url(path), headers={"X-Repro-Deadline-Ms": value}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _request_with_deadline(svc, path, budget_ms):
+    return _request_with_header(svc, path, str(budget_ms))
+
+
+class TestShutdownCancelsQueuedWork:
+    def test_queued_request_gets_clean_503_during_shutdown(
+        self, service_archive
+    ):
+        context = fresh_context(service_archive)
+        harness = ServiceThread(context, max_concurrency=1, queue_limit=8)
+        with harness as svc:
+            facade = context.api
+            original = facade.query_json
+            release = threading.Event()
+            started = threading.Event()
+
+            def blocked(spec):
+                started.set()
+                release.wait(30)
+                return original(spec)
+
+            facade.query_json = blocked
+            try:
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    running = pool.submit(svc.get, "/v1/query?kind=headline")
+                    assert started.wait(10)
+                    # Distinct spec: submitted to the 1-thread pool behind
+                    # the running computation, so it sits in the pool
+                    # queue, not started.
+                    queued = pool.submit(svc.get, "/v1/query?kind=catalog")
+                    time.sleep(0.3)
+
+                    # Trigger graceful shutdown while one computation runs
+                    # and one is queued.
+                    harness._loop.call_soon_threadsafe(harness._stop.set)
+                    time.sleep(0.2)
+
+                    status, _, body = queued.result(timeout=30)
+                    assert status == 503
+                    assert (
+                        "shutting down"
+                        in json.loads(body)["error"]["message"]
+                    )
+
+                    release.set()
+                    assert running.result(timeout=30)[0] == 200
+            finally:
+                release.set()
+                facade.query_json = original
+
+
+class ScriptedClient(QueryClient):
+    """A QueryClient whose transport replays a scripted outcome list."""
+
+    def __init__(self, outcomes, **kwargs) -> None:
+        self.outcomes = list(outcomes)
+        self.calls = 0
+        self.sleeps = []
+        kwargs.setdefault("sleep", self.sleeps.append)
+        super().__init__("http://127.0.0.1:1", **kwargs)
+
+    def _once(self, method, path, body, headers):
+        self.calls += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def _ok(body=b"{}"):
+    return ClientResponse(200, {}, body)
+
+
+def _unavailable(retry_after=None):
+    headers = {}
+    if retry_after is not None:
+        headers["retry-after"] = str(retry_after)
+    return ClientResponse(503, headers, b'{"error":{}}')
+
+
+class TestQueryClient:
+    def test_retries_connection_errors_until_success(self):
+        client = ScriptedClient(
+            [ConnectionResetError("boom"), ConnectionResetError("boom"), _ok()]
+        )
+        response = client.get("/healthz")
+        assert response.status == 200
+        assert client.calls == 3
+        assert client.last_attempts == 3
+        assert len(client.sleeps) == 2
+
+    def test_backoff_is_deterministic_for_a_seed(self):
+        script = lambda: [
+            ConnectionResetError("a"),
+            ConnectionResetError("b"),
+            _ok(),
+        ]
+        first = ScriptedClient(script(), seed=42)
+        second = ScriptedClient(script(), seed=42)
+        first.get("/healthz")
+        second.get("/healthz")
+        assert first.sleeps == second.sleeps
+        assert first.last_slept == pytest.approx(second.last_slept)
+        # Exponential shape: the second pause is at least the first's base.
+        assert first.sleeps[1] > first.sleeps[0] / 2
+
+    def test_honours_retry_after_hint(self):
+        client = ScriptedClient([_unavailable(retry_after=1.5), _ok()])
+        response = client.get("/v1/headline")
+        assert response.status == 200
+        assert client.sleeps[0] >= 1.5
+
+    def test_retry_after_capped_by_max_sleep(self):
+        client = ScriptedClient(
+            [_unavailable(retry_after=300), _ok()], max_sleep=0.5
+        )
+        client.get("/v1/headline")
+        assert client.sleeps[0] == 0.5
+
+    def test_exhausted_budget_returns_final_503(self):
+        client = ScriptedClient(
+            [_unavailable(), _unavailable(), _unavailable()], retries=2
+        )
+        response = client.get("/v1/headline")
+        assert response.status == 503
+        assert client.calls == 3
+        assert response.retry_after is None
+
+    def test_persistent_connection_failure_raises_client_error(self):
+        client = ScriptedClient(
+            [ConnectionResetError("x")] * 3, retries=2
+        )
+        with pytest.raises(ClientError) as excinfo:
+            client.get("/healthz")
+        assert "3 attempt(s)" in str(excinfo.value)
+
+    def test_non_idempotent_requests_never_retry(self):
+        client = ScriptedClient([ConnectionResetError("x"), _ok()])
+        with pytest.raises(ClientError):
+            client.request("POST", "/v1/query", body=b"{}", idempotent=False)
+        assert client.calls == 1
+
+    def test_query_posts_are_retried_as_idempotent(self):
+        client = ScriptedClient([ConnectionResetError("x"), _ok(b'{"a":1}')])
+        response = client.query({"kind": "headline"})
+        assert response.status == 200
+        assert client.calls == 2
+
+    def test_deadline_header_is_attached(self, service_archive):
+        context = fresh_context(service_archive)
+        with ServiceThread(context) as svc:
+            client = QueryClient(
+                f"http://127.0.0.1:{svc.port}", deadline_ms=60_000
+            )
+            response = client.query({"kind": "headline"})
+            assert response.ok
+            assert not response.stale
+            payload = response.json()
+            assert payload["kind"] == "headline"
+            health = client.wait_ready()
+            assert health["status"] == "ready"
+
+    def test_rejects_bad_urls(self):
+        with pytest.raises(ClientError):
+            QueryClient("https://example.org")
+        with pytest.raises(ClientError):
+            QueryClient("http://")
+        with pytest.raises(ClientError):
+            QueryClient("http://host", retries=-1)
+
+
+class TestMetricsThreadSafety:
+    def test_concurrent_counter_updates_do_not_lose_increments(self):
+        metrics = SweepMetrics()
+
+        def hammer():
+            for _ in range(1000):
+                metrics.record_counter("requests_total")
+                metrics.record_cache("query_results", 1, 1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.counter("requests_total") == 8000
+        caches = metrics.summary()["caches"]["query_results"]
+        assert caches["hits"] == 8000
+        assert caches["misses"] == 8000
+
+    def test_summary_is_a_consistent_snapshot_under_writes(self):
+        metrics = SweepMetrics()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                metrics.record_counter("breaker_opened")
+                metrics.record_counter("breaker_closed")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                snapshot = metrics.summary()
+                counters = snapshot.get("counters", {})
+                # Both counters bump together inside the writer; a torn
+                # snapshot could never show closed ahead of opened by
+                # more than the one in-between increment.
+                opened = counters.get("breaker_opened", 0)
+                closed = counters.get("breaker_closed", 0)
+                assert closed <= opened
+        finally:
+            stop.set()
+            thread.join()

@@ -28,7 +28,9 @@ class TestEndpoints:
     def test_healthz(self, svc):
         status, _, body = svc.get("/healthz")
         assert status == 200
-        assert json.loads(body)["status"] == "ok"
+        payload = json.loads(body)
+        assert payload["status"] == "ready"
+        assert payload["breaker"] == "closed"
 
     def test_root_lists_endpoints(self, svc):
         status, _, body = svc.get("/")
