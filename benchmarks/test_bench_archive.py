@@ -1,14 +1,23 @@
 """Bench: cold archive build vs warm archive-backed Figure 1 replay.
 
-Measures the three costs the archive trades between: building the
+Measures the three costs the archive trades between — building the
 standard archive from scratch (cold), regenerating Figure 1 by live
-simulation, and regenerating it by replaying the archive (warm).  The
-observed speedup is recorded in ``benchmarks/output/archive_speedup.json``.
+simulation, and regenerating it by replaying the archive (warm) — and
+records each as its own honest number in
+``benchmarks/output/archive_speedup.json``.
+
+The headline ratio is ``speedup_vs_live``: warm replay vs recomputing
+the figure by live simulation, both measured end to end on a fresh
+context.  The retired ``speedup_cold_vs_warm`` field folded the one-off
+build cost into the numerator, which inflated the ratio with a cost the
+query path never pays; the build is now reported separately as
+``cold_build_seconds`` so amortisation arguments can be made explicitly.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 
@@ -22,6 +31,13 @@ ARCHIVE_SCALE = 250.0
 CADENCE = 30
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: The kernel path answers Figure 1 from per-shard summaries without
+#: building the world; anything under this ratio means the columnar
+#: read path has regressed.  The project target (and local default) is
+#: >= 10; CI lowers the floor via REPRO_ARCHIVE_MIN_SPEEDUP to absorb
+#: noisy shared runners (see the archive-perf-gate job's ratchet note).
+MIN_SPEEDUP_VS_LIVE = float(os.environ.get("REPRO_ARCHIVE_MIN_SPEEDUP", "10"))
 
 
 def test_bench_archive_warm_vs_cold(benchmark, tmp_path):
@@ -53,23 +69,21 @@ def test_bench_archive_warm_vs_cold(benchmark, tmp_path):
     assert replayed.render() == live.render()
 
     warm_seconds = benchmark.stats.stats.mean
+    speedup_vs_live = live_seconds / warm_seconds
     record = {
         "experiment": "fig1",
         "scale": ARCHIVE_SCALE,
         "cadence_days": CADENCE,
         "archived_days": len(report.written),
         "archive_bytes": report.bytes_written,
+        # One-off cost of collecting the archive.  Deliberately NOT
+        # folded into any ratio: the query path never pays it.
         "cold_build_seconds": round(cold_build_seconds, 3),
-        "live_fig1_seconds": round(live_seconds, 3),
-        "warm_archive_fig1_seconds": round(warm_seconds, 3),
-        # Cold = collect-then-analyse; warm = re-analyse the existing
-        # archive.  This is the paper-pipeline ratio the archive exists
-        # for: measurements are collected once and queried many times.
-        "speedup_cold_vs_warm": round(
-            (cold_build_seconds + warm_seconds) / warm_seconds, 2
-        ),
-        # Reference: replay vs simulating the sweep fresh each run.
-        "speedup_vs_live": round(live_seconds / warm_seconds, 2),
+        # End-to-end figure regeneration by live simulation vs by
+        # replaying the archive through the summary kernel.
+        "live_seconds": round(live_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "speedup_vs_live": round(speedup_vs_live, 2),
     }
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / "archive_speedup.json").write_text(
@@ -77,3 +91,7 @@ def test_bench_archive_warm_vs_cold(benchmark, tmp_path):
     )
     print()
     print(json.dumps(record, indent=2, sort_keys=True))
+    assert speedup_vs_live >= MIN_SPEEDUP_VS_LIVE, (
+        f"warm archive replay is only {speedup_vs_live:.1f}x live "
+        f"(target >= {MIN_SPEEDUP_VS_LIVE:.0f}x)"
+    )

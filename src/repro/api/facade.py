@@ -23,6 +23,7 @@ from ..core.reducers import (
     RecentWindowReducer,
     RecentWindowSeries,
     SweepSeries,
+    merge_recent_records,
 )
 from ..core.summary import compute_headline_stats
 from ..errors import QueryError
@@ -85,6 +86,19 @@ class AnalysisFacade:
     # The shared sweeps (formerly ExperimentContext.full_sweep/_run_recent)
     # ------------------------------------------------------------------
 
+    def _kernel(self):
+        """The archive query kernel when the collector is archive-backed.
+
+        Coarse sweeps then run on per-shard summaries — no snapshot
+        scatter, no world build — with the record path kept as the
+        oracle (see ``tests/archive/test_kernel.py``).
+        """
+        collector = self._context.collector
+        kernel = getattr(collector, "kernel", None)
+        if kernel is None:
+            return None
+        return kernel
+
     def full_sweep(self) -> SweepSeries:
         """All full-period series, computed in one pass and cached."""
         if self._full is not None:
@@ -94,6 +108,16 @@ class AnalysisFacade:
             if self._full is not None:
                 return self._full
             check_deadline("full_sweep")
+            kernel = self._kernel()
+            if kernel is not None:
+                with context.metrics.phase("full_sweep") as stat:
+                    records = kernel.full_sweep_records(
+                        STUDY_START, STUDY_END, context.cadence_days
+                    )
+                    stat.snapshots += len(records)
+                    merged = FullSweepReducer().merge(records)
+                self._full = merged
+                return self._full
             reducer = FullSweepReducer()
             with context.metrics.phase("full_sweep"):
                 records = context.engine.run(
@@ -122,6 +146,17 @@ class AnalysisFacade:
             check_deadline("recent_sweep")
             from ..experiments.context import RECENT_WINDOW_START
 
+            kernel = self._kernel()
+            if kernel is not None:
+                asns = context.fig4_asns()
+                with context.metrics.phase("recent_sweep") as stat:
+                    records = kernel.recent_records(
+                        asns, RECENT_WINDOW_START, STUDY_END, 1
+                    )
+                    stat.snapshots += len(records)
+                    merged = merge_recent_records(asns, records)
+                self._recent = merged
+                return self._recent
             reducer = RecentWindowReducer(
                 context.fig4_asns(), context.world.sanctioned_indices
             )
@@ -232,7 +267,7 @@ class AnalysisFacade:
             from ..experiments.context import FIG4_PROVIDERS
 
             series = self.recent_window().asn_shares
-            catalog = self._context.world.catalog
+            catalog = self._context.catalog
             providers = {
                 key: catalog.get(key).primary_asn for key in FIG4_PROVIDERS
             }

@@ -19,19 +19,25 @@ from .builder import (
     shard_filename,
     standard_plan_dates,
 )
+from .kernel import ArchiveQueryKernel, summarize_snapshot
 from .manifest import Manifest, scenario_fingerprint
-from .shard import DayShardRecord, read_shard, write_shard
+from .shard import DayShardRecord, read_shard, read_summary, write_shard
 from .store import ArchiveCollector, ArchivedSnapshot, MeasurementArchive
+from .summary import DaySummary
 
 __all__ = [
     "ArchiveBuilder",
     "ArchiveShardReducer",
+    "ArchiveQueryKernel",
     "BuildReport",
     "RECENT_DAILY_START",
     "Manifest",
     "scenario_fingerprint",
     "DayShardRecord",
+    "DaySummary",
     "read_shard",
+    "read_summary",
+    "summarize_snapshot",
     "write_shard",
     "ArchiveCollector",
     "ArchivedSnapshot",

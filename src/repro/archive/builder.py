@@ -30,6 +30,7 @@ from ..measurement.fast import DEFAULT_OUTAGE_DATES, _OUTAGE_COVERAGE, FastColle
 from ..measurement.metrics import SweepMetrics
 from ..measurement.sweep import SweepEngine
 from ..timeline import STUDY_END, STUDY_START, DateLike, as_date
+from .kernel import summarize_snapshot
 from .manifest import DayEntry, Manifest, scenario_fingerprint
 from .shard import DayShardRecord, write_shard
 from .store import MeasurementArchive
@@ -111,6 +112,10 @@ class ArchiveShardReducer:
         record = DayShardRecord.from_snapshot(
             snapshot, self._apex_cache, self._plan_cache
         )
+        # Pre-aggregate the day once at build time (shard format v3):
+        # readers answer the coarse longitudinal queries from this block
+        # without decoding the columns or building a world.
+        record.summary = summarize_snapshot(snapshot)
         name = shard_filename(record.date)
         file_bytes, crc = write_shard(
             os.path.join(self.directory, name), record, faults=self.faults

@@ -39,6 +39,7 @@ __all__ = [
     "read_string",
     "write_int32_array",
     "read_int32_array",
+    "read_int32_ndarray",
 ]
 
 
@@ -124,23 +125,36 @@ def write_int32_array(buffer: bytearray, values: Sequence[int]) -> None:
     instead of a per-value Python loop; zlib recovers most of the size
     difference against varints.  Values must fit in int32.
     """
-    array = np.asarray(values, dtype=np.int64)
-    if array.size and (
-        array.max(initial=0) > np.iinfo(np.int32).max
-        or array.min(initial=0) < np.iinfo(np.int32).min
-    ):
-        raise ArchiveError("int32 column value out of range")
+    array = np.asarray(values)
+    if array.dtype != np.int32:
+        array = np.asarray(array, dtype=np.int64)
+        if array.size and (
+            array.max(initial=0) > np.iinfo(np.int32).max
+            or array.min(initial=0) < np.iinfo(np.int32).min
+        ):
+            raise ArchiveError("int32 column value out of range")
     write_uvarint(buffer, array.size)
-    buffer.extend(array.astype("<i4").tobytes())
+    buffer.extend(array.astype("<i4", copy=False).tobytes())
 
 
 def read_int32_array(view: memoryview, offset: int) -> Tuple[List[int], int]:
     """Read one int32 array; returns ``(values, next_offset)``."""
+    values, end = read_int32_ndarray(view, offset)
+    return values.tolist(), end
+
+
+def read_int32_ndarray(view: memoryview, offset: int) -> Tuple[np.ndarray, int]:
+    """Read one int32 array as a zero-copy (read-only) ndarray view.
+
+    The returned array aliases the payload buffer, so it costs no copy
+    and no dtype conversion — shard columns decoded through here are
+    already in the dtype the analysis kernels consume.
+    """
     count, offset = read_uvarint(view, offset)
     end = offset + 4 * count
     if end > len(view):
         raise ArchiveError("truncated int32 array in shard payload")
-    values = np.frombuffer(view[offset:end], dtype="<i4").tolist()
+    values = np.frombuffer(view[offset:end], dtype="<i4")
     return values, end
 
 

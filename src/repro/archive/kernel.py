@@ -1,0 +1,214 @@
+"""Columnar query kernel: archive sweeps without per-record objects.
+
+The experiment layer's day reducers consume
+:class:`~repro.measurement.fast.DailySnapshot` objects, which for an
+archive-backed context means scattering shard columns over the
+population and rebuilding a world for its epoch label tables — work
+that dominates a warm query even though the shard bytes are hot in
+memory.  This module is the fast path around that:
+
+* :func:`summarize_snapshot` aggregates one snapshot into a
+  :class:`~repro.archive.summary.DaySummary` using the *same*
+  vectorised label/bincount operations the day reducers run (the code
+  below mirrors :class:`~repro.core.reducers.FullSweepReducer` and
+  :class:`~repro.core.reducers.RecentWindowReducer` line for line), so
+  a summary replayed later is bit-identical to re-reducing the day.
+  The archive builder calls this once per day and serialises the result
+  into the shard's v3 summary block.
+* :class:`ArchiveQueryKernel` answers the coarse longitudinal queries
+  (Figures 1-5, headline, every ``series``) straight from those stored
+  summaries: one partial file read per day, no per-domain columns, no
+  world construction.  Days stored as format-v2 shards fall back to
+  reducing the full shard on the fly (which does build the world), so
+  old archives stay queryable.
+
+The record-object path remains the oracle: the equivalence suite in
+``tests/archive/test_kernel.py`` proves kernel results bit-identical to
+record-path results for every figure the kernel serves.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.reducers import (
+    FullSweepDayRecord,
+    RecentDayRecord,
+    _composition_counts,
+)
+from ..core.labels import (
+    snapshot_hosting_geo_labels,
+    snapshot_ns_geo_labels,
+    snapshot_ns_tld_labels,
+)
+from ..errors import ArchiveError
+from ..measurement.fast import DailySnapshot
+from ..timeline import DateLike, as_date
+from .summary import DaySummary
+
+__all__ = [
+    "summarize_snapshot",
+    "full_record_from_summary",
+    "recent_record_from_summary",
+    "ArchiveQueryKernel",
+]
+
+
+def summarize_snapshot(snapshot: DailySnapshot) -> DaySummary:
+    """Aggregate one day into its :class:`DaySummary`.
+
+    Every count is produced by the exact operation the corresponding
+    reducer runs — same label gathers, same ``bincount``/matmul over
+    the same columns — which is what makes summary replay bit-identical
+    to record-path reduction.
+    """
+    measured = snapshot.measured
+    ns_labels = snapshot_ns_geo_labels(snapshot)
+    host_labels = snapshot_hosting_geo_labels(snapshot)
+    tld_labels = snapshot_ns_tld_labels(snapshot)
+
+    # FullSweepReducer.reduce_day: per-TLD NS dependency counts.
+    dns_labels = snapshot.epoch.dns_labels
+    plan_counts = np.bincount(
+        snapshot.dns_ids[measured],
+        minlength=dns_labels.tld_membership.shape[0],
+    )
+    per_tld = plan_counts @ dns_labels.tld_membership
+    tld_counts = {
+        tld: int(per_tld[col])
+        for col, tld in enumerate(dns_labels.tld_names)
+        if per_tld[col] > 0
+    }
+
+    # RecentWindowReducer.reduce_day generalised: instead of counting
+    # only a caller-supplied tracked-ASN list, count every ASN any
+    # hosting plan touches.  For a plan-membership matrix M this is the
+    # same ``plan_counts @ M`` with one column per known ASN, so any
+    # tracked subset projects out of it exactly.
+    hosting_labels = snapshot.epoch.hosting_labels
+    host_plan_counts = np.bincount(
+        snapshot.hosting_ids[measured],
+        minlength=len(hosting_labels.asn_sets),
+    )
+    asn_counts: Dict[int, int] = {}
+    for plan_id, plan_asns in enumerate(hosting_labels.asn_sets):
+        count = int(host_plan_counts[plan_id])
+        if count:
+            for asn in plan_asns:
+                asn_counts[asn] = asn_counts.get(asn, 0) + count
+
+    # RecentWindowReducer.reduce_day: sanctioned subset + list size.
+    world = snapshot.world
+    subset = snapshot.subset(world.sanctioned_indices)
+    sanctioned_labels = snapshot_ns_geo_labels(snapshot, subset)
+    listed = len(world.sanctions.domains_listed_as_of(snapshot.date))
+
+    return DaySummary(
+        snapshot.date,
+        snapshot.epoch.start_day,
+        int(len(measured)),
+        _composition_counts(ns_labels),
+        _composition_counts(host_labels),
+        _composition_counts(tld_labels),
+        tld_counts,
+        asn_counts,
+        _composition_counts(sanctioned_labels),
+        listed,
+    )
+
+
+def full_record_from_summary(summary: DaySummary) -> FullSweepDayRecord:
+    """The :class:`FullSweepDayRecord` a summary replays to.
+
+    ``label_cache_hit`` is set (the summary *is* the cache) and is
+    excluded from record equality, exactly like parallel-sweep workers.
+    """
+    return FullSweepDayRecord(
+        summary.date,
+        summary.ns,
+        summary.hosting,
+        summary.tld,
+        summary.measured_count,
+        dict(summary.tld_counts),
+        label_cache_hit=True,
+    )
+
+
+def recent_record_from_summary(
+    summary: DaySummary, asns: Sequence[int]
+) -> RecentDayRecord:
+    """The :class:`RecentDayRecord` a summary replays to for ``asns``.
+
+    The summary's ASN histogram covers every ASN any hosting plan
+    touches, so projecting the tracked list out of it (absent means
+    zero) matches the reducer's membership-matrix product exactly.
+    """
+    return RecentDayRecord(
+        summary.date,
+        summary.measured_count,
+        {int(asn): summary.asn_counts.get(int(asn), 0) for asn in asns},
+        summary.sanctioned,
+        summary.listed_count,
+        label_cache_hit=True,
+    )
+
+
+class ArchiveQueryKernel:
+    """Serves day aggregates for one archive-backed collector.
+
+    Stored v3 summaries are read directly (partial file reads through
+    the archive's summary cache); v2 days fall back to the record path
+    — collect the snapshot, reduce it with :func:`summarize_snapshot` —
+    and memoise the result, so a legacy archive pays the slow path once
+    per day per kernel.
+    """
+
+    def __init__(self, collector) -> None:
+        self._collector = collector
+        self._computed: Dict[_dt.date, DaySummary] = {}
+
+    def day_summary(self, date: DateLike) -> DaySummary:
+        """One day's summary: stored if the shard has one, else computed."""
+        date_obj = as_date(date)
+        summary = self._collector.archive.load_summary(date_obj)
+        if summary is None:
+            summary = self._computed.get(date_obj)
+            if summary is None:
+                summary = summarize_snapshot(self._collector.collect(date_obj))
+                self._computed[date_obj] = summary
+        return summary
+
+    def sweep_summaries(
+        self, start: DateLike, end: DateLike, step: int = 1
+    ) -> List[DaySummary]:
+        """Summaries for every ``step`` days in ``[start, end]``."""
+        if step < 1:
+            raise ArchiveError(f"sweep step must be >= 1 day: {step}")
+        day = as_date(start)
+        end_date = as_date(end)
+        summaries: List[DaySummary] = []
+        while day <= end_date:
+            summaries.append(self.day_summary(day))
+            day += _dt.timedelta(days=step)
+        return summaries
+
+    def full_sweep_records(
+        self, start: DateLike, end: DateLike, step: int = 1
+    ) -> List[FullSweepDayRecord]:
+        """The five-year sweep's day records (Figures 1-3, headline)."""
+        return [
+            full_record_from_summary(summary)
+            for summary in self.sweep_summaries(start, end, step)
+        ]
+
+    def recent_records(
+        self, asns: Sequence[int], start: DateLike, end: DateLike, step: int = 1
+    ) -> List[RecentDayRecord]:
+        """The conflict-window day records (Figures 4 and 5)."""
+        return [
+            recent_record_from_summary(summary, asns)
+            for summary in self.sweep_summaries(start, end, step)
+        ]

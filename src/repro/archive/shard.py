@@ -17,15 +17,21 @@ stored columnarly:
   :class:`~repro.measurement.records.DomainMeasurement` of the day
   without touching a world.
 
-The payload is a single zlib-compressed buffer behind a fixed header.
-Format version 2 computes the header CRC32 over the header itself (with
-the CRC field zeroed) followed by the *uncompressed* payload, so a bit
-flip anywhere in the file — including the date ordinal or record count
-in the header — is caught before any value is trusted.  Writes are
-build-order independent and byte-deterministic: the same day record
-always serialises to the same bytes, which is what makes
-interrupted-then-resumed archive builds byte-identical to uninterrupted
-ones.
+Format version 3 stores two independently zlib-compressed blocks behind
+a fixed header: a small **summary block** (the day's pre-aggregated
+analysis counts, :mod:`repro.archive.summary`) followed by the columnar
+payload.  The summary block carries its own CRC32 in the header, so a
+coarse query can read and verify the first few hundred bytes of a shard
+without ever touching — or decompressing — the per-domain columns.  The
+header CRC32 still covers the header itself (with the CRC field zeroed)
+followed by *both* uncompressed blocks, so a bit flip anywhere in the
+file — including the date ordinal or record count in the header — is
+caught before any value is trusted.  Version-2 shards (single payload,
+no summary) remain readable; their summaries are recomputed on the fly
+by the query kernel.  Writes are build-order independent and
+byte-deterministic: the same day record always serialises to the same
+bytes, which is what makes interrupted-then-resumed archive builds
+byte-identical to uninterrupted ones.
 """
 
 from __future__ import annotations
@@ -35,13 +41,15 @@ import struct
 import zlib
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..dns.name import DomainName
 from ..errors import ArchiveCorruptError, ArchiveError, ArchiveStaleError
 from ..ioutil import atomic_write_bytes
 from ..measurement.records import DomainMeasurement
 from .codec import (
     read_delta_run,
-    read_int32_array,
+    read_int32_ndarray,
     read_string,
     read_svarint,
     read_uvarint,
@@ -51,6 +59,7 @@ from .codec import (
     write_svarint,
     write_uvarint,
 )
+from .summary import DaySummary, decode_summary, encode_summary
 
 __all__ = [
     "SHARD_MAGIC",
@@ -59,14 +68,23 @@ __all__ = [
     "encode_shard",
     "write_shard",
     "read_shard",
+    "read_summary",
 ]
 
 SHARD_MAGIC = b"REPROARC"
-SHARD_VERSION = 2
+SHARD_VERSION = 3
 
-#: ``magic, version, flags, date ordinal, record count, payload crc32,
+#: Common prefix of every shard version: ``magic, version, flags`` —
+#: enough to dispatch on the format before trusting anything else.
+_PREFIX = struct.Struct("<8sHH")
+
+#: v2: ``magic, version, flags, date ordinal, record count, crc32,
 #: uncompressed payload length``.
-_HEADER = struct.Struct("<8sHHIIIQ")
+_HEADER_V2 = struct.Struct("<8sHHIIIQ")
+
+#: v3 appends ``compressed summary length, summary crc32`` so the
+#: summary block can be located and verified from the header alone.
+_HEADER_V3 = struct.Struct("<8sHHIIIQII")
 
 #: Fixed compression level: determinism requires one canonical encoding.
 _ZLIB_LEVEL = 6
@@ -79,6 +97,14 @@ class DayShardRecord:
     parallel per-measured-domain columns; ``dns_plan_ns`` maps each DNS
     plan id appearing in ``dns_ids`` to its ``(ns_names, ns_addresses)``
     tuple for the day's infrastructure epoch.
+
+    The three numeric columns are numpy arrays held at their final
+    analysis dtypes — ``measured`` as int64 (it is used for fancy
+    indexing over the population), the plan-id columns as int32 — so
+    snapshot reconstruction and the columnar kernels consume them
+    without any per-query conversion or copy.  ``summary`` carries the
+    day's pre-aggregated :class:`~repro.archive.summary.DaySummary`
+    when the shard stores one (format v3), else ``None``.
     """
 
     __slots__ = (
@@ -88,6 +114,7 @@ class DayShardRecord:
         "measured",
         "dns_ids",
         "hosting_ids",
+        "summary",
         "_dns_plan_ns",
         "_domains",
         "_apex",
@@ -124,9 +151,10 @@ class DayShardRecord:
         self.date = date
         self.epoch_start_day = int(epoch_start_day)
         self.population_size = int(population_size)
-        self.measured = [int(v) for v in measured]
-        self.dns_ids = [int(v) for v in dns_ids]
-        self.hosting_ids = [int(v) for v in hosting_ids]
+        self.measured = np.asarray(measured, dtype=np.int64)
+        self.dns_ids = np.asarray(dns_ids, dtype=np.int32)
+        self.hosting_ids = np.asarray(hosting_ids, dtype=np.int32)
+        self.summary: Optional[DaySummary] = None
         self._dns_plan_ns = {
             int(plan_id): (tuple(names), tuple(int(a) for a in addresses))
             for plan_id, (names, addresses) in dns_plan_ns.items()
@@ -182,7 +210,7 @@ class DayShardRecord:
             raise ArchiveError(
                 f"{len(view) - offset} trailing bytes in shard payload"
             )
-        missing = {int(p) for p in self.dns_ids} - set(dns_plan_ns)
+        missing = set(np.unique(self.dns_ids).tolist()) - set(dns_plan_ns)
         if missing:
             raise ArchiveError(
                 f"dns plans missing from the shard table: {sorted(missing)}"
@@ -284,21 +312,22 @@ class DayShardRecord:
 
     def measurement_at(self, position: int) -> DomainMeasurement:
         """The :class:`DomainMeasurement` of the ``position``-th column entry."""
-        names, addresses = self.dns_plan_ns[self.dns_ids[position]]
+        names, addresses = self.dns_plan_ns[int(self.dns_ids[position])]
         return DomainMeasurement(
             self.date,
             DomainName.parse(self.domains[position]),
             names,
             addresses,
             self.apex[position],
-            domain_index=self.measured[position],
+            domain_index=int(self.measured[position]),
         )
 
     def measurement_for(self, domain_index: int) -> DomainMeasurement:
         """The record of one measured domain (by population index)."""
         if self._positions is None:
             self._positions = {
-                index: position for position, index in enumerate(self.measured)
+                int(index): position
+                for position, index in enumerate(self.measured)
             }
         position = self._positions.get(int(domain_index))
         if position is None:
@@ -318,9 +347,9 @@ class DayShardRecord:
             self.date,
             self.epoch_start_day,
             self.population_size,
-            self.measured,
-            self.dns_ids,
-            self.hosting_ids,
+            tuple(self.measured.tolist()),
+            tuple(self.dns_ids.tolist()),
+            tuple(self.hosting_ids.tolist()),
             self.dns_plan_ns,
             self.domains,
             self.apex,
@@ -381,18 +410,23 @@ def _decode_payload(date: _dt.date, count: int, payload: bytes) -> DayShardRecor
     The payload has already passed its CRC check, so the undecoded tail
     is known intact — :meth:`DayShardRecord._thaw` parses it on first
     record materialisation.
+
+    The three numeric columns decode vectorised and exactly once:
+    ``measured`` widens to int64 (its final fancy-indexing dtype) in one
+    ``astype``; the plan-id columns stay zero-copy read-only int32 views
+    over the payload bytes, which the record keeps alive via ``_tail``.
     """
     view = memoryview(payload)
     offset = 0
     epoch_start_day, offset = read_svarint(view, offset)
     population_size, offset = read_uvarint(view, offset)
-    measured, offset = read_int32_array(view, offset)
-    if len(measured) != count:
+    measured32, offset = read_int32_ndarray(view, offset)
+    if len(measured32) != count:
         raise ArchiveError(
-            f"shard header claims {count} records, payload has {len(measured)}"
+            f"shard header claims {count} records, payload has {len(measured32)}"
         )
-    dns_ids, offset = read_int32_array(view, offset)
-    hosting_ids, offset = read_int32_array(view, offset)
+    dns_ids, offset = read_int32_ndarray(view, offset)
+    hosting_ids, offset = read_int32_ndarray(view, offset)
     if len(dns_ids) != count or len(hosting_ids) != count:
         raise ArchiveError(
             f"shard id columns ({len(dns_ids)}/{len(hosting_ids)}) do not "
@@ -403,9 +437,10 @@ def _decode_payload(date: _dt.date, count: int, payload: bytes) -> DayShardRecor
     record.date = date
     record.epoch_start_day = epoch_start_day
     record.population_size = population_size
-    record.measured = measured
+    record.measured = measured32.astype(np.int64)
     record.dns_ids = dns_ids
     record.hosting_ids = hosting_ids
+    record.summary = None
     record._dns_plan_ns = {}
     record._domains = []
     record._apex = []
@@ -414,36 +449,99 @@ def _decode_payload(date: _dt.date, count: int, payload: bytes) -> DayShardRecor
     return record
 
 
-def _shard_crc(
+def _shard_crc_v2(
     flags: int, ordinal: int, count: int, payload_length: int, payload: bytes
 ) -> int:
-    """Header-covering CRC32: header bytes with the CRC field zeroed,
+    """v2 header-covering CRC32: header bytes with the CRC field zeroed,
     then the uncompressed payload — every stored header field (flags
     included) is part of the checksummed message."""
-    zeroed = _HEADER.pack(
-        SHARD_MAGIC, SHARD_VERSION, flags, ordinal, count, 0, payload_length
-    )
+    zeroed = _HEADER_V2.pack(SHARD_MAGIC, 2, flags, ordinal, count, 0, payload_length)
     return zlib.crc32(payload, zlib.crc32(zeroed))
 
 
-def encode_shard(record: DayShardRecord) -> Tuple[bytes, int]:
+def _shard_crc_v3(
+    flags: int,
+    ordinal: int,
+    count: int,
+    payload_length: int,
+    summary_blob_length: int,
+    summary_crc: int,
+    summary: bytes,
+    payload: bytes,
+) -> int:
+    """v3 CRC32 over the zeroed header, then the uncompressed summary,
+    then the uncompressed columns — both blocks and every header field
+    (the summary's own length and CRC included) are covered."""
+    zeroed = _HEADER_V3.pack(
+        SHARD_MAGIC, 3, flags, ordinal, count, 0,
+        payload_length, summary_blob_length, summary_crc,
+    )
+    return zlib.crc32(payload, zlib.crc32(summary, zlib.crc32(zeroed)))
+
+
+def _decompress_block(blob: bytes, path: str, what: str) -> bytes:
+    """Inflate one exactly-delimited zlib stream; reject slack bytes."""
+    decompressor = zlib.decompressobj()
+    try:
+        data = decompressor.decompress(blob)
+        data += decompressor.flush()
+    except zlib.error as exc:
+        raise ArchiveCorruptError(
+            f"shard {path} {what} failed to decompress: {exc}"
+        ) from exc
+    if not decompressor.eof or decompressor.unused_data:
+        raise ArchiveCorruptError(
+            f"shard {path} {what} has trailing or truncated compressed data"
+        )
+    return data
+
+
+def encode_shard(
+    record: DayShardRecord, version: int = SHARD_VERSION
+) -> Tuple[bytes, int]:
     """Serialise ``record`` to its canonical on-disk bytes.
 
     Returns ``(blob, crc32)``; the CRC covers the header (with its CRC
-    field zeroed) plus the uncompressed payload.
+    field zeroed) plus every uncompressed block.  ``version=2`` emits
+    the legacy single-block format byte-for-byte (used by tests to
+    exercise the fallback path); version 3 additionally requires
+    ``record.summary`` to be populated.
     """
     payload = bytes(_encode_payload(record))
     ordinal = record.date.toordinal()
     count = len(record.measured)
-    crc = _shard_crc(0, ordinal, count, len(payload), payload)
-    header = _HEADER.pack(
-        SHARD_MAGIC, SHARD_VERSION, 0, ordinal, count, crc, len(payload)
+    if version == 2:
+        crc = _shard_crc_v2(0, ordinal, count, len(payload), payload)
+        header = _HEADER_V2.pack(
+            SHARD_MAGIC, 2, 0, ordinal, count, crc, len(payload)
+        )
+        return header + zlib.compress(payload, _ZLIB_LEVEL), crc
+    if version != 3:
+        raise ArchiveError(f"cannot encode shard format version {version}")
+    if record.summary is None:
+        raise ArchiveError(
+            f"format v3 shard for {record.date} requires a DaySummary"
+        )
+    summary = encode_summary(record.summary)
+    summary_blob = zlib.compress(summary, _ZLIB_LEVEL)
+    summary_crc = zlib.crc32(summary)
+    crc = _shard_crc_v3(
+        0, ordinal, count, len(payload),
+        len(summary_blob), summary_crc, summary, payload,
     )
-    return header + zlib.compress(payload, _ZLIB_LEVEL), crc
+    header = _HEADER_V3.pack(
+        SHARD_MAGIC, 3, 0, ordinal, count, crc,
+        len(payload), len(summary_blob), summary_crc,
+    )
+    return header + summary_blob + zlib.compress(payload, _ZLIB_LEVEL), crc
 
 
 def write_shard(
-    path: str, record: DayShardRecord, faults=None, retries: int = 6
+    path: str,
+    record: DayShardRecord,
+    faults=None,
+    retries: int = 6,
+    version: int = SHARD_VERSION,
 ) -> Tuple[int, int]:
     """Serialise ``record`` to ``path`` atomically.
 
@@ -453,7 +551,7 @@ def write_shard(
     workers, injected faults, and interrupted builds never leave a torn
     shard behind the final name.
     """
-    blob, crc = encode_shard(record)
+    blob, crc = encode_shard(record, version=version)
     atomic_write_bytes(path, blob, faults=faults, site="shard.write", retries=retries)
     return len(blob), crc
 
@@ -464,41 +562,134 @@ def read_shard(path: str, expected_crc: Optional[int] = None) -> DayShardRecord:
     The failure is classified by subclass: damaged bytes raise
     :class:`ArchiveCorruptError`; a healthy shard that disagrees with
     the manifest's expected CRC raises :class:`ArchiveStaleError`.
+    Both format versions are readable; a v3 record carries its decoded
+    :class:`~repro.archive.summary.DaySummary` on ``record.summary``.
     """
     try:
         with open(path, "rb") as handle:
             blob = handle.read()
     except OSError as exc:
         raise ArchiveCorruptError(f"cannot read shard {path}: {exc}") from exc
-    if len(blob) < _HEADER.size:
+    if len(blob) < _PREFIX.size:
         raise ArchiveCorruptError(f"shard {path} is shorter than its header")
-    magic, version, flags, ordinal, count, crc, payload_length = _HEADER.unpack_from(
-        blob
-    )
+    magic, version, _ = _PREFIX.unpack_from(blob)
     if magic != SHARD_MAGIC:
         raise ArchiveCorruptError(f"shard {path} has bad magic {magic!r}")
-    if version != SHARD_VERSION:
+
+    if version == 2:
+        if len(blob) < _HEADER_V2.size:
+            raise ArchiveCorruptError(f"shard {path} is shorter than its header")
+        (magic, version, flags, ordinal, count, crc,
+         payload_length) = _HEADER_V2.unpack_from(blob)
+        if expected_crc is not None and crc != expected_crc:
+            raise ArchiveStaleError(
+                f"shard {path} crc {crc:#010x} does not match the manifest"
+            )
+        payload = _decompress_block(blob[_HEADER_V2.size:], path, "payload")
+        if len(payload) != payload_length:
+            raise ArchiveCorruptError(
+                f"shard {path} payload length {len(payload)} != header "
+                f"{payload_length}"
+            )
+        if _shard_crc_v2(flags, ordinal, count, payload_length, payload) != crc:
+            raise ArchiveCorruptError(f"shard {path} is corrupt (crc mismatch)")
+        return _decode_payload(_dt.date.fromordinal(ordinal), count, payload)
+
+    if version != 3:
         raise ArchiveError(
-            f"shard {path} has format version {version}, expected {SHARD_VERSION}"
+            f"shard {path} has format version {version}, expected <= {SHARD_VERSION}"
         )
+    if len(blob) < _HEADER_V3.size:
+        raise ArchiveCorruptError(f"shard {path} is shorter than its header")
+    (magic, version, flags, ordinal, count, crc, payload_length,
+     summary_blob_length, summary_crc) = _HEADER_V3.unpack_from(blob)
     if expected_crc is not None and crc != expected_crc:
         raise ArchiveStaleError(
             f"shard {path} crc {crc:#010x} does not match the manifest"
         )
-    decompressor = zlib.decompressobj()
-    try:
-        payload = decompressor.decompress(blob[_HEADER.size:])
-        payload += decompressor.flush()
-    except zlib.error as exc:
-        raise ArchiveCorruptError(f"shard {path} failed to decompress: {exc}") from exc
-    if not decompressor.eof or decompressor.unused_data:
+    columns_start = _HEADER_V3.size + summary_blob_length
+    if len(blob) < columns_start:
         raise ArchiveCorruptError(
-            f"shard {path} has trailing or truncated compressed data"
+            f"shard {path} is shorter than its summary block"
         )
+    summary = _decompress_block(
+        blob[_HEADER_V3.size:columns_start], path, "summary block"
+    )
+    if zlib.crc32(summary) != summary_crc:
+        raise ArchiveCorruptError(
+            f"shard {path} summary block is corrupt (crc mismatch)"
+        )
+    payload = _decompress_block(blob[columns_start:], path, "payload")
     if len(payload) != payload_length:
         raise ArchiveCorruptError(
             f"shard {path} payload length {len(payload)} != header {payload_length}"
         )
-    if _shard_crc(flags, ordinal, count, payload_length, payload) != crc:
+    if _shard_crc_v3(
+        flags, ordinal, count, payload_length,
+        summary_blob_length, summary_crc, summary, payload,
+    ) != crc:
         raise ArchiveCorruptError(f"shard {path} is corrupt (crc mismatch)")
-    return _decode_payload(_dt.date.fromordinal(ordinal), count, payload)
+    date = _dt.date.fromordinal(ordinal)
+    record = _decode_payload(date, count, payload)
+    record.summary = decode_summary(date, summary)
+    return record
+
+
+def read_summary(
+    path: str, expected_crc: Optional[int] = None
+) -> Tuple[Optional[DaySummary], int]:
+    """Read only a shard's pre-aggregated summary, if it stores one.
+
+    Returns ``(summary, bytes_read)``.  This is the coarse-query fast
+    path: it reads the fixed header plus the compressed summary block —
+    a few hundred bytes — and never touches the per-domain columns.  A
+    v2 shard has no summary block, so the result is ``(None, ...)`` and
+    the caller falls back to reducing the full shard.  ``expected_crc``
+    is checked against the header's whole-shard CRC (the manifest value)
+    so a stale or swapped file is refused before its summary is trusted;
+    the summary bytes themselves are verified against the header's
+    dedicated summary CRC.
+    """
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(_HEADER_V3.size)
+            if len(head) < _PREFIX.size:
+                raise ArchiveCorruptError(
+                    f"shard {path} is shorter than its header"
+                )
+            magic, version, _ = _PREFIX.unpack_from(head)
+            if magic != SHARD_MAGIC:
+                raise ArchiveCorruptError(f"shard {path} has bad magic {magic!r}")
+            if version == 2:
+                return None, len(head)
+            if version != 3:
+                raise ArchiveError(
+                    f"shard {path} has format version {version}, "
+                    f"expected <= {SHARD_VERSION}"
+                )
+            if len(head) < _HEADER_V3.size:
+                raise ArchiveCorruptError(
+                    f"shard {path} is shorter than its header"
+                )
+            (magic, version, flags, ordinal, count, crc, payload_length,
+             summary_blob_length, summary_crc) = _HEADER_V3.unpack(head)
+            if expected_crc is not None and crc != expected_crc:
+                raise ArchiveStaleError(
+                    f"shard {path} crc {crc:#010x} does not match the manifest"
+                )
+            summary_blob = handle.read(summary_blob_length)
+    except OSError as exc:
+        raise ArchiveCorruptError(f"cannot read shard {path}: {exc}") from exc
+    if len(summary_blob) != summary_blob_length:
+        raise ArchiveCorruptError(
+            f"shard {path} is shorter than its summary block"
+        )
+    summary = _decompress_block(summary_blob, path, "summary block")
+    if zlib.crc32(summary) != summary_crc:
+        raise ArchiveCorruptError(
+            f"shard {path} summary block is corrupt (crc mismatch)"
+        )
+    return (
+        decode_summary(_dt.date.fromordinal(ordinal), summary),
+        _HEADER_V3.size + summary_blob_length,
+    )

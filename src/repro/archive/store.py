@@ -30,7 +30,7 @@ import os
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,7 +49,8 @@ from ..measurement.records import DomainMeasurement
 from ..timeline import DateLike, as_date
 from ..sim.world import World
 from .manifest import Manifest
-from .shard import DayShardRecord, read_shard
+from .shard import DayShardRecord, read_shard, read_summary
+from .summary import DaySummary
 
 __all__ = [
     "Problem",
@@ -154,6 +155,9 @@ class MeasurementArchive:
         self.retry_backoff = float(retry_backoff)
         self._cache_shards = max(1, int(cache_shards))
         self._cache: "OrderedDict[_dt.date, DayShardRecord]" = OrderedDict()
+        #: Decoded per-day summaries (a few hundred bytes each, so no
+        #: eviction); ``None`` marks a v2 shard with no stored summary.
+        self._summaries: Dict[_dt.date, Optional[DaySummary]] = {}
         #: Per-date uncached-read ordinals keying service.archive_read
         #: fault decisions (a retry re-rolls under a fresh key).
         self._service_reads: Dict[_dt.date, int] = {}
@@ -247,6 +251,91 @@ class MeasurementArchive:
             records.append(self.load_day(day))
             day += _dt.timedelta(days=step)
         return records
+
+    def load_summary(self, date: DateLike) -> Optional[DaySummary]:
+        """The day's pre-aggregated summary, or ``None`` for v2 shards.
+
+        The coarse-query fast path: a v3 shard answers from the first
+        few hundred bytes of the file (header + compressed summary
+        block) without decompressing — or reading — the per-domain
+        columns.  Goes through the same deadline, fault-injection, and
+        self-healing discipline as :meth:`load_day`; a decoded shard
+        already sitting in the LRU donates its summary for free.
+        """
+        date_obj = as_date(date)
+        with self._lock:
+            cached_record = self._cache.get(date_obj)
+            if cached_record is not None and cached_record.summary is not None:
+                if self.metrics is not None:
+                    self.metrics.record_cache("archive_summaries", 1, 0)
+                return cached_record.summary
+            if date_obj in self._summaries:
+                if self.metrics is not None:
+                    self.metrics.record_cache("archive_summaries", 1, 0)
+                return self._summaries[date_obj]
+            check_deadline("archive_read")
+            if self.faults is not None:
+                ordinal = self._service_reads.get(date_obj, 0)
+                self._service_reads[date_obj] = ordinal + 1
+                self.faults.check(
+                    "service.archive_read", f"{date_obj}#{ordinal}"
+                )
+            entry = self.manifest.days.get(date_obj)
+            if entry is None:
+                raise ArchiveError(
+                    f"archive {self.directory} does not cover {date_obj} "
+                    "(extend it with 'repro archive build')"
+                )
+            try:
+                summary = self._read_summary(date_obj, entry)
+            except ArchiveMismatchError:
+                raise
+            except ArchiveError as exc:
+                if self.config is None:
+                    raise
+                # Healing re-reads the whole shard; rebuilt shards are
+                # v3, so the healed record always carries a summary.
+                record = self._heal_day(date_obj, exc)
+                self._cache[date_obj] = record
+                while len(self._cache) > self._cache_shards:
+                    self._cache.popitem(last=False)
+                summary = record.summary
+            self._summaries[date_obj] = summary
+            return summary
+
+    def _read_summary(
+        self, date_obj: _dt.date, entry
+    ) -> Optional[DaySummary]:
+        """One partial summary read, with transient-error retry."""
+        path = os.path.join(self.directory, entry.file)
+        for attempt in range(self.read_retries + 1):
+            started = time.perf_counter()
+            try:
+                if self.faults is not None:
+                    self.faults.check("shard.read", f"{entry.file}#{attempt}")
+                summary, bytes_read = read_summary(path, expected_crc=entry.crc32)
+                break
+            except TransientIOError as exc:
+                if attempt >= self.read_retries:
+                    raise RecoveryError(
+                        f"could not read shard {entry.file} after "
+                        f"{attempt + 1} attempts: {exc}"
+                    ) from exc
+                time.sleep(backoff_seconds(attempt, self.retry_backoff))
+        elapsed = time.perf_counter() - started
+        if summary is not None and summary.date != date_obj:
+            raise ArchiveStaleError(
+                f"shard {entry.file} contains {summary.date}, "
+                f"manifest says {date_obj}"
+            )
+        if self.metrics is not None:
+            self.metrics.record_cache("archive_summaries", 0, 1)
+            with self.metrics.phase("archive_read") as stat:
+                pass
+            stat.wall_seconds += elapsed
+            stat.snapshots += 1
+            stat.notes["bytes"] = int(stat.notes.get("bytes", 0)) + bytes_read
+        return summary
 
     def _read_day(self, date_obj: _dt.date, entry) -> DayShardRecord:
         """One CRC-checked shard read, with transient-error retry."""
@@ -491,11 +580,18 @@ class ArchivedSnapshot(DailySnapshot):
                 f"{record.epoch_start_day}, world derives {epoch.start_day} "
                 "(stale archive?)"
             )
-        measured = np.asarray(record.measured, dtype=np.int64)
-        dns_ids = np.zeros(record.population_size, dtype=np.int32)
-        hosting_ids = np.zeros(record.population_size, dtype=np.int32)
-        dns_ids[measured] = np.asarray(record.dns_ids, dtype=np.int32)
-        hosting_ids[measured] = np.asarray(record.hosting_ids, dtype=np.int32)
+        # The shard columns are already at their final dtypes (measured
+        # int64, plan ids int32), so the only per-snapshot allocations
+        # are the two population-sized scatter buffers.  Unmeasured
+        # positions hold the sentinel -1, NOT plan id 0: a consumer that
+        # indexes outside ``measured`` gets a loudly-invalid id (numpy
+        # bincount raises on negatives) instead of silently counting a
+        # genuine plan 0.
+        measured = record.measured
+        dns_ids = np.full(record.population_size, -1, dtype=np.int32)
+        hosting_ids = np.full(record.population_size, -1, dtype=np.int32)
+        dns_ids[measured] = record.dns_ids
+        hosting_ids[measured] = record.hosting_ids
         self.date = record.date
         self.measured = measured
         self.dns_ids = dns_ids
@@ -523,14 +619,32 @@ class ArchiveCollector:
     baked into each shard's measured set, so replay is exact).
     """
 
-    def __init__(self, archive: MeasurementArchive, world: World) -> None:
+    def __init__(
+        self,
+        archive: MeasurementArchive,
+        world: "World | Callable[[], World]",
+    ) -> None:
         self._archive = archive
-        if archive.manifest.population_size != len(world.population):
+        self._world_lock = threading.Lock()
+        self._kernel = None
+        if isinstance(world, World):
+            self._check_world(world)
+            self._world = world
+            self._world_factory = None
+        else:
+            # A zero-arg factory: the world is built on first access.
+            # Coarse queries served from shard summaries never trigger
+            # it — world construction dominates live-sweep cost, so
+            # deferring it is what lets the warm archive beat live.
+            self._world = None
+            self._world_factory = world
+
+    def _check_world(self, world: World) -> None:
+        if self._archive.manifest.population_size != len(world.population):
             raise ArchiveError(
-                f"archive population ({archive.manifest.population_size}) "
+                f"archive population ({self._archive.manifest.population_size}) "
                 f"does not match the world ({len(world.population)})"
             )
-        self._world = world
 
     @property
     def archive(self) -> MeasurementArchive:
@@ -538,8 +652,31 @@ class ArchiveCollector:
         return self._archive
 
     @property
+    def kernel(self):
+        """The columnar query kernel over this collector (cached).
+
+        Coarse queries routed through it run on stored shard summaries
+        and never materialise snapshots or the world.
+        """
+        if self._kernel is None:
+            from .kernel import ArchiveQueryKernel
+
+            self._kernel = ArchiveQueryKernel(self)
+        return self._kernel
+
+    @property
     def world(self) -> World:
-        """The companion world (epoch labels, sanctions, catalog)."""
+        """The companion world (epoch labels, sanctions, catalog).
+
+        Built lazily when the collector was given a factory; queries
+        answered purely from shard summaries never pay for it.
+        """
+        if self._world is None:
+            with self._world_lock:
+                if self._world is None:
+                    world = self._world_factory()
+                    self._check_world(world)
+                    self._world = world
         return self._world
 
     @property
@@ -561,7 +698,7 @@ class ArchiveCollector:
 
     def collect(self, date: DateLike) -> ArchivedSnapshot:
         """Load one archived day (random access)."""
-        return ArchivedSnapshot(self._world, self._archive.load_day(date))
+        return ArchivedSnapshot(self.world, self._archive.load_day(date))
 
     def sweep(
         self, start: DateLike, end: DateLike, step: int = 1

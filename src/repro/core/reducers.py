@@ -37,6 +37,7 @@ __all__ = [
     "RecentDayRecord",
     "RecentWindowReducer",
     "RecentWindowSeries",
+    "merge_recent_records",
 ]
 
 
@@ -279,15 +280,27 @@ class RecentWindowReducer:
 
     def merge(self, records: Sequence[RecentDayRecord]) -> RecentWindowSeries:
         """Fold chronological day records into the Figure 4/5 series."""
-        asn_series = AsnShareSeries(self.asns)
-        sanctioned_series = CompositionSeries("Sanctioned NS composition")
-        listed_counts: List[int] = []
-        for record in records:
-            asn_series.add(
-                AsnSharePoint(
-                    record.date, record.measured_count, record.asn_counts
-                )
+        return merge_recent_records(self.asns, records)
+
+
+def merge_recent_records(
+    asns: Sequence[int], records: Sequence[RecentDayRecord]
+) -> RecentWindowSeries:
+    """Fold chronological conflict-window records into the series bundle.
+
+    Module-level so record producers that never construct a reducer
+    (the archive's summary kernel has no sanctioned-index array) merge
+    through the identical code path.
+    """
+    asn_series = AsnShareSeries(asns)
+    sanctioned_series = CompositionSeries("Sanctioned NS composition")
+    listed_counts: List[int] = []
+    for record in records:
+        asn_series.add(
+            AsnSharePoint(
+                record.date, record.measured_count, record.asn_counts
             )
-            sanctioned_series.add_counts(record.date, *record.sanctioned)
-            listed_counts.append(record.listed_count)
-        return RecentWindowSeries(asn_series, sanctioned_series, listed_counts)
+        )
+        sanctioned_series.add_counts(record.date, *record.sanctioned)
+        listed_counts.append(record.listed_count)
+    return RecentWindowSeries(asn_series, sanctioned_series, listed_counts)

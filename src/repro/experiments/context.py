@@ -15,6 +15,7 @@ instead of re-deriving world days, so experiments become disk reads.
 from __future__ import annotations
 
 import datetime as _dt
+import threading
 import warnings
 from typing import List, Optional, Union
 
@@ -87,19 +88,26 @@ class ExperimentContext:
             # A stale or foreign archive must be refused, not silently
             # mixed with a freshly simulated world.
             self.archive.manifest.check_scenario(self.config)
+        self._world_lock = threading.Lock()
+        self._catalog = None
         if world is not None:
-            self.world = world
+            self._world = world
             # A caller-supplied world may not match self.config, so
             # worker processes cannot rebuild it: sweep in-process.
             engine_config = None
         else:
-            with self.metrics.phase("world_build"):
-                self.world = build_scenario(self.config)
+            self._world = None
             engine_config = self.config
         if self.archive is not None:
             from ..archive.store import ArchiveCollector
 
-            self.collector = ArchiveCollector(self.archive, self.world)
+            # The world is handed over lazily: queries the archive can
+            # answer from stored shard summaries never build it, which
+            # is most of what makes warm archive queries beat live.
+            self.collector = ArchiveCollector(
+                self.archive,
+                self._world if self._world is not None else (lambda: self.world),
+            )
             # Shard reads are cheap; archive sweeps stay in-process.
             engine_config = None
         else:
@@ -116,6 +124,39 @@ class ExperimentContext:
         self._api = None
         self._monitor: Optional[CtMonitor] = None
         self._scans: Optional[UniversalScanDataset] = None
+
+    @property
+    def world(self) -> World:
+        """The scenario world, built on first access when config-derived.
+
+        Live contexts touch it during construction (the collector needs
+        it), so they pay for it up front exactly as before; an
+        archive-backed context defers it until a query actually needs
+        per-domain state — summary-served queries never do.
+        """
+        if self._world is None:
+            with self._world_lock:
+                if self._world is None:
+                    with self.metrics.phase("world_build"):
+                        self._world = build_scenario(self.config)
+        return self._world
+
+    @property
+    def catalog(self):
+        """The provider catalog, without forcing a world build.
+
+        The standard catalog is scenario-independent (the world builder
+        itself starts from it), so archive-backed contexts can resolve
+        provider ASNs while the world stays unbuilt.
+        """
+        if self._catalog is None:
+            if self._world is not None:
+                self._catalog = self._world.catalog
+            else:
+                from ..providers.catalog import standard_catalog
+
+                self._catalog = standard_catalog()
+        return self._catalog
 
     @property
     def workers(self) -> int:
@@ -156,7 +197,7 @@ class ExperimentContext:
     def fig4_asns(self) -> List[int]:
         """The tracked hosting ASNs, Figure 4's legend order."""
         return [
-            self.world.catalog.get(key).primary_asn for key in FIG4_PROVIDERS
+            self.catalog.get(key).primary_asn for key in FIG4_PROVIDERS
         ]
 
     def _run_recent(self) -> RecentWindowSeries:

@@ -15,7 +15,7 @@ _RUSSIAN_BIG4 = ("regru", "rucenter", "timeweb", "beget")
 def run(context: ExperimentContext) -> ExperimentResult:
     """Regenerate Figure 4: daily domain share per tracked hosting ASN."""
     series = context.api.recent_window().asn_shares
-    catalog = context.world.catalog
+    catalog = context.catalog
     result = ExperimentResult(
         "fig4",
         "Hosting networks of .ru/.рф domains (top ASNs)",

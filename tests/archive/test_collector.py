@@ -82,8 +82,12 @@ class TestCollectorInterface:
         context.api.full_sweep()
         assert context.metrics.get_phase("archive_read") is not None
         summary = context.metrics.summary()
-        assert "archive_shards" in summary["caches"]
+        # Coarse sweeps run on the summary kernel (partial shard reads).
+        assert "archive_summaries" in summary["caches"]
         assert summary["phases"]["archive_read"]["bytes"] > 0
+        # Domain-level access still goes through the shard LRU.
+        context.collector.records("2022-03-04")
+        assert "archive_shards" in context.metrics.summary()["caches"]
 
     def test_archive_instance_accepted(self, archive_config, built_archive):
         archive = MeasurementArchive(built_archive)

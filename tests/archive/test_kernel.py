@@ -1,0 +1,247 @@
+"""The columnar kernel must be bit-identical to the record path.
+
+The record-object path (scatter shard columns, rebuild the world, run
+the day reducers) is the oracle; the kernel path (per-shard summaries,
+no world) must produce byte-for-byte identical query output for every
+figure and series it serves — across scales, TLD filters, and the
+format-v2 fallback.
+"""
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.archive import (
+    ArchiveBuilder,
+    MeasurementArchive,
+    summarize_snapshot,
+)
+from repro.archive.shard import encode_shard, read_shard
+from repro.experiments import ExperimentContext
+from repro.sim import ConflictScenarioConfig
+
+#: Must match tests/archive/conftest.py's session fixtures.
+CADENCE = 60
+
+EXPERIMENTS = ("fig1", "headline", "fig4", "fig5")
+SERIES = (
+    "ns_composition",
+    "hosting_composition",
+    "tld_composition",
+    "tld_shares",
+    "asn_shares",
+    "sanctioned_composition",
+    "listed_counts",
+)
+
+
+def downgrade_to_v2(directory: str) -> int:
+    """Rewrite every shard of an archive as format v2, fixing the manifest.
+
+    Returns the number of shards rewritten.  This is how the fallback
+    tests manufacture a legacy archive from a current build.
+    """
+    archive = MeasurementArchive(directory)
+    rewritten = 0
+    for date in archive.manifest.covered_dates():
+        entry = archive.manifest.days[date]
+        path = os.path.join(directory, entry.file)
+        record = read_shard(path, expected_crc=entry.crc32)
+        blob, crc = encode_shard(record, version=2)
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        entry.bytes = len(blob)
+        entry.crc32 = crc
+        rewritten += 1
+    archive.manifest.save(directory)
+    return rewritten
+
+
+class TestKernelBitIdentity:
+    """Query output through the kernel == query output live, byte for byte."""
+
+    @pytest.mark.parametrize("experiment", EXPERIMENTS)
+    def test_experiments_identical(self, experiment, live_context, archive_context):
+        spec = {"kind": "experiment", "experiment": experiment}
+        assert archive_context.api.query_json(spec) == (
+            live_context.api.query_json(spec)
+        )
+
+    @pytest.mark.parametrize("name", SERIES)
+    def test_series_identical(self, name, live_context, archive_context):
+        spec = {"kind": "series", "series": name}
+        assert archive_context.api.query_json(spec) == (
+            live_context.api.query_json(spec)
+        )
+
+    def test_headline_identical(self, live_context, archive_context):
+        spec = {"kind": "headline"}
+        assert archive_context.api.query_json(spec) == (
+            live_context.api.query_json(spec)
+        )
+
+    @pytest.mark.parametrize("tld", ["ru", "xn--p1ai", "рф"])
+    def test_records_tld_filters_identical(self, tld, live_context, archive_context):
+        """Domain-level queries (record path) agree under every TLD filter."""
+        spec = {"kind": "records", "date": "2022-03-04", "tld": tld, "limit": 25}
+        assert archive_context.api.query_json(spec) == (
+            live_context.api.query_json(spec)
+        )
+
+    def test_stored_summary_matches_recomputation(self, archive_context):
+        """A shard's stored summary == summarising its snapshot today."""
+        kernel = archive_context.collector.kernel
+        stored = kernel.day_summary("2022-03-04")
+        recomputed = summarize_snapshot(
+            archive_context.collector.collect("2022-03-04")
+        )
+        assert stored == recomputed
+
+
+class TestAcrossScales:
+    """The equivalence holds at a second population scale."""
+
+    @pytest.fixture(scope="class")
+    def small_config(self):
+        return ConflictScenarioConfig(scale=20000.0, with_pki=False)
+
+    @pytest.fixture(scope="class")
+    def small_archive(self, tmp_path_factory, small_config):
+        directory = tmp_path_factory.mktemp("kernel-scale") / "arch"
+        ArchiveBuilder(str(directory), small_config).build_standard(90)
+        return str(directory)
+
+    @pytest.mark.parametrize("experiment", EXPERIMENTS)
+    def test_experiments_identical(self, experiment, small_config, small_archive):
+        live = ExperimentContext(config=small_config, cadence_days=90)
+        archived = ExperimentContext(
+            config=small_config, cadence_days=90, archive=small_archive
+        )
+        spec = {"kind": "experiment", "experiment": experiment}
+        assert archived.api.query_json(spec) == live.api.query_json(spec)
+
+
+class TestLazyWorld:
+    """Summary-served queries never build the world or decode columns."""
+
+    def test_coarse_queries_leave_world_unbuilt(self, archive_config, built_archive):
+        context = ExperimentContext(
+            config=archive_config, cadence_days=CADENCE, archive=built_archive
+        )
+        for experiment in EXPERIMENTS:
+            context.api.query({"kind": "experiment", "experiment": experiment})
+        for name in SERIES:
+            context.api.query({"kind": "series", "series": name})
+        context.api.query({"kind": "headline"})
+        assert context._world is None
+        # Not a single shard's domain-level columns were decoded either.
+        assert not context.archive._cache
+
+    def test_records_query_builds_world_on_demand(
+        self, archive_config, built_archive
+    ):
+        context = ExperimentContext(
+            config=archive_config, cadence_days=CADENCE, archive=built_archive
+        )
+        context.api.query({"kind": "records", "date": "2022-03-04", "limit": 1})
+        assert context._world is not None
+
+
+class TestV2Fallback:
+    """Legacy (v2) archives stay fully queryable, summaries computed on the fly."""
+
+    @pytest.fixture(scope="class")
+    def v2_archive(self, tmp_path_factory, built_archive):
+        copy = str(tmp_path_factory.mktemp("kernel-v2") / "arch")
+        shutil.copytree(built_archive, copy)
+        assert downgrade_to_v2(copy) > 0
+        return copy
+
+    def test_v2_archive_verifies_clean(self, v2_archive):
+        assert MeasurementArchive(v2_archive).verify() == []
+
+    @pytest.mark.parametrize("experiment", EXPERIMENTS)
+    def test_v2_experiments_identical(
+        self, experiment, archive_config, v2_archive, live_context
+    ):
+        context = ExperimentContext(
+            config=archive_config, cadence_days=CADENCE, archive=v2_archive
+        )
+        spec = {"kind": "experiment", "experiment": experiment}
+        assert context.api.query_json(spec) == live_context.api.query_json(spec)
+
+    def test_v2_summary_computed_on_fly_matches_stored(
+        self, archive_config, v2_archive, built_archive
+    ):
+        v2_context = ExperimentContext(
+            config=archive_config, cadence_days=CADENCE, archive=v2_archive
+        )
+        assert v2_context.archive.load_summary("2022-03-04") is None
+        computed = v2_context.collector.kernel.day_summary("2022-03-04")
+        stored = MeasurementArchive(built_archive).load_summary("2022-03-04")
+        assert stored is not None
+        assert computed == stored
+
+
+class TestPlanZeroSentinel:
+    """Unmeasured domains must never alias plan id 0."""
+
+    def test_unmeasured_positions_hold_sentinel(self, archive_context):
+        snapshot = archive_context.collector.collect("2022-03-04")
+        unmeasured = np.ones(len(snapshot.dns_ids), dtype=bool)
+        unmeasured[snapshot.measured] = False
+        assert unmeasured.any()  # the population outgrows any one day
+        assert (snapshot.dns_ids[unmeasured] == -1).all()
+        assert (snapshot.hosting_ids[unmeasured] == -1).all()
+
+    def test_unmeasured_never_counted_as_plan_zero(
+        self, live_context, archive_context
+    ):
+        archived = archive_context.collector.collect("2022-03-04")
+        live = live_context.collector.collect("2022-03-04")
+        # Plan id 0 is genuinely in use on this day...
+        assert (archived.dns_ids[archived.measured] == 0).any()
+        # ...and the measured-subset histograms agree exactly.
+        assert np.array_equal(
+            np.bincount(archived.dns_ids[archived.measured]),
+            np.bincount(live.dns_ids[live.measured]),
+        )
+
+    def test_full_array_aggregation_is_loud(self, archive_context):
+        """Indexing outside ``measured`` fails fast instead of counting 0."""
+        snapshot = archive_context.collector.collect("2022-03-04")
+        with pytest.raises(ValueError):
+            np.bincount(snapshot.dns_ids)
+
+
+class TestZeroCopyReadPath:
+    """Columns decode once, at their final dtype, and are never re-copied."""
+
+    def test_columns_decoded_at_final_dtype(self, built_archive):
+        archive = MeasurementArchive(built_archive)
+        record = archive.load_day("2022-03-04")
+        assert record.measured.dtype == np.int64
+        assert record.dns_ids.dtype == np.int32
+        assert record.hosting_ids.dtype == np.int32
+        # The plan-id columns alias the shard payload buffer (read-only
+        # views): decoding them allocated nothing.
+        assert not record.dns_ids.flags.writeable
+        assert not record.hosting_ids.flags.writeable
+
+    def test_snapshot_reuses_shard_columns(self, archive_context):
+        collector = archive_context.collector
+        snapshot = collector.collect("2022-03-04")
+        record = collector.archive.load_day("2022-03-04")
+        assert snapshot.shard is record
+        # ``measured`` is handed through without any per-query copy;
+        # the only per-snapshot allocations are the scatter buffers.
+        assert snapshot.measured is record.measured
+
+    def test_repeat_collects_share_one_decode(self, archive_context):
+        collector = archive_context.collector
+        first = collector.collect("2022-03-04")
+        second = collector.collect("2022-03-04")
+        assert first.shard is second.shard
+        assert first.measured is second.measured

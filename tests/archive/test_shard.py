@@ -11,8 +11,10 @@ from repro.archive.shard import (
     SHARD_VERSION,
     DayShardRecord,
     read_shard,
+    read_summary,
     write_shard,
 )
+from repro.archive.summary import DaySummary
 from repro.dns.name import DomainName
 from repro.errors import ArchiveError
 from repro.measurement.fast import FastCollector
@@ -37,7 +39,13 @@ def record(**overrides):
         apex=[(11,), (12, 13), ()],
     )
     defaults.update(overrides)
-    return DayShardRecord(**defaults)
+    built = DayShardRecord(**defaults)
+    built.summary = DaySummary(
+        built.date, built.epoch_start_day, len(built.measured),
+        (1, 1, 1), (2, 1, 0), (3, 0, 0),
+        {"ru": 2, "xn--p1ai": 1}, {13335: 1, 197695: 2}, (0, 1, 0), 2,
+    )
+    return built
 
 
 class TestRecordValidation:
@@ -100,6 +108,62 @@ class TestRoundTrip:
             loaded.measurement_for(2)
 
 
+class TestSummaryBlock:
+    """Format v3's pre-aggregated summary block and the v2 fallback."""
+
+    def test_summary_round_trips(self, tmp_path):
+        original = record()
+        path = str(tmp_path / "day.shard")
+        _, crc = write_shard(path, original)
+        assert read_shard(path, expected_crc=crc).summary == original.summary
+
+    def test_partial_read_returns_summary(self, tmp_path):
+        original = record()
+        path = str(tmp_path / "day.shard")
+        file_bytes, crc = write_shard(path, original)
+        summary, bytes_read = read_summary(path, expected_crc=crc)
+        assert summary == original.summary
+        # The whole point: the per-domain columns are never read.
+        assert bytes_read < file_bytes
+
+    def test_v2_still_writable_and_readable(self, tmp_path):
+        original = record()
+        path = str(tmp_path / "day.shard")
+        _, crc = write_shard(path, original, version=2)
+        loaded = read_shard(path, expected_crc=crc)
+        assert loaded == original
+        assert loaded.summary is None
+
+    def test_v2_partial_read_has_no_summary(self, tmp_path):
+        path = str(tmp_path / "day.shard")
+        _, crc = write_shard(path, record(), version=2)
+        summary, _ = read_summary(path, expected_crc=crc)
+        assert summary is None
+
+    def test_v3_requires_summary(self, tmp_path):
+        bare = record()
+        bare.summary = None
+        with pytest.raises(ArchiveError, match="requires a DaySummary"):
+            write_shard(str(tmp_path / "day.shard"), bare)
+
+    def test_partial_read_checks_manifest_crc(self, tmp_path):
+        path = str(tmp_path / "day.shard")
+        _, crc = write_shard(path, record())
+        with pytest.raises(ArchiveError, match="does not match the manifest"):
+            read_summary(path, expected_crc=crc ^ 1)
+
+    def test_corrupt_summary_block_detected(self, tmp_path):
+        path = tmp_path / "day.shard"
+        _, crc = write_shard(str(path), record())
+        blob = bytearray(path.read_bytes())
+        blob[45] ^= 0xFF  # inside the compressed summary block
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ArchiveError):
+            read_summary(str(path), expected_crc=crc)
+        with pytest.raises(ArchiveError):
+            read_shard(str(path), expected_crc=crc)
+
+
 class TestCorruption:
     def test_flipped_payload_byte_detected(self, tmp_path):
         path = tmp_path / "day.shard"
@@ -153,8 +217,11 @@ class TestFromSnapshot:
     """Columnarising a live snapshot must reproduce its measurements."""
 
     def test_snapshot_roundtrip(self, tmp_path, tiny_world):
+        from repro.archive.kernel import summarize_snapshot
+
         snapshot = FastCollector(tiny_world).collect("2022-03-04")
         built = DayShardRecord.from_snapshot(snapshot)
+        built.summary = summarize_snapshot(snapshot)
         path = str(tmp_path / "day.shard")
         write_shard(path, built)
         loaded = read_shard(path)
