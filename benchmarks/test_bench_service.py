@@ -1,24 +1,40 @@
-"""Bench: query service throughput, cold computation vs warm cache.
+"""Bench: query service throughput, cold vs warm, single vs pool.
 
 Starts a real ``QueryService`` over an archive-backed context, runs one
 query mix twice — first against an empty result cache (every query
 computes), then repeated once warm (every query is an LRU hit) — and
-records queries/sec for both in ``benchmarks/output/service_speedup.json``.
-The warm path must be at least 5x the cold path: that margin is the
-point of serving from a result cache instead of recomputing per request.
+records queries/sec plus p50/p95/p99 request latencies for both in
+``benchmarks/output/service_speedup.json``.  The warm path must be at
+least 5x the cold path: that margin is the point of serving from a
+result cache instead of recomputing per request.
+
+A second bench races the pre-fork pool (``repro serve --processes 4``)
+against a single-process server under concurrent clients and records
+the warm-throughput scaling in ``benchmarks/output/service_scaling.json``.
+Byte-identity across the pool (punycode included) is asserted
+unconditionally; the scaling floor (``REPRO_SERVICE_MIN_SCALING``,
+default 3) is only enforced when the host actually has the cores to
+scale on.
 """
 
 from __future__ import annotations
 
 import asyncio
+import concurrent.futures
 import json
+import os
 import pathlib
+import re
+import signal
+import subprocess
+import sys
 import threading
 import time
 import urllib.request
 
 from repro.archive import ArchiveBuilder
 from repro.experiments import ExperimentContext
+from repro.loadgen import percentile
 from repro.service import QueryService
 from repro.sim import ConflictScenarioConfig
 
@@ -26,6 +42,11 @@ from repro.sim import ConflictScenarioConfig
 #: is what's under measurement.
 SERVICE_SCALE = 2500.0
 CADENCE = 60
+
+#: Warm-throughput scaling the 4-worker pool must reach over a single
+#: process — enforced only on hosts with >= 4 cores (CI runners vary;
+#: a 1-core container cannot parallelise anything).
+MIN_SCALING = float(os.environ.get("REPRO_SERVICE_MIN_SCALING", "3"))
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -38,6 +59,15 @@ QUERY_MIX = [
     "/v1/records/2022-03-04?tld=%D1%80%D1%84&limit=20",
     "/v1/experiments/headline",
 ]
+
+
+def _latency_ms(latencies: list[float]) -> dict:
+    ordered = sorted(value * 1000.0 for value in latencies)
+    return {
+        "p50": round(percentile(ordered, 50.0), 3),
+        "p95": round(percentile(ordered, 95.0), 3),
+        "p99": round(percentile(ordered, 99.0), 3),
+    }
 
 
 class _Server:
@@ -72,29 +102,48 @@ class _Server:
         await service.shutdown()
 
     def fetch(self, path: str) -> bytes:
-        url = f"http://127.0.0.1:{self.port}{path}"
-        with urllib.request.urlopen(url, timeout=120) as response:
-            assert response.status == 200
-            return response.read()
+        return _fetch(self.port, path)
 
 
-def test_bench_service_cold_vs_warm(benchmark, tmp_path):
+def _fetch(port: int, path: str) -> bytes:
+    url = f"http://127.0.0.1:{port}{path}"
+    with urllib.request.urlopen(url, timeout=120) as response:
+        assert response.status == 200
+        return response.read()
+
+
+def _build_archive(tmp_path) -> tuple[ConflictScenarioConfig, str]:
     config = ConflictScenarioConfig(scale=SERVICE_SCALE, with_pki=False)
     directory = str(tmp_path / "std")
     ArchiveBuilder(directory, config).build_standard(CADENCE)
+    return config, directory
+
+
+def test_bench_service_cold_vs_warm(benchmark, tmp_path):
+    config, directory = _build_archive(tmp_path)
     context = ExperimentContext(
         config=config, cadence_days=CADENCE, archive=directory
     )
 
+    cold_latencies: list[float] = []
+    warm_latencies: list[float] = []
+
+    def timed_mix(sink: list[float]) -> list[bytes]:
+        bodies = []
+        for path in QUERY_MIX:
+            started = time.perf_counter()
+            bodies.append(server.fetch(path))
+            sink.append(time.perf_counter() - started)
+        return bodies
+
     with _Server(context) as server:
         started = time.perf_counter()
-        cold_bodies = [server.fetch(path) for path in QUERY_MIX]
+        cold_bodies = timed_mix(cold_latencies)
         cold_seconds = time.perf_counter() - started
 
-        def warm_mix():
-            return [server.fetch(path) for path in QUERY_MIX]
-
-        warm_bodies = benchmark.pedantic(warm_mix, rounds=10, iterations=1)
+        warm_bodies = benchmark.pedantic(
+            lambda: timed_mix(warm_latencies), rounds=10, iterations=1
+        )
         warm_seconds = max(benchmark.stats.stats.mean, 1e-9)
 
     # Warm answers are the cached cold answers, byte for byte.
@@ -111,6 +160,8 @@ def test_bench_service_cold_vs_warm(benchmark, tmp_path):
         "warm_seconds": round(warm_seconds, 4),
         "cold_queries_per_second": round(cold_qps, 1),
         "warm_queries_per_second": round(warm_qps, 1),
+        "cold_latency_ms": _latency_ms(cold_latencies),
+        "warm_latency_ms": _latency_ms(warm_latencies),
         "warm_over_cold_speedup": round(speedup, 1),
     }
     OUTPUT_DIR.mkdir(exist_ok=True)
@@ -122,3 +173,118 @@ def test_bench_service_cold_vs_warm(benchmark, tmp_path):
     assert speedup >= 5.0, (
         f"warm cache served only {speedup:.1f}x cold throughput"
     )
+
+
+# ----------------------------------------------------------------------
+# Pool scaling: repro serve --processes 4 vs a single process
+# ----------------------------------------------------------------------
+
+class _ServeProcess:
+    """A real ``repro serve`` subprocess (single or pre-fork pool)."""
+
+    def __init__(self, archive: str, processes: int) -> None:
+        self._argv = [
+            sys.executable, "-m", "repro",
+            "--scale", str(int(SERVICE_SCALE)), "--no-pki",
+            "--cadence", str(CADENCE),
+            "serve", "--port", "0", "--archive", archive,
+            "--processes", str(processes),
+        ]
+        self._processes = processes
+        self.port = None
+
+    def __enter__(self) -> "_ServeProcess":
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (os.path.join(root, "src"), env.get("PYTHONPATH"))
+            if part
+        )
+        self._process = subprocess.Popen(
+            self._argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        line = self._process.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        assert match, f"no serving announcement: {line!r}"
+        self.port = int(match.group(1))
+        if self._processes >= 2:
+            assert "supervisor" in self._process.stdout.readline()
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            try:
+                _fetch(self.port, "/healthz")
+                return self
+            except OSError:
+                time.sleep(0.1)
+        raise AssertionError("serve subprocess never became ready")
+
+    def __exit__(self, *exc_info) -> None:
+        self._process.send_signal(signal.SIGTERM)
+        try:
+            self._process.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            self._process.kill()
+            self._process.wait(timeout=10)
+
+
+def _measure_warm_qps(port: int, threads: int, passes: int) -> float:
+    """Wall-clock qps of ``threads`` clients each replaying the mix."""
+
+    def one_client(_):
+        for _ in range(passes):
+            for path in QUERY_MIX:
+                _fetch(port, path)
+
+    started = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(threads) as pool:
+        list(pool.map(one_client, range(threads)))
+    elapsed = time.perf_counter() - started
+    return threads * passes * len(QUERY_MIX) / elapsed
+
+
+def test_bench_service_pool_scaling(tmp_path):
+    _, directory = _build_archive(tmp_path)
+    threads, passes = 8, 4
+
+    with _ServeProcess(directory, processes=1) as single:
+        single_bodies = [_fetch(single.port, path) for path in QUERY_MIX]
+        single_qps = _measure_warm_qps(single.port, threads, passes)
+
+    with _ServeProcess(directory, processes=4) as pool:
+        # Byte-identity across the pool, punycode included: every
+        # worker must serve exactly what the single process served.
+        for _ in range(3):
+            pool_bodies = [_fetch(pool.port, path) for path in QUERY_MIX]
+            assert pool_bodies == single_bodies
+        pool_qps = _measure_warm_qps(pool.port, threads, passes)
+
+    cores = os.cpu_count() or 1
+    scaling = pool_qps / max(single_qps, 1e-9)
+    record = {
+        "scale": SERVICE_SCALE,
+        "cadence_days": CADENCE,
+        "cores": cores,
+        "client_threads": threads,
+        "requests_per_run": threads * passes * len(QUERY_MIX),
+        "single_process_qps": round(single_qps, 1),
+        "pool_processes": 4,
+        "pool_qps": round(pool_qps, 1),
+        "pool_over_single_scaling": round(scaling, 2),
+        "scaling_floor": MIN_SCALING,
+        "floor_enforced": cores >= 4,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "service_scaling.json").write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if cores >= 4:
+        assert scaling >= MIN_SCALING, (
+            f"4-worker pool served only {scaling:.2f}x single-process "
+            f"warm throughput (floor {MIN_SCALING})"
+        )
+    else:
+        print(f"only {cores} core(s): scaling floor not enforced")

@@ -18,8 +18,12 @@ Commands:
   ``bundle.json`` manifest,
 * ``query`` — answer one :class:`repro.api.QuerySpec` offline and print
   the canonical JSON envelope (byte-identical to the HTTP service),
-* ``serve`` — start the archive-backed HTTP query service
-  (see :mod:`repro.service` and docs/service.md).
+* ``serve`` — start the archive-backed HTTP query service; with
+  ``--processes N`` a pre-fork supervisor runs N workers over the same
+  archive (see :mod:`repro.service` and docs/service.md),
+* ``loadgen`` — offer seed-pure open-loop load to a running service and
+  write latency/error/staleness percentiles to
+  ``BENCH_service_load.json`` (see :mod:`repro.loadgen`).
 
 The global ``--fault-seed``/``--fault-rate`` options attach a
 deterministic fault-injection plan (see :mod:`repro.faults`) to
@@ -223,6 +227,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve from a measurement archive instead of simulating",
     )
     serve_parser.add_argument(
+        "--processes", type=int, default=1, metavar="N",
+        help=(
+            "serving processes (default 1 = in-process server; N >= 2 "
+            "starts a pre-fork supervisor with SO_REUSEPORT workers, "
+            "falling back to an inherited socket, then single-process, "
+            "where the platform lacks support)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--admin-port", type=int, default=0, metavar="PORT",
+        help=(
+            "supervisor admin port for aggregated /metrics and /healthz "
+            "(multi-process only; default 0 picks a free port)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--shared-cache", default=None, metavar="DIR",
+        help=(
+            "directory for the cross-worker shared result cache "
+            "(multi-process only; default: a private temp dir)"
+        ),
+    )
+    serve_parser.add_argument(
         "--max-concurrency", type=int, default=4, metavar="N",
         help="worker threads computing queries (default 4)",
     )
@@ -268,8 +295,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="length of injected service.compute stalls (default 50)",
     )
     serve_parser.add_argument(
+        "--fault-crash-match", default=None, metavar="SUBSTRING",
+        help=(
+            "arm the service.worker_crash KILL site against the one "
+            "query whose decision key contains this substring (with "
+            "--fault-seed; meant for --processes >= 2, where the "
+            "supervisor restarts the killed worker)"
+        ),
+    )
+    serve_parser.add_argument(
         "--profile-json", default=None, metavar="PATH",
         help="write the metrics summary (JSON) on shutdown to this file",
+    )
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="offer seed-pure open-loop load to a running query service",
+    )
+    loadgen_parser.add_argument(
+        "--url", required=True, metavar="URL",
+        help="service base URL (e.g. http://127.0.0.1:8321)",
+    )
+    loadgen_parser.add_argument(
+        "--rate", type=float, default=50.0, metavar="QPS",
+        help="offered arrival rate in queries/second (default 50)",
+    )
+    loadgen_parser.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="length of the offered-load window (default 10)",
+    )
+    loadgen_parser.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request transport timeout (default 30)",
+    )
+    loadgen_parser.add_argument(
+        "--output", default="BENCH_service_load.json", metavar="PATH",
+        help=(
+            "where to write the JSON report "
+            "(default BENCH_service_load.json; '-' skips the file)"
+        ),
+    )
+    loadgen_parser.add_argument(
+        "--max-error-rate", type=float, default=None, metavar="RATE",
+        help="exit 1 when the measured error rate exceeds this bound",
+    )
+    loadgen_parser.add_argument(
+        "--max-p99-ms", type=float, default=None, metavar="MS",
+        help="exit 1 when p99 latency exceeds this bound (milliseconds)",
     )
 
     archive_parser = sub.add_parser(
@@ -342,6 +414,7 @@ def _fault_plan(args: argparse.Namespace, service: bool = False):
             rate=args.fault_rate,
             stall_seconds=args.fault_stall_ms / 1000.0,
             match=args.fault_match,
+            crash_match=getattr(args, "fault_crash_match", None),
         )
     from .faults import default_plan
 
@@ -621,13 +694,30 @@ def _remote_query(args: argparse.Namespace, spec) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .service import run_service
+    from .service import MODE_SINGLE, run_service, select_socket_mode
 
     try:
         context = _context(args, service=True)
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 1
+
+    service_options = dict(
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        cache_results=args.cache_results,
+        deadline_ms=args.deadline_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window=args.breaker_window,
+        breaker_cooldown=args.breaker_cooldown,
+    )
+
+    mode, reason = select_socket_mode(args.processes)
+    if mode != MODE_SINGLE:
+        return _serve_multiprocess(args, context, mode, service_options)
+    if args.processes > 1:
+        print(f"warning: --processes {args.processes}: {reason}",
+              file=sys.stderr)
 
     def announce(service) -> None:
         print(f"serving on http://{args.host}:{service.port}", flush=True)
@@ -639,13 +729,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 host=args.host,
                 port=args.port,
                 ready=announce,
-                max_concurrency=args.max_concurrency,
-                queue_limit=args.queue_limit,
-                cache_results=args.cache_results,
-                deadline_ms=args.deadline_ms,
-                breaker_threshold=args.breaker_threshold,
-                breaker_window=args.breaker_window,
-                breaker_cooldown=args.breaker_cooldown,
+                **service_options,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
@@ -658,6 +742,83 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     sync_fault_metrics(context.faults, context.metrics)
     _write_profile_json(getattr(args, "profile_json", None), context.metrics)
     return code
+
+
+def _serve_multiprocess(
+    args: argparse.Namespace, context, mode: str, service_options: dict
+) -> int:
+    """``repro serve --processes N``: supervisor + pre-fork worker pool."""
+    import asyncio
+
+    from .service import run_supervised
+
+    def announce(supervisor) -> None:
+        print(f"serving on http://{args.host}:{supervisor.port}", flush=True)
+        print(
+            f"supervisor ({supervisor.mode}, {supervisor.processes} workers) "
+            f"admin on http://127.0.0.1:{supervisor.admin_port}",
+            flush=True,
+        )
+
+    try:
+        return asyncio.run(
+            run_supervised(
+                context,
+                host=args.host,
+                port=args.port,
+                processes=args.processes,
+                ready=announce,
+                admin_port=args.admin_port,
+                shared_dir=args.shared_cache,
+                mode=mode,
+                profile_json=getattr(args, "profile_json", None),
+                **service_options,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        return 0
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .loadgen import main_report, run_loadgen
+
+    try:
+        report = run_loadgen(
+            args.url,
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            timeout=args.timeout,
+            output=None if args.output == "-" else args.output,
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    main_report(report)
+    if args.output != "-":
+        print(f"wrote {args.output}")
+    failed = False
+    if (
+        args.max_error_rate is not None
+        and report["error_rate"] > args.max_error_rate
+    ):
+        print(
+            f"FAIL: error rate {report['error_rate']} exceeds "
+            f"--max-error-rate {args.max_error_rate}",
+            file=sys.stderr,
+        )
+        failed = True
+    p99 = report["latency_ms"]["p99"]
+    if args.max_p99_ms is not None and (p99 is None or p99 > args.max_p99_ms):
+        print(
+            f"FAIL: p99 {p99}ms exceeds --max-p99-ms {args.max_p99_ms}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_archive(args: argparse.Namespace) -> int:
@@ -787,6 +948,7 @@ _COMMANDS = {
     "archive": _cmd_archive,
     "query": _cmd_query,
     "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

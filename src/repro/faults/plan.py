@@ -71,6 +71,10 @@ SITES = {
     "manifest.write.bytes": "manifest bytes on their way to disk (corruption)",
     "shard.read": "shard read from an opened archive (transient IO)",
     "service.compute": "query computation entering the serving worker pool",
+    "service.worker_crash": (
+        "serving worker process dies mid-query (hard KILL; the "
+        "multi-process supervisor must restart it)"
+    ),
     "service.archive_read": (
         "service-level archive day read (fails the query; unlike "
         "shard.read it is not retried in-path, so the breaker sees it)"
@@ -80,7 +84,8 @@ SITES = {
 
 #: The injection sites the serving path owns (``repro serve``).
 SERVICE_SITES = (
-    "service.compute", "service.archive_read", "service.response_write",
+    "service.compute", "service.worker_crash",
+    "service.archive_read", "service.response_write",
 )
 
 #: Set in worker processes so :data:`KILL` knows it may really die.
@@ -308,6 +313,7 @@ def service_plan(
     rate: float = 0.05,
     stall_seconds: float = 0.05,
     match: Optional[str] = None,
+    crash_match: Optional[str] = None,
 ) -> FaultPlan:
     """The fault mix ``repro serve --fault-seed`` enables.
 
@@ -319,19 +325,28 @@ def service_plan(
     abort mid-flight.  ``match`` restricts every site to keys containing
     the substring (a date, a spec fragment, a path), which is how the
     chaos suite targets one query deterministically.
+
+    ``crash_match`` additionally arms ``service.worker_crash`` — a hard
+    :data:`KILL` of the serving worker process — against exactly one
+    matching query.  It is opt-in and never part of the default mix:
+    every other site self-heals inside the worker, but a kill needs the
+    multi-process supervisor to restart the process, so arming it under
+    a single-process ``repro serve`` would take the whole server down.
     """
-    return FaultPlan(
-        seed,
-        {
-            "service.compute": FaultSpec(
-                STALL, rate, stall_seconds=stall_seconds, match=match
-            ),
-            "service.archive_read": FaultSpec(IO_ERROR, rate, match=match),
-            "service.response_write": FaultSpec(
-                IO_ERROR, rate, max_injections=2, match=match
-            ),
-        },
-    )
+    sites = {
+        "service.compute": FaultSpec(
+            STALL, rate, stall_seconds=stall_seconds, match=match
+        ),
+        "service.archive_read": FaultSpec(IO_ERROR, rate, match=match),
+        "service.response_write": FaultSpec(
+            IO_ERROR, rate, max_injections=2, match=match
+        ),
+    }
+    if crash_match is not None:
+        sites["service.worker_crash"] = FaultSpec(
+            KILL, 1.0, max_injections=1, match=crash_match
+        )
+    return FaultPlan(seed, sites)
 
 
 def sync_fault_metrics(plan: Optional[FaultPlan], metrics) -> None:

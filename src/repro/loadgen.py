@@ -1,0 +1,410 @@
+"""``repro loadgen`` — a seed-pure open-loop load generator.
+
+Drives a running ``repro serve`` (single- or multi-process) with
+conflict-monitoring-shaped traffic and measures what users would feel:
+latency percentiles, error rate, stale-serve rate, and throughput.
+
+Two properties matter more than raw horsepower:
+
+* **open loop** — request *start* times come from a Poisson arrival
+  process fixed up front, not from when the previous response landed.
+  A closed loop slows down exactly when the service does, hiding
+  queueing collapse; an open loop keeps offering load and lets p99 show
+  the damage (coordinated-omission-free by construction).
+* **seed-purity** — the whole offered workload (arrival times *and* the
+  query sequence) is a pure function of ``(seed, rate, duration)``
+  via :func:`repro.rng.derive_rng`.  Two runs with the same seed offer
+  byte-identical traffic, so a latency regression between two builds is
+  the service's fault, not the harness's.
+
+The query mix is zipf-skewed over the catalog the way longitudinal
+conflict monitoring actually queries: the coarse headline / catalog /
+figure-1-style summaries dominate (everyone re-asks "what changed?"),
+named series over the invasion window sit in the shoulder, and
+domain-level record pages — including ``.рф`` via its ``xn--p1ai``
+punycode A-label — form the tail.
+
+Results are written as ``BENCH_service_load.json`` so CI can gate on
+error rate and p99 against a floor (see the ``service-load`` job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import urlsplit
+
+from .errors import ReproError
+from .rng import derive_rng
+
+__all__ = [
+    "LoadSample",
+    "LoadPlan",
+    "default_mix",
+    "build_plan",
+    "percentile",
+    "summarise",
+    "run_loadgen",
+]
+
+#: Zipf skew of the query mix: weight of rank ``r`` is ``1/(r+1)**S``.
+ZIPF_EXPONENT = 1.1
+
+#: Envelope keys every 200 body must carry to count as well-formed.
+ENVELOPE_KEYS = ("schema_version", "kind", "spec", "data")
+
+
+def default_mix() -> List[Tuple[str, str]]:
+    """The ``(label, GET path)`` catalog, ordered hot → cold.
+
+    Rank order is the zipf rank: the headline summary is what a
+    monitoring dashboard polls, so it gets the most traffic; paged
+    domain-level records (the ``.рф`` punycode variant included) are
+    the long tail.
+    """
+    return [
+        ("headline", "/v1/headline"),
+        ("catalog", "/v1/experiments"),
+        ("experiment:headline", "/v1/experiments/headline"),
+        ("series:tld_composition", "/v1/series/tld_composition"),
+        (
+            "series:ns_composition:window",
+            "/v1/series/ns_composition?start=2022-02-01&end=2022-04-30",
+        ),
+        (
+            "series:asn_shares:window",
+            "/v1/series/asn_shares?start=2022-03-01&end=2022-03-15",
+        ),
+        ("experiment:fig1", "/v1/experiments/fig1"),
+        (
+            "series:sanctioned_composition",
+            "/v1/series/sanctioned_composition",
+        ),
+        ("records:ru", "/v1/records/2022-03-04?tld=ru&limit=20"),
+        (
+            "records:rf-punycode",
+            "/v1/records/2022-03-04?tld=%D1%80%D1%84&limit=20",
+        ),
+        ("records:ru:page2", "/v1/records/2022-03-10?tld=ru&offset=20&limit=20"),
+        ("records:xn--p1ai", "/v1/records/2022-03-10?tld=xn--p1ai&limit=20"),
+    ]
+
+
+class LoadSample:
+    """One completed request: what was asked, when, and what came back."""
+
+    __slots__ = (
+        "label", "path", "offset", "latency", "status", "stale", "malformed",
+    )
+
+    def __init__(
+        self,
+        label: str,
+        path: str,
+        offset: float,
+        latency: float,
+        status: int,
+        stale: bool,
+        malformed: bool,
+    ) -> None:
+        self.label = label
+        self.path = path
+        #: Scheduled start, seconds from run start.
+        self.offset = offset
+        self.latency = latency
+        #: HTTP status; 0 means the transport failed.
+        self.status = status
+        self.stale = stale
+        self.malformed = malformed
+
+
+class LoadPlan:
+    """A fully materialised offered workload (arrivals + queries)."""
+
+    __slots__ = ("seed", "rate", "duration", "arrivals", "labels", "paths")
+
+    def __init__(
+        self,
+        seed: int,
+        rate: float,
+        duration: float,
+        arrivals: Sequence[float],
+        labels: Sequence[str],
+        paths: Sequence[str],
+    ) -> None:
+        self.seed = seed
+        self.rate = rate
+        self.duration = duration
+        self.arrivals = list(arrivals)
+        self.labels = list(labels)
+        self.paths = list(paths)
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+
+def build_plan(
+    seed: int,
+    rate: float,
+    duration: float,
+    mix: Optional[List[Tuple[str, str]]] = None,
+) -> LoadPlan:
+    """Materialise the workload: pure in ``(seed, rate, duration, mix)``.
+
+    Arrival times are the cumulative sum of exponential interarrivals at
+    ``rate`` per second (a Poisson process), truncated at ``duration``;
+    the query for each arrival is an independent zipf-weighted draw from
+    ``mix``.  Both streams come from :func:`derive_rng` with distinct
+    labels, so adding queries to the mix cannot shift the arrival times.
+    """
+    if rate <= 0:
+        raise ReproError(f"loadgen rate must be > 0 qps: {rate}")
+    if duration <= 0:
+        raise ReproError(f"loadgen duration must be > 0 seconds: {duration}")
+    chosen = mix if mix is not None else default_mix()
+    if not chosen:
+        raise ReproError("loadgen query mix is empty")
+
+    arrival_rng = derive_rng(seed, "loadgen", "arrivals")
+    arrivals: List[float] = []
+    at = 0.0
+    # Draw in blocks: the count is itself load-dependent, but each draw
+    # consumes the stream in order, so the sequence stays seed-pure.
+    while True:
+        for gap in arrival_rng.exponential(1.0 / rate, size=256):
+            at += float(gap)
+            if at >= duration:
+                break
+            arrivals.append(at)
+        else:
+            continue
+        break
+
+    weights = [1.0 / float(rank + 1) ** ZIPF_EXPONENT
+               for rank in range(len(chosen))]
+    total = sum(weights)
+    probabilities = [weight / total for weight in weights]
+    mix_rng = derive_rng(seed, "loadgen", "mix")
+    picks = mix_rng.choice(len(chosen), size=max(1, len(arrivals)),
+                           p=probabilities)
+
+    labels = [chosen[int(pick)][0] for pick in picks[: len(arrivals)]]
+    paths = [chosen[int(pick)][1] for pick in picks[: len(arrivals)]]
+    return LoadPlan(seed, rate, duration, arrivals, labels, paths)
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of an ascending sequence (None if empty)."""
+    if not sorted_values:
+        return None
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+# ----------------------------------------------------------------------
+# Execution (asyncio, raw HTTP/1.1, one connection per request)
+# ----------------------------------------------------------------------
+
+def _parse_url(url: str) -> Tuple[str, int]:
+    parts = urlsplit(url if "//" in url else f"//{url}")
+    if parts.scheme not in ("", "http"):
+        raise ReproError(f"only http:// service URLs are supported: {url}")
+    if not parts.hostname:
+        raise ReproError(f"service URL has no host: {url!r}")
+    return parts.hostname, parts.port or 80
+
+
+async def _one_request(
+    host: str, port: int, path: str, timeout: float
+) -> Tuple[int, bool, bool]:
+    """``(status, stale, malformed)`` for one GET; status 0 = transport."""
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+    except (OSError, asyncio.TimeoutError):
+        return 0, False, False
+    try:
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout)
+    except (OSError, asyncio.TimeoutError):
+        return 0, False, False
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    head, separator, body = raw.partition(b"\r\n\r\n")
+    if not separator:
+        return 0, False, True
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(maxsplit=2)[1])
+    except (IndexError, ValueError):
+        return 0, False, True
+    stale = any(
+        line.lower().startswith("x-repro-stale:")
+        and line.split(":", 1)[1].strip().lower() == "true"
+        for line in lines[1:]
+    )
+    malformed = False
+    if status == 200:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            malformed = True
+        else:
+            malformed = not (
+                isinstance(payload, dict)
+                and all(key in payload for key in ENVELOPE_KEYS)
+            )
+    return status, stale, malformed
+
+
+async def _run_plan(
+    plan: LoadPlan, url: str, timeout: float
+) -> List[LoadSample]:
+    host, port = _parse_url(url)
+    started = time.perf_counter()
+    samples: List[LoadSample] = []
+
+    async def fire(index: int) -> None:
+        offset = plan.arrivals[index]
+        delay = offset - (time.perf_counter() - started)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        begun = time.perf_counter()
+        status, stale, malformed = await _one_request(
+            host, port, plan.paths[index], timeout
+        )
+        samples.append(
+            LoadSample(
+                label=plan.labels[index],
+                path=plan.paths[index],
+                offset=offset,
+                latency=time.perf_counter() - begun,
+                status=status,
+                stale=stale,
+                malformed=malformed,
+            )
+        )
+
+    await asyncio.gather(*(fire(index) for index in range(len(plan))))
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+
+def summarise(
+    plan: LoadPlan, samples: List[LoadSample], url: str, wall_seconds: float
+) -> Dict[str, object]:
+    """The ``BENCH_service_load.json`` payload."""
+    completed = [sample for sample in samples if sample.status == 200]
+    errors = [sample for sample in samples if sample.status != 200]
+    stale = [sample for sample in completed if sample.stale]
+    malformed = [sample for sample in samples if sample.malformed]
+    latencies = sorted(sample.latency for sample in completed)
+    sent = len(samples)
+
+    by_label: Dict[str, int] = {}
+    for label in plan.labels:
+        by_label[label] = by_label.get(label, 0) + 1
+
+    def _ms(value: Optional[float]) -> Optional[float]:
+        return None if value is None else round(value * 1000.0, 3)
+
+    return {
+        "harness": "repro-loadgen",
+        "url": url,
+        "seed": plan.seed,
+        "offered_rate_qps": plan.rate,
+        "duration_seconds": plan.duration,
+        "wall_seconds": round(wall_seconds, 3),
+        "requests_sent": sent,
+        "requests_ok": len(completed),
+        "requests_errored": len(errors),
+        "error_rate": round(len(errors) / sent, 6) if sent else 0.0,
+        "stale_served": len(stale),
+        "stale_rate": (
+            round(len(stale) / len(completed), 6) if completed else 0.0
+        ),
+        "malformed": len(malformed),
+        "throughput_qps": (
+            round(len(completed) / wall_seconds, 2) if wall_seconds > 0 else 0.0
+        ),
+        "latency_ms": {
+            "p50": _ms(percentile(latencies, 50.0)),
+            "p95": _ms(percentile(latencies, 95.0)),
+            "p99": _ms(percentile(latencies, 99.0)),
+            "max": _ms(latencies[-1] if latencies else None),
+        },
+        "query_mix": by_label,
+        "errors_by_status": _count_by(
+            (str(sample.status) for sample in errors)
+        ),
+    }
+
+
+def _count_by(values) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+def run_loadgen(
+    url: str,
+    rate: float,
+    duration: float,
+    seed: int = 0,
+    timeout: float = 30.0,
+    output: Optional[str] = "BENCH_service_load.json",
+    mix: Optional[List[Tuple[str, str]]] = None,
+) -> Dict[str, object]:
+    """Offer the planned load to ``url`` and return (and write) the report."""
+    plan = build_plan(seed, rate, duration, mix=mix)
+    started = time.perf_counter()
+    samples = asyncio.run(_run_plan(plan, url, timeout))
+    wall = time.perf_counter() - started
+    report = summarise(plan, samples, url, wall)
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report
+
+
+def main_report(report: Dict[str, object], stream=sys.stdout) -> None:
+    """Human-readable one-screen summary (the CLI prints this)."""
+    latency = report["latency_ms"]
+    print(
+        f"sent {report['requests_sent']} requests in "
+        f"{report['wall_seconds']}s "
+        f"(offered {report['offered_rate_qps']} qps, "
+        f"achieved {report['throughput_qps']} qps)",
+        file=stream,
+    )
+    print(
+        f"ok {report['requests_ok']}  errors {report['requests_errored']} "
+        f"(rate {report['error_rate']})  stale {report['stale_served']}  "
+        f"malformed {report['malformed']}",
+        file=stream,
+    )
+    print(
+        f"latency p50 {latency['p50']}ms  p95 {latency['p95']}ms  "
+        f"p99 {latency['p99']}ms  max {latency['max']}ms",
+        file=stream,
+    )

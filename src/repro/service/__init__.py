@@ -5,10 +5,22 @@ The asyncio serving layer over :mod:`repro.api`: ``repro serve`` binds a
 queries as offline ``repro query`` with byte-identical canonical JSON.
 Resilience (per-request deadlines, the circuit breaker, serve-stale
 degraded mode) lives in :mod:`repro.service.resilience` and the server
-module.  See docs/service.md for the endpoint and schema reference.
+module.  ``repro serve --processes N`` scales the same server across a
+pre-fork worker pool (:mod:`repro.service.multiproc`) with a
+cross-worker shared result cache (:mod:`repro.service.shared_cache`).
+See docs/service.md for the endpoint and schema reference.
 """
 
 from .http import HttpError, HttpRequest, HttpResponse, read_request
+from .multiproc import (
+    MODE_INHERITED,
+    MODE_REUSEPORT,
+    MODE_SINGLE,
+    ServeSupervisor,
+    aggregate_worker_metrics,
+    run_supervised,
+    select_socket_mode,
+)
 from .resilience import (
     ADMIT_DENY,
     ADMIT_FRESH,
@@ -19,6 +31,7 @@ from .resilience import (
     CircuitBreaker,
 )
 from .server import QueryService, run_service
+from .shared_cache import Lease, SharedResultCache
 
 __all__ = [
     "HttpError",
@@ -27,6 +40,15 @@ __all__ = [
     "QueryService",
     "read_request",
     "run_service",
+    "run_supervised",
+    "ServeSupervisor",
+    "SharedResultCache",
+    "Lease",
+    "select_socket_mode",
+    "aggregate_worker_metrics",
+    "MODE_REUSEPORT",
+    "MODE_INHERITED",
+    "MODE_SINGLE",
     "CircuitBreaker",
     "CLOSED",
     "OPEN",

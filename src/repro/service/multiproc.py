@@ -1,0 +1,712 @@
+"""The pre-fork serving tier: ``repro serve --processes N``.
+
+A parent **supervisor** process owns the listen address and N forked
+**workers** each run the ordinary asyncio :class:`~repro.service.server.
+QueryService` event loop over the same read-only archive:
+
+* **socket strategy** — where the platform supports it, every worker
+  binds its own ``SO_REUSEPORT`` socket to the shared address and the
+  kernel load-balances accepted connections across workers; elsewhere
+  the parent binds one listening socket before forking and the workers
+  inherit it (both accept on the same FD).  When neither ``SO_REUSEPORT``
+  nor ``fork`` is available the tier degrades to a single in-process
+  server with a clear warning instead of crashing —
+  :func:`select_socket_mode` is the (monkeypatchable, pure) decision.
+* **supervision** — the parent restarts crashed workers with bounded
+  exponential backoff, tracks per-slot restart counts, and walks an
+  observable ``live → ready → degraded → ready`` state machine that
+  mirrors worker health.
+* **admin plane** — each worker opens a loopback *control* listener
+  (the same service, so ``/metrics`` and ``/healthz`` work there) and
+  reports its port to the parent; the parent serves an aggregated
+  ``/metrics`` (per-worker summaries tagged by worker id plus summed
+  counters/caches) and a supervisor ``/healthz`` on a separate admin
+  port.
+* **shared results** — workers share one
+  :class:`~repro.service.shared_cache.SharedResultCache`, so request
+  coalescing keeps collapsing identical queries *across* workers: N
+  workers hit by the same cold query perform one archive read between
+  them, and the rest adopt the published canonical bytes.
+* **drain** — SIGINT/SIGTERM to the parent forwards SIGTERM to every
+  worker, which runs the ordinary graceful shutdown (stop accepting,
+  drain in-flight queries), then the parent reaps and exits 0.
+
+Workers are *forked*, so the parent's archive-backed context is
+inherited copy-on-write — N workers share the built manifest and page
+cache instead of paying N context builds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import shutil
+import signal
+import socket
+import sys
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..api.spec import SCHEMA_VERSION
+from ..faults import mark_worker_process
+from .http import HttpResponse, read_request, split_path
+from .server import QueryService
+from .shared_cache import SharedResultCache
+
+__all__ = [
+    "MODE_REUSEPORT",
+    "MODE_INHERITED",
+    "MODE_SINGLE",
+    "select_socket_mode",
+    "reuseport_available",
+    "fork_available",
+    "aggregate_worker_metrics",
+    "ServeSupervisor",
+    "run_supervised",
+]
+
+#: Every worker binds its own SO_REUSEPORT socket (kernel balances).
+MODE_REUSEPORT = "reuseport"
+#: Workers accept on one parent-bound socket inherited through fork.
+MODE_INHERITED = "inherited"
+#: Multi-process serving unavailable; degrade to one in-process server.
+MODE_SINGLE = "single"
+
+#: Supervision cadence and restart backoff shape.
+POLL_INTERVAL = 0.15
+BACKOFF_BASE = 0.1
+BACKOFF_CAP = 5.0
+#: A worker alive this long resets its consecutive-failure count.
+STABLE_SECONDS = 5.0
+#: Patience for worker startup and graceful drain.
+READY_TIMEOUT = 120.0
+DRAIN_TIMEOUT = 15.0
+
+
+# ----------------------------------------------------------------------
+# Capability probes and the (pure, testable) mode decision
+# ----------------------------------------------------------------------
+
+def reuseport_available() -> bool:
+    """True when this platform accepts SO_REUSEPORT on a TCP socket."""
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    except OSError:
+        return False
+    finally:
+        probe.close()
+    return True
+
+
+def fork_available() -> bool:
+    """True when worker processes can be forked (COW context sharing)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def select_socket_mode(processes: int) -> Tuple[str, str]:
+    """``(mode, reason)`` for a requested worker count.
+
+    Pure decision over platform capabilities so tests can monkeypatch
+    ``socket``/``multiprocessing`` and pin every degradation path.
+    """
+    if processes <= 1:
+        return MODE_SINGLE, "one process requested"
+    if not fork_available():
+        return (
+            MODE_SINGLE,
+            "process fork is unavailable on this platform; "
+            "serving single-process instead of crashing",
+        )
+    if reuseport_available():
+        return MODE_REUSEPORT, "SO_REUSEPORT supported"
+    return (
+        MODE_INHERITED,
+        "SO_REUSEPORT unavailable; workers inherit the parent-bound socket",
+    )
+
+
+def _listen_socket(host: str, port: int, reuseport: bool) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    if reuseport:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    sock.bind((host, port))
+    sock.listen(128)
+    sock.setblocking(False)
+    return sock
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+class _WorkerArgs:
+    """Everything a forked worker needs (crosses the fork by reference)."""
+
+    __slots__ = (
+        "slot", "incarnation", "host", "port", "mode",
+        "listen_sock", "shared_dir", "context", "options", "conn",
+    )
+
+    def __init__(self, **fields) -> None:
+        for name in self.__slots__:
+            setattr(self, name, fields[name])
+
+
+def _worker_entry(args: _WorkerArgs) -> None:
+    """Process target: one serving worker (runs until SIGTERM)."""
+    mark_worker_process()
+    try:
+        asyncio.run(_worker_main(args))
+    except KeyboardInterrupt:  # pragma: no cover - racing SIGINT
+        pass
+
+
+async def _worker_main(args: _WorkerArgs) -> None:
+    shared = (
+        SharedResultCache(args.shared_dir) if args.shared_dir else None
+    )
+    service = QueryService(
+        args.context,
+        shared_cache=shared,
+        worker_id=args.slot,
+        **args.options,
+    )
+    if args.mode == MODE_REUSEPORT:
+        sock = _listen_socket(args.host, args.port, reuseport=True)
+    else:
+        sock = args.listen_sock
+    await service.start(sock=sock)
+    control_port = await service.add_listener("127.0.0.1", 0)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            signal.signal(signum, lambda *_: stop.set())
+    args.conn.send(("ready", args.slot, args.incarnation, control_port))
+    await stop.wait()
+    await service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Metrics aggregation (pure; unit-tested directly)
+# ----------------------------------------------------------------------
+
+def aggregate_worker_metrics(
+    payloads: Dict[str, Optional[dict]],
+) -> Dict[str, object]:
+    """Fold per-worker ``/metrics`` payloads into one pool-wide view.
+
+    Counters, recovery counts, and cache hit/miss totals sum; endpoint
+    stats sum requests/errors/wall time and keep the pool-wide max.
+    Workers that could not be scraped contribute nothing (their slot
+    appears with ``null`` in the per-worker section).
+    """
+    counters: Dict[str, int] = {}
+    recovery: Dict[str, int] = {}
+    caches: Dict[str, Dict[str, float]] = {}
+    endpoints: Dict[str, Dict[str, float]] = {}
+    for payload in payloads.values():
+        if not payload:
+            continue
+        metrics = payload.get("metrics", {})
+        for name, value in metrics.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in metrics.get("recovery", {}).items():
+            recovery[name] = recovery.get(name, 0) + int(value)
+        for name, stats in metrics.get("caches", {}).items():
+            bucket = caches.setdefault(name, {"hits": 0, "misses": 0})
+            bucket["hits"] += int(stats.get("hits", 0))
+            bucket["misses"] += int(stats.get("misses", 0))
+        for name, stats in metrics.get("endpoints", {}).items():
+            bucket = endpoints.setdefault(
+                name,
+                {"requests": 0, "errors": 0,
+                 "wall_seconds": 0.0, "max_seconds": 0.0},
+            )
+            bucket["requests"] += int(stats.get("requests", 0))
+            bucket["errors"] += int(stats.get("errors", 0))
+            bucket["wall_seconds"] += float(stats.get("wall_seconds", 0.0))
+            bucket["max_seconds"] = max(
+                bucket["max_seconds"], float(stats.get("max_seconds", 0.0))
+            )
+    for bucket in caches.values():
+        total = bucket["hits"] + bucket["misses"]
+        bucket["hit_rate"] = (
+            round(bucket["hits"] / total, 4) if total else 0.0
+        )
+    return {
+        "counters": counters,
+        "recovery": recovery,
+        "caches": caches,
+        "endpoints": endpoints,
+    }
+
+
+async def _fetch_json(
+    host: str, port: int, path: str, timeout: float = 5.0
+) -> Optional[dict]:
+    """One GET against a worker control port; None on any failure."""
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+    except (OSError, asyncio.TimeoutError):
+        return None
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            "Connection: close\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(-1), timeout)
+    except (OSError, asyncio.TimeoutError):
+        return None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    try:
+        status = int(head.split(maxsplit=2)[1])
+        payload = json.loads(body.decode("utf-8"))
+    except (IndexError, ValueError, UnicodeDecodeError):
+        return None
+    return payload if status == 200 and isinstance(payload, dict) else None
+
+
+# ----------------------------------------------------------------------
+# The supervisor
+# ----------------------------------------------------------------------
+
+class _Slot:
+    """One worker position: process handle plus supervision state."""
+
+    __slots__ = (
+        "slot", "process", "conn", "control_port", "ready",
+        "incarnation", "restarts", "consecutive", "started_at",
+        "restart_at",
+    )
+
+    def __init__(self, slot: int) -> None:
+        self.slot = slot
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.conn = None
+        self.control_port: Optional[int] = None
+        self.ready = False
+        self.incarnation = 0
+        self.restarts = 0
+        self.consecutive = 0
+        self.started_at = 0.0
+        #: Monotonic time before which a crashed slot must not respawn.
+        self.restart_at = 0.0
+
+
+class ServeSupervisor:
+    """Parent process of a ``--processes N`` worker pool."""
+
+    def __init__(
+        self,
+        context,
+        host: str = "127.0.0.1",
+        port: int = 8321,
+        processes: int = 2,
+        admin_host: str = "127.0.0.1",
+        admin_port: int = 0,
+        shared_dir: Optional[str] = None,
+        mode: Optional[str] = None,
+        **options,
+    ) -> None:
+        if processes < 2:
+            raise ValueError(f"supervisor needs >= 2 processes: {processes}")
+        self._context = context
+        self.host = host
+        self.processes = int(processes)
+        self.mode = mode or select_socket_mode(processes)[0]
+        if self.mode not in (MODE_REUSEPORT, MODE_INHERITED):
+            raise ValueError(
+                f"supervisor cannot run in mode {self.mode!r}; "
+                "use run_service for single-process serving"
+            )
+        self._options = dict(options)
+        self._admin_host = admin_host
+        self._admin_port_requested = int(admin_port)
+        self._owns_shared_dir = shared_dir is None
+        self.shared_dir = shared_dir or tempfile.mkdtemp(prefix="repro-shared-")
+        self._mp = multiprocessing.get_context("fork")
+        self._slots = [_Slot(index) for index in range(self.processes)]
+        self._stopping = False
+        self._state = "live"
+        #: Recent (unix_time, state) transitions, oldest first.
+        self.state_history: List[Tuple[float, str]] = [(time.time(), "live")]
+        self.restarts_total = 0
+        self._admin_server: Optional[asyncio.AbstractServer] = None
+        self._placeholder: Optional[socket.socket] = None
+        self._listen_sock: Optional[socket.socket] = None
+
+        # Resolve the serving port up front (also what makes --port 0
+        # work): in reuseport mode a bound-but-unlistened placeholder
+        # reserves the address; in inherited mode the parent's real
+        # listening socket is the reservation.
+        if self.mode == MODE_REUSEPORT:
+            self._placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._placeholder.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+            )
+            self._placeholder.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+            self._placeholder.bind((host, port))
+            self.port = self._placeholder.getsockname()[1]
+        else:
+            self._listen_sock = _listen_socket(host, port, reuseport=False)
+            self.port = self._listen_sock.getsockname()[1]
+        self.admin_port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, slot: _Slot) -> None:
+        parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        args = _WorkerArgs(
+            slot=slot.slot,
+            incarnation=slot.incarnation,
+            host=self.host,
+            port=self.port,
+            mode=self.mode,
+            listen_sock=self._listen_sock,
+            shared_dir=self.shared_dir,
+            context=self._context,
+            options=self._options,
+            conn=child_conn,
+        )
+        process = self._mp.Process(
+            target=_worker_entry, args=(args,), daemon=False,
+            name=f"repro-serve-w{slot.slot}",
+        )
+        process.start()
+        child_conn.close()
+        slot.process = process
+        slot.conn = parent_conn
+        slot.ready = False
+        slot.control_port = None
+        slot.started_at = time.monotonic()
+        slot.incarnation += 1
+
+    def _drain_messages(self, slot: _Slot) -> None:
+        if slot.conn is None:
+            return
+        try:
+            while slot.conn.poll():
+                message = slot.conn.recv()
+                if message[0] == "ready":
+                    slot.control_port = int(message[3])
+                    slot.ready = True
+        except (EOFError, OSError):
+            pass
+
+    def _set_state(self, state: str) -> None:
+        if state != self._state:
+            self._state = state
+            self.state_history.append((time.time(), state))
+            del self.state_history[:-50]
+
+    def _refresh_state(self) -> None:
+        if self._stopping:
+            self._set_state("live")
+            return
+        healthy = all(
+            slot.process is not None
+            and slot.process.is_alive()
+            and slot.ready
+            for slot in self._slots
+        )
+        self._set_state("ready" if healthy else "degraded")
+
+    async def _supervise(self) -> None:
+        while not self._stopping:
+            now = time.monotonic()
+            for slot in self._slots:
+                self._drain_messages(slot)
+                alive = slot.process is not None and slot.process.is_alive()
+                if alive:
+                    if (
+                        slot.consecutive
+                        and now - slot.started_at > STABLE_SECONDS
+                    ):
+                        slot.consecutive = 0
+                    continue
+                if slot.restart_at == 0.0:
+                    # Just noticed the death: schedule the respawn with
+                    # bounded exponential backoff.
+                    if slot.process is not None:
+                        slot.process.join(timeout=0)
+                    slot.ready = False
+                    slot.restarts += 1
+                    self.restarts_total += 1
+                    delay = min(
+                        BACKOFF_CAP,
+                        BACKOFF_BASE * (2.0 ** min(slot.consecutive, 8)),
+                    )
+                    slot.consecutive += 1
+                    slot.restart_at = now + delay
+                elif now >= slot.restart_at:
+                    slot.restart_at = 0.0
+                    self._spawn(slot)
+            self._refresh_state()
+            await asyncio.sleep(POLL_INTERVAL)
+
+    async def _wait_all_ready(self) -> None:
+        deadline = time.monotonic() + READY_TIMEOUT
+        while time.monotonic() < deadline:
+            for slot in self._slots:
+                self._drain_messages(slot)
+                if (
+                    slot.process is not None
+                    and not slot.process.is_alive()
+                    and not self._stopping
+                ):
+                    raise RuntimeError(
+                        f"worker {slot.slot} exited during startup "
+                        f"(code {slot.process.exitcode})"
+                    )
+            if all(slot.ready for slot in self._slots):
+                self._set_state("ready")
+                return
+            await asyncio.sleep(0.02)
+        raise RuntimeError(
+            f"worker pool not ready after {READY_TIMEOUT:.0f}s"
+        )
+
+    # ------------------------------------------------------------------
+    # Admin plane
+    # ------------------------------------------------------------------
+
+    async def _admin_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except Exception:
+                request = None
+            if request is None:
+                return
+            response = await self._admin_route(request)
+            writer.write(response.to_bytes())
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _admin_route(self, request) -> HttpResponse:
+        segments = split_path(request.path)
+        if segments == ():
+            return self._json_response(
+                {
+                    "service": "repro-serve-supervisor",
+                    "schema_version": SCHEMA_VERSION,
+                    "endpoints": ["GET /healthz", "GET /metrics"],
+                    "serving": f"http://{self.host}:{self.port}",
+                }
+            )
+        if segments == ("healthz",):
+            return self._json_response(self.health_payload())
+        if segments == ("metrics",):
+            return self._json_response(await self.metrics_payload())
+        return HttpResponse.error(404, f"no such endpoint: {request.path}")
+
+    @staticmethod
+    def _json_response(payload: dict) -> HttpResponse:
+        return HttpResponse.json(
+            200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        )
+
+    def health_payload(self) -> Dict[str, object]:
+        return {
+            "status": self._state,
+            "schema_version": SCHEMA_VERSION,
+            "mode": self.mode,
+            "processes": self.processes,
+            "restarts_total": self.restarts_total,
+            "history": [
+                {"at": round(at, 3), "state": state}
+                for at, state in self.state_history
+            ],
+            "workers": [
+                {
+                    "worker": slot.slot,
+                    "pid": slot.process.pid if slot.process else None,
+                    "alive": bool(slot.process and slot.process.is_alive()),
+                    "ready": slot.ready,
+                    "restarts": slot.restarts,
+                    "control_port": slot.control_port,
+                }
+                for slot in self._slots
+            ],
+        }
+
+    async def metrics_payload(self) -> Dict[str, object]:
+        scrapes = await asyncio.gather(
+            *(
+                _fetch_json("127.0.0.1", slot.control_port, "/metrics")
+                if slot.control_port is not None
+                and slot.process is not None
+                and slot.process.is_alive()
+                else _none()
+                for slot in self._slots
+            )
+        )
+        workers = {
+            str(slot.slot): scrape
+            for slot, scrape in zip(self._slots, scrapes)
+        }
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "supervisor": {
+                "mode": self.mode,
+                "processes": self.processes,
+                "state": self._state,
+                "restarts_total": self.restarts_total,
+            },
+            "aggregated": aggregate_worker_metrics(workers),
+            "workers": workers,
+        }
+
+    # ------------------------------------------------------------------
+    # Run / drain
+    # ------------------------------------------------------------------
+
+    async def run(
+        self,
+        ready: Optional[Callable[["ServeSupervisor"], None]] = None,
+        stop_event: Optional[asyncio.Event] = None,
+        profile_json: Optional[str] = None,
+    ) -> int:
+        """Serve until stopped; returns the process exit code."""
+        self._admin_server = await asyncio.start_server(
+            self._admin_connection, self._admin_host, self._admin_port_requested
+        )
+        self.admin_port = self._admin_server.sockets[0].getsockname()[1]
+        for slot in self._slots:
+            self._spawn(slot)
+        # The inherited listen socket lives on in the workers; the
+        # parent must stop holding it open so drain actually closes it.
+        if self._listen_sock is not None:
+            self._listen_sock.close()
+            self._listen_sock = None
+        await self._wait_all_ready()
+        if ready is not None:
+            ready(self)
+
+        event = stop_event if stop_event is not None else asyncio.Event()
+        loop = asyncio.get_running_loop()
+        if stop_event is None:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, event.set)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        supervisor_task = asyncio.ensure_future(self._supervise())
+        stop_task = asyncio.ensure_future(event.wait())
+        try:
+            await asyncio.wait(
+                [supervisor_task, stop_task],
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            self._stopping = True
+            self._set_state("live")
+            if profile_json:
+                await self._write_profile(profile_json)
+            supervisor_task.cancel()
+            stop_task.cancel()
+            await asyncio.gather(
+                supervisor_task, stop_task, return_exceptions=True
+            )
+            await self._drain_workers()
+            self._admin_server.close()
+            await self._admin_server.wait_closed()
+            if self._placeholder is not None:
+                self._placeholder.close()
+            if self._owns_shared_dir:
+                shutil.rmtree(self.shared_dir, ignore_errors=True)
+        return 0
+
+    async def _write_profile(self, path: str) -> None:
+        """Final aggregated scrape, written while workers still answer."""
+        try:
+            payload = await self.metrics_payload()
+        except Exception:  # pragma: no cover - best effort on shutdown
+            return
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:  # pragma: no cover
+            print(f"could not write {path}: {exc}", file=sys.stderr)
+
+    async def _drain_workers(self) -> None:
+        for slot in self._slots:
+            if slot.process is not None and slot.process.is_alive():
+                try:
+                    os.kill(slot.process.pid, signal.SIGTERM)
+                except (OSError, TypeError):
+                    pass
+        deadline = time.monotonic() + DRAIN_TIMEOUT
+        for slot in self._slots:
+            if slot.process is None:
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            await asyncio.get_running_loop().run_in_executor(
+                None, slot.process.join, remaining
+            )
+            if slot.process.is_alive():  # pragma: no cover - stuck worker
+                slot.process.kill()
+                slot.process.join(timeout=5)
+
+
+async def _none() -> None:
+    return None
+
+
+async def run_supervised(
+    context,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    processes: int = 2,
+    ready=None,
+    stop_event: Optional[asyncio.Event] = None,
+    admin_port: int = 0,
+    shared_dir: Optional[str] = None,
+    profile_json: Optional[str] = None,
+    **options,
+) -> int:
+    """``run_service``'s multi-process sibling (``serve --processes N``)."""
+    supervisor = ServeSupervisor(
+        context,
+        host=host,
+        port=port,
+        processes=processes,
+        admin_port=admin_port,
+        shared_dir=shared_dir,
+        **options,
+    )
+    return await supervisor.run(
+        ready=ready, stop_event=stop_event, profile_json=profile_json
+    )

@@ -42,17 +42,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket as socket_module
 import time
 from collections import OrderedDict
 from concurrent.futures import Future as ConcurrentFuture
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..api.deadline import MAX_DEADLINE_MS, Deadline, deadline_scope
 from ..api.spec import SCHEMA_VERSION, QuerySpec, jsonify
 from ..errors import DeadlineExceeded, QueryError, ReproError
 from ..faults import TransientIOError, WorkerCrashed, sync_fault_metrics
 from .http import HttpError, HttpRequest, HttpResponse, read_request, split_path
+from .shared_cache import Lease, SharedResultCache
 from .resilience import (
     ADMIT_DENY,
     ADMIT_PROBE,
@@ -112,6 +114,8 @@ class QueryService:
         breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
         breaker_window: float = DEFAULT_BREAKER_WINDOW,
         breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        shared_cache: Optional[SharedResultCache] = None,
+        worker_id: Optional[int] = None,
     ) -> None:
         if max_concurrency < 1:
             raise QueryError(f"max_concurrency must be >= 1: {max_concurrency}")
@@ -145,7 +149,13 @@ class QueryService:
         self._executor = ThreadPoolExecutor(
             max_workers=int(max_concurrency), thread_name_prefix="repro-query"
         )
+        #: Cross-worker result store when this service is one worker of
+        #: a ``--processes N`` pool (see :mod:`repro.service.multiproc`).
+        self._shared = shared_cache
+        #: Pool slot id, tagged into /healthz and /metrics.
+        self.worker_id = worker_id
         self._server: Optional[asyncio.AbstractServer] = None
+        self._extra_servers: List[asyncio.AbstractServer] = []
         self._connections: Set[asyncio.Task] = set()
         self._closing = False
 
@@ -153,11 +163,37 @@ class QueryService:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        """Bind and start accepting connections."""
-        self._server = await asyncio.start_server(
-            self._on_connection, host, port
-        )
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sock: Optional[socket_module.socket] = None,
+    ) -> None:
+        """Bind and start accepting connections.
+
+        ``sock`` (an already-bound listening socket) takes precedence
+        over ``host``/``port`` — the pre-fork worker pool passes each
+        worker its SO_REUSEPORT or inherited listen socket this way.
+        """
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_connection, sock=sock
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host, port
+            )
+
+    async def add_listener(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Bind one extra listening endpoint (same routing); returns its port.
+
+        Pool workers use this for a loopback *control* listener the
+        supervisor scrapes for per-worker ``/metrics`` independently of
+        the kernel's load balancing on the shared serving port.
+        """
+        server = await asyncio.start_server(self._on_connection, host, port)
+        self._extra_servers.append(server)
+        return server.sockets[0].getsockname()[1]
 
     @property
     def port(self) -> int:
@@ -179,9 +215,10 @@ class QueryService:
         while computations a worker already picked up drain normally.
         """
         self._closing = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for server in [self._server, *self._extra_servers]:
+            if server is not None:
+                server.close()
+                await server.wait_closed()
         for pending in list(self._pending.values()):
             pending.cancel()  # only succeeds before a worker starts it
         deadline = time.monotonic() + timeout
@@ -384,6 +421,13 @@ class QueryService:
             return HttpResponse.json(200, cached, {"X-Cache": "hit"})
 
         if admission == ADMIT_DENY:
+            # A sibling worker may hold the answer even though this
+            # worker's LRU does not: degraded mode serves it stale.
+            shared_text = self._shared_get(key)
+            if shared_text is not None:
+                if self._cache_results:
+                    self._cache_put(key, shared_text)
+                return self._stale_response(key, shared_text)
             self._metrics.record_counter("breaker_rejected")
             return HttpResponse.error(
                 503,
@@ -411,6 +455,16 @@ class QueryService:
                 status, text, {"X-Cache": header} if header else None
             )
 
+        shared_text = self._shared_get(key)
+        if shared_text is not None:
+            # Another worker already computed this key: adopt its bytes
+            # without touching the backend (no probe slot consumed).
+            if admission == ADMIT_PROBE:
+                self._breaker.release_probe()
+            if self._cache_results:
+                self._cache_put(key, shared_text)
+            return HttpResponse.json(200, shared_text, {"X-Cache": "shared"})
+
         if len(self._inflight) >= self._queue_limit:
             if admission == ADMIT_PROBE:
                 self._breaker.release_probe()
@@ -428,18 +482,24 @@ class QueryService:
         future = loop.create_future()
         self._inflight[key] = future
         outcome = (503, self._error_text(503, "service shutting down"))
+        lease: Optional[Lease] = None
         try:
             try:
-                ordinal = self._compute_counts.get(key, 0)
-                self._compute_counts[key] = ordinal + 1
-                pending = self._executor.submit(
-                    self._compute, spec, deadline, f"{key}#{ordinal}"
-                )
-                self._pending[key] = pending
-                outcome = await asyncio.wait_for(
-                    asyncio.shield(asyncio.wrap_future(pending)),
-                    timeout=deadline.remaining(),
-                )
+                lease = self._acquire_lease(key)
+                if self._shared is not None and lease is None:
+                    # A sibling worker is computing this key right now:
+                    # wait for its published result instead of doing the
+                    # identical archive work a second time.
+                    waited = await self._await_shared(key, deadline)
+                    if waited is not None:
+                        outcome = waited
+                    else:
+                        # The lease holder died or gave up without
+                        # publishing; take over.
+                        lease = self._acquire_lease(key)
+                        outcome = await self._run_compute(spec, key, deadline)
+                else:
+                    outcome = await self._run_compute(spec, key, deadline)
             except asyncio.TimeoutError:
                 # The worker thread exits at its next phase-boundary
                 # deadline check; nobody is left waiting on it.
@@ -461,6 +521,13 @@ class QueryService:
         finally:
             # Resolve waiters and clear the slot even if we were cancelled
             # mid-shutdown, so coalesced requests never hang.
+            if lease is not None:
+                if outcome[0] == 200 and self._shared is not None:
+                    # Publish before releasing: waiters polling the
+                    # shared store must find the result, not a vanished
+                    # lease that sends them back to computing.
+                    self._shared.put(key, outcome[1])
+                lease.release()
             self._pending.pop(key, None)
             self._inflight.pop(key, None)
             if not future.done():
@@ -471,6 +538,8 @@ class QueryService:
             self._metrics.record_counter("deadline_exceeded")
         if status in (500, 504):
             stale = self._cache_get(key)
+            if stale is None:
+                stale = self._shared_get(key)
             if stale is not None:
                 return self._stale_response(key, stale)
         if status == 200 and self._cache_results:
@@ -481,6 +550,66 @@ class QueryService:
             else None
         )
         return HttpResponse.json(status, text, headers)
+
+    async def _run_compute(
+        self, spec: QuerySpec, key: str, deadline: Deadline
+    ) -> Tuple[int, str]:
+        """Submit one computation to the worker pool and await it."""
+        ordinal = self._compute_counts.get(key, 0)
+        self._compute_counts[key] = ordinal + 1
+        pending = self._executor.submit(
+            self._compute, spec, deadline, f"{key}#{ordinal}"
+        )
+        self._pending[key] = pending
+        return await asyncio.wait_for(
+            asyncio.shield(asyncio.wrap_future(pending)),
+            timeout=deadline.remaining(),
+        )
+
+    # ------------------------------------------------------------------
+    # Cross-worker shared cache (the --processes pool)
+    # ------------------------------------------------------------------
+
+    def _shared_get(self, key: str) -> Optional[str]:
+        """A sibling worker's published result for ``key``, if any."""
+        if self._shared is None:
+            return None
+        text = self._shared.get(key)
+        if text is not None:
+            self._metrics.record_cache("shared_results", 1, 0)
+        else:
+            self._metrics.record_cache("shared_results", 0, 1)
+        return text
+
+    def _acquire_lease(self, key: str) -> Optional[Lease]:
+        if self._shared is None:
+            return None
+        return self._shared.acquire(key)
+
+    async def _await_shared(
+        self, key: str, deadline: Deadline
+    ) -> Optional[Tuple[int, str]]:
+        """Poll for a result another worker is computing.
+
+        Returns the adopted ``(200, text)`` outcome, ``None`` when the
+        lease holder vanished without publishing (the caller computes),
+        and raises :class:`asyncio.TimeoutError` on a blown deadline
+        exactly like a local computation would.
+        """
+        self._metrics.record_counter("requests_coalesced_shared")
+        poll = 0.005
+        while True:
+            text = self._shared.get(key)
+            if text is not None:
+                self._metrics.record_cache("shared_results", 1, 0)
+                return (200, text)
+            if not self._shared.lease_pending(key):
+                return None
+            remaining = deadline.remaining()
+            if remaining <= 0.0:
+                raise asyncio.TimeoutError
+            await asyncio.sleep(min(poll, remaining))
+            poll = min(poll * 2.0, 0.05)
 
     def _account_outcome(self, status: int, probe: bool) -> None:
         """Feed one computation outcome to the breaker.
@@ -504,6 +633,11 @@ class QueryService:
             with deadline_scope(deadline):
                 deadline.check("compute_start")
                 if self._faults is not None:
+                    # In a pre-fork pool worker a scheduled KILL here
+                    # really exits the process (the supervisor restarts
+                    # it); in a single-process server it degrades to a
+                    # survivable crash classified as a backend failure.
+                    self._faults.check("service.worker_crash", fault_key)
                     self._faults.check("service.compute", fault_key)
                 return 200, self._facade.query_json(spec)
         except DeadlineExceeded as exc:
@@ -625,6 +759,8 @@ class QueryService:
             "schema_version": SCHEMA_VERSION,
             "inflight": len(self._inflight),
         }
+        if self.worker_id is not None:
+            payload["worker"] = self.worker_id
         return HttpResponse.json(
             200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
         )
@@ -643,6 +779,13 @@ class QueryService:
                 "breaker": self._breaker.snapshot(),
             },
         }
+        if self.worker_id is not None:
+            payload["service"]["worker"] = self.worker_id
+        if self._shared is not None:
+            payload["service"]["shared_cache"] = {
+                "root": self._shared.root,
+                "entries": len(self._shared),
+            }
         return HttpResponse.json(
             200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
         )

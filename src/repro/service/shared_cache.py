@@ -1,0 +1,189 @@
+"""Cross-worker shared result cache for the pre-fork serving tier.
+
+One :class:`SharedResultCache` directory is shared by every worker of a
+``repro serve --processes N`` pool.  It plays the role the in-process
+result LRU plays for a single worker, extended across process
+boundaries:
+
+* **results** — canonical JSON texts stored one-per-file, named by a
+  hash of :meth:`QuerySpec.cache_key`, written atomically (temp file +
+  ``os.replace``) so readers only ever observe complete entries;
+* **leases** — cross-worker request coalescing.  The first worker to
+  need a missing result takes a lease (an ``O_EXCL``-created lock file
+  carrying its pid); every other worker polls for the result instead of
+  recomputing, so N workers hitting the same cold query perform exactly
+  one archive read between them.  A lease whose owner died (pid gone)
+  or that outlived ``lease_timeout`` is stolen, so a crashed worker
+  never wedges a query key.
+
+The store is deliberately filesystem-simple: no shared memory, no
+daemons, nothing to recover after a crash beyond unlinking stale lock
+files — which the stealing path does lazily.  Entries are immutable
+once written (the serving layer only caches 200 answers, and equal
+specs produce byte-identical canonical JSON), so there is no
+invalidation protocol to get wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import time
+from typing import Optional
+
+__all__ = ["SharedResultCache", "Lease"]
+
+#: A lease older than this is presumed orphaned even when its pid is
+#: recycled; computations are bounded by request deadlines well below it.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lease owner on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists but not ours
+        return True
+    except OSError:  # pragma: no cover - e.g. platforms without kill
+        return True
+    return True
+
+
+class Lease:
+    """Exclusive right to compute one cache key (a held lock file)."""
+
+    __slots__ = ("path", "_released")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._released = False
+
+    def release(self) -> None:
+        """Drop the lease; idempotent, survives the file vanishing."""
+        if self._released:
+            return
+        self._released = True
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class SharedResultCache:
+    """Filesystem-backed result store shared by a worker pool."""
+
+    def __init__(
+        self, root: str, lease_timeout: float = DEFAULT_LEASE_TIMEOUT
+    ) -> None:
+        self.root = root
+        self.lease_timeout = float(lease_timeout)
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _name(key: str) -> str:
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:40]
+
+    def _result_path(self, key: str) -> str:
+        return os.path.join(self.root, self._name(key) + ".json")
+
+    def _lease_path(self, key: str) -> str:
+        return os.path.join(self.root, self._name(key) + ".lock")
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[str]:
+        """The stored canonical JSON for ``key``, or None."""
+        try:
+            with open(self._result_path(key), "r", encoding="utf-8") as handle:
+                return handle.read()
+        except (FileNotFoundError, NotADirectoryError):
+            return None
+
+    def put(self, key: str, text: str) -> None:
+        """Store one result atomically (readers never see partials)."""
+        path = self._result_path(key)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_path, path)
+        except OSError:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        try:
+            return sum(
+                1 for name in os.listdir(self.root) if name.endswith(".json")
+            )
+        except OSError:
+            return 0
+
+    # ------------------------------------------------------------------
+    # Leases (cross-worker coalescing)
+    # ------------------------------------------------------------------
+
+    def acquire(self, key: str) -> Optional[Lease]:
+        """Try to become the computer for ``key``.
+
+        Returns a :class:`Lease` when this caller should compute, or
+        ``None`` when another live worker already holds the lease (the
+        caller should poll :meth:`get` instead).  A stale lease — owner
+        pid dead, or older than ``lease_timeout`` — is stolen in place.
+        """
+        path = self._lease_path(key)
+        for _ in range(2):  # first attempt, then once after a steal
+            try:
+                descriptor = os.open(
+                    path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                if not self._lease_stale(path):
+                    return None
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(str(os.getpid()))
+            return Lease(path)
+        return None
+
+    def lease_pending(self, key: str) -> bool:
+        """True while a live worker holds the lease for ``key``."""
+        path = self._lease_path(key)
+        return os.path.exists(path) and not self._lease_stale(path)
+
+    def _lease_stale(self, path: str) -> bool:
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return False  # vanished: released, not stale
+        if time.time() - stat.st_mtime > self.lease_timeout:
+            return True
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                pid = int(handle.read().strip() or "0")
+        except (OSError, ValueError):
+            # Mid-write or unreadable: only the age check applies.
+            return False
+        return not _pid_alive(pid)
+
+    def __repr__(self) -> str:
+        return f"SharedResultCache({self.root!r}, entries={len(self)})"

@@ -204,10 +204,21 @@ class TestDefaultPlanAndMetrics:
         assert set(plan.sites) == set(SITES) - set(SERVICE_SITES)
 
     def test_service_plan_covers_every_service_site(self):
+        # worker_crash is opt-in: armed via crash_match only, because a
+        # rate-armed KILL would take down single-process serves.
         plan = service_plan(5, rate=0.25, match="headline")
-        assert set(plan.sites) == set(SERVICE_SITES)
-        for site in SERVICE_SITES:
+        assert set(plan.sites) == set(SERVICE_SITES) - {"service.worker_crash"}
+        for site in plan.sites:
             assert plan.sites[site].match == "headline"
+
+        armed = service_plan(
+            5, rate=0.25, match="headline", crash_match="2022-03-18"
+        )
+        assert set(armed.sites) == set(SERVICE_SITES)
+        crash = armed.sites["service.worker_crash"]
+        assert crash.match == "2022-03-18"
+        assert crash.rate == 1.0
+        assert crash.max_injections == 1
 
     def test_sync_fault_metrics_reports_deltas_once(self):
         plan = FaultPlan(1, {"shard.write": FaultSpec(IO_ERROR, 1.0)})

@@ -1,0 +1,161 @@
+"""The open-loop load harness: seed-purity, mix shape, reporting.
+
+``repro loadgen`` is only useful as a regression gate if the offered
+workload is exactly reproducible, so most of this file pins the pure
+plan layer: same seed → identical arrival times and query sequence;
+different seed → different workload; zipf weighting keeps the coarse
+summary queries hot and the domain-level records (punycode included) in
+the tail.  One test drives a real in-process service and checks the
+measured report end to end, including the ``BENCH_service_load.json``
+artifact the CI gate consumes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.loadgen import (
+    LoadSample,
+    build_plan,
+    default_mix,
+    percentile,
+    run_loadgen,
+    summarise,
+)
+
+from .conftest import ServiceThread, fresh_context
+
+
+class TestPlanPurity:
+    def test_same_seed_same_workload(self):
+        first = build_plan(11, rate=200.0, duration=2.0)
+        second = build_plan(11, rate=200.0, duration=2.0)
+        assert first.arrivals == second.arrivals
+        assert first.labels == second.labels
+        assert first.paths == second.paths
+
+    def test_different_seed_different_workload(self):
+        first = build_plan(11, rate=200.0, duration=2.0)
+        second = build_plan(12, rate=200.0, duration=2.0)
+        assert (
+            first.arrivals != second.arrivals
+            or first.labels != second.labels
+        )
+
+    def test_mix_change_does_not_shift_arrivals(self):
+        # Arrival and mix streams are independently derived, so adding
+        # a query to the catalog must not move any request in time.
+        full = build_plan(5, rate=100.0, duration=2.0)
+        trimmed = build_plan(5, rate=100.0, duration=2.0,
+                             mix=default_mix()[:3])
+        assert full.arrivals == trimmed.arrivals
+
+    def test_arrivals_match_offered_rate(self):
+        plan = build_plan(3, rate=500.0, duration=4.0)
+        assert all(0.0 <= at < 4.0 for at in plan.arrivals)
+        assert plan.arrivals == sorted(plan.arrivals)
+        # Poisson count concentrates around rate*duration = 2000.
+        assert 1700 <= len(plan) <= 2300
+
+    def test_zipf_mix_keeps_coarse_queries_hot(self):
+        plan = build_plan(9, rate=1000.0, duration=4.0)
+        counts = {}
+        for label in plan.labels:
+            counts[label] = counts.get(label, 0) + 1
+        labels = [label for label, _ in default_mix()]
+        # Rank 0 (headline) dominates; the records tail still shows up.
+        assert counts[labels[0]] == max(counts.values())
+        assert counts[labels[0]] > 3 * counts.get(labels[-1], 1)
+        assert any(label.startswith("records:") for label in counts)
+
+    def test_punycode_variants_are_in_the_mix(self):
+        paths = [path for _, path in default_mix()]
+        assert any("%D1%80%D1%84" in path for path in paths)
+        assert any("xn--p1ai" in path for path in paths)
+
+    def test_bad_parameters_are_rejected(self):
+        with pytest.raises(ReproError):
+            build_plan(1, rate=0.0, duration=1.0)
+        with pytest.raises(ReproError):
+            build_plan(1, rate=10.0, duration=0.0)
+        with pytest.raises(ReproError):
+            build_plan(1, rate=10.0, duration=1.0, mix=[])
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = sorted(float(value) for value in range(1, 101))
+        assert percentile(values, 50.0) == 50.0
+        assert percentile(values, 95.0) == 95.0
+        assert percentile(values, 99.0) == 99.0
+        assert percentile(values, 100.0) == 100.0
+
+    def test_single_sample_and_empty(self):
+        assert percentile([7.0], 50.0) == 7.0
+        assert percentile([7.0], 99.0) == 7.0
+        assert percentile([], 99.0) is None
+
+
+class TestSummarise:
+    def _sample(self, status=200, latency=0.01, stale=False, malformed=False):
+        return LoadSample(
+            label="headline", path="/v1/headline", offset=0.0,
+            latency=latency, status=status, stale=stale, malformed=malformed,
+        )
+
+    def test_rates_and_percentiles(self):
+        plan = build_plan(1, rate=10.0, duration=1.0)
+        samples = (
+            [self._sample(latency=0.010)] * 90
+            + [self._sample(latency=0.100, stale=True)] * 8
+            + [self._sample(status=503)] * 2
+        )
+        report = summarise(plan, samples, "http://127.0.0.1:1", 1.0)
+        assert report["requests_sent"] == 100
+        assert report["requests_ok"] == 98
+        assert report["error_rate"] == 0.02
+        assert report["stale_served"] == 8
+        assert report["stale_rate"] == round(8 / 98, 6)
+        assert report["malformed"] == 0
+        assert report["latency_ms"]["p50"] == 10.0
+        assert report["latency_ms"]["p99"] == 100.0
+        assert report["errors_by_status"] == {"503": 2}
+
+    def test_transport_failures_count_as_errors(self):
+        plan = build_plan(1, rate=10.0, duration=1.0)
+        samples = [self._sample(), self._sample(status=0)]
+        report = summarise(plan, samples, "u", 1.0)
+        assert report["requests_errored"] == 1
+        assert report["errors_by_status"] == {"0": 1}
+
+
+class TestLiveRun:
+    def test_loadgen_measures_a_real_service(
+        self, service_archive, tmp_path
+    ):
+        output = tmp_path / "BENCH_service_load.json"
+        with ServiceThread(fresh_context(service_archive)) as server:
+            report = run_loadgen(
+                server.url(""),
+                rate=40.0,
+                duration=1.5,
+                seed=20220224,
+                output=str(output),
+            )
+        assert report["requests_sent"] == len(
+            build_plan(20220224, 40.0, 1.5)
+        )
+        assert report["requests_ok"] == report["requests_sent"]
+        assert report["error_rate"] == 0.0
+        assert report["malformed"] == 0
+        assert report["latency_ms"]["p99"] is not None
+        assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+        assert report["throughput_qps"] > 0
+
+        written = json.loads(output.read_text(encoding="utf-8"))
+        assert written["seed"] == 20220224
+        assert written["requests_sent"] == report["requests_sent"]
+        assert written["query_mix"]["headline"] >= 1

@@ -1,0 +1,434 @@
+"""Multi-process serving tier: socket modes, shared cache, supervisor.
+
+Tier-1 coverage for :mod:`repro.service.multiproc` and
+:mod:`repro.service.shared_cache`:
+
+* the pure socket-mode decision, including both graceful degradations
+  (no ``SO_REUSEPORT`` → inherited socket; no ``fork`` → single process)
+  pinned by monkeypatching the capability probes' inputs;
+* the filesystem shared-result cache: atomic publish, lease
+  exclusivity, stale-lease stealing;
+* cross-worker result sharing at the :class:`QueryService` level — two
+  servers over one cache directory perform one archive read between
+  them and answer byte-identically;
+* metrics aggregation over per-worker payloads;
+* one real ``repro serve --processes 2`` subprocess: two-line
+  announcement, supervisor health, worker-tagged aggregated metrics,
+  byte-identity with the offline CLI, and a clean SIGTERM drain.
+
+The fault-driven scenarios (worker crash + restart, stall-pinned
+cross-worker coalescing, breaker/stale against the pool) live in the
+chaos suite (``tests/service/test_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.service import (
+    MODE_INHERITED,
+    MODE_REUSEPORT,
+    MODE_SINGLE,
+    SharedResultCache,
+    aggregate_worker_metrics,
+    select_socket_mode,
+)
+from repro.service.multiproc import fork_available, reuseport_available
+
+from .conftest import SERVICE_CADENCE, SERVICE_SCALE, ServiceThread, fresh_context
+
+
+# ----------------------------------------------------------------------
+# Socket-mode selection (pure; monkeypatched capabilities)
+# ----------------------------------------------------------------------
+
+class TestSocketMode:
+    def test_single_process_request_stays_single(self):
+        mode, reason = select_socket_mode(1)
+        assert mode == MODE_SINGLE
+        assert "one process" in reason
+
+    def test_prefers_reuseport_when_supported(self, monkeypatch):
+        monkeypatch.setattr(socket, "SO_REUSEPORT", 15, raising=False)
+        mode, _ = select_socket_mode(4)
+        assert mode in (MODE_REUSEPORT, MODE_INHERITED)
+        if reuseport_available():
+            assert mode == MODE_REUSEPORT
+
+    def test_falls_back_to_inherited_without_reuseport(self, monkeypatch):
+        # Platform without the constant at all (pre-3.9 kernels, some
+        # BSDs): workers must inherit the parent-bound socket.
+        monkeypatch.delattr(socket, "SO_REUSEPORT", raising=False)
+        assert not reuseport_available()
+        mode, reason = select_socket_mode(2)
+        assert mode == MODE_INHERITED
+        assert "inherit" in reason
+
+    def test_falls_back_to_single_without_fork(self, monkeypatch):
+        # No fork start method (e.g. Windows): degrade to one in-process
+        # server with a clear reason instead of crashing.
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        assert not fork_available()
+        mode, reason = select_socket_mode(8)
+        assert mode == MODE_SINGLE
+        assert "single-process" in reason
+
+    def test_reuseport_constant_present_but_rejected(self, monkeypatch):
+        # Constant defined but setsockopt refuses it: the probe must
+        # report unsupported rather than blow up at bind time.
+        real_socket = socket.socket
+
+        class _Refusing(real_socket):
+            def setsockopt(self, level, option, value):
+                if option == getattr(socket, "SO_REUSEPORT", -1):
+                    raise OSError("protocol not available")
+                return real_socket.setsockopt(self, level, option, value)
+
+        monkeypatch.setattr(socket, "SO_REUSEPORT", 15, raising=False)
+        monkeypatch.setattr(socket, "socket", _Refusing)
+        assert not reuseport_available()
+        mode, _ = select_socket_mode(2)
+        assert mode == MODE_INHERITED
+
+
+# ----------------------------------------------------------------------
+# Shared result cache
+# ----------------------------------------------------------------------
+
+class TestSharedResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = SharedResultCache(str(tmp_path / "shared"))
+        assert cache.get("spec-a") is None
+        cache.put("spec-a", '{"answer":1}')
+        assert cache.get("spec-a") == '{"answer":1}'
+        assert len(cache) == 1
+        # Overwrite is atomic and last-writer-wins.
+        cache.put("spec-a", '{"answer":2}')
+        assert cache.get("spec-a") == '{"answer":2}'
+        assert len(cache) == 1
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        cache = SharedResultCache(str(tmp_path))
+        cache.put("spec-a", "A")
+        cache.put("spec-b", "B")
+        assert cache.get("spec-a") == "A"
+        assert cache.get("spec-b") == "B"
+
+    def test_lease_is_exclusive_until_released(self, tmp_path):
+        cache = SharedResultCache(str(tmp_path))
+        lease = cache.acquire("key")
+        assert lease is not None
+        assert cache.acquire("key") is None
+        assert cache.lease_pending("key")
+        lease.release()
+        assert not cache.lease_pending("key")
+        again = cache.acquire("key")
+        assert again is not None
+        again.release()
+
+    def test_release_is_idempotent(self, tmp_path):
+        cache = SharedResultCache(str(tmp_path))
+        lease = cache.acquire("key")
+        lease.release()
+        lease.release()  # no raise
+        assert cache.acquire("key") is not None
+
+    def test_stale_lease_from_dead_pid_is_stolen(self, tmp_path):
+        cache = SharedResultCache(str(tmp_path))
+        lease = cache.acquire("key")
+        # Rewrite the lock with a pid that cannot exist: the owner died.
+        with open(lease.path, "w", encoding="utf-8") as handle:
+            handle.write("999999999")
+        stolen = cache.acquire("key")
+        assert stolen is not None, "dead-owner lease was not stolen"
+        stolen.release()
+
+    def test_aged_out_lease_is_stolen(self, tmp_path):
+        cache = SharedResultCache(str(tmp_path), lease_timeout=0.05)
+        first = cache.acquire("key")
+        assert first is not None
+        time.sleep(0.1)
+        second = cache.acquire("key")
+        assert second is not None, "expired lease was not stolen"
+        second.release()
+
+
+# ----------------------------------------------------------------------
+# Cross-worker result sharing at the QueryService level
+# ----------------------------------------------------------------------
+
+RECORDS_PATH = "/v1/records/2022-03-04?tld=xn--p1ai&limit=5"
+
+
+class TestSharedServing:
+    def test_second_server_adopts_published_result(
+        self, service_archive, tmp_path
+    ):
+        """Two servers, one cache dir: one archive read, identical bytes.
+
+        This is the in-process twin of the forked worker pool — each
+        ServiceThread plays one worker, so the cross-process contract
+        (publish on 200, adopt on hit, count a single archive read) is
+        pinned without fork timing in the way.
+        """
+        shared_dir = str(tmp_path / "shared")
+        ctx_a, ctx_b = fresh_context(service_archive), fresh_context(service_archive)
+        cache_a = SharedResultCache(shared_dir)
+        cache_b = SharedResultCache(shared_dir)
+        with ServiceThread(ctx_a, shared_cache=cache_a, worker_id=0) as a:
+            status, headers_a, body_a = a.get(RECORDS_PATH)
+            assert status == 200
+            assert headers_a.get("X-Cache") != "shared"
+            with ServiceThread(ctx_b, shared_cache=cache_b, worker_id=1) as b:
+                status, headers_b, body_b = b.get(RECORDS_PATH)
+                assert status == 200
+                assert headers_b.get("X-Cache") == "shared"
+                assert body_b == body_a
+
+        # Worker A did the one archive read; worker B adopted.
+        misses_a = ctx_a.metrics.summary()["caches"]["archive_shards"]["misses"]
+        caches_b = ctx_b.metrics.summary()["caches"]
+        assert misses_a == 1
+        assert caches_b.get("archive_shards", {}).get("misses", 0) == 0
+        assert caches_b["shared_results"]["hits"] == 1
+
+    def test_worker_id_tags_health_and_metrics(self, service_archive):
+        context = fresh_context(service_archive)
+        with ServiceThread(context, worker_id=3) as server:
+            _, _, health = server.get("/healthz")
+            assert json.loads(health)["worker"] == 3
+            _, _, metrics = server.get("/metrics")
+            assert json.loads(metrics)["service"]["worker"] == 3
+
+    def test_single_process_serving_has_no_shared_section(
+        self, service_archive
+    ):
+        context = fresh_context(service_archive)
+        with ServiceThread(context) as server:
+            _, _, health = server.get("/healthz")
+            assert "worker" not in json.loads(health)
+            _, _, metrics = server.get("/metrics")
+            assert "shared_cache" not in json.loads(metrics)["service"]
+
+
+# ----------------------------------------------------------------------
+# Metrics aggregation
+# ----------------------------------------------------------------------
+
+def _worker_payload(counters=None, caches=None, endpoints=None):
+    return {
+        "metrics": {
+            "counters": counters or {},
+            "caches": caches or {},
+            "endpoints": endpoints or {},
+            "recovery": {},
+        }
+    }
+
+
+class TestAggregation:
+    def test_counters_and_caches_sum_across_workers(self):
+        aggregated = aggregate_worker_metrics(
+            {
+                "0": _worker_payload(
+                    counters={"requests_total": 3},
+                    caches={"archive_shards": {"hits": 2, "misses": 1}},
+                ),
+                "1": _worker_payload(
+                    counters={"requests_total": 5, "requests_stale": 1},
+                    caches={"archive_shards": {"hits": 0, "misses": 1}},
+                ),
+            }
+        )
+        assert aggregated["counters"] == {
+            "requests_total": 8, "requests_stale": 1,
+        }
+        shards = aggregated["caches"]["archive_shards"]
+        assert shards["hits"] == 2 and shards["misses"] == 2
+        assert shards["hit_rate"] == 0.5
+
+    def test_endpoints_sum_requests_and_keep_pool_max(self):
+        aggregated = aggregate_worker_metrics(
+            {
+                "0": _worker_payload(endpoints={
+                    "query": {"requests": 4, "errors": 1,
+                              "wall_seconds": 0.5, "max_seconds": 0.3},
+                }),
+                "1": _worker_payload(endpoints={
+                    "query": {"requests": 2, "errors": 0,
+                              "wall_seconds": 0.2, "max_seconds": 0.15},
+                }),
+            }
+        )
+        query = aggregated["endpoints"]["query"]
+        assert query["requests"] == 6 and query["errors"] == 1
+        assert query["max_seconds"] == 0.3
+        assert abs(query["wall_seconds"] - 0.7) < 1e-9
+
+    def test_unscrapable_workers_contribute_nothing(self):
+        aggregated = aggregate_worker_metrics(
+            {"0": _worker_payload(counters={"requests_total": 2}), "1": None}
+        )
+        assert aggregated["counters"] == {"requests_total": 2}
+
+    def test_empty_pool_aggregates_empty(self):
+        aggregated = aggregate_worker_metrics({})
+        assert aggregated == {
+            "counters": {}, "recovery": {}, "caches": {}, "endpoints": {},
+        }
+
+
+# ----------------------------------------------------------------------
+# One real supervised pool end to end
+# ----------------------------------------------------------------------
+
+SCENARIO_FLAGS = [
+    "--scale", str(int(SERVICE_SCALE)),
+    "--no-pki",
+    "--cadence", str(SERVICE_CADENCE),
+]
+
+
+def _repro_env() -> dict:
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (os.path.join(root, "src"), env.get("PYTHONPATH"))
+        if part
+    )
+    return env
+
+
+@contextmanager
+def supervised_serve(service_archive, processes=2, extra=()):
+    """A real ``repro serve --processes N`` subprocess.
+
+    Yields ``(port, admin_port, process)``; tears down via SIGTERM and
+    asserts the graceful-drain exit code.
+    """
+    argv = [
+        sys.executable, "-m", "repro", *SCENARIO_FLAGS,
+        "serve", "--port", "0", "--archive", service_archive,
+        "--processes", str(processes), *extra,
+    ]
+    process = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=_repro_env(),
+    )
+    try:
+        line = process.stdout.readline()
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        assert match, (
+            f"no serving announcement (exit={process.poll()}): {line!r} "
+            f"{process.stderr.read() if process.poll() is not None else ''}"
+        )
+        admin_line = process.stdout.readline()
+        admin_match = re.search(r"http://[\d.]+:(\d+)", admin_line)
+        assert admin_match, f"no admin announcement: {admin_line!r}"
+        yield int(match.group(1)), int(admin_match.group(1)), process
+    finally:
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def _get_json(port: int, path: str):
+    import urllib.request
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=30
+    ) as response:
+        return json.loads(response.read())
+
+
+def _get_bytes(port: int, path: str) -> bytes:
+    import urllib.request
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=30
+    ) as response:
+        return response.read()
+
+
+class TestSupervisedPool:
+    def test_pool_serves_aggregates_and_drains(self, service_archive):
+        with supervised_serve(service_archive, processes=2) as (
+            port, admin, process
+        ):
+            # Supervisor health: both workers alive and ready.
+            health = _get_json(admin, "/healthz")
+            assert health["status"] == "ready"
+            assert health["processes"] == 2
+            assert [entry["worker"] for entry in health["workers"]] == [0, 1]
+            assert all(entry["alive"] for entry in health["workers"])
+            states = [entry["state"] for entry in health["history"]]
+            assert states[0] == "live" and states[-1] == "ready"
+
+            # The pool answers queries; repeated fetches are
+            # byte-identical no matter which worker accepts.
+            bodies = {_get_bytes(port, "/v1/headline") for _ in range(6)}
+            assert len(bodies) == 1
+
+            # Worker-tagged aggregation: per-worker payloads appear
+            # under their id and the summed counters cover every
+            # request the pool served.
+            metrics = _get_json(admin, "/metrics")
+            assert set(metrics["workers"]) == {"0", "1"}
+            for worker_id, payload in metrics["workers"].items():
+                assert payload["service"]["worker"] == int(worker_id)
+                assert payload["service"]["shared_cache"] is not None
+            assert metrics["aggregated"]["counters"]["requests_total"] >= 6
+            assert metrics["supervisor"]["mode"] in (
+                MODE_REUSEPORT, MODE_INHERITED
+            )
+
+            # Exactly one worker computed the headline (it alone read
+            # archive summaries); every other answer came from its
+            # local LRU or the shared cache.
+            computed = [
+                payload for payload in metrics["workers"].values()
+                if payload["metrics"]["caches"]
+                .get("archive_summaries", {}).get("misses", 0) > 0
+            ]
+            assert len(computed) == 1
+
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+        # Drain closed the listen socket: a fresh connect must fail.
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=2)
+
+    def test_pool_bytes_match_offline_cli(self, service_archive):
+        spec = {"kind": "records", "date": "2022-03-04",
+                "tld": "рф", "limit": 5}
+        offline = subprocess.run(
+            [sys.executable, "-m", "repro", *SCENARIO_FLAGS,
+             "query", json.dumps(spec), "--archive", service_archive],
+            capture_output=True, env=_repro_env(), timeout=600,
+        )
+        assert offline.returncode == 0, offline.stderr
+        with supervised_serve(service_archive, processes=2) as (port, _, _):
+            remote = subprocess.run(
+                [sys.executable, "-m", "repro", "query", json.dumps(spec),
+                 "--url", f"http://127.0.0.1:{port}"],
+                capture_output=True, env=_repro_env(), timeout=600,
+            )
+        assert remote.returncode == 0, remote.stderr
+        assert remote.stdout == offline.stdout

@@ -277,3 +277,49 @@ class TestServeParser:
         assert args.queue_limit == 32
         assert args.cache_results == 128
         assert args.archive is None
+        # Multi-process pool defaults: single in-process server,
+        # auto-picked admin port, private shared-cache temp dir.
+        assert args.processes == 1
+        assert args.admin_port == 0
+        assert args.shared_cache is None
+        assert args.fault_crash_match is None
+
+    def test_pool_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--processes", "4", "--admin-port", "9999",
+             "--shared-cache", "/tmp/shared",
+             "--fault-crash-match", "2022-03-18"]
+        )
+        assert args.processes == 4
+        assert args.admin_port == 9999
+        assert args.shared_cache == "/tmp/shared"
+        assert args.fault_crash_match == "2022-03-18"
+
+
+class TestLoadgenParser:
+    def test_url_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--url", "http://127.0.0.1:8321"]
+        )
+        assert args.rate == 50.0
+        assert args.duration == 10.0
+        assert args.timeout == 30.0
+        assert args.output == "BENCH_service_load.json"
+        assert args.max_error_rate is None
+        assert args.max_p99_ms is None
+
+    def test_gate_flags(self):
+        args = build_parser().parse_args(
+            ["--seed", "7", "loadgen", "--url", "http://127.0.0.1:1",
+             "--rate", "120", "--duration", "5", "--output", "-",
+             "--max-error-rate", "0", "--max-p99-ms", "500"]
+        )
+        assert args.seed == 7
+        assert args.rate == 120.0
+        assert args.output == "-"
+        assert args.max_error_rate == 0.0
+        assert args.max_p99_ms == 500.0
