@@ -21,8 +21,16 @@ from .builder import (
 )
 from .kernel import ArchiveQueryKernel, summarize_snapshot
 from .manifest import Manifest, scenario_fingerprint
-from .shard import DayShardRecord, read_shard, read_summary, write_shard
+from .shard import (
+    DayShardRecord,
+    ShardProbe,
+    probe_shard,
+    read_shard,
+    read_summary,
+    write_shard,
+)
 from .store import ArchiveCollector, ArchivedSnapshot, MeasurementArchive
+from .stream import DayStream, write_shard_stream
 from .summary import DaySummary
 
 __all__ = [
@@ -34,11 +42,15 @@ __all__ = [
     "Manifest",
     "scenario_fingerprint",
     "DayShardRecord",
+    "DayStream",
     "DaySummary",
+    "ShardProbe",
+    "probe_shard",
     "read_shard",
     "read_summary",
     "summarize_snapshot",
     "write_shard",
+    "write_shard_stream",
     "ArchiveCollector",
     "ArchivedSnapshot",
     "MeasurementArchive",

@@ -32,8 +32,9 @@ from ..measurement.sweep import SweepEngine
 from ..timeline import STUDY_END, STUDY_START, DateLike, as_date
 from .kernel import summarize_snapshot
 from .manifest import DayEntry, Manifest, scenario_fingerprint
-from .shard import DayShardRecord, write_shard
+from .shard import DayShardRecord, probe_shard, write_shard
 from .store import MeasurementArchive
+from .stream import DayStream, write_shard_stream
 
 __all__ = [
     "RECENT_DAILY_START",
@@ -91,40 +92,79 @@ class ArchiveShardReducer:
     every time.  They are dropped on pickling, like the other reducers.
     """
 
-    def __init__(self, directory: str, faults=None) -> None:
+    def __init__(
+        self,
+        directory: str,
+        faults=None,
+        chunk_domains: Optional[int] = None,
+        metrics: Optional[SweepMetrics] = None,
+    ) -> None:
         self.directory = str(directory)
         self.faults = faults
+        #: When set, days are encoded through the streaming writer in
+        #: bounded chunks of this many domains instead of materialising
+        #: the whole day; the bytes on disk are identical either way.
+        self.chunk_domains = chunk_domains
+        #: Parent-process metrics for RSS sampling at chunk boundaries;
+        #: dropped on pickling (worker processes sample nothing).
+        self.metrics = metrics
         self._apex_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self._plan_cache: Dict[Tuple[int, int], Tuple[Tuple[str, ...], Tuple[int, ...]]] = {}
 
     def __getstate__(self):
-        return {"directory": self.directory, "faults": self.faults}
+        return {
+            "directory": self.directory,
+            "faults": self.faults,
+            "chunk_domains": self.chunk_domains,
+        }
 
     def __setstate__(self, state) -> None:
         self.directory = state["directory"]
         self.faults = state.get("faults")
+        self.chunk_domains = state.get("chunk_domains")
+        self.metrics = None
         self._apex_cache = {}
         self._plan_cache = {}
 
     def reduce_day(self, snapshot) -> ShardInfo:
         """Columnarise and write one day; returns the manifest metadata."""
         started = time.perf_counter()
-        record = DayShardRecord.from_snapshot(
-            snapshot, self._apex_cache, self._plan_cache
-        )
-        # Pre-aggregate the day once at build time (shard format v3):
-        # readers answer the coarse longitudinal queries from this block
-        # without decoding the columns or building a world.
-        record.summary = summarize_snapshot(snapshot)
-        name = shard_filename(record.date)
-        file_bytes, crc = write_shard(
-            os.path.join(self.directory, name), record, faults=self.faults
-        )
+        name = shard_filename(snapshot.date)
+        path = os.path.join(self.directory, name)
+        if self.chunk_domains:
+            # Streaming path: the day is summarised, encoded, and
+            # compressed in bounded domain chunks — no whole-day string
+            # or payload buffer ever exists.  Byte-identical to the
+            # whole-day branch below by construction (shared prefix
+            # encoder, chunk-invariant zlib stream).
+            stream = DayStream.from_snapshot(
+                snapshot,
+                self._apex_cache,
+                self._plan_cache,
+                chunk_domains=self.chunk_domains,
+            )
+            file_bytes, crc = write_shard_stream(
+                path, stream, self.chunk_domains, faults=self.faults
+            )
+            records = len(stream)
+        else:
+            record = DayShardRecord.from_snapshot(
+                snapshot, self._apex_cache, self._plan_cache
+            )
+            # Pre-aggregate the day once at build time (shard format
+            # v3): readers answer the coarse longitudinal queries from
+            # this block without decoding the columns or building a
+            # world.
+            record.summary = summarize_snapshot(snapshot)
+            file_bytes, crc = write_shard(path, record, faults=self.faults)
+            records = len(record.measured)
+        if self.metrics is not None:
+            self.metrics.sample_rss()
         return ShardInfo(
-            record.date,
+            snapshot.date,
             name,
             file_bytes,
-            len(record.measured),
+            records,
             crc,
             time.perf_counter() - started,
         )
@@ -133,7 +173,7 @@ class ArchiveShardReducer:
 class BuildReport:
     """Outcome of one :meth:`ArchiveBuilder.build` call."""
 
-    __slots__ = ("written", "skipped", "bytes_written", "segments")
+    __slots__ = ("written", "skipped", "bytes_written", "segments", "adopted")
 
     def __init__(
         self,
@@ -141,6 +181,7 @@ class BuildReport:
         skipped: List[_dt.date],
         bytes_written: int,
         segments: int,
+        adopted: Optional[List[_dt.date]] = None,
     ) -> None:
         #: Days swept and persisted by this call, chronological.
         self.written = written
@@ -149,11 +190,15 @@ class BuildReport:
         self.bytes_written = bytes_written
         #: Contiguous missing-day runs the call was split into.
         self.segments = segments
+        #: Verified orphan shards (from an interrupted build) registered
+        #: into the manifest without a re-sweep, chronological.
+        self.adopted = [] if adopted is None else adopted
 
     def __repr__(self) -> str:
         return (
             f"BuildReport({len(self.written)} written, "
-            f"{len(self.skipped)} skipped, {self.bytes_written}B)"
+            f"{len(self.skipped)} skipped, {len(self.adopted)} adopted, "
+            f"{self.bytes_written}B)"
         )
 
 
@@ -214,11 +259,16 @@ class ArchiveBuilder:
         outage_coverage: float = _OUTAGE_COVERAGE,
         collector_seed: int = 7,
         faults=None,
+        chunk_domains: Optional[int] = None,
     ) -> None:
         self.directory = str(directory)
         self.config = config
         self.workers = int(workers)
         self.chunk_days = chunk_days
+        #: Bounded-memory streaming encode: domains per encoded chunk
+        #: (``None`` keeps the whole-day path).  Output bytes are
+        #: identical either way.
+        self.chunk_domains = chunk_domains
         self.metrics = metrics
         self.faults = faults
         self._outage_dates = tuple(sorted(as_date(d) for d in outage_dates))
@@ -288,19 +338,68 @@ class ArchiveBuilder:
     # Builds
     # ------------------------------------------------------------------
 
+    def _adopt_orphans(
+        self, manifest: Manifest, missing: Sequence[_dt.date]
+    ) -> List[_dt.date]:
+        """Register verified orphan shards for missing days, no re-sweep.
+
+        An interrupted build — a crash mid-segment, a kill between a
+        worker's shard write and the parent's manifest flush (the
+        ``chunk_days`` window) — leaves complete, CRC-valid shard files
+        that the manifest never recorded.  Because shard bytes are
+        write-atomic and deterministic, such a file *is* the shard the
+        resume would produce; probing it (full CRC verify plus a
+        date/population identity check) and adding its manifest entry
+        converges on the identical archive without re-sweeping the day.
+        Anything that fails the probe is left for the normal re-sweep,
+        whose atomic write replaces it.
+        """
+        adopted: List[_dt.date] = []
+        for date in missing:
+            name = shard_filename(date)
+            path = os.path.join(self.directory, name)
+            if not os.path.exists(path):
+                continue
+            try:
+                probe = probe_shard(path)
+            except ArchiveError:
+                continue
+            if (
+                probe.date != date
+                or probe.population_size != manifest.population_size
+            ):
+                continue
+            manifest.add_day(
+                DayEntry(date, name, probe.file_bytes, probe.records, probe.crc32)
+            )
+            adopted.append(date)
+        return adopted
+
     def build(self, start: DateLike, end: DateLike, step: int = 1) -> BuildReport:
         """Archive every ``step``-th day in [start, end] not yet covered."""
         wanted = _date_grid(start, end, step)
         manifest = self._load_or_create_manifest()
         missing = manifest.missing_dates(wanted)
         skipped = sorted(set(wanted) - set(missing))
+        adopted = self._adopt_orphans(manifest, missing)
+        if adopted:
+            leftover = set(adopted)
+            missing = [date for date in missing if date not in leftover]
+        if self.metrics is not None:
+            self.metrics.sample_rss()
         if not missing:
             # Still (re)write the manifest so a fresh no-op build of an
-            # empty range leaves a valid archive behind.
+            # empty range leaves a valid archive behind (and adopted
+            # orphans become durable).
             manifest.save(self.directory, faults=self.faults)
-            return BuildReport([], skipped, 0, 0)
+            return BuildReport([], skipped, 0, 0, adopted)
         engine = self._ensure_engine()
-        reducer = ArchiveShardReducer(self.directory, faults=self.faults)
+        reducer = ArchiveShardReducer(
+            self.directory,
+            faults=self.faults,
+            chunk_domains=self.chunk_domains,
+            metrics=self.metrics,
+        )
         os.makedirs(self.directory, exist_ok=True)
         written: List[_dt.date] = []
         bytes_written = 0
@@ -323,6 +422,7 @@ class ArchiveBuilder:
             # the in-flight segment, never what is already on disk.
             manifest.save(self.directory, faults=self.faults)
             if self.metrics is not None:
+                self.metrics.sample_rss()
                 with self.metrics.phase("archive_write") as stat:
                     pass
                 stat.wall_seconds += sum(info.write_seconds for info in infos)
@@ -333,7 +433,7 @@ class ArchiveBuilder:
                 )
         if self.metrics is not None:
             sync_fault_metrics(self.faults, self.metrics)
-        return BuildReport(written, skipped, bytes_written, len(segments))
+        return BuildReport(written, skipped, bytes_written, len(segments), adopted)
 
     def build_standard(self, cadence_days: int = 7) -> BuildReport:
         """Archive what the standard experiments read.
@@ -351,6 +451,7 @@ class ArchiveBuilder:
             sorted(set(full.skipped) | set(recent.skipped)),
             full.bytes_written + recent.bytes_written,
             full.segments + recent.segments,
+            sorted(set(full.adopted) | set(recent.adopted)),
         )
 
     def open(self) -> MeasurementArchive:

@@ -40,6 +40,7 @@ __all__ = [
     "write_int32_array",
     "read_int32_array",
     "read_int32_ndarray",
+    "crc32_combine",
 ]
 
 
@@ -156,6 +157,86 @@ def read_int32_ndarray(view: memoryview, offset: int) -> Tuple[np.ndarray, int]:
         raise ArchiveError("truncated int32 array in shard payload")
     values = np.frombuffer(view[offset:end], dtype="<i4")
     return values, end
+
+
+# ----------------------------------------------------------------------
+# CRC-32 combination
+# ----------------------------------------------------------------------
+#
+# The v3 shard CRC folds the (zeroed) header in *first*, but the header
+# stores the uncompressed payload length — which a streaming writer only
+# knows after the last chunk.  crc32_combine() resolves the cycle: the
+# payload's CRC is accumulated independently from zero while chunks
+# stream out, and once the length is known the header+summary prefix CRC
+# is combined with it as if the two messages had been one.  This is
+# zlib's crc32_combine (GF(2) matrix exponentiation over the CRC-32
+# polynomial), which CPython's zlib module does not expose.
+
+#: CRC-32 polynomial, reflected form.
+_CRC32_POLY = 0xEDB88320
+
+
+def _gf2_matrix_times(matrix: Sequence[int], vector: int) -> int:
+    """Multiply a GF(2) 32x32 matrix (list of column ints) by a vector."""
+    result = 0
+    index = 0
+    while vector:
+        if vector & 1:
+            result ^= matrix[index]
+        vector >>= 1
+        index += 1
+    return result
+
+
+def _gf2_matrix_square(square: List[int], matrix: Sequence[int]) -> None:
+    """``square = matrix * matrix`` over GF(2)."""
+    for n in range(32):
+        square[n] = _gf2_matrix_times(matrix, matrix[n])
+
+
+def crc32_combine(crc1: int, crc2: int, length2: int) -> int:
+    """CRC-32 of ``A + B`` given ``crc32(A)``, ``crc32(B)``, ``len(B)``.
+
+    Equivalent to ``zlib.crc32(B, zlib.crc32(A))`` without needing the
+    bytes of either message: ``crc1`` is advanced through ``length2``
+    zero bytes by repeated matrix squaring (O(log length2) GF(2)
+    products), then xor-ed with ``crc2``.
+    """
+    if length2 < 0:
+        raise ArchiveError(f"crc32_combine length must be >= 0: {length2}")
+    if length2 == 0:
+        return crc1 & 0xFFFFFFFF
+    crc1 &= 0xFFFFFFFF
+    crc2 &= 0xFFFFFFFF
+
+    # Operator for one zero bit: the polynomial in row 0, then a shift
+    # matrix (bit n of the CRC moves to bit n-1).
+    odd = [0] * 32
+    odd[0] = _CRC32_POLY
+    row = 1
+    for n in range(1, 32):
+        odd[n] = row
+        row <<= 1
+    even = [0] * 32
+    _gf2_matrix_square(even, odd)   # two zero bits
+    _gf2_matrix_square(odd, even)   # four zero bits
+
+    # Apply length2 zero *bytes*: each squaring doubles the zero count
+    # (the first loop iteration's square makes even = one zero byte).
+    while True:
+        _gf2_matrix_square(even, odd)
+        if length2 & 1:
+            crc1 = _gf2_matrix_times(even, crc1)
+        length2 >>= 1
+        if not length2:
+            break
+        _gf2_matrix_square(odd, even)
+        if length2 & 1:
+            crc1 = _gf2_matrix_times(odd, crc1)
+        length2 >>= 1
+        if not length2:
+            break
+    return (crc1 ^ crc2) & 0xFFFFFFFF
 
 
 def write_string(buffer: bytearray, text: str) -> None:

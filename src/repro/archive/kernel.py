@@ -30,7 +30,7 @@ record-path results for every figure the kernel serves.
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -57,25 +57,73 @@ __all__ = [
 ]
 
 
-def summarize_snapshot(snapshot: DailySnapshot) -> DaySummary:
+def summarize_snapshot(
+    snapshot: DailySnapshot, chunk_domains: Optional[int] = None
+) -> DaySummary:
     """Aggregate one day into its :class:`DaySummary`.
 
     Every count is produced by the exact operation the corresponding
     reducer runs — same label gathers, same ``bincount``/matmul over
     the same columns — which is what makes summary replay bit-identical
     to record-path reduction.
+
+    With ``chunk_domains`` set, the measured set is processed in
+    position chunks of at most that many domains and the per-chunk
+    integer counts are merged additively — every aggregate here
+    (composition triples, plan bincounts, subset label counts) is a sum
+    over a partition of ``measured``, so the chunked result is equal by
+    construction, not by rounding.  This is the bounded-memory path
+    the streaming shard builder rides: the temporaries scale with the
+    chunk, not the day.
     """
     measured = snapshot.measured
-    ns_labels = snapshot_ns_geo_labels(snapshot)
-    host_labels = snapshot_hosting_geo_labels(snapshot)
-    tld_labels = snapshot_ns_tld_labels(snapshot)
-
-    # FullSweepReducer.reduce_day: per-TLD NS dependency counts.
+    count = len(measured)
     dns_labels = snapshot.epoch.dns_labels
-    plan_counts = np.bincount(
-        snapshot.dns_ids[measured],
-        minlength=dns_labels.tld_membership.shape[0],
+    hosting_labels = snapshot.epoch.hosting_labels
+    world = snapshot.world
+    sanctioned = np.asarray(world.sanctioned_indices, dtype=np.int64)
+
+    if chunk_domains is not None and chunk_domains < 1:
+        raise ArchiveError(f"chunk_domains must be >= 1: {chunk_domains}")
+    step = max(
+        1, count if not chunk_domains else min(int(chunk_domains), count)
     )
+
+    ns_triple = np.zeros(3, dtype=np.int64)
+    host_triple = np.zeros(3, dtype=np.int64)
+    tld_triple = np.zeros(3, dtype=np.int64)
+    sanctioned_triple = np.zeros(3, dtype=np.int64)
+    plan_counts = np.zeros(dns_labels.tld_membership.shape[0], dtype=np.int64)
+    host_plan_counts = np.zeros(len(hosting_labels.asn_sets), dtype=np.int64)
+
+    for lo in range(0, max(count, 1), step):
+        chunk = measured[lo:lo + step]
+        ns_triple += _composition_counts(
+            snapshot_ns_geo_labels(snapshot, chunk)
+        )
+        host_triple += _composition_counts(
+            snapshot_hosting_geo_labels(snapshot, chunk)
+        )
+        tld_triple += _composition_counts(
+            snapshot_ns_tld_labels(snapshot, chunk)
+        )
+        # FullSweepReducer.reduce_day: per-TLD NS dependency counts
+        # (the matmul against the membership matrix happens once, on
+        # the merged plan histogram below).
+        plan_counts += np.bincount(
+            snapshot.dns_ids[chunk], minlength=len(plan_counts)
+        )
+        host_plan_counts += np.bincount(
+            snapshot.hosting_ids[chunk], minlength=len(host_plan_counts)
+        )
+        # RecentWindowReducer's sanctioned subset: np.isin over a
+        # chunk partition concatenates to np.isin over the whole
+        # measured set, order preserved.
+        subset = chunk[np.isin(chunk, sanctioned)]
+        sanctioned_triple += _composition_counts(
+            snapshot_ns_geo_labels(snapshot, subset)
+        )
+
     per_tld = plan_counts @ dns_labels.tld_membership
     tld_counts = {
         tld: int(per_tld[col])
@@ -88,34 +136,25 @@ def summarize_snapshot(snapshot: DailySnapshot) -> DaySummary:
     # hosting plan touches.  For a plan-membership matrix M this is the
     # same ``plan_counts @ M`` with one column per known ASN, so any
     # tracked subset projects out of it exactly.
-    hosting_labels = snapshot.epoch.hosting_labels
-    host_plan_counts = np.bincount(
-        snapshot.hosting_ids[measured],
-        minlength=len(hosting_labels.asn_sets),
-    )
     asn_counts: Dict[int, int] = {}
     for plan_id, plan_asns in enumerate(hosting_labels.asn_sets):
-        count = int(host_plan_counts[plan_id])
-        if count:
+        plan_count = int(host_plan_counts[plan_id])
+        if plan_count:
             for asn in plan_asns:
-                asn_counts[asn] = asn_counts.get(asn, 0) + count
+                asn_counts[asn] = asn_counts.get(asn, 0) + plan_count
 
-    # RecentWindowReducer.reduce_day: sanctioned subset + list size.
-    world = snapshot.world
-    subset = snapshot.subset(world.sanctioned_indices)
-    sanctioned_labels = snapshot_ns_geo_labels(snapshot, subset)
     listed = len(world.sanctions.domains_listed_as_of(snapshot.date))
 
     return DaySummary(
         snapshot.date,
         snapshot.epoch.start_day,
-        int(len(measured)),
-        _composition_counts(ns_labels),
-        _composition_counts(host_labels),
-        _composition_counts(tld_labels),
+        int(count),
+        tuple(int(v) for v in ns_triple),
+        tuple(int(v) for v in host_triple),
+        tuple(int(v) for v in tld_triple),
         tld_counts,
         asn_counts,
-        _composition_counts(sanctioned_labels),
+        tuple(int(v) for v in sanctioned_triple),
         listed,
     )
 
@@ -184,14 +223,22 @@ class ArchiveQueryKernel:
     def sweep_summaries(
         self, start: DateLike, end: DateLike, step: int = 1
     ) -> List[DaySummary]:
-        """Summaries for every ``step`` days in ``[start, end]``."""
+        """Summaries for every ``step`` days in ``[start, end]``.
+
+        Stored summary blocks are fetched through the archive's range
+        read — a bounded parallel read when the archive was opened with
+        ``readers > 1`` — and only days without a stored summary (v2
+        shards) fall back to the serial compute-and-memoise path.
+        """
         if step < 1:
             raise ArchiveError(f"sweep step must be >= 1 day: {step}")
+        stored = self._collector.archive.load_summaries(start, end, step)
         day = as_date(start)
-        end_date = as_date(end)
         summaries: List[DaySummary] = []
-        while day <= end_date:
-            summaries.append(self.day_summary(day))
+        for summary in stored:
+            if summary is None:
+                summary = self.day_summary(day)
+            summaries.append(summary)
             day += _dt.timedelta(days=step)
         return summaries
 

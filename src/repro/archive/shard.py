@@ -37,6 +37,7 @@ byte-identical to uninterrupted ones.
 from __future__ import annotations
 
 import datetime as _dt
+import os
 import struct
 import zlib
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -65,10 +66,12 @@ __all__ = [
     "SHARD_MAGIC",
     "SHARD_VERSION",
     "DayShardRecord",
+    "ShardProbe",
     "encode_shard",
     "write_shard",
     "read_shard",
     "read_summary",
+    "probe_shard",
 ]
 
 SHARD_MAGIC = b"REPROARC"
@@ -368,12 +371,20 @@ class DayShardRecord:
 # Serialisation
 # ----------------------------------------------------------------------
 
-def _encode_payload(record: DayShardRecord) -> bytearray:
+def _encode_prefix(record) -> bytearray:
+    """The payload bytes ahead of the domain/apex columns.
+
+    ``record`` is duck-typed: anything exposing ``epoch_start_day``,
+    ``population_size``, the three numeric columns, and ``dns_plan_ns``
+    works — both :class:`DayShardRecord` and the streaming writer's
+    :class:`~repro.archive.stream.DayStream` encode their prefix here,
+    which is what guarantees the two paths agree byte for byte.
+    """
     buffer = bytearray()
     write_svarint(buffer, record.epoch_start_day)
     write_uvarint(buffer, record.population_size)
     # Structural columns are fixed-width so readers can decode them
-    # vectorised; the string/apex columns below stay varint-packed.
+    # vectorised; the string/apex columns stay varint-packed.
     write_int32_array(buffer, record.measured)
     write_int32_array(buffer, record.dns_ids)
     write_int32_array(buffer, record.hosting_ids)
@@ -396,7 +407,11 @@ def _encode_payload(record: DayShardRecord) -> bytearray:
         for name in names:
             write_uvarint(buffer, pool[name])
         write_delta_run(buffer, addresses)
+    return buffer
 
+
+def _encode_payload(record: DayShardRecord) -> bytearray:
+    buffer = _encode_prefix(record)
     for domain in record.domains:
         write_string(buffer, domain)
     for addresses in record.apex:
@@ -556,20 +571,17 @@ def write_shard(
     return len(blob), crc
 
 
-def read_shard(path: str, expected_crc: Optional[int] = None) -> DayShardRecord:
-    """Load and verify one shard; raises :class:`ArchiveError` on damage.
+def _verify_shard_blob(
+    path: str, blob: bytes, expected_crc: Optional[int]
+) -> Tuple[int, _dt.date, int, int, Optional[bytes], bytes]:
+    """Verify one in-memory shard blob end to end.
 
-    The failure is classified by subclass: damaged bytes raise
-    :class:`ArchiveCorruptError`; a healthy shard that disagrees with
-    the manifest's expected CRC raises :class:`ArchiveStaleError`.
-    Both format versions are readable; a v3 record carries its decoded
-    :class:`~repro.archive.summary.DaySummary` on ``record.summary``.
+    Shared by :func:`read_shard` and :func:`probe_shard`: checks the
+    magic, version, manifest CRC, summary CRC (v3), and the
+    whole-shard CRC over the decompressed blocks.  Returns
+    ``(version, date, count, crc, summary_bytes, payload_bytes)`` —
+    ``summary_bytes`` is ``None`` for v2 shards.
     """
-    try:
-        with open(path, "rb") as handle:
-            blob = handle.read()
-    except OSError as exc:
-        raise ArchiveCorruptError(f"cannot read shard {path}: {exc}") from exc
     if len(blob) < _PREFIX.size:
         raise ArchiveCorruptError(f"shard {path} is shorter than its header")
     magic, version, _ = _PREFIX.unpack_from(blob)
@@ -593,7 +605,7 @@ def read_shard(path: str, expected_crc: Optional[int] = None) -> DayShardRecord:
             )
         if _shard_crc_v2(flags, ordinal, count, payload_length, payload) != crc:
             raise ArchiveCorruptError(f"shard {path} is corrupt (crc mismatch)")
-        return _decode_payload(_dt.date.fromordinal(ordinal), count, payload)
+        return 2, _dt.date.fromordinal(ordinal), count, crc, None, payload
 
     if version != 3:
         raise ArchiveError(
@@ -629,10 +641,91 @@ def read_shard(path: str, expected_crc: Optional[int] = None) -> DayShardRecord:
         summary_blob_length, summary_crc, summary, payload,
     ) != crc:
         raise ArchiveCorruptError(f"shard {path} is corrupt (crc mismatch)")
-    date = _dt.date.fromordinal(ordinal)
+    return 3, _dt.date.fromordinal(ordinal), count, crc, summary, payload
+
+
+def read_shard(path: str, expected_crc: Optional[int] = None) -> DayShardRecord:
+    """Load and verify one shard; raises :class:`ArchiveError` on damage.
+
+    The failure is classified by subclass: damaged bytes raise
+    :class:`ArchiveCorruptError`; a healthy shard that disagrees with
+    the manifest's expected CRC raises :class:`ArchiveStaleError`.
+    Both format versions are readable; a v3 record carries its decoded
+    :class:`~repro.archive.summary.DaySummary` on ``record.summary``.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise ArchiveCorruptError(f"cannot read shard {path}: {exc}") from exc
+    version, date, count, _, summary, payload = _verify_shard_blob(
+        path, blob, expected_crc
+    )
     record = _decode_payload(date, count, payload)
-    record.summary = decode_summary(date, summary)
+    if version == 3:
+        record.summary = decode_summary(date, summary)
     return record
+
+
+class ShardProbe:
+    """Verified identity of one on-disk shard, without column decode.
+
+    What orphan adoption needs to trust a shard left behind by an
+    interrupted build: the full-file CRC has passed, and the fields a
+    manifest entry records (plus the population size, which guards
+    against adopting a shard from a different-scale scenario) are
+    decoded from the verified bytes.
+    """
+
+    __slots__ = (
+        "date", "records", "crc32", "file_bytes",
+        "population_size", "epoch_start_day", "version",
+    )
+
+    def __init__(
+        self,
+        date: _dt.date,
+        records: int,
+        crc32: int,
+        file_bytes: int,
+        population_size: int,
+        epoch_start_day: int,
+        version: int,
+    ) -> None:
+        self.date = date
+        self.records = records
+        self.crc32 = crc32
+        self.file_bytes = file_bytes
+        self.population_size = population_size
+        self.epoch_start_day = epoch_start_day
+        self.version = version
+
+    def __repr__(self) -> str:
+        return f"ShardProbe({self.date}, {self.records} records, v{self.version})"
+
+
+def probe_shard(path: str) -> ShardProbe:
+    """Fully verify one shard file and return its identity.
+
+    Runs the same integrity checks as :func:`read_shard` (magic,
+    version, summary CRC, whole-shard CRC over the decompressed
+    blocks) but decodes only the tiny payload prefix — no column
+    arrays, no string thaw.  Raises the same classified
+    :class:`ArchiveError` subclasses on damage.
+    """
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise ArchiveCorruptError(f"cannot read shard {path}: {exc}") from exc
+    version, date, count, crc, _, payload = _verify_shard_blob(path, blob, None)
+    view = memoryview(payload)
+    epoch_start_day, offset = read_svarint(view, 0)
+    population_size, _ = read_uvarint(view, offset)
+    return ShardProbe(
+        date, count, crc, size, population_size, epoch_start_day, version
+    )
 
 
 def read_summary(

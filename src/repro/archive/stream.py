@@ -1,0 +1,383 @@
+"""Bounded-memory streaming shard builds.
+
+The whole-day path (:func:`repro.archive.shard.encode_shard`)
+materialises every per-domain Python object of a day — the full domain
+string list, every apex tuple, and one contiguous payload buffer —
+before a byte reaches disk.  At 1:250 that is noise; at paper scale
+(11.7M domains, §2 of the source paper) it is gigabytes of transient
+Python objects per day.  This module is the streaming alternative:
+
+* :class:`DayStream` presents one day's shard content *lazily* — the
+  numeric columns and NS plan table up front (they are small and the
+  payload prefix needs them), the domain and apex columns as
+  position-addressed chunk encoders that materialise nothing outside
+  the requested ``[lo, hi)`` window;
+* :func:`write_shard_stream` drives a ``zlib.compressobj`` over the
+  prefix plus bounded domain/apex chunks, tracks the payload CRC as it
+  goes, and — because the v3 header CRC folds the header in *first*,
+  and the header stores the payload length that is only known at the
+  end — finishes with :func:`~repro.archive.codec.crc32_combine` and
+  patches the real header into the temp file before the atomic rename.
+
+Byte-identity with the whole-day path is structural, not luck: the
+prefix bytes come from the very same :func:`_encode_prefix` the one-shot
+encoder uses, chunk boundaries fall between codec fields (a
+length-prefixed string or delta run is never split), and a
+``compressobj`` fed any partition of the payload emits the same bytes
+as one-shot ``zlib.compress`` at the same level.  The equivalence is
+proven per-file in tier-1 (``tests/archive/test_streaming_equivalence``,
+property-based over chunk sizes and ``.рф``/punycode populations) and
+end-to-end over manifests in ``tests/archive/test_builder``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ArchiveError, RecoveryError
+from ..ioutil import backoff_seconds
+from .codec import crc32_combine, write_delta_run, write_string
+from .shard import (
+    _HEADER_V3,
+    _ZLIB_LEVEL,
+    SHARD_MAGIC,
+    _encode_prefix,
+    read_shard,
+)
+from .summary import DaySummary, encode_summary
+
+__all__ = ["DEFAULT_CHUNK_DOMAINS", "DayStream", "write_shard_stream"]
+
+#: Default positions per streamed chunk when a caller enables chunking
+#: without picking a size: small enough that a chunk's Python strings
+#: and encode buffer stay in the tens of megabytes at any scale.
+DEFAULT_CHUNK_DOMAINS = 50_000
+
+
+class DayStream:
+    """One day's shard content, domain columns addressable by position.
+
+    Carries the same small state a :class:`DayShardRecord` holds up
+    front (date, epoch, numeric columns, NS plan table, summary) but
+    replaces the materialised ``domains``/``apex`` lists with
+    per-position callables, so a writer can pull any ``[lo, hi)`` chunk
+    without the rest of the day existing as Python objects.
+    """
+
+    __slots__ = (
+        "date",
+        "epoch_start_day",
+        "population_size",
+        "measured",
+        "dns_ids",
+        "hosting_ids",
+        "dns_plan_ns",
+        "summary",
+        "_domain_at",
+        "_apex_at",
+    )
+
+    def __init__(
+        self,
+        date,
+        epoch_start_day: int,
+        population_size: int,
+        measured,
+        dns_ids,
+        hosting_ids,
+        dns_plan_ns: Dict[int, Tuple[Tuple[str, ...], Tuple[int, ...]]],
+        summary: DaySummary,
+        domain_at: Callable[[int], str],
+        apex_at: Callable[[int], Tuple[int, ...]],
+    ) -> None:
+        self.date = date
+        self.epoch_start_day = int(epoch_start_day)
+        self.population_size = int(population_size)
+        self.measured = np.asarray(measured, dtype=np.int64)
+        self.dns_ids = np.asarray(dns_ids, dtype=np.int32)
+        self.hosting_ids = np.asarray(hosting_ids, dtype=np.int32)
+        self.dns_plan_ns = {
+            int(plan_id): (tuple(names), tuple(int(a) for a in addresses))
+            for plan_id, (names, addresses) in dns_plan_ns.items()
+        }
+        self.summary = summary
+        self._domain_at = domain_at
+        self._apex_at = apex_at
+
+    def __len__(self) -> int:
+        return len(self.measured)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot,
+        apex_cache: Optional[Dict[Tuple[int, int], Tuple[int, ...]]] = None,
+        plan_cache=None,
+        chunk_domains: Optional[int] = None,
+    ) -> "DayStream":
+        """Stream view of one live :class:`DailySnapshot`.
+
+        Mirrors :meth:`DayShardRecord.from_snapshot` for everything
+        small (numeric columns, plan table, caches) but defers domain
+        names and apex tuples to per-position lookups against the
+        world, so nothing per-domain outlives the chunk being encoded.
+        The summary is aggregated through the chunked
+        :func:`~repro.archive.kernel.summarize_snapshot` path with the
+        same ``chunk_domains`` bound.
+        """
+        from .kernel import summarize_snapshot
+
+        world = snapshot.world
+        epoch = snapshot.epoch
+        apex_cache = {} if apex_cache is None else apex_cache
+        plan_cache = {} if plan_cache is None else plan_cache
+
+        measured = np.asarray(snapshot.measured, dtype=np.int64)
+        dns_ids = np.asarray(
+            snapshot.dns_ids[snapshot.measured], dtype=np.int32
+        )
+        hosting_ids = np.asarray(
+            snapshot.hosting_ids[snapshot.measured], dtype=np.int32
+        )
+
+        dns_plan_ns: Dict[int, Tuple[Tuple[str, ...], Tuple[int, ...]]] = {}
+        for plan_id in sorted(int(v) for v in np.unique(dns_ids)):
+            key = (epoch.start_day, plan_id)
+            entry = plan_cache.get(key)
+            if entry is None:
+                names = tuple(
+                    str(hostname)
+                    for hostname in world.dns_plans.plan(plan_id).ns_hostnames
+                )
+                entry = (names, tuple(epoch.ns_addresses[name] for name in names))
+                plan_cache[key] = entry
+            dns_plan_ns[plan_id] = entry
+
+        def domain_at(position: int) -> str:
+            return str(world.population.record(int(measured[position])).name)
+
+        def apex_at(position: int) -> Tuple[int, ...]:
+            key = (int(measured[position]), int(hosting_ids[position]))
+            addresses = apex_cache.get(key)
+            if addresses is None:
+                addresses = tuple(
+                    sorted(world.apex_addresses_for_plan(key[0], key[1]))
+                )
+                apex_cache[key] = addresses
+            return addresses
+
+        return cls(
+            snapshot.date,
+            epoch.start_day,
+            len(snapshot.dns_ids),
+            measured,
+            dns_ids,
+            hosting_ids,
+            dns_plan_ns,
+            summarize_snapshot(snapshot, chunk_domains=chunk_domains),
+            domain_at,
+            apex_at,
+        )
+
+    @classmethod
+    def from_record(cls, record) -> "DayStream":
+        """Stream view of a materialised :class:`DayShardRecord`.
+
+        Used by the equivalence tests to stream synthetic populations
+        (punycode domains, hand-built apex runs) that never came from a
+        world.  The record must carry a summary (shard format v3).
+        """
+        if record.summary is None:
+            raise ArchiveError(
+                f"streaming a record for {record.date} requires a DaySummary"
+            )
+        domains = record.domains
+        apex = record.apex
+        return cls(
+            record.date,
+            record.epoch_start_day,
+            record.population_size,
+            record.measured,
+            record.dns_ids,
+            record.hosting_ids,
+            record.dns_plan_ns,
+            record.summary,
+            domains.__getitem__,
+            apex.__getitem__,
+        )
+
+    # ------------------------------------------------------------------
+    # Chunk encoders
+    # ------------------------------------------------------------------
+
+    def domains_chunk(self, lo: int, hi: int) -> bytes:
+        """Encoded domain-name column for positions ``[lo, hi)``."""
+        buffer = bytearray()
+        domain_at = self._domain_at
+        for position in range(lo, hi):
+            write_string(buffer, domain_at(position))
+        return bytes(buffer)
+
+    def apex_chunk(self, lo: int, hi: int) -> bytes:
+        """Encoded apex delta-run column for positions ``[lo, hi)``."""
+        buffer = bytearray()
+        apex_at = self._apex_at
+        for position in range(lo, hi):
+            write_delta_run(buffer, apex_at(position))
+        return bytes(buffer)
+
+    def __repr__(self) -> str:
+        return f"DayStream({self.date}, {len(self.measured)} measured)"
+
+
+#: Prefix slice bound: the numeric-column prefix is O(day) (12 bytes a
+#: domain), so it is fed to the compressor in windows rather than as
+#: one whole-prefix copy on top of its build buffer.
+_PREFIX_SLICE = 1 << 18
+
+
+def _stream_pieces(stream: DayStream, chunk_domains: int):
+    """Yield the uncompressed payload pieces, prefix first.
+
+    Column order matches :func:`~repro.archive.shard._encode_payload`
+    exactly: prefix, then every domain string, then every apex run —
+    two position passes, each in bounded chunks.  Piece boundaries are
+    invisible to the compressor and the running CRC, so slicing the
+    prefix changes nothing but the transient footprint.
+    """
+    prefix = _encode_prefix(stream)
+    view = memoryview(prefix)
+    for lo in range(0, len(prefix), _PREFIX_SLICE):
+        yield bytes(view[lo:lo + _PREFIX_SLICE])
+    del view, prefix
+    count = len(stream)
+    for lo in range(0, count, chunk_domains):
+        yield stream.domains_chunk(lo, min(lo + chunk_domains, count))
+    for lo in range(0, count, chunk_domains):
+        yield stream.apex_chunk(lo, min(lo + chunk_domains, count))
+
+
+def write_shard_stream(
+    path: str,
+    stream: DayStream,
+    chunk_domains: Optional[int] = None,
+    faults=None,
+    retries: int = 6,
+    backoff: float = 0.01,
+) -> Tuple[int, int]:
+    """Stream one day to ``path``; returns ``(file_bytes, crc32)``.
+
+    Produces a file byte-identical to ``write_shard`` of the equivalent
+    materialised record, without ever holding the whole payload (or the
+    whole compressed blob) in memory: chunks are compressed as they are
+    produced, the payload CRC accumulates alongside, and the header —
+    whose CRC field covers a message *starting with* the header itself
+    — is computed at the end via CRC combination and patched over the
+    placeholder before the atomic ``os.replace``.
+
+    Fault discipline mirrors :func:`repro.ioutil.atomic_write_bytes`:
+    per-attempt keys re-roll decisions, ``shard.write`` fires mid-file
+    (a torn temp file, never a torn final), ``shard.write.bytes`` can
+    corrupt any streamed piece, and when a plan is active the temp file
+    is re-verified (a full CRC-checked read) before the rename.  The
+    read-back verify is the one step that is not bounded-memory; it
+    only runs under fault injection.
+    """
+    if chunk_domains is None:
+        chunk_domains = DEFAULT_CHUNK_DOMAINS
+    if chunk_domains < 1:
+        raise ArchiveError(f"chunk_domains must be >= 1: {chunk_domains}")
+    summary = encode_summary(stream.summary)
+    summary_blob = zlib.compress(summary, _ZLIB_LEVEL)
+    summary_crc = zlib.crc32(summary)
+    ordinal = stream.date.toordinal()
+    count = len(stream)
+    placeholder = _HEADER_V3.pack(
+        SHARD_MAGIC, 3, 0, ordinal, count, 0, 0, len(summary_blob), summary_crc
+    )
+
+    name = os.path.basename(path)
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    for attempt in range(retries + 1):
+        key = f"{name}#{attempt}"
+        try:
+            try:
+                file_bytes = _HEADER_V3.size
+                payload_length = 0
+                payload_crc = 0
+                compressor = zlib.compressobj(_ZLIB_LEVEL)
+                with open(temp_path, "wb") as handle:
+                    handle.write(placeholder)
+                    handle.write(summary_blob)
+                    file_bytes += len(summary_blob)
+                    if faults is not None:
+                        # Mid-write fault point: header and summary are
+                        # down, no column bytes yet — a torn temp file.
+                        faults.check("shard.write", key)
+                    for piece_index, piece in enumerate(
+                        _stream_pieces(stream, chunk_domains)
+                    ):
+                        payload_length += len(piece)
+                        payload_crc = zlib.crc32(piece, payload_crc)
+                        if faults is not None:
+                            piece = faults.corrupt_bytes(
+                                "shard.write.bytes", f"{key}/{piece_index}", piece
+                            )
+                        compressed = compressor.compress(piece)
+                        if compressed:
+                            handle.write(compressed)
+                            file_bytes += len(compressed)
+                    tail = compressor.flush()
+                    handle.write(tail)
+                    file_bytes += len(tail)
+                    # The header CRC covers zeroed-header || summary ||
+                    # payload; the first two are known only now that
+                    # payload_length is final, so combine their CRC with
+                    # the independently-streamed payload CRC.
+                    zeroed = _HEADER_V3.pack(
+                        SHARD_MAGIC, 3, 0, ordinal, count, 0,
+                        payload_length, len(summary_blob), summary_crc,
+                    )
+                    crc = crc32_combine(
+                        zlib.crc32(summary, zlib.crc32(zeroed)),
+                        payload_crc,
+                        payload_length,
+                    )
+                    handle.seek(0)
+                    handle.write(
+                        _HEADER_V3.pack(
+                            SHARD_MAGIC, 3, 0, ordinal, count, crc,
+                            payload_length, len(summary_blob), summary_crc,
+                        )
+                    )
+                if faults is not None:
+                    # Read-back verify: a corrupted piece compressed
+                    # into the temp file fails its CRC here, while the
+                    # final name still holds the previous good version.
+                    verified = read_shard(temp_path, expected_crc=crc)
+                    if verified.date != stream.date:
+                        raise ArchiveError(
+                            f"read-back verify failed for {path} "
+                            f"(attempt {attempt})"
+                        )
+                os.replace(temp_path, path)
+            finally:
+                if os.path.exists(temp_path):
+                    os.unlink(temp_path)
+            return file_bytes, crc
+        except (OSError, ArchiveError) as exc:
+            if attempt >= retries:
+                raise RecoveryError(
+                    f"could not write {path} after {retries + 1} attempts: {exc}"
+                ) from exc
+            time.sleep(backoff_seconds(attempt, backoff))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -11,12 +11,40 @@ structured :meth:`summary` dict to ``ExperimentResult.measured``.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
-__all__ = ["PhaseStat", "SweepMetrics"]
+__all__ = ["PhaseStat", "SweepMetrics", "current_rss_bytes"]
+
+
+def current_rss_bytes() -> int:
+    """This process's resident set size in bytes (0 if unmeasurable).
+
+    Reads ``/proc/self/statm`` (resident pages x page size — the live
+    value, so repeated samples track a build's actual footprint over
+    time).  Platforms without procfs fall back to
+    ``resource.getrusage`` peak RSS; without either the hook degrades
+    to 0 and memory accounting simply reports nothing.  No third-party
+    dependency (psutil) is required.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return int(peak) * (1024 if sys.platform.startswith("linux") else 1)
+    except Exception:
+        return 0
 
 
 class PhaseStat:
@@ -69,6 +97,8 @@ class SweepMetrics:
         self._recovery: Dict[str, int] = {}
         self._endpoints: Dict[str, Dict[str, object]] = {}
         self._counters: Dict[str, int] = {}
+        self._peak_rss = 0
+        self._rss_samples = 0
         # The service records from executor threads while /metrics
         # renders on the event loop; every mutation and every snapshot
         # holds this one lock, so a summary is a single consistent
@@ -185,6 +215,31 @@ class SweepMetrics:
             return self._counters.get(name, 0)
 
     # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+
+    def sample_rss(self) -> int:
+        """Sample this process's RSS; the maximum seen is retained.
+
+        The streaming build path calls this at chunk boundaries, so
+        ``peak_rss_bytes`` reflects the build's real high-water mark
+        rather than a single end-of-run reading.  Returns the sampled
+        value (0 when the platform offers no measurement).
+        """
+        rss = current_rss_bytes()
+        with self._lock:
+            self._rss_samples += 1
+            if rss > self._peak_rss:
+                self._peak_rss = rss
+        return rss
+
+    @property
+    def peak_rss_bytes(self) -> int:
+        """Highest RSS sampled so far (0 if never sampled/unmeasurable)."""
+        with self._lock:
+            return self._peak_rss
+
+    # ------------------------------------------------------------------
     # Recovery counters
     # ------------------------------------------------------------------
 
@@ -243,6 +298,10 @@ class SweepMetrics:
                     for name, stat in self._endpoints.items()
                 },
                 "counters": dict(self._counters),
+                "memory": {
+                    "peak_rss_bytes": self._peak_rss,
+                    "rss_samples": self._rss_samples,
+                },
             }
 
     def render(self) -> str:
@@ -255,6 +314,7 @@ class SweepMetrics:
                 self._recovery,
                 self._endpoints,
                 self._counters,
+                self._peak_rss,
             )
         ):
             lines.append("  (no instrumented work ran)")
@@ -293,4 +353,10 @@ class SweepMetrics:
             )
         for name, count in self._counters.items():
             lines.append(f"  counter {name:<21} {count}")
+        if self._peak_rss:
+            lines.append(
+                f"  memory peak_rss          "
+                f"{self._peak_rss / (1024 * 1024):,.1f} MiB "
+                f"({self._rss_samples} samples)"
+            )
         return "\n".join(lines)

@@ -4,6 +4,9 @@ import datetime as dt
 import hashlib
 import os
 import pathlib
+import subprocess
+import sys
+import textwrap
 
 import pytest
 
@@ -136,6 +139,116 @@ class TestResumeByteIdentity:
             parallel, archive_config, workers=2, chunk_days=3
         ).build(START, END)
         assert archive_digest(parallel) == archive_digest(serial)
+
+
+class TestKillAndResume:
+    """A hard kill at a chunk_days boundary resumes without loss or dupes.
+
+    The scenario the ``chunk_days``/resume interaction must survive: the
+    parent flushes the manifest only after a whole segment, so a build
+    killed after N days (a chunk boundary, with more chunks to go) leaves
+    N complete shard files the manifest never recorded.  The resume must
+    adopt those orphans (no re-sweep, no duplicate days), sweep exactly
+    the remainder, and converge on bytes identical to an uninterrupted
+    build.
+    """
+
+    def test_resume_after_kill_at_chunk_boundary(self, tmp_path, archive_config):
+        single = str(tmp_path / "single")
+        ArchiveBuilder(single, archive_config).build(START, END)
+
+        killed = str(tmp_path / "killed")
+        script = textwrap.dedent(
+            f"""
+            import datetime as dt
+            import os
+            import repro.archive.builder as builder_mod
+            from repro.archive import ArchiveBuilder
+            from repro.sim import ConflictScenarioConfig
+
+            state = {{"days": 0}}
+            original = builder_mod.ArchiveShardReducer.reduce_day
+
+            def dying(self, snapshot):
+                info = original(self, snapshot)
+                state["days"] += 1
+                if state["days"] == 4:  # chunk_days=2: a chunk boundary
+                    os._exit(17)
+                return info
+
+            builder_mod.ArchiveShardReducer.reduce_day = dying
+            config = ConflictScenarioConfig(scale=5000.0, with_pki=False)
+            ArchiveBuilder({killed!r}, config, chunk_days=2).build(
+                dt.date({START.year}, {START.month}, {START.day}),
+                dt.date({END.year}, {END.month}, {END.day}),
+            )
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(__file__), "..", "..", "src"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
+        assert result.returncode == 17, result.stderr
+        # The kill left complete-but-unregistered shards behind: the
+        # parent died before its first segment-boundary manifest flush.
+        on_disk = [
+            name for name in os.listdir(killed) if name.endswith(".shard")
+        ]
+        assert len(on_disk) == 4
+        assert not os.path.exists(os.path.join(killed, "manifest.json"))
+
+        report = ArchiveBuilder(killed, archive_config).build(START, END)
+        # Orphans were adopted (verified, registered), not re-swept...
+        assert report.adopted
+        assert not set(report.adopted) & set(report.written)
+        assert not set(report.adopted) & set(report.skipped)
+        # ...the manifest covers every wanted day exactly once...
+        wanted = {
+            START + dt.timedelta(days=offset)
+            for offset in range((END - START).days + 1)
+        }
+        assert set(Manifest.load(killed).covered_dates()) == wanted
+        # ...and the bytes converge on the uninterrupted build.
+        assert archive_digest(killed) == archive_digest(single)
+
+    def test_adoption_refuses_wrong_population(self, tmp_path, archive_config):
+        """A foreign shard at the right path is rebuilt over, not adopted."""
+        import shutil
+
+        from repro.sim import ConflictScenarioConfig
+
+        directory = str(tmp_path / "arch")
+        builder = ArchiveBuilder(directory, archive_config)
+        builder.build(START, START)
+        # Drop the day from the manifest and replace its shard with one
+        # from a different-scale scenario (valid CRC, wrong population).
+        foreign_dir = str(tmp_path / "foreign")
+        foreign = ArchiveBuilder(
+            foreign_dir, ConflictScenarioConfig(scale=20000.0, with_pki=False)
+        )
+        foreign.build(START, START)
+        manifest = Manifest.load(directory)
+        del manifest.days[START]
+        manifest.save(directory)
+        shutil.copy(
+            os.path.join(foreign_dir, shard_filename(START)),
+            os.path.join(directory, shard_filename(START)),
+        )
+        report = ArchiveBuilder(directory, archive_config).build(START, START)
+        assert report.adopted == []
+        assert report.written == [START]
+        entry = Manifest.load(directory).days[START]
+        reference = ArchiveBuilder(
+            str(tmp_path / "ref"), archive_config
+        ).build(START, START)
+        assert entry.bytes == reference.bytes_written
 
 
 class TestRefusals:

@@ -1,8 +1,11 @@
 """Tests for repro.archive.codec: varints, zigzag, delta runs, strings."""
 
+import zlib
+
 import pytest
 
 from repro.archive.codec import (
+    crc32_combine,
     read_delta_run,
     read_int32_array,
     read_string,
@@ -17,6 +20,7 @@ from repro.archive.codec import (
     zigzag,
 )
 from repro.errors import ArchiveError
+from repro.rng import derive_rng
 
 
 def roundtrip(writer, reader, value):
@@ -118,3 +122,42 @@ class TestString:
         write_string(buffer, "example.ru")
         with pytest.raises(ArchiveError):
             read_string(memoryview(bytes(buffer[:-1])), 0)
+
+
+class TestCrc32Combine:
+    """crc32_combine(crc(a), crc(b), len(b)) == crc(a || b), exactly."""
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (b"", b""),
+            (b"", b"tail"),
+            (b"head", b""),
+            (b"head", b"tail"),
+            (b"\x00" * 1000, b"\xff" * 1000),
+            (bytes(range(256)) * 64, b"payload-block" * 999),
+        ],
+    )
+    def test_matches_sequential_crc(self, a, b):
+        sequential = zlib.crc32(b, zlib.crc32(a))
+        assert crc32_combine(zlib.crc32(a), zlib.crc32(b), len(b)) == sequential
+
+    def test_seeded_random_splits(self):
+        rng = derive_rng(11, "crc-combine")
+        blob = bytes(rng.integers(0, 256, size=8192, dtype="uint8"))
+        for _ in range(50):
+            cut = int(rng.integers(0, len(blob) + 1))
+            head, tail = blob[:cut], blob[cut:]
+            assert crc32_combine(
+                zlib.crc32(head), zlib.crc32(tail), len(tail)
+            ) == zlib.crc32(blob)
+
+    def test_zero_length_tail_is_identity(self):
+        assert crc32_combine(0xDEADBEEF, 0x12345678, 0) == 0xDEADBEEF
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ArchiveError):
+            crc32_combine(1, 2, -1)
+
+    def test_result_is_masked_to_32_bits(self):
+        assert 0 <= crc32_combine(0xFFFFFFFF, 0xFFFFFFFF, 7) <= 0xFFFFFFFF
