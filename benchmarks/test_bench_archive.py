@@ -23,7 +23,7 @@ import time
 
 from repro.archive import ArchiveBuilder
 from repro.experiments import ExperimentContext, run_experiment
-from repro.sim import ConflictScenarioConfig
+from repro.scenario import ScenarioSpec
 
 #: Archive benches run without PKI (sweeps never read it) at a coarser
 #: cadence than the artefact benches, so the cold build stays short.
@@ -41,7 +41,9 @@ MIN_SPEEDUP_VS_LIVE = float(os.environ.get("REPRO_ARCHIVE_MIN_SPEEDUP", "10"))
 
 
 def test_bench_archive_warm_vs_cold(benchmark, tmp_path):
-    config = ConflictScenarioConfig(scale=ARCHIVE_SCALE, with_pki=False)
+    config = ScenarioSpec.resolve("baseline").with_config(
+        scale=ARCHIVE_SCALE, with_pki=False
+    ).compile()
     directory = str(tmp_path / "std")
 
     started = time.perf_counter()

@@ -69,18 +69,67 @@ def _range_indices(
 
 
 class AnalysisFacade:
-    """Query front-end over one :class:`ExperimentContext`."""
+    """Query front-end over one :class:`ExperimentContext`.
+
+    A facade serves one scenario's world directly and can have sibling
+    scenarios *registered* on it (:meth:`register_scenario`): each
+    registered scenario keeps its own context — and therefore its own
+    archive, sweep caches, and world — and queries carrying a
+    ``scenario`` field are routed to the matching facade.  This is how
+    one service process serves every world side by side without the
+    caches ever mixing.
+    """
 
     def __init__(self, context) -> None:
         self._context = context
         self._lock = threading.RLock()
         self._full: Optional[SweepSeries] = None
         self._recent: Optional[RecentWindowSeries] = None
+        self._scenarios: Dict[str, "AnalysisFacade"] = {}
 
     @property
     def context(self):
         """The backing experiment context (world, engine, metrics)."""
         return self._context
+
+    # ------------------------------------------------------------------
+    # The scenario dimension
+    # ------------------------------------------------------------------
+
+    @property
+    def scenario_id(self) -> str:
+        """The scenario this facade's own context serves."""
+        return getattr(self._context.config, "scenario_id", "baseline")
+
+    def scenario_ids(self) -> List[str]:
+        """Every scenario this facade can answer for, own world first."""
+        return [self.scenario_id] + sorted(self._scenarios)
+
+    def register_scenario(self, context) -> "AnalysisFacade":
+        """Serve another scenario's context alongside this one.
+
+        The registered context brings its own facade (one archive/sweep
+        cache per scenario); returns it for direct use.
+        """
+        sid = getattr(context.config, "scenario_id", "baseline")
+        with self._lock:
+            if sid == self.scenario_id or sid in self._scenarios:
+                raise QueryError(f"scenario {sid!r} is already being served")
+            facade = context.api
+            self._scenarios[sid] = facade
+        return facade
+
+    def scenario_facade(self, scenario_id: str) -> "AnalysisFacade":
+        """The facade serving ``scenario_id``, or a QueryError listing ids."""
+        if scenario_id == self.scenario_id:
+            return self
+        try:
+            return self._scenarios[scenario_id]
+        except KeyError:
+            raise QueryError(
+                f"scenario {scenario_id!r} is not being served; "
+                f"available: {', '.join(self.scenario_ids())}"
+            ) from None
 
     # ------------------------------------------------------------------
     # The shared sweeps (formerly ExperimentContext.full_sweep/_run_recent)
@@ -201,6 +250,12 @@ class AnalysisFacade:
         """
         spec = _as_spec(spec)
         check_deadline("query")
+        if spec.kind == "diff":
+            # Needs two worlds at once, so it runs at the routing facade.
+            return QueryResult("diff", spec.to_dict(), self._diff_data(spec))
+        target = self.scenario_facade(spec.scenario_id)
+        if target is not self:
+            return target.query(spec)
         if spec.kind == "experiment":
             return self._query_experiment(spec)
         if spec.kind == "series":
@@ -222,15 +277,55 @@ class AnalysisFacade:
     # ------------------------------------------------------------------
 
     def _query_experiment(self, spec: QuerySpec) -> QueryResult:
-        from ..experiments.registry import run_experiment
-
         try:
-            result = run_experiment(spec.experiment, self._context)
+            result = self._run_experiment(spec.experiment)
         except KeyError as exc:
             raise QueryError(str(exc.args[0]) if exc.args else str(exc)) from exc
         # Echo the caller's canonical spec (run_experiment builds its own).
         result.spec = spec.to_dict()
         return result
+
+    def _run_experiment(self, experiment_id: str):
+        from ..experiments.registry import run_experiment
+
+        return run_experiment(experiment_id, self._context)
+
+    def _diff_data(self, spec: QuerySpec) -> Dict[str, object]:
+        """One experiment under ``spec.scenario`` minus it under baseline.
+
+        Scalar ``measured`` values and equal-length numeric series
+        subtract element-wise; everything non-numeric (dates, labels,
+        rows) is carried from the scenario side untouched.  Both full
+        payloads ride along so a consumer never needs a second query.
+        """
+        target = self.scenario_facade(spec.scenario_id)
+        base = self.scenario_facade("baseline")
+        if target is base:
+            raise QueryError("diff queries need a non-baseline scenario")
+        try:
+            scenario_result = target._run_experiment(spec.experiment)
+            check_deadline("diff_baseline")
+            baseline_result = base._run_experiment(spec.experiment)
+        except KeyError as exc:
+            raise QueryError(str(exc.args[0]) if exc.args else str(exc)) from exc
+        scenario_payload = scenario_result.as_payload()
+        baseline_payload = baseline_result.as_payload()
+        return {
+            "experiment_id": spec.experiment,
+            "scenario": spec.scenario_id,
+            "baseline": "baseline",
+            "title": scenario_payload.get("title"),
+            "measured_delta": _scalar_deltas(
+                scenario_payload.get("measured") or {},
+                baseline_payload.get("measured") or {},
+            ),
+            "series_delta": _series_deltas(
+                scenario_payload.get("series") or {},
+                baseline_payload.get("series") or {},
+            ),
+            "scenario_result": scenario_payload,
+            "baseline_result": baseline_payload,
+        }
 
     def _composition_data(self, series) -> Dict[str, object]:
         points = series.points()
@@ -345,14 +440,51 @@ class AnalysisFacade:
 
     def _catalog_data(self) -> Dict[str, object]:
         from ..experiments.registry import EXPERIMENTS, EXTENSIONS
+        from .spec import QUERY_KINDS
 
         return {
             "schema_version": SCHEMA_VERSION,
-            "kinds": ["experiment", "series", "headline", "records", "catalog"],
+            "kinds": list(QUERY_KINDS),
             "experiments": sorted(EXPERIMENTS),
             "extensions": sorted(EXTENSIONS),
             "series": list(SERIES_NAMES),
+            "scenarios": self.scenario_ids(),
         }
+
+
+def _scalar_deltas(
+    scenario: Dict[str, object], baseline: Dict[str, object]
+) -> Dict[str, float]:
+    """Element-wise ``scenario - baseline`` over shared numeric scalars."""
+    deltas: Dict[str, float] = {}
+    for key in scenario:
+        left, right = scenario[key], baseline.get(key)
+        if isinstance(left, bool) or isinstance(right, bool):
+            continue
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            deltas[key] = round(left - right, 6)
+    return deltas
+
+
+def _series_deltas(
+    scenario: Dict[str, object], baseline: Dict[str, object]
+) -> Dict[str, List[float]]:
+    """Per-point deltas for shared, equal-length numeric series columns."""
+    deltas: Dict[str, List[float]] = {}
+    for name in scenario:
+        left, right = scenario[name], baseline.get(name)
+        if (
+            isinstance(left, list)
+            and isinstance(right, list)
+            and len(left) == len(right)
+            and left
+            and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in left + right
+            )
+        ):
+            deltas[name] = [round(a - b, 6) for a, b in zip(left, right)]
+    return deltas
 
 
 def _slice_columns(data: Dict[str, object], keep: List[int]) -> Dict[str, object]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
+import re
 from typing import Dict, Optional
 
 from ..dns.idna import encode_label
@@ -32,10 +33,13 @@ __all__ = [
 ]
 
 #: Version of the JSON envelope; bump on any incompatible payload change.
-SCHEMA_VERSION = 1
+#: v2: the ``scenario`` query dimension and the ``diff`` kind.
+SCHEMA_VERSION = 2
 
-#: Everything a query can ask for.
-QUERY_KINDS = ("experiment", "series", "headline", "records", "catalog")
+#: Everything a query can ask for.  ``diff`` computes one experiment
+#: under a counterfactual scenario minus the same experiment under
+#: baseline (the scenario engine's result family).
+QUERY_KINDS = ("experiment", "series", "headline", "records", "catalog", "diff")
 
 #: Named longitudinal series the ``series`` kind can slice.
 SERIES_NAMES = (
@@ -51,8 +55,12 @@ SERIES_NAMES = (
 #: Spec fields accepted from dicts/JSON/query strings, in canonical order.
 _FIELDS = (
     "kind", "experiment", "series", "start", "end",
-    "date", "tld", "offset", "limit",
+    "date", "tld", "offset", "limit", "scenario",
 )
+
+#: Canonical scenario ids (mirrors repro.scenario; kept local so the
+#: spec layer stays import-light).
+_SCENARIO_ID = re.compile(r"^[a-z0-9][a-z0-9-]{0,63}$")
 
 
 def _iso(value: object, field: str) -> str:
@@ -110,6 +118,7 @@ class QuerySpec:
         tld: Optional[str] = None,
         offset: Optional[int] = None,
         limit: Optional[int] = None,
+        scenario: Optional[str] = None,
     ) -> None:
         if kind not in QUERY_KINDS:
             raise QueryError(
@@ -124,7 +133,29 @@ class QuerySpec:
         self.tld = _alabel_tld(tld) if tld is not None else None
         self.offset = self._count(offset, "offset")
         self.limit = self._count(limit, "limit")
+        self.scenario = self._scenario(scenario)
         self._check_shape()
+
+    @staticmethod
+    def _scenario(value: Optional[str]) -> Optional[str]:
+        """Canonicalise the scenario dimension.
+
+        ``baseline`` (and absence) normalise to ``None`` so a v2 spec
+        naming the baseline explicitly shares its :meth:`cache_key` —
+        and therefore its cached results, coalesced requests, and
+        SharedResultCache entries — with every legacy v1 payload.
+        """
+        if value is None:
+            return None
+        text = str(value).strip().lower()
+        if text in ("", "baseline"):
+            return None
+        if not _SCENARIO_ID.match(text):
+            raise QueryError(
+                f"bad scenario id {value!r} "
+                "(canonical ids are kebab-case: [a-z0-9][a-z0-9-]*)"
+            )
+        return text
 
     @staticmethod
     def _count(value: Optional[object], field: str) -> Optional[int]:
@@ -154,6 +185,19 @@ class QuerySpec:
                 )
         if self.kind == "records" and not self.date:
             raise QueryError("records queries need a 'date'")
+        if self.kind == "diff":
+            if not self.experiment:
+                raise QueryError("diff queries need an 'experiment' id")
+            if self.scenario is None:
+                raise QueryError(
+                    "diff queries need a non-baseline 'scenario' "
+                    "(the result is scenario minus baseline)"
+                )
+
+    @property
+    def scenario_id(self) -> str:
+        """The effective scenario this spec targets (``baseline`` when unset)."""
+        return self.scenario or "baseline"
 
     # ------------------------------------------------------------------
     # Construction from loose input

@@ -32,19 +32,30 @@ __all__ = ["SCHEMA_VERSION", "MANIFEST_NAME", "scenario_fingerprint", "DayEntry"
 SCHEMA_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 
-#: Field names matching the tuple order of ``sweep._scenario_key``.
+#: Field names matching the tuple order of ``sweep._scenario_key``.  The
+#: two optional trailing fields identify a counterfactual scenario; a
+#: baseline key has exactly the first five, so baseline manifests stay
+#: byte-identical to archives built before the scenario engine existed.
 _FINGERPRINT_FIELDS = (
     "scale",
     "seed",
     "geo_lag_days",
     "netnod_mode",
     "sanctioned_domain_count",
+    "scenario",
+    "spec_digest",
 )
 
 
 def scenario_fingerprint(config) -> Dict[str, object]:
     """The scenario identity an archive is bound to, as a JSON-safe dict."""
-    return dict(zip(_FINGERPRINT_FIELDS, _scenario_key(config)))
+    key = _scenario_key(config)
+    if len(key) > len(_FINGERPRINT_FIELDS):
+        raise ArchiveError(
+            f"scenario key has {len(key)} fields; "
+            f"manifest knows {len(_FINGERPRINT_FIELDS)}"
+        )
+    return dict(zip(_FINGERPRINT_FIELDS, key))
 
 
 class DayEntry:

@@ -23,7 +23,15 @@ Commands:
   archive (see :mod:`repro.service` and docs/service.md),
 * ``loadgen`` — offer seed-pure open-loop load to a running service and
   write latency/error/staleness percentiles to
-  ``BENCH_service_load.json`` (see :mod:`repro.loadgen`).
+  ``BENCH_service_load.json`` (see :mod:`repro.loadgen`),
+* ``scenario list|show|sweep`` — inspect the declarative counterfactual
+  scenario library and run cross-scenario experiment grids with
+  diff-vs-baseline results (see :mod:`repro.scenario` and
+  docs/scenarios.md).
+
+The global ``--scenario ID|PATH`` flag selects which world every other
+command builds (``baseline`` reproduces the paper's timeline and stays
+byte-identical to the pre-scenario-engine path).
 
 The global ``--fault-seed``/``--fault-rate`` options attach a
 deterministic fault-injection plan (see :mod:`repro.faults`) to
@@ -43,7 +51,6 @@ from .dns.resolver import IterativeResolver
 from .errors import ReproError
 from .experiments import EXPERIMENTS, EXTENSIONS, ExperimentContext, run_experiment
 from .experiments.report import write_markdown_report
-from .sim import ConflictScenarioConfig
 from .sim.dnsbuild import DnsTreeBuilder
 from .timeline import as_date
 
@@ -60,10 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--scale", type=float, default=250.0,
+        "--scenario", default="baseline", metavar="ID|PATH",
         help=(
-            "population scale denominator (default 250, the scenario "
-            "default; benches also run at 1:250)"
+            "scenario to build the world from: a canonical library id "
+            "(see 'repro scenario list') or a path to a spec JSON file "
+            "(default baseline, the calibrated historical timeline)"
+        ),
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help=(
+            "population scale denominator (default: the scenario spec's, "
+            "250 for the shipped library; benches also run at 1:250)"
         ),
     )
     parser.add_argument(
@@ -75,7 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for longitudinal sweeps (default 1 = serial)",
     )
     parser.add_argument(
-        "--seed", type=int, default=20220224, help="scenario seed"
+        "--seed", type=int, default=None,
+        help="scenario seed (default: the spec's, 20220224 for the library)",
     )
     parser.add_argument(
         "--no-pki", action="store_true",
@@ -225,6 +241,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--archive", default=None, metavar="PATH",
         help="serve from a measurement archive instead of simulating",
+    )
+    serve_parser.add_argument(
+        "--scenario-archive", action="append", default=None,
+        metavar="ID=PATH",
+        help=(
+            "also serve scenario ID from its own archive at PATH "
+            "(repeatable; each world keeps separate caches and answers "
+            "/v2 queries carrying scenario=ID)"
+        ),
     )
     serve_parser.add_argument(
         "--processes", type=int, default=1, metavar="N",
@@ -404,6 +429,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-json", default=None, metavar="PATH",
         help="write the structured metrics summary (JSON) to this file",
     )
+
+    scenario_parser = sub.add_parser(
+        "scenario",
+        help="inspect the scenario library and sweep experiments across worlds",
+    )
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True
+    )
+    scenario_sub.add_parser(
+        "list", help="list every registered scenario spec"
+    )
+    scenario_show = scenario_sub.add_parser(
+        "show", help="print one spec (canonical JSON, digest, fingerprint)"
+    )
+    scenario_show.add_argument("id", help="scenario id or spec JSON path")
+    scenario_sweep = scenario_sub.add_parser(
+        "sweep",
+        help=(
+            "run an experiment grid across scenarios and diff each "
+            "counterfactual against baseline"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--scenarios", default=None, metavar="IDS",
+        help=(
+            "comma-separated scenario ids/spec paths (default: the whole "
+            "shipped library); baseline is always included as the diff base"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--experiments", default="headline,fig1,fig2", metavar="IDS",
+        help="comma-separated experiment ids (default headline,fig1,fig2)",
+    )
+    scenario_sweep.add_argument(
+        "--archive-root", default=None, metavar="DIR",
+        help=(
+            "build (or reuse) one measurement archive per scenario under "
+            "DIR/<id> and replay the grid from disk instead of simulating "
+            "each query"
+        ),
+    )
+    scenario_sweep.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full grid (including diff payloads) as JSON",
+    )
     return parser
 
 
@@ -441,18 +511,43 @@ def _write_profile_json(path: Optional[str], metrics) -> None:
         handle.write("\n")
 
 
-def _context(
-    args: argparse.Namespace, service: bool = False
-) -> ExperimentContext:
-    config = ConflictScenarioConfig(
-        scale=args.scale, seed=args.seed, with_pki=not args.no_pki
+#: Sentinel distinguishing "no archive" from "use args.archive".
+_DEFAULT_ARCHIVE = object()
+
+
+def _scenario_spec(args: argparse.Namespace, scenario: Optional[str] = None):
+    """Resolve the CLI's scenario into a spec with flag overrides applied.
+
+    Flags left at their defaults resolve to ``None`` and are skipped by
+    :meth:`ScenarioSpec.with_config`, so values a spec *file* sets are
+    never stomped by unset CLI defaults.
+    """
+    from .scenario import ScenarioSpec
+
+    spec = ScenarioSpec.resolve(
+        scenario or getattr(args, "scenario", None) or "baseline"
     )
+    return spec.with_config(
+        scale=args.scale,
+        seed=args.seed,
+        with_pki=False if args.no_pki else None,
+    )
+
+
+def _context(
+    args: argparse.Namespace,
+    service: bool = False,
+    scenario: Optional[str] = None,
+    archive: object = _DEFAULT_ARCHIVE,
+) -> ExperimentContext:
+    if archive is _DEFAULT_ARCHIVE:
+        archive = getattr(args, "archive", None)
     return ExperimentContext(
-        config=config,
+        scenario=_scenario_spec(args, scenario),
         cadence_days=args.cadence,
         workers=args.workers,
         profile=getattr(args, "profile", False),
-        archive=getattr(args, "archive", None),
+        archive=archive,
         faults=_fault_plan(args, service=service),
     )
 
@@ -471,7 +566,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
     context = _context(args)
     world = context.world
     population = world.population
-    print(f"scale:              1:{args.scale:g}")
+    print(f"scenario:           {context.scenario_id}")
+    print(f"scale:              1:{context.config.scale:g}")
     print(f"domains on day 1:   {population.active_count('2017-06-18'):,}")
     print(f"unique over study:  {population.unique_count():,}")
     print(f"providers:          {len(world.catalog)}")
@@ -606,14 +702,29 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
         )
         extra_files.append("timeline.txt")
 
+    from .archive.manifest import scenario_fingerprint
+
+    config = context.config
+    spec = context.scenario_spec
     manifest = {
-        "bundle_format": 1,
+        "bundle_format": 2,
+        # The canonical scenario identity: the same id + spec digest +
+        # fingerprint an archive manifest carries, so bundles and
+        # archives built from one world are joinable on it.
         "scenario": {
-            "scale": args.scale,
-            "seed": args.seed,
+            "id": context.scenario_id,
+            "spec_digest": (
+                spec.digest() if spec is not None
+                else getattr(config, "spec_digest", None)
+            ),
+            "fingerprint": scenario_fingerprint(config),
+        },
+        "run": {
+            "scale": config.scale,
+            "seed": config.seed,
             "cadence_days": args.cadence,
             "workers": args.workers,
-            "with_pki": not args.no_pki,
+            "with_pki": config.with_pki,
         },
         "include_extensions": bool(args.extensions),
         "experiments": experiments,
@@ -631,12 +742,19 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
 
 _QUERY_FLAG_FIELDS = (
     "kind", "experiment", "series", "start", "end",
-    "date", "tld", "offset", "limit",
+    "date", "tld", "offset", "limit", "scenario",
 )
 
 
 def _query_spec(args: argparse.Namespace):
-    """A QuerySpec from the positional JSON or the individual flags."""
+    """A QuerySpec from the positional JSON or the individual flags.
+
+    The global ``--scenario`` flag doubles as the spec's scenario
+    dimension (the spec layer normalises ``baseline`` back to the
+    legacy, scenario-free form), so
+    ``repro --scenario depeering query --kind headline`` asks for the
+    counterfactual world's numbers.
+    """
     from .api import QuerySpec
 
     if args.spec is not None:
@@ -646,7 +764,23 @@ def _query_spec(args: argparse.Namespace):
         for field in _QUERY_FLAG_FIELDS
         if getattr(args, field) is not None
     }
+    if "scenario" in payload:
+        payload["scenario"] = _canonical_scenario_id(str(payload["scenario"]))
     return QuerySpec.from_dict(payload)
+
+
+def _canonical_scenario_id(name_or_path: str) -> str:
+    """A query-able scenario id for the global ``--scenario`` value.
+
+    Library ids pass through; a spec *file* is loaded and registered so
+    the rest of the pipeline (QuerySpec validation, facade routing) can
+    address it by its canonical name.
+    """
+    if "/" not in name_or_path and not name_or_path.endswith(".json"):
+        return name_or_path
+    from .scenario import ScenarioSpec, register_scenario
+
+    return register_scenario(ScenarioSpec.resolve(name_or_path)).name
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -660,7 +794,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.url is not None:
         return _remote_query(args, spec)
     try:
-        context = _context(args)
+        # The primary context serves the spec's own scenario; a diff
+        # additionally needs the baseline world registered beside it.
+        context = _context(args, scenario=spec.scenario_id)
+        if spec.kind == "diff" and context.scenario_id != "baseline":
+            context.api.register_scenario(
+                _context(args, scenario="baseline", archive=None)
+            )
         print(context.api.query_json(spec))
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
@@ -708,9 +848,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         context = _context(args, service=True)
+        _register_scenario_archives(args, context)
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 1
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
     service_options = dict(
         max_concurrency=args.max_concurrency,
@@ -752,6 +896,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     sync_fault_metrics(context.faults, context.metrics)
     _write_profile_json(getattr(args, "profile_json", None), context.metrics)
     return code
+
+
+def _register_scenario_archives(args: argparse.Namespace, context) -> None:
+    """Attach each ``--scenario-archive ID=PATH`` world to the facade.
+
+    Registration happens before the service (and, with ``--processes``,
+    before the pre-fork supervisor forks its workers), so every worker
+    serves the same scenario set with per-scenario caches.
+    """
+    for item in getattr(args, "scenario_archive", None) or []:
+        scenario_id, separator, path = item.partition("=")
+        if not separator or not scenario_id or not path:
+            raise ValueError(
+                f"--scenario-archive wants ID=PATH, got {item!r}"
+            )
+        extra = _context(
+            args, service=True,
+            scenario=_canonical_scenario_id(scenario_id), archive=path,
+        )
+        context.api.register_scenario(extra)
 
 
 def _serve_multiprocess(
@@ -800,7 +964,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             args.url,
             rate=args.rate,
             duration=args.duration,
-            seed=args.seed,
+            seed=args.seed if args.seed is not None else 20220224,
             timeout=args.timeout,
             output=None if args.output == "-" else args.output,
         )
@@ -839,9 +1003,7 @@ def _cmd_archive(args: argparse.Namespace) -> int:
 
     faults = _fault_plan(args)
     if args.archive_command == "build":
-        config = ConflictScenarioConfig(
-            scale=args.scale, seed=args.seed, with_pki=False
-        )
+        config = _scenario_spec(args).with_config(with_pki=False).compile()
         if args.chunk_domains is not None and args.chunk_domains < 1:
             print("--chunk-domains must be >= 1", file=sys.stderr)
             return 2
@@ -903,9 +1065,7 @@ def _cmd_archive(args: argparse.Namespace) -> int:
         return 1 if args.archive_command == "status" else 4
 
     if args.archive_command == "repair":
-        config = ConflictScenarioConfig(
-            scale=args.scale, seed=args.seed, with_pki=False
-        )
+        config = _scenario_spec(args).with_config(with_pki=False).compile()
         metrics = SweepMetrics()
         archive.metrics = metrics
         try:
@@ -969,6 +1129,165 @@ def _cmd_archive(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled archive command {args.archive_command!r}")
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .errors import ScenarioError
+
+    try:
+        if args.scenario_command == "list":
+            return _scenario_list()
+        if args.scenario_command == "show":
+            return _scenario_show(args)
+        if args.scenario_command == "sweep":
+            return _scenario_sweep(args)
+    except ScenarioError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    raise AssertionError(
+        f"unhandled scenario command {args.scenario_command!r}"
+    )
+
+
+def _scenario_list() -> int:
+    from .scenario import LIBRARY, scenario_ids
+
+    width = max(len(name) for name in LIBRARY)
+    for scenario_id in scenario_ids():
+        spec = LIBRARY[scenario_id]
+        print(f"{scenario_id:<{width}}  {spec.digest()}  {spec.title}")
+    return 0
+
+
+def _scenario_show(args: argparse.Namespace) -> int:
+    import json
+
+    from .archive.manifest import scenario_fingerprint
+    from .scenario import ScenarioSpec
+
+    spec = ScenarioSpec.resolve(args.id)
+    print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    print(f"spec digest:  {spec.digest()}")
+    fingerprint = scenario_fingerprint(spec.compile())
+    print(f"fingerprint:  {json.dumps(fingerprint, sort_keys=True)}")
+    return 0
+
+
+def _scenario_sweep(args: argparse.Namespace) -> int:
+    """The cross-scenario experiment grid, diffed against baseline."""
+    import json
+
+    from .api.spec import jsonify
+    from .errors import ArchiveError
+    from .scenario import scenario_ids
+
+    if args.scenarios:
+        ids = [
+            _canonical_scenario_id(item.strip())
+            for item in args.scenarios.split(",")
+            if item.strip()
+        ]
+    else:
+        ids = scenario_ids()
+    if "baseline" not in ids:
+        ids.insert(0, "baseline")  # every diff needs the base world
+    experiments = [
+        item.strip() for item in args.experiments.split(",") if item.strip()
+    ]
+    if len(ids) < 2 or not experiments:
+        print(
+            "scenario sweep needs at least one non-baseline scenario "
+            "and one experiment",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        contexts = {
+            scenario_id: _context(
+                args,
+                scenario=scenario_id,
+                archive=_sweep_archive(args, scenario_id),
+            )
+            for scenario_id in ids
+        }
+    except (ArchiveError, ReproError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    root = contexts["baseline"]
+    for scenario_id in ids:
+        if scenario_id != "baseline":
+            root.api.register_scenario(contexts[scenario_id])
+
+    grid: dict = {}
+    rows = []
+    for experiment_id in experiments:
+        grid[experiment_id] = {}
+        for scenario_id in ids:
+            if scenario_id == "baseline":
+                continue
+            result = root.api.query(
+                {
+                    "kind": "diff",
+                    "experiment": experiment_id,
+                    "scenario": scenario_id,
+                }
+            )
+            data = result.data
+            grid[experiment_id][scenario_id] = data
+            for metric, delta in sorted(data["measured_delta"].items()):
+                rows.append((experiment_id, scenario_id, metric, delta))
+
+    widths = [
+        max(len(str(row[column])) for row in rows + [("experiment",
+            "scenario", "metric", "delta-vs-baseline")])
+        for column in range(4)
+    ]
+    header = ("experiment", "scenario", "metric", "delta-vs-baseline")
+    print("  ".join(name.ljust(width) for name, width in zip(header, widths)))
+    for experiment_id, scenario_id, metric, delta in rows:
+        print(
+            f"{experiment_id:<{widths[0]}}  {scenario_id:<{widths[1]}}  "
+            f"{metric:<{widths[2]}}  {delta:+g}"
+        )
+
+    if args.json:
+        payload = {
+            "schema_version": 2,
+            "scenarios": ids,
+            "experiments": experiments,
+            "results": jsonify(grid),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _sweep_archive(
+    args: argparse.Namespace, scenario_id: str
+) -> Optional[str]:
+    """Build (or extend) the per-scenario archive for one sweep world."""
+    import os
+
+    if not args.archive_root:
+        return None
+    from .archive import ArchiveBuilder
+
+    path = os.path.join(args.archive_root, scenario_id)
+    config = (
+        _scenario_spec(args, scenario_id).with_config(with_pki=False).compile()
+    )
+    builder = ArchiveBuilder(path, config, workers=args.workers)
+    report = builder.build_standard(args.cadence)
+    if report.written:
+        print(
+            f"[{scenario_id}] archived {len(report.written)} days "
+            f"({report.bytes_written:,} bytes)",
+            file=sys.stderr,
+        )
+    return path
+
+
 _COMMANDS = {
     "list": _cmd_list,
     "info": _cmd_info,
@@ -978,6 +1297,7 @@ _COMMANDS = {
     "bundle": _cmd_bundle,
     "timeline": _cmd_timeline,
     "archive": _cmd_archive,
+    "scenario": _cmd_scenario,
     "query": _cmd_query,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,

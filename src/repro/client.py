@@ -249,6 +249,12 @@ class QueryClient:
         Accepts a :class:`~repro.api.spec.QuerySpec`, a dict, or JSON
         text; posts the canonical spec and retries under the idempotent
         policy — the query API is a pure read.
+
+        Scenario-dimensioned specs (a non-baseline ``scenario`` field or
+        the ``diff`` kind) are posted to ``/v2/query``; everything else
+        goes to ``/v1/query``, so a v2-aware client keeps working
+        against a pre-scenario-engine service for the queries that
+        service can answer.
         """
         from .api.spec import QuerySpec
 
@@ -262,10 +268,19 @@ class QueryClient:
             raise ClientError(
                 f"cannot build a query spec from {type(spec).__name__}"
             )
+        path = (
+            "/v2/query"
+            if "scenario" in payload or payload.get("kind") == "diff"
+            else "/v1/query"
+        )
         body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return self.request(
-            "POST", "/v1/query", body=body.encode("utf-8"), idempotent=True
+            "POST", path, body=body.encode("utf-8"), idempotent=True
         )
+
+    def scenarios(self) -> ClientResponse:
+        """List the scenario worlds the service answers for (GET /v2/scenarios)."""
+        return self.get("/v2/scenarios")
 
     def healthz(self) -> ClientResponse:
         return self.get("/healthz")

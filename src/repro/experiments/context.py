@@ -56,6 +56,7 @@ class ExperimentContext:
         archive: Optional[Union[str, "MeasurementArchive"]] = None,
         faults=None,
         archive_readers: int = 1,
+        scenario: Optional[Union[str, "ScenarioSpec"]] = None,
     ) -> None:
         if cadence_days < 1:
             raise AnalysisError(f"cadence must be >= 1 day: {cadence_days}")
@@ -69,7 +70,38 @@ class ExperimentContext:
             raise AnalysisError(
                 "pass either a prebuilt world or an archive, not both"
             )
-        self.config = config or ConflictScenarioConfig()
+        self.scenario_spec = None
+        if scenario is not None:
+            if config is not None or world is not None:
+                raise AnalysisError(
+                    "pass either a scenario or a config/world, not both"
+                )
+            from ..scenario import ScenarioSpec
+
+            spec = (
+                scenario
+                if isinstance(scenario, ScenarioSpec)
+                else ScenarioSpec.resolve(str(scenario))
+            )
+            self.scenario_spec = spec
+            config = spec.compile()
+        elif config is not None and not getattr(config, "from_spec", False):
+            # Ad-hoc configs bypass the canonical scenario identity the
+            # archive fingerprint and the v2 query API key on.  Mirrors
+            # the full_sweep() deprecation: old path still works, warns.
+            warnings.warn(
+                "constructing ExperimentContext from an ad-hoc "
+                "ConflictScenarioConfig is deprecated; resolve a scenario "
+                "instead: ExperimentContext(scenario='baseline') or "
+                "ScenarioSpec.resolve(name).with_config(...).compile()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if config is None:
+            from ..scenario import ScenarioSpec
+
+            config = ScenarioSpec.resolve("baseline").compile()
+        self.config = config
         self.metrics = SweepMetrics()
         self.profile = profile
         self.faults = faults
@@ -168,6 +200,11 @@ class ExperimentContext:
 
                 self._catalog = standard_catalog()
         return self._catalog
+
+    @property
+    def scenario_id(self) -> str:
+        """The canonical scenario this context's world reproduces."""
+        return getattr(self.config, "scenario_id", "baseline")
 
     @property
     def workers(self) -> int:

@@ -189,13 +189,20 @@ _WORKER_COLLECTOR: Tuple[Optional[tuple], Optional[FastCollector]] = (None, None
 
 
 def _scenario_key(config) -> tuple:
-    return (
+    key = (
         config.scale,
         config.seed,
         config.geo_lag_days,
         config.netnod_mode,
         config.sanctioned_domain_count,
     )
+    # Counterfactual scenarios extend the key with their identity; the
+    # baseline key stays the historical 5-tuple so pre-scenario-engine
+    # archives keep matching (getattr: old pickled configs lack these).
+    scenario_id = getattr(config, "scenario_id", "baseline")
+    if scenario_id != "baseline":
+        key += (scenario_id, getattr(config, "spec_digest", None))
+    return key
 
 
 def _worker_collector(config, collector_args) -> FastCollector:

@@ -1,0 +1,33 @@
+"""Declarative counterfactual scenarios (see :mod:`repro.scenario.spec`).
+
+The public surface:
+
+* :class:`ScenarioSpec` — a seed-pure, JSON round-trippable description
+  of one world; :meth:`ScenarioSpec.resolve` turns a library id or a
+  spec-file path into a spec, :meth:`ScenarioSpec.compile` into the
+  :class:`~repro.sim.conflict.ConflictScenarioConfig` the simulator and
+  archive fingerprints consume.
+* The shipped library (:data:`LIBRARY`, :func:`get_scenario`,
+  :func:`scenario_ids`): ``baseline``, ``no-invasion``, ``depeering``,
+  ``ixp-disconnect``, ``sanctions-early``.
+* Digest helpers (:func:`world_digest`, :func:`archive_digest`) that
+  reduce the engine's byte-identity contracts to comparable hashes.
+"""
+
+from .digest import archive_digest, world_digest
+from .library import LIBRARY, get_scenario, register_scenario, scenario_ids
+from .spec import FlowSpec, ProviderExit, PulseSpec, ScenarioSpec, WaveSpec
+
+__all__ = [
+    "ScenarioSpec",
+    "ProviderExit",
+    "FlowSpec",
+    "PulseSpec",
+    "WaveSpec",
+    "LIBRARY",
+    "get_scenario",
+    "register_scenario",
+    "scenario_ids",
+    "world_digest",
+    "archive_digest",
+]

@@ -1,0 +1,162 @@
+"""The shipped scenario library.
+
+Every entry is a :class:`~repro.scenario.spec.ScenarioSpec` registered
+under its stable canonical id — the id the archive fingerprint embeds,
+the query API's ``scenario`` dimension names, and ``repro scenario
+list|show|sweep`` exposes.  The counterfactuals are drawn from the
+related work PAPERS.md names: operator de-peering and
+digital-sovereignty actions (arXiv 2305.17666) and the RIPE NCC / IXP
+disconnection debate (arXiv 2211.06123).
+
+Registering a new scenario is additive: ids are append-only, and a
+spec's world block must never change once archives have been built
+under its id (change the world, mint a new id — the spec digest in the
+fingerprint exists to catch exactly this drift).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import ScenarioError
+from .spec import FlowSpec, ProviderExit, ScenarioSpec, WaveSpec
+
+__all__ = ["LIBRARY", "get_scenario", "scenario_ids", "register_scenario"]
+
+
+def _build_library() -> Dict[str, ScenarioSpec]:
+    specs = [
+        ScenarioSpec(
+            name="baseline",
+            title="The historical timeline",
+            description=(
+                "The calibrated reproduction of the paper: the February "
+                "2022 invasion, the provider exits of Sections 3.2-3.4, "
+                "the sanctions waves, and the WebPKI shifts of Section 4. "
+                "Compiles to the identity config — archives built under "
+                "this id are byte-identical to pre-scenario-engine ones."
+            ),
+        ),
+        ScenarioSpec(
+            name="no-invasion",
+            title="The invasion never happens",
+            description=(
+                "A pure counterfactual control: pre-conflict drifts "
+                "(Figure 2/3's TLD-dependency externalisation) continue "
+                "undisturbed, no provider exits, no sanctions "
+                "designations, no CA pull-outs, no Russian state CA. "
+                "Diffing any experiment against this world isolates the "
+                "conflict's total effect."
+            ),
+            conflict=False,
+        ),
+        ScenarioSpec(
+            name="depeering",
+            title="Escalated operator de-peering",
+            description=(
+                "The de-peering debate of arXiv 2305.17666 escalates: "
+                "every historical exit runs at 1.6x volume, and the two "
+                "big Western operators that historically stayed "
+                "(Cloudflare's 'business as usual', GoDaddy's partial "
+                "wind-down) pull out of .ru entirely in early April."
+            ),
+            migration_intensity=1.6,
+            provider_exits=[
+                ProviderExit(
+                    "cloudflare", "2022-04-04",
+                    dns_refuge="rucenter_dns", hosting_refuge="timeweb_h",
+                    dns_pp=2.4, hosting_pp=4.8, duration_days=28,
+                ),
+                ProviderExit(
+                    "godaddy", "2022-04-04",
+                    dns_refuge="regru_dns", hosting_refuge="ruhost3_h",
+                    dns_pp=0.6, hosting_pp=2.2, duration_days=28,
+                ),
+            ],
+            notes=[
+                ("2022-04-04", "Cloudflare",
+                 "de-peers from Russian networks and drops .ru customers"),
+                ("2022-04-04", "GoDaddy",
+                 "terminates remaining Russian DNS and hosting service"),
+            ],
+        ),
+        ScenarioSpec(
+            name="ixp-disconnect",
+            title="IXP disconnection and routing isolation",
+            description=(
+                "The infrastructure-sanction scenario of arXiv 2211.06123: "
+                "instead of renumbering, the Netnod prefix is transferred "
+                "and geolocation snapshots lag a week; the ProDNS anycast "
+                "mesh withdraws from Russian-facing service faster and "
+                "more completely than history."
+            ),
+            netnod_mode="transfer",
+            geo_lag_days=7,
+            migration_intensity=1.25,
+            extra_flows=[
+                FlowSpec(
+                    "dns", ["prodns_anycast"], "prodns_ru", 4.5,
+                    "2022-03-05", "2022-03-19",
+                ),
+            ],
+            notes=[
+                ("2022-03-03", "IXPs",
+                 "exchange-point disconnections force prefix transfers; "
+                 "geolocation lags by a week"),
+                ("2022-03-05", "ProDNS",
+                 "anycast mesh withdraws from Russian-facing service"),
+            ],
+        ),
+        ScenarioSpec(
+            name="sanctions-early",
+            title="Sanctions land three weeks earlier",
+            description=(
+                "The designation waves are advanced ~three weeks and "
+                "front-loaded, probing how much of the observed "
+                "repatriation is sanctions-driven rather than "
+                "exit-driven."
+            ),
+            sanction_waves=[
+                WaveSpec("2022-02-24", 80),
+                WaveSpec("2022-03-04", 15),
+                WaveSpec("2022-03-16", 12),
+            ],
+            notes=[
+                ("2022-02-24", "sanctions",
+                 "coordinated designations land on invasion day"),
+            ],
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: Canonical id -> spec.  Treat as append-only.
+LIBRARY: Dict[str, ScenarioSpec] = _build_library()
+
+
+def scenario_ids() -> List[str]:
+    """All library ids, baseline first, then alphabetical."""
+    rest = sorted(name for name in LIBRARY if name != "baseline")
+    return ["baseline"] + rest
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look one spec up by canonical id."""
+    try:
+        return LIBRARY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; shipped: {', '.join(scenario_ids())} "
+            "(or pass a path to a spec JSON file)"
+        ) from None
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a spec to the registry (tests, user libraries)."""
+    if spec.name in LIBRARY and LIBRARY[spec.name] != spec:
+        raise ScenarioError(
+            f"scenario id {spec.name!r} is already registered "
+            "with a different spec; ids are append-only"
+        )
+    LIBRARY[spec.name] = spec
+    return spec

@@ -92,6 +92,12 @@ _PARAM_FIELDS = (
     "date", "tld", "offset", "limit",
 )
 
+#: GET /v2/query additionally accepts the scenario dimension.  /v1
+#: deliberately does not: legacy payloads have no scenario field, so
+#: they keep their exact pre-v2 cache keys (spec-side normalisation
+#: maps an absent scenario to baseline).
+_PARAM_FIELDS_V2 = _PARAM_FIELDS + ("scenario",)
+
 #: Breaker transition → metrics counter name.
 _BREAKER_COUNTERS = {
     OPEN: "breaker_opened",
@@ -321,11 +327,13 @@ class QueryService:
                 return "healthz", self._health_response()
             if segments == ("metrics",):
                 return "metrics", self._metrics_response()
-            if segments[0] != "v1":
+            if segments[0] not in ("v1", "v2"):
                 return "unknown", HttpResponse.error(
                     404, f"no such endpoint: {request.path}"
                 )
             deadline = self._request_deadline(request)
+            if segments[0] == "v2":
+                return await self._route_v2(request, segments[1:], deadline)
             return await self._route_v1(request, segments[1:], deadline)
         except HttpError as exc:
             return "bad-request", HttpResponse.error(400, str(exc))
@@ -386,6 +394,73 @@ class QueryService:
             return "records", await self._query_response(spec, deadline)
         return "unknown", HttpResponse.error(
             404, f"no such endpoint: {request.path}"
+        )
+
+    async def _route_v2(
+        self, request: HttpRequest, tail: Tuple[str, ...], deadline: Deadline
+    ) -> Tuple[str, HttpResponse]:
+        """The scenario-dimensioned surface (see docs/scenarios.md).
+
+        ``/v2/query`` is ``/v1/query`` plus the ``scenario`` field (and
+        the ``diff`` kind); ``/v2/scenarios`` lists the worlds this
+        instance serves; ``/v2/diff`` is sugar for a diff-kind query.
+        Cache isolation needs no extra plumbing: the scenario is folded
+        into :meth:`QuerySpec.cache_key`, which every caching layer
+        (result LRU, coalescing, shared cross-worker store) keys on.
+        """
+        params = request.params
+        if tail == ("query",):
+            if request.method == "POST":
+                spec = QuerySpec.from_dict(self._object_body(request))
+            elif request.method == "GET":
+                spec = QuerySpec.from_dict(
+                    {
+                        field: params[field]
+                        for field in _PARAM_FIELDS_V2
+                        if field in params
+                    }
+                )
+            else:
+                return "query", HttpResponse.error(
+                    405, f"{request.method} not allowed on /v2/query"
+                )
+            return "query", await self._query_response(spec, deadline)
+        if request.method != "GET":
+            return "v2", HttpResponse.error(
+                405, f"{request.method} not allowed on {request.path}"
+            )
+        if tail == ("scenarios",):
+            return "scenarios", self._scenarios_response()
+        if tail == ("diff",):
+            spec = QuerySpec(
+                "diff",
+                experiment=params.get("experiment"),
+                scenario=params.get("scenario"),
+            )
+            return "diff", await self._query_response(spec, deadline)
+        return "unknown", HttpResponse.error(
+            404, f"no such endpoint: {request.path}"
+        )
+
+    def _scenarios_response(self) -> HttpResponse:
+        """The scenario worlds this instance can answer queries for."""
+        from ..scenario import LIBRARY
+
+        entries = []
+        for scenario_id in self._facade.scenario_ids():
+            entry: Dict[str, object] = {"id": scenario_id}
+            spec = LIBRARY.get(scenario_id)
+            if spec is not None:
+                entry["title"] = spec.title
+                entry["spec_digest"] = spec.digest()
+            entries.append(entry)
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "default": "baseline",
+            "scenarios": entries,
+        }
+        return HttpResponse.json(
+            200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
         )
 
     @staticmethod
@@ -730,7 +805,11 @@ class QueryService:
                 "GET /v1/series/<name>?start=&end=",
                 "GET /v1/headline",
                 "GET /v1/records/<date>?tld=&offset=&limit=",
+                "GET|POST /v2/query",
+                "GET /v2/scenarios",
+                "GET /v2/diff?experiment=&scenario=",
             ],
+            "scenarios": self._facade.scenario_ids(),
         }
         return HttpResponse.json(
             200, json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -35,6 +35,7 @@ from .events import DomainEventLog, Field, InfraEvent
 from .flows import Flow, FlowEngine, Pulse
 from .manifest import ScenarioManifest
 from .plans import DnsPlan, DnsPlanTable, HostingPlan, HostingPlanTable
+from .variant import ScenarioVariant
 from .world import World
 
 __all__ = ["ConflictScenarioConfig", "build_world", "build_pki", "build_scenario"]
@@ -63,6 +64,10 @@ class ConflictScenarioConfig:
         with_pki: bool = True,
         sanctioned_cert_scale: Optional[float] = None,
         sanctioned_domain_count: int = 107,
+        variant: Optional["ScenarioVariant"] = None,
+        scenario_id: str = "baseline",
+        spec_digest: Optional[str] = None,
+        from_spec: bool = False,
     ) -> None:
         if scale <= 0:
             raise ScenarioError(f"scale must be positive: {scale}")
@@ -85,6 +90,25 @@ class ConflictScenarioConfig:
             sanctioned_cert_scale = max(0.05, min(1.0, 25.0 * self.scale_factor))
         self.sanctioned_cert_scale = sanctioned_cert_scale
         self.sanctioned_domain_count = sanctioned_domain_count
+        #: Counterfactual world deltas (see :mod:`repro.sim.variant`) and
+        #: the scenario identity the archive fingerprint is bound to.
+        #: ``None``/noop variants are normalised away so a baseline config
+        #: is one thing regardless of how it was constructed.
+        if variant is not None and variant.is_noop():
+            variant = None
+        self.variant = variant
+        self.scenario_id = str(scenario_id)
+        self.spec_digest = spec_digest
+        #: True when this config came out of ``ScenarioSpec.compile()``;
+        #: ad-hoc construction at analysis call sites is deprecated.
+        self.from_spec = from_spec
+        if self.variant is not None and self.scenario_id == "baseline":
+            # A world-altering variant must never masquerade as baseline:
+            # the archive fingerprint omits scenario identity for baseline
+            # so its manifests stay byte-identical to pre-scenario builds.
+            raise ScenarioError(
+                "a non-noop variant needs its own scenario_id, not 'baseline'"
+            )
 
     @property
     def initial_count(self) -> int:
@@ -284,7 +308,11 @@ def _sanctioned_names(count: int) -> List[Tuple[str, str]]:
     return [(f"sanctioned-entity-{index:03d}", TLD_RU) for index in range(count)]
 
 
-def _build_sanctions_list(population: DomainPopulation, count: int) -> SanctionsList:
+def _build_sanctions_list(
+    population: DomainPopulation,
+    count: int,
+    waves: Sequence[Tuple[_dt.date, int]] = _SANCTION_WAVES,
+) -> SanctionsList:
     entities: List[SanctionedEntity] = []
     index = 0
     entity_id = 0
@@ -293,7 +321,7 @@ def _build_sanctions_list(population: DomainPopulation, count: int) -> Sanctions
         (SanctionsAuthority.UK_SANCTIONS_LIST,),
         (SanctionsAuthority.US_OFAC_SDN, SanctionsAuthority.UK_SANCTIONS_LIST),
     )
-    for wave_date, wave_size in _SANCTION_WAVES:
+    for wave_date, wave_size in waves:
         remaining = min(wave_size, count - index)
         while remaining > 0:
             group = min(remaining, 1 + entity_id % 3)
@@ -325,8 +353,13 @@ def _assign_sanctioned(
     dns: DnsPlanTable,
     events: DomainEventLog,
     count: int,
+    scripted: bool = True,
 ) -> None:
-    """Fix the sanctioned domains' assignments and scripted moves."""
+    """Fix the sanctioned domains' assignments and scripted moves.
+
+    ``scripted=False`` (counterfactuals without the conflict) keeps the
+    pre-conflict assignments but skips every 2022 repatriation event.
+    """
     ru_host_cycle = ["regru_h", "rucenter_h", "timeweb_h", "selectel_h", "rtcomm_h"]
     for index in range(count):
         base_host[index] = hosting.id_of(ru_host_cycle[index % len(ru_host_cycle)])
@@ -338,9 +371,10 @@ def _assign_sanctioned(
     ]
     for index, plan_key in foreign:
         base_host[index] = hosting.id_of(plan_key)
-    events.add(_dt.date(2022, 3, 15), 39, Field.HOSTING, hosting.id_of("rucenter_h"))
-    events.add(_dt.date(2022, 4, 20), 40, Field.HOSTING, hosting.id_of("rucenter_h"))
-    events.add(_dt.date(2022, 5, 18), 41, Field.HOSTING, hosting.id_of("rucenter_h"))
+    if scripted:
+        events.add(_dt.date(2022, 3, 15), 39, Field.HOSTING, hosting.id_of("rucenter_h"))
+        events.add(_dt.date(2022, 4, 20), 40, Field.HOSTING, hosting.id_of("rucenter_h"))
+        events.add(_dt.date(2022, 5, 18), 41, Field.HOSTING, hosting.id_of("rucenter_h"))
 
     # Name service: 31 on the Netnod-backed cloud, 5 with a Hetzner
     # secondary, 6 fully Western, 65 fully Russian (34.0% / 5.2% on Feb 24).
@@ -359,6 +393,8 @@ def _assign_sanctioned(
     for offset, index in enumerate(range(42, count)):
         base_dns[index] = dns.id_of(full_cycle[offset % len(full_cycle)])
 
+    if not scripted:
+        return
     # March 4: four of the five Hetzner secondaries are dropped, completing
     # the jump to 93.8% fully-Russian name service.
     for index in range(31, 35):
@@ -546,8 +582,17 @@ def _sanctioned_specs(config: ConflictScenarioConfig) -> List[SanctionedIssuance
 # ----------------------------------------------------------------------
 
 def build_world(config: Optional[ConflictScenarioConfig] = None) -> World:
-    """Build the conflict world (registry + assignments + events)."""
+    """Build the conflict world (registry + assignments + events).
+
+    When ``config.variant`` is set, the counterfactual deltas are applied
+    by reshaping the scripted inputs (flow/pulse lists, sanction waves,
+    scripted events) *before* anything random runs — the baseline path
+    (``variant=None``) executes exactly the pre-scenario-engine sequence
+    of RNG draws, which is what keeps baseline archives byte-identical.
+    """
     config = config or ConflictScenarioConfig()
+    variant = getattr(config, "variant", None)
+    conflict_happens = variant is None or variant.conflict
     catalog = standard_catalog()
     address_plan = AddressPlan(catalog)
     dns_table = _dns_plans(catalog)
@@ -588,7 +633,7 @@ def build_world(config: Optional[ConflictScenarioConfig] = None) -> World:
     shifted_weights = _weight_vector(hosting_table, shifted)
     late_birth = population.created >= (AMAZON_ANNOUNCEMENT - _dt.date(2017, 6, 18)).days
     late_indices = np.flatnonzero(late_birth)
-    if len(late_indices):
+    if conflict_happens and len(late_indices):
         base_host[late_indices] = rng.choice(
             len(hosting_table), size=len(late_indices), p=shifted_weights
         ).astype(np.int32)
@@ -607,20 +652,32 @@ def build_world(config: Optional[ConflictScenarioConfig] = None) -> World:
     protected[:sanct_count] = True
     dns_flows = _dns_flows()
     hosting_flows, hosting_pulses = _hosting_flows(config)
+    flows = dns_flows + hosting_flows
+    pulses = hosting_pulses
+    if variant is not None:
+        flows, pulses = variant.apply(flows, pulses)
     events, _final = engine.run(
         base={Field.HOSTING: base_host, Field.DNS: base_dns},
-        flows=dns_flows + hosting_flows,
-        pulses=hosting_pulses,
+        flows=flows,
+        pulses=pulses,
         horizon_days=STUDY_DAYS,
         exclude=protected,
     )
 
     _assign_sanctioned(base_host, base_dns, hosting_table, dns_table, events,
-                       sanct_count)
-    sanctions = _build_sanctions_list(population, sanct_count)
+                       sanct_count, scripted=conflict_happens)
+    if variant is not None and variant.sanction_waves is not None:
+        waves = variant.sanction_waves
+    elif conflict_happens:
+        waves = _SANCTION_WAVES
+    else:
+        waves = ()
+    sanctions = _build_sanctions_list(population, sanct_count, waves)
 
     # Netnod / RU-CENTER, March 3 2022.
-    if config.netnod_mode == "renumber":
+    if not conflict_happens:
+        netnod_event = None
+    elif config.netnod_mode == "renumber":
         netnod_event = InfraEvent(
             NETNOD_CUTOFF,
             "Netnod drops RU-CENTER cloud NS; hosts renumbered into AS48287",
@@ -647,20 +704,31 @@ def build_world(config: Optional[ConflictScenarioConfig] = None) -> World:
         base_hosting=base_host,
         base_dns=base_dns,
         events=events,
-        infra_events=[netnod_event],
+        infra_events=[netnod_event] if netnod_event is not None else [],
         sanctions=sanctions,
         sanctioned_indices=np.arange(sanct_count),
         geo_lag_days=config.geo_lag_days,
     )
-    world.manifest = _build_manifest(config, sanctions)
+    world.manifest = _build_manifest(config, sanctions, variant)
     return world
 
 
 def _build_manifest(
-    config: ConflictScenarioConfig, sanctions: SanctionsList
+    config: ConflictScenarioConfig,
+    sanctions: SanctionsList,
+    variant: Optional[ScenarioVariant] = None,
 ) -> ScenarioManifest:
     """The scripted timeline, for narration (never read by the analysis)."""
     manifest = ScenarioManifest()
+    if variant is not None and not variant.conflict:
+        manifest.record(
+            CONFLICT_START, "counterfactual",
+            f"scenario {config.scenario_id!r}: the invasion never happens; "
+            "pre-2022 drifts continue undisturbed",
+        )
+        for date, actor, description in variant.notes:
+            manifest.record(date, actor, description)
+        return manifest
     manifest.record(CONFLICT_START, "conflict", "Russia invades Ukraine")
     for wave_date in sanctions.listing_dates():
         listed = len(sanctions.domains_listed_as_of(wave_date))
@@ -719,17 +787,53 @@ def _build_manifest(
         _dt.date(2022, 4, 22), "OFAC",
         "General License 25 issued (no observable issuance change)",
     )
+    if variant is not None:
+        if variant.intensity != 1.0:
+            manifest.record(
+                CONFLICT_START, "counterfactual",
+                f"scenario {config.scenario_id!r}: conflict-era migration "
+                f"volumes scaled x{variant.intensity:g}",
+            )
+        for date, actor, description in variant.notes:
+            manifest.record(date, actor, description)
     return manifest
+
+
+def _peacetime_ca_specs() -> List[CaSpec]:
+    """The CA mix with every conflict response stripped (no-invasion worlds)."""
+    specs = _ca_specs()
+    for spec in specs:
+        spec.stop_date = None
+        spec.leak_days = 0
+        spec.leak_rate = 0.0
+        spec.share_multiplier_post_conflict = 1.0
+    return specs
 
 
 def build_pki(world: World, config: ConflictScenarioConfig) -> PkiBundle:
     """Run the certificate simulation and attach it to the world."""
-    cert_config = CertSimConfig(
-        seed=config.seed,
-        scale_factor=config.scale_factor,
-        ca_specs=_ca_specs(),
-        sanctioned_specs=_sanctioned_specs(config),
-    )
+    variant = getattr(config, "variant", None)
+    if variant is not None and not variant.conflict:
+        # Peacetime: no CA pull-outs, no issuance drop, no sanctioned
+        # reissuance rush, and the Russian state CA is never stood up.
+        cert_config = CertSimConfig(
+            seed=config.seed,
+            scale_factor=config.scale_factor,
+            ca_specs=_peacetime_ca_specs(),
+            sanctioned_specs=[],
+            daily_volume_post_conflict=130_000.0,
+            russian_ca_cert_count=0,
+            russian_ca_sanctioned_count=0,
+            russian_ca_rf_count=0,
+            russian_ca_external_count=0,
+        )
+    else:
+        cert_config = CertSimConfig(
+            seed=config.seed,
+            scale_factor=config.scale_factor,
+            ca_specs=_ca_specs(),
+            sanctioned_specs=_sanctioned_specs(config),
+        )
     bundle = simulate_pki(world, cert_config)
     world.pki = bundle
     return bundle

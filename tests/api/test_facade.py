@@ -140,5 +140,5 @@ class TestCatalog:
         assert "concentration" in data["extensions"]
         assert "ns_composition" in data["series"]
         assert data["kinds"] == list(
-            ("experiment", "series", "headline", "records", "catalog")
+            ("experiment", "series", "headline", "records", "catalog", "diff")
         )

@@ -1,0 +1,136 @@
+"""The v2 scenario dimension: cache keys, routing, diffs, isolation."""
+
+import json
+
+import pytest
+
+from repro.api.spec import QuerySpec
+from repro.errors import QueryError
+from repro.experiments import ExperimentContext
+from repro.scenario import ScenarioSpec
+
+TEST_SCALE = 30000.0
+
+
+def _context(name: str) -> ExperimentContext:
+    return ExperimentContext(
+        scenario=ScenarioSpec.resolve(name).with_config(
+            scale=TEST_SCALE, with_pki=False
+        ),
+        cadence_days=120,
+    )
+
+
+@pytest.fixture(scope="module")
+def routing():
+    """A baseline facade with no-invasion registered beside it."""
+    context = _context("baseline")
+    context.api.register_scenario(_context("no-invasion"))
+    return context.api
+
+
+class TestV1CacheKeyGolden:
+    """The v1 compatibility pin: legacy payloads keep their exact keys."""
+
+    def test_headline_key_is_unchanged(self):
+        assert QuerySpec("headline").cache_key() == '{"kind":"headline"}'
+
+    def test_explicit_baseline_normalises_away(self):
+        assert (
+            QuerySpec("headline", scenario="baseline").cache_key()
+            == '{"kind":"headline"}'
+        )
+        assert (
+            QuerySpec.from_json('{"kind": "headline", "scenario": "baseline"}')
+            .cache_key()
+            == '{"kind":"headline"}'
+        )
+
+    def test_legacy_experiment_key_is_unchanged(self):
+        spec = QuerySpec.from_dict({"kind": "experiment", "experiment": "fig1"})
+        assert spec.cache_key() == '{"experiment":"fig1","kind":"experiment"}'
+
+    def test_scenario_field_extends_the_key(self):
+        spec = QuerySpec("headline", scenario="no-invasion")
+        assert (
+            spec.cache_key()
+            == '{"kind":"headline","scenario":"no-invasion"}'
+        )
+
+    def test_scenario_ids_are_validated(self):
+        with pytest.raises(QueryError, match="kebab-case"):
+            QuerySpec("headline", scenario="No Invasion")
+
+    def test_diff_requires_experiment_and_counterfactual(self):
+        with pytest.raises(QueryError, match="experiment"):
+            QuerySpec("diff", scenario="no-invasion")
+        with pytest.raises(QueryError, match="non-baseline"):
+            QuerySpec("diff", experiment="fig1")
+        with pytest.raises(QueryError, match="non-baseline"):
+            QuerySpec("diff", experiment="fig1", scenario="baseline")
+
+
+class TestScenarioRouting:
+    def test_registered_ids_are_listed(self, routing):
+        assert routing.scenario_ids() == ["baseline", "no-invasion"]
+        catalog = routing.query({"kind": "catalog"}).data
+        assert catalog["scenarios"] == ["baseline", "no-invasion"]
+        assert "diff" in catalog["kinds"]
+
+    def test_duplicate_registration_is_refused(self, routing):
+        with pytest.raises(QueryError, match="already being served"):
+            routing.register_scenario(_context("no-invasion"))
+
+    def test_unregistered_scenario_names_the_served_set(self, routing):
+        with pytest.raises(QueryError, match="baseline, no-invasion"):
+            routing.query({"kind": "headline", "scenario": "depeering"})
+
+    def test_queries_route_to_the_matching_world(self, routing):
+        base = routing.query({"kind": "headline"}).data
+        counterfactual = routing.query(
+            {"kind": "headline", "scenario": "no-invasion"}
+        ).data
+        # Without the invasion the late-study NS repatriation never
+        # happens, so the end-of-study full-dependence share differs.
+        assert base["ns_full_end"] != counterfactual["ns_full_end"]
+
+    def test_spec_envelope_echoes_the_scenario(self, routing):
+        result = routing.query({"kind": "headline", "scenario": "no-invasion"})
+        assert result.spec == {"kind": "headline", "scenario": "no-invasion"}
+
+    def test_sweep_caches_stay_per_scenario(self, routing):
+        target = routing.scenario_facade("no-invasion")
+        assert target is not routing
+        # Both facades have answered a headline query by now (tests
+        # above), each priming only its own sweep cache.
+        assert routing._full is not None
+        assert target._full is not None
+        assert routing._full is not target._full
+
+
+class TestDiffQueries:
+    def test_diff_payload_shape_and_deltas(self, routing):
+        result = routing.query(
+            {"kind": "diff", "experiment": "fig2", "scenario": "no-invasion"}
+        )
+        data = result.data
+        assert data["experiment_id"] == "fig2"
+        assert data["scenario"] == "no-invasion"
+        assert data["baseline"] == "baseline"
+        assert data["measured_delta"]
+        for key, delta in data["measured_delta"].items():
+            expected = (
+                data["scenario_result"]["measured"][key]
+                - data["baseline_result"]["measured"][key]
+            )
+            assert delta == pytest.approx(expected, abs=1e-6)
+        # The counterfactual removes the conflict-era repatriation bump.
+        assert data["measured_delta"]["conflict_full_bump_pp"] < 0
+
+    def test_diff_is_json_canonical(self, routing):
+        text = routing.query_json(
+            {"kind": "diff", "experiment": "fig2", "scenario": "no-invasion"}
+        )
+        envelope = json.loads(text)
+        assert envelope["schema_version"] == 2
+        assert envelope["kind"] == "diff"

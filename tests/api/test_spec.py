@@ -21,7 +21,8 @@ class TestSpecValidation:
         QuerySpec("headline")
         QuerySpec("records", date="2022-03-04")
         QuerySpec("catalog")
-        assert len(QUERY_KINDS) == 5
+        QuerySpec("diff", experiment="fig1", scenario="no-invasion")
+        assert len(QUERY_KINDS) == 6
 
     def test_experiment_requires_id(self):
         with pytest.raises(QueryError, match="'experiment' id"):

@@ -11,7 +11,7 @@ import pytest
 
 from repro.archive import ArchiveBuilder
 from repro.experiments import ExperimentContext
-from repro.sim import ConflictScenarioConfig
+from repro.scenario import ScenarioSpec
 
 #: Cadence shared by the archive build and both contexts.
 CADENCE = 60
@@ -19,7 +19,9 @@ CADENCE = 60
 
 @pytest.fixture(scope="session")
 def archive_config():
-    return ConflictScenarioConfig(scale=5000.0, with_pki=False)
+    return ScenarioSpec.resolve("baseline").with_config(
+        scale=5000.0, with_pki=False
+    ).compile()
 
 
 @pytest.fixture(scope="session")

@@ -109,13 +109,13 @@ class TestRefusals:
             context.api.full_sweep()
 
     def test_scenario_mismatch_refused_at_open(self, built_archive):
-        from repro.sim import ConflictScenarioConfig
+        from repro.scenario import ScenarioSpec
 
+        mismatched = ScenarioSpec.resolve("baseline").with_config(
+            scale=2500.0, with_pki=False
+        )
         with pytest.raises(ArchiveError, match="different scenario"):
-            ExperimentContext(
-                config=ConflictScenarioConfig(scale=2500.0, with_pki=False),
-                archive=built_archive,
-            )
+            ExperimentContext(scenario=mismatched, archive=built_archive)
 
     def test_world_and_archive_both_refused(self, tiny_world, built_archive):
         with pytest.raises(AnalysisError, match="not both"):

@@ -20,7 +20,7 @@ from repro.archive import (
 )
 from repro.archive.shard import encode_shard, read_shard
 from repro.experiments import ExperimentContext
-from repro.sim import ConflictScenarioConfig
+from repro.scenario import ScenarioSpec
 
 #: Must match tests/archive/conftest.py's session fixtures.
 CADENCE = 60
@@ -105,7 +105,9 @@ class TestAcrossScales:
 
     @pytest.fixture(scope="class")
     def small_config(self):
-        return ConflictScenarioConfig(scale=20000.0, with_pki=False)
+        return ScenarioSpec.resolve("baseline").with_config(
+            scale=20000.0, with_pki=False
+        ).compile()
 
     @pytest.fixture(scope="class")
     def small_archive(self, tmp_path_factory, small_config):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import ExperimentContext
-from repro.sim import ConflictScenarioConfig, build_world
+from repro.scenario import ScenarioSpec
 
 #: Tiny scale for unit-ish integration: ~2k concurrent domains.
 TINY_SCALE = 2500.0
@@ -13,17 +13,24 @@ TINY_SCALE = 2500.0
 SMALL_SCALE = 500.0
 
 
+def baseline_spec(scale: float, with_pki: bool = True) -> ScenarioSpec:
+    """The baseline scenario at a test scale (the canonical config path)."""
+    return ScenarioSpec.resolve("baseline").with_config(
+        scale=scale, with_pki=with_pki
+    )
+
+
 @pytest.fixture(scope="session")
 def tiny_world():
     """A conflict world without PKI, ~2k domains (fast)."""
-    return build_world(ConflictScenarioConfig(scale=TINY_SCALE, with_pki=False))
+    return baseline_spec(TINY_SCALE, with_pki=False).build()
 
 
 @pytest.fixture(scope="session")
 def tiny_context():
     """Full experiment context (with PKI) at tiny scale, 2-week cadence."""
     return ExperimentContext(
-        config=ConflictScenarioConfig(scale=TINY_SCALE),
+        scenario=baseline_spec(TINY_SCALE),
         cadence_days=14,
     )
 
@@ -32,6 +39,6 @@ def tiny_context():
 def small_context():
     """Experiment context at ~10k domains, weekly cadence (calibration)."""
     return ExperimentContext(
-        config=ConflictScenarioConfig(scale=SMALL_SCALE),
+        scenario=baseline_spec(SMALL_SCALE),
         cadence_days=7,
     )

@@ -5,7 +5,16 @@ import datetime as dt
 from repro.core.composition import collect_composition
 from repro.experiments import ExperimentContext, run_experiment
 from repro.measurement import FastCollector
-from repro.sim import ConflictScenarioConfig, build_scenario, build_world
+from repro.scenario import ScenarioSpec
+from repro.sim import build_scenario, build_world
+
+
+def _baseline(**overrides):
+    return (
+        ScenarioSpec.resolve("baseline")
+        .with_config(scale=5000.0, **overrides)
+        .compile()
+    )
 
 
 def _fig1_series(world):
@@ -18,20 +27,20 @@ def _fig1_series(world):
 
 class TestWorldDeterminism:
     def test_two_builds_identical_series(self):
-        config = ConflictScenarioConfig(scale=5000.0, with_pki=False)
+        config = _baseline(with_pki=False)
         assert _fig1_series(build_world(config)) == _fig1_series(
             build_world(config)
         )
 
     def test_different_seeds_differ(self):
-        base = ConflictScenarioConfig(scale=5000.0, with_pki=False, seed=1)
-        other = ConflictScenarioConfig(scale=5000.0, with_pki=False, seed=2)
+        base = _baseline(with_pki=False, seed=1)
+        other = _baseline(with_pki=False, seed=2)
         assert _fig1_series(build_world(base)) != _fig1_series(build_world(other))
 
 
 class TestPkiDeterminism:
     def test_certificate_fingerprints_reproducible(self):
-        config = ConflictScenarioConfig(scale=5000.0)
+        config = _baseline()
         first = build_scenario(config)
         second = build_scenario(config)
         fp_a = [cert.fingerprint for cert in list(first.pki.store)[:200]]
@@ -39,7 +48,7 @@ class TestPkiDeterminism:
         assert fp_a == fp_b
 
     def test_ct_log_roots_reproducible(self):
-        config = ConflictScenarioConfig(scale=5000.0)
+        config = _baseline()
         first = build_scenario(config)
         second = build_scenario(config)
         for log_a, log_b in zip(first.pki.logs, second.pki.logs):
@@ -48,7 +57,7 @@ class TestPkiDeterminism:
 
 class TestExperimentDeterminism:
     def test_fig5_identical_across_contexts(self):
-        config = ConflictScenarioConfig(scale=5000.0, with_pki=False)
+        config = _baseline(with_pki=False)
         a = run_experiment(
             "fig5", ExperimentContext(config=config, cadence_days=30)
         )

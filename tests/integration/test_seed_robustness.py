@@ -8,7 +8,7 @@ must therefore hold across seeds.
 import pytest
 
 from repro.experiments import ExperimentContext, run_experiment
-from repro.sim import ConflictScenarioConfig
+from repro.scenario import ScenarioSpec
 
 SEEDS = (7, 424242)
 
@@ -16,7 +16,7 @@ SEEDS = (7, 424242)
 @pytest.fixture(scope="module", params=SEEDS)
 def seeded_context(request):
     return ExperimentContext(
-        config=ConflictScenarioConfig(
+        scenario=ScenarioSpec.resolve("baseline").with_config(
             scale=1000.0, seed=request.param, with_pki=False
         ),
         cadence_days=14,

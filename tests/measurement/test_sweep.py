@@ -13,7 +13,7 @@ from repro.measurement.sweep import (
     SweepEngine,
     partition_chunks,
 )
-from repro.sim import ConflictScenarioConfig
+from repro.scenario import ScenarioSpec
 
 #: The paper's footnote-8 measurement outage day (inside the study window).
 OUTAGE = dt.date(2021, 3, 22)
@@ -24,7 +24,9 @@ END = dt.date(2021, 4, 10)
 
 @pytest.fixture(scope="module")
 def engine_config():
-    return ConflictScenarioConfig(scale=5000.0, with_pki=False)
+    return ScenarioSpec.resolve("baseline").with_config(
+        scale=5000.0, with_pki=False
+    ).compile()
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,95 @@
+"""The shipped library: stable ids, distinct identities, registration rules."""
+
+import pytest
+
+from repro.archive.manifest import scenario_fingerprint
+from repro.errors import ScenarioError
+from repro.scenario import (
+    LIBRARY,
+    ScenarioSpec,
+    get_scenario,
+    register_scenario,
+    scenario_ids,
+    world_digest,
+)
+
+TEST_SCALE = 30000.0
+
+#: The minimum library the PR contract names.
+REQUIRED_IDS = {"baseline", "depeering", "ixp-disconnect", "no-invasion"}
+
+
+def _small(spec: ScenarioSpec) -> ScenarioSpec:
+    return spec.with_config(scale=TEST_SCALE, with_pki=False)
+
+
+class TestLibraryShape:
+    def test_required_scenarios_ship(self):
+        assert REQUIRED_IDS <= set(LIBRARY)
+
+    def test_ids_are_canonical_and_baseline_first(self):
+        ids = scenario_ids()
+        assert ids[0] == "baseline"
+        assert ids == ["baseline"] + sorted(ids[1:])
+        assert set(ids) == set(LIBRARY)
+
+    def test_baseline_is_the_identity(self):
+        spec = get_scenario("baseline")
+        assert not spec.has_deltas()
+        config = spec.compile()
+        assert config.variant is None
+        assert config.scenario_id == "baseline"
+        assert config.spec_digest is None
+
+    def test_every_spec_compiles_and_round_trips(self):
+        for name, spec in LIBRARY.items():
+            config = spec.compile()
+            assert config.scenario_id == name
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_spec_digests_are_distinct(self):
+        digests = {spec.digest() for spec in LIBRARY.values()}
+        assert len(digests) == len(LIBRARY)
+
+
+class TestFingerprints:
+    def test_baseline_fingerprint_is_the_legacy_five_tuple(self):
+        fingerprint = scenario_fingerprint(_small(get_scenario("baseline")).compile())
+        # No scenario/spec_digest keys: archives built under the baseline
+        # id stay byte-identical to pre-scenario-engine archives.
+        assert sorted(fingerprint) == [
+            "geo_lag_days", "netnod_mode", "sanctioned_domain_count",
+            "scale", "seed",
+        ]
+
+    def test_counterfactual_fingerprints_carry_identity(self):
+        fingerprints = set()
+        for name in scenario_ids():
+            fingerprint = scenario_fingerprint(_small(LIBRARY[name]).compile())
+            if name != "baseline":
+                assert fingerprint["scenario"] == name
+                assert fingerprint["spec_digest"] == LIBRARY[name].digest()
+            fingerprints.add(tuple(sorted(fingerprint.items())))
+        assert len(fingerprints) == len(LIBRARY)
+
+
+class TestWorldDigests:
+    def test_distinct_specs_build_distinct_worlds(self):
+        digests = {
+            name: world_digest(_small(spec).build())
+            for name, spec in LIBRARY.items()
+        }
+        assert len(set(digests.values())) == len(digests), digests
+
+
+class TestRegistration:
+    def test_register_is_append_only(self):
+        baseline = get_scenario("baseline")
+        clash = ScenarioSpec.from_dict(
+            {**baseline.to_dict(), "title": "imposter"}
+        )
+        with pytest.raises(ScenarioError, match="append-only"):
+            register_scenario(clash)
+
+    def test_same_spec_reregisters_cleanly(self):
+        assert register_scenario(get_scenario("depeering")) is not None

@@ -18,8 +18,8 @@ import pytest
 
 from repro.archive import ArchiveBuilder
 from repro.experiments import ExperimentContext
+from repro.scenario import ScenarioSpec
 from repro.service import QueryService
-from repro.sim import ConflictScenarioConfig
 
 #: Scenario shared by the archive build, every service context, and the
 #: CLI equivalence runs (which rebuild it from these numbers).
@@ -27,8 +27,12 @@ SERVICE_SCALE = 20000.0
 SERVICE_CADENCE = 90
 
 
-def service_config() -> ConflictScenarioConfig:
-    return ConflictScenarioConfig(scale=SERVICE_SCALE, with_pki=False)
+def service_config(scenario: str = "baseline"):
+    return (
+        ScenarioSpec.resolve(scenario)
+        .with_config(scale=SERVICE_SCALE, with_pki=False)
+        .compile()
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,144 @@
+"""The v2 surface over real HTTP: scenario routing, diffs, cache walls.
+
+One service thread serves the archive-backed baseline plus a live
+``no-invasion`` context registered before startup — the same shape
+``repro serve --scenario-archive`` produces.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+from .conftest import SERVICE_CADENCE, ServiceThread, fresh_context, service_config
+
+
+@pytest.fixture(scope="module")
+def svc(service_archive):
+    context = fresh_context(service_archive)
+    context.api.register_scenario(
+        ExperimentContext(
+            config=service_config("no-invasion"),
+            cadence_days=SERVICE_CADENCE,
+        )
+    )
+    with ServiceThread(context) as svc:
+        yield svc
+
+
+def _json(body: bytes):
+    return json.loads(body)
+
+
+class TestScenarioListing:
+    def test_v2_scenarios_lists_served_worlds(self, svc):
+        status, _, body = svc.get("/v2/scenarios")
+        assert status == 200
+        payload = _json(body)
+        assert payload["schema_version"] == 2
+        assert payload["default"] == "baseline"
+        ids = [entry["id"] for entry in payload["scenarios"]]
+        assert ids == ["baseline", "no-invasion"]
+        by_id = {entry["id"]: entry for entry in payload["scenarios"]}
+        assert by_id["no-invasion"]["spec_digest"]
+        assert by_id["no-invasion"]["title"]
+
+    def test_root_advertises_v2(self, svc):
+        status, _, body = svc.get("/")
+        assert status == 200
+        payload = _json(body)
+        assert payload["scenarios"] == ["baseline", "no-invasion"]
+        assert any("/v2/query" in e for e in payload["endpoints"])
+        assert any("/v2/scenarios" in e for e in payload["endpoints"])
+
+
+class TestScenarioQueries:
+    def test_post_routes_to_the_named_world(self, svc):
+        status, _, base = svc.post(
+            "/v2/query", json.dumps({"kind": "headline"}).encode()
+        )
+        assert status == 200
+        status, _, counterfactual = svc.post(
+            "/v2/query",
+            json.dumps({"kind": "headline", "scenario": "no-invasion"}).encode(),
+        )
+        assert status == 200
+        base_data = _json(base)["data"]
+        cf_data = _json(counterfactual)["data"]
+        assert base_data["ns_full_end"] != cf_data["ns_full_end"]
+
+    def test_get_accepts_the_scenario_param(self, svc):
+        status, _, body = svc.get(
+            "/v2/query?kind=headline&scenario=no-invasion"
+        )
+        assert status == 200
+        envelope = _json(body)
+        assert envelope["spec"] == {"kind": "headline", "scenario": "no-invasion"}
+
+    def test_unserved_scenario_is_400_listing_ids(self, svc):
+        status, _, body = svc.post(
+            "/v2/query",
+            json.dumps({"kind": "headline", "scenario": "depeering"}).encode(),
+        )
+        assert status == 400
+        assert "baseline, no-invasion" in _json(body)["error"]["message"]
+
+    def test_v1_get_ignores_the_scenario_param(self, svc):
+        # The frozen v1 surface has no scenario dimension; an extra
+        # query-string param falls through to the baseline world.
+        status, _, body = svc.get("/v1/query?kind=headline&scenario=no-invasion")
+        assert status == 200
+        assert _json(body)["spec"] == {"kind": "headline"}
+
+
+class TestCacheIsolation:
+    def test_no_cross_scenario_cache_hits(self, svc):
+        spec = {"kind": "experiment", "experiment": "fig1"}
+        path = "/v2/query"
+        _, first_headers, first = svc.post(path, json.dumps(spec).encode())
+        _, cf_headers, cf_body = svc.post(
+            path, json.dumps({**spec, "scenario": "no-invasion"}).encode()
+        )
+        # A different world is never served from the baseline's entry.
+        assert cf_headers.get("X-Cache") != "hit"
+        assert cf_body != first
+        # ...but each scenario's own repeats do hit.
+        _, repeat_headers, repeat = svc.post(
+            path, json.dumps({**spec, "scenario": "no-invasion"}).encode()
+        )
+        assert repeat_headers.get("X-Cache") == "hit"
+        assert repeat == cf_body
+
+    def test_explicit_baseline_shares_the_v1_entry(self, svc):
+        spec = {"kind": "series", "series": "ns_composition"}
+        svc.post("/v1/query", json.dumps(spec).encode())
+        _, headers, _ = svc.post(
+            "/v2/query", json.dumps({**spec, "scenario": "baseline"}).encode()
+        )
+        assert headers.get("X-Cache") == "hit"
+
+
+class TestDiffOverHttp:
+    def test_get_diff_matches_posted_diff_bytes(self, svc):
+        status, _, get_body = svc.get(
+            "/v2/diff?experiment=fig2&scenario=no-invasion"
+        )
+        assert status == 200
+        status, _, post_body = svc.post(
+            "/v2/query",
+            json.dumps(
+                {"kind": "diff", "experiment": "fig2", "scenario": "no-invasion"}
+            ).encode(),
+        )
+        assert status == 200
+        assert get_body == post_body
+        data = _json(get_body)["data"]
+        assert data["scenario"] == "no-invasion"
+        assert data["baseline"] == "baseline"
+        assert data["measured_delta"]
+
+    def test_diff_without_scenario_is_400(self, svc):
+        status, _, body = svc.get("/v2/diff?experiment=fig2")
+        assert status == 400
+        assert "non-baseline" in _json(body)["error"]["message"]

@@ -16,9 +16,19 @@ class TestParser:
 
     def test_defaults(self):
         args = build_parser().parse_args(["list"])
-        assert args.scale == 250.0  # matches ConflictScenarioConfig's default
+        # scale/seed default to None (unset) so spec-file values are
+        # never stomped; the compiled config supplies 250.0.
+        assert args.scale is None
+        assert args.seed is None
+        assert args.scenario == "baseline"
         assert args.cadence == 7
         assert args.workers == 1
+
+    def test_unset_scale_compiles_to_the_config_default(self):
+        from repro.scenario import ScenarioSpec
+
+        config = ScenarioSpec.resolve("baseline").compile()
+        assert config.scale == 250.0
 
 
 class TestCommands:
@@ -97,8 +107,18 @@ class TestCommands:
         )
         assert code == 0
         manifest = json.loads((out_dir / "bundle.json").read_text())
-        assert manifest["bundle_format"] == 1
-        assert manifest["scenario"] == {
+        assert manifest["bundle_format"] == 2
+        # The canonical scenario identity archives share (joinable).
+        assert manifest["scenario"]["id"] == "baseline"
+        assert manifest["scenario"]["spec_digest"]
+        assert manifest["scenario"]["fingerprint"] == {
+            "scale": 2500.0,
+            "seed": 20220224,
+            "geo_lag_days": 0,
+            "netnod_mode": "renumber",
+            "sanctioned_domain_count": 107,
+        }
+        assert manifest["run"] == {
             "scale": 2500.0,
             "seed": 20220224,
             "cadence_days": 60,
@@ -240,7 +260,7 @@ class TestQueryCommand:
 
         assert main(ARGS + ["query", '{"kind": "catalog"}']) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert "fig1" in payload["data"]["experiments"]
 
     def test_flags_build_the_spec(self, capsys):
