@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""End-to-end smoke for live mode: follow, interrupt, resume, converge.
+
+The script builds a one-day seed archive, runs a clean follow over a
+three-week conflict window to establish the **reference** (archive
+digest + event feed), then repeats the follow with a deterministic
+fault plan armed — a doomed mid-window ingest day plus bit-flipped
+journal writes — resumes with a clean engine, and asserts the one
+invariant live mode promises:
+
+    every interrupted-and-resumed follow converges on the reference
+    archive digest and a gapless ``1..N`` event sequence.
+
+The fault seed comes from ``REPRO_FAULT_SEED`` (default 101), so the
+CI ``live-chaos`` matrix exercises different injection orderings.  A
+metrics document (the engine's profile counters plus the convergence
+record) is written to ``--output`` for CI artifact upload.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/live_smoke.py
+
+Exit code 0 means every check passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, "src")
+
+from repro.archive import ArchiveBuilder, archive_digest  # noqa: E402
+from repro.faults import CORRUPT, CRASH, FaultPlan, FaultSpec  # noqa: E402
+from repro.live import (  # noqa: E402
+    CompositionStepDetector,
+    EventLog,
+    FollowEngine,
+    FollowOptions,
+    IssuanceSpikeDetector,
+    ProviderExitDetector,
+    SanctionsMigrationDetector,
+)
+from repro.measurement.metrics import SweepMetrics  # noqa: E402
+from repro.scenario import ScenarioSpec  # noqa: E402
+
+SCALE = 20000.0
+SEED_DAY = "2022-02-20"
+FOLLOW_START = "2022-02-21"
+FOLLOW_END = "2022-03-10"
+#: Doomed by the fault plan: every ingest attempt for this day fails.
+DOOMED_DAY = "2022-02-25"
+
+
+def detectors():
+    """Thresholds tuned so the 1:20000 window emits a non-empty feed."""
+    return [
+        ProviderExitDetector(min_count=2, exit_fraction=0.5),
+        CompositionStepDetector(threshold=0.002),
+        IssuanceSpikeDetector(spike_fraction=0.01, min_jump=1),
+        SanctionsMigrationDetector(min_burst=1, burst_fraction=0.0),
+    ]
+
+
+def build_config():
+    return (
+        ScenarioSpec.resolve("baseline")
+        .with_config(scale=SCALE, with_pki=False)
+        .compile()
+    )
+
+
+def make_engine(directory, config, faults=None, metrics=None, retries=1):
+    options = FollowOptions(
+        start=FOLLOW_START, end=FOLLOW_END, cadence_days=1,
+        interval_seconds=0.0, retries=retries, backoff=0.001,
+    )
+    engine = FollowEngine(
+        directory, config, options=options, detectors=detectors(),
+        faults=faults, metrics=metrics,
+    )
+    engine.resume()
+    return engine
+
+
+def seed(directory, config):
+    ArchiveBuilder(directory, config).build(SEED_DAY, SEED_DAY, 1)
+
+
+def follow_clean(directory, config):
+    """The uninterrupted reference run."""
+    seed(directory, config)
+    engine = make_engine(directory, config)
+    engine.run()
+    assert engine.done, "reference follow did not finish its window"
+    events = EventLog(directory).load()
+    assert events, "reference follow emitted no events — detectors too dull"
+    seqs = [event.seq for event in events]
+    assert seqs == list(range(1, len(seqs) + 1)), f"gapped feed: {seqs}"
+    return archive_digest(directory), [event.to_line() for event in events]
+
+
+def follow_faulted(directory, config, fault_seed, metrics):
+    """Interrupted run: doomed ingest day + corrupted journal writes."""
+    seed(directory, config)
+    plan = FaultPlan(fault_seed, {
+        "live.ingest_day": FaultSpec(CRASH, rate=1.0, match=DOOMED_DAY),
+        "live.journal_write.bytes": FaultSpec(
+            CORRUPT, rate=1.0, max_injections=2
+        ),
+    })
+    doomed = make_engine(directory, config, faults=plan, metrics=metrics)
+    doomed.run(max_cycles=10)
+    assert doomed.consecutive_failures > 0, "the doomed day did not fail"
+    checkpoint = doomed.last_checkpoint()
+    assert checkpoint is not None
+    assert checkpoint.date.isoformat() < DOOMED_DAY
+    injected = {
+        site: plan.injected(site)
+        for site in ("live.ingest_day", "live.journal_write.bytes")
+    }
+    assert injected["live.journal_write.bytes"] == 2, (
+        "journal corruption was not exercised"
+    )
+
+    # A fresh, fault-free engine resumes from the journal.
+    resumed = make_engine(directory, config, metrics=metrics)
+    resumed.run()
+    assert resumed.done, "resumed follow did not finish its window"
+    return injected
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="live-metrics.json")
+    args = parser.parse_args()
+    fault_seed = int(os.environ.get("REPRO_FAULT_SEED", "101"))
+
+    config = build_config()
+    metrics = SweepMetrics()
+    with tempfile.TemporaryDirectory(prefix="live-smoke-") as root:
+        reference_dir = os.path.join(root, "reference")
+        faulted_dir = os.path.join(root, "faulted")
+
+        digest, lines = follow_clean(reference_dir, config)
+        print(f"reference: digest {digest[:16]}… {len(lines)} events")
+
+        injected = follow_faulted(faulted_dir, config, fault_seed, metrics)
+        print(f"faulted run (seed {fault_seed}): injected {injected}")
+
+        resumed_digest = archive_digest(faulted_dir)
+        resumed_lines = [
+            event.to_line() for event in EventLog(faulted_dir).load()
+        ]
+        assert resumed_digest == digest, (
+            f"digest diverged: {resumed_digest} != {digest}"
+        )
+        assert resumed_lines == lines, "event feed diverged after resume"
+        seqs = [
+            event.seq for event in EventLog(faulted_dir).load()
+        ]
+        assert seqs == list(range(1, len(seqs) + 1)), f"gapped feed: {seqs}"
+        print(f"converged: digest match, {len(seqs)} gapless events")
+
+        document = {
+            "fault_seed": fault_seed,
+            "reference_digest": digest,
+            "events": len(seqs),
+            "injected": injected,
+            "counters": metrics.summary().get("counters", {}),
+            "recovery": metrics.summary().get("recovery", {}),
+        }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,7 @@ from .builder import (
     shard_filename,
     standard_plan_dates,
 )
+from .digest import archive_digest
 from .kernel import ArchiveQueryKernel, summarize_snapshot
 from .manifest import Manifest, scenario_fingerprint
 from .shard import (
@@ -38,6 +39,7 @@ __all__ = [
     "ArchiveShardReducer",
     "ArchiveQueryKernel",
     "BuildReport",
+    "archive_digest",
     "RECENT_DAILY_START",
     "Manifest",
     "scenario_fingerprint",

@@ -1,0 +1,47 @@
+"""Canonical content digest over an archive directory.
+
+:func:`archive_digest` hashes exactly the files that define the archive
+— ``manifest.json`` plus every ``*.shard`` — in sorted filename order,
+folding each name in with its bytes.  Everything else that may share
+the directory (the follow journal, the event log, the status file,
+quarantined shards) is deliberately excluded: live-mode bookkeeping
+must never perturb the archive identity the crash-safety contract is
+stated in.  Two archives are byte-identical **as archives** iff their
+digests match, which is how the kill-and-resume chaos tests compare an
+interrupted follow run against an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+__all__ = ["archive_digest"]
+
+#: The manifest filename (mirrors :mod:`repro.archive.manifest`).
+_MANIFEST = "manifest.json"
+
+
+def archive_digest(directory: str) -> str:
+    """Hex SHA-256 over the manifest and every shard, name-folded.
+
+    Missing manifests and empty directories hash deterministically too
+    (to the digest of the empty selection), so a caller can checkpoint
+    before the first day lands.
+    """
+    hasher = hashlib.sha256()
+    try:
+        names = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        names = []
+    for name in names:
+        if name != _MANIFEST and not name.endswith(".shard"):
+            continue
+        path = os.path.join(directory, name)
+        if not os.path.isfile(path):
+            continue
+        hasher.update(name.encode("utf-8"))
+        with open(path, "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 20), b""):
+                hasher.update(block)
+    return hasher.hexdigest()

@@ -176,6 +176,17 @@ class MeasurementArchive:
     def __contains__(self, date: DateLike) -> bool:
         return as_date(date) in self.manifest.days
 
+    def reload(self) -> None:
+        """Re-read the manifest from disk, picking up appended days.
+
+        The live follow engine extends the archive while a serving
+        process holds it open; shards are immutable once published, so
+        the decoded caches stay valid — only the manifest needs
+        refreshing.
+        """
+        with self._lock:
+            self.manifest = Manifest.load(self.directory)
+
     def path_for(self, date: DateLike) -> str:
         """The shard path for ``date`` (which must be covered)."""
         date_obj = as_date(date)

@@ -6,7 +6,9 @@ Commands:
 * ``run <id>`` — regenerate one figure/table and print it
   (``--archive PATH`` replays a persistent measurement archive instead
   of re-simulating the sweeps),
-* ``report`` — regenerate EXPERIMENTS.md,
+* ``report`` — regenerate EXPERIMENTS.md; with ``--from``/``--to`` it
+  instead renders a live follow report (coverage, composition shift,
+  change events) from a followed archive (see :mod:`repro.live.report`),
 * ``info`` — summarise the built world,
 * ``resolve <name> --date D`` — honestly resolve a domain through the
   simulated root/TLD/authoritative hierarchy and show what the
@@ -20,7 +22,10 @@ Commands:
   the canonical JSON envelope (byte-identical to the HTTP service),
 * ``serve`` — start the archive-backed HTTP query service; with
   ``--processes N`` a pre-fork supervisor runs N workers over the same
-  archive (see :mod:`repro.service` and docs/service.md),
+  archive (see :mod:`repro.service` and docs/service.md); with
+  ``--follow`` a live follow engine ingests new study days and
+  publishes change events at ``/v1/events`` and as an SSE stream
+  (see :mod:`repro.live` and docs/live.md),
 * ``loadgen`` — offer seed-pure open-loop load to a running service and
   write latency/error/staleness percentiles to
   ``BENCH_service_load.json`` (see :mod:`repro.loadgen`),
@@ -132,9 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay sweeps from a measurement archive instead of simulating",
     )
 
-    report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report_parser = sub.add_parser(
+        "report",
+        help=(
+            "regenerate EXPERIMENTS.md, or render a live follow report "
+            "for a date window (--from/--to over a followed archive)"
+        ),
+    )
     report_parser.add_argument(
         "--output", default="EXPERIMENTS.md", help="output path"
+    )
+    report_parser.add_argument(
+        "--from", dest="from_date", default=None, metavar="DATE",
+        help=(
+            "start of a live report window (ISO date); with --to, renders "
+            "the follow report from --archive instead of EXPERIMENTS.md"
+        ),
+    )
+    report_parser.add_argument(
+        "--to", dest="to_date", default=None, metavar="DATE",
+        help="end of the live report window (ISO date)",
+    )
+    report_parser.add_argument(
+        "--format", default="md", choices=("md", "csv"),
+        help="live report format: md (full report) or csv (event table)",
+    )
+    report_parser.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help=(
+            "the followed archive directory holding the day summaries "
+            "and events.log the live report is rendered from"
+        ),
     )
 
     resolve_parser = sub.add_parser(
@@ -326,6 +359,53 @@ def build_parser() -> argparse.ArgumentParser:
             "query whose decision key contains this substring (with "
             "--fault-seed; meant for --processes >= 2, where the "
             "supervisor restarts the killed worker)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--follow", action="store_true",
+        help=(
+            "run the live follow engine alongside serving: ingest each "
+            "new study day into --archive, detect day-over-day changes, "
+            "and publish them at /v1/events and /v1/events/stream "
+            "(requires --archive; with --processes, one leader worker "
+            "follows while every worker serves)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--follow-start", default="2022-02-24", metavar="DATE",
+        help="first day the follow engine ingests (default 2022-02-24)",
+    )
+    serve_parser.add_argument(
+        "--follow-end", default="2022-03-26", metavar="DATE",
+        help="last day the follow engine ingests (default 2022-03-26)",
+    )
+    serve_parser.add_argument(
+        "--follow-cadence", type=int, default=1, metavar="DAYS",
+        help="simulated days advanced per follow cycle (default 1)",
+    )
+    serve_parser.add_argument(
+        "--follow-interval", type=float, default=0.0, metavar="SECONDS",
+        help=(
+            "wall-clock pause between follow cycles (default 0 = ingest "
+            "as fast as the builder allows)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--follow-stall-after", type=int, default=3, metavar="N",
+        help=(
+            "consecutive failed cycles before /healthz reports the feed "
+            "stalled and queries serve with stale headers (default 3)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--follow-retries", type=int, default=3, metavar="N",
+        help="per-day ingest/detector retry budget (default 3)",
+    )
+    serve_parser.add_argument(
+        "--sse-buffer", type=int, default=None, metavar="N",
+        help=(
+            "event backlog a slow SSE consumer may accumulate before the "
+            "stream skips ahead with an explicit gap frame (default 64)"
         ),
     )
     serve_parser.add_argument(
@@ -609,10 +689,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.from_date is not None or args.to_date is not None:
+        return _live_report(args)
     text = write_markdown_report(_context(args))
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(text)
     print(f"wrote {args.output}")
+    return 0
+
+
+def _live_report(args: argparse.Namespace) -> int:
+    """``repro report --from A --to B``: render the follow report.
+
+    Everything comes from the durable state a follow run left behind
+    (day summaries in the archive, ``events.log`` beside them), so the
+    same archive always renders byte-identical output.  Prints to
+    stdout unless ``--output`` was pointed somewhere explicit.
+    """
+    from .archive import MeasurementArchive
+    from .errors import ArchiveError, LiveError
+    from .live import EventLog, compile_report, render_report
+
+    if args.from_date is None or args.to_date is None:
+        print("--from and --to must be given together", file=sys.stderr)
+        return 2
+    if args.archive is None:
+        print(
+            "a live report needs --archive (the followed archive directory)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        archive = MeasurementArchive(args.archive, faults=_fault_plan(args))
+        report = compile_report(
+            archive, EventLog(args.archive), args.from_date, args.to_date
+        )
+        text = render_report(report, args.format)
+    except (ArchiveError, LiveError, ReproError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.output != "EXPERIMENTS.md":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -865,6 +986,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_window=args.breaker_window,
         breaker_cooldown=args.breaker_cooldown,
     )
+    if args.sse_buffer is not None:
+        service_options["sse_buffer"] = args.sse_buffer
+    if args.follow:
+        if args.archive is None:
+            print(
+                "--follow needs --archive: the engine ingests new days "
+                "into a persistent archive directory",
+                file=sys.stderr,
+            )
+            return 2
+        from .live import FollowOptions
+
+        service_options["follow"] = FollowOptions(
+            start=args.follow_start,
+            end=args.follow_end,
+            cadence_days=args.follow_cadence,
+            interval_seconds=args.follow_interval,
+            stall_after=args.follow_stall_after,
+            retries=args.follow_retries,
+        )
 
     mode, reason = select_socket_mode(args.processes)
     if mode != MODE_SINGLE:

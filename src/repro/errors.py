@@ -129,3 +129,7 @@ class DeadlineExceeded(ReproError):
 
 class QueryError(ReproError):
     """A query spec is malformed or names an unknown target."""
+
+
+class LiveError(ReproError):
+    """The live follow engine hit an unrecoverable ingest problem."""

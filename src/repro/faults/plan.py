@@ -80,6 +80,11 @@ SITES = {
         "shard.read it is not retried in-path, so the breaker sees it)"
     ),
     "service.response_write": "HTTP response bytes on their way to the client",
+    "live.ingest_day": "follow-engine day ingest, before the incremental build",
+    "live.journal_write": "follow journal checkpoint, mid-way through the temp file",
+    "live.journal_write.bytes": "follow journal bytes on their way to disk (corruption)",
+    "live.detector": "change detector pass over the day's summary delta",
+    "live.sse_write": "SSE event frame bytes, mid-way through the write",
 }
 
 #: The injection sites the serving path owns (``repro serve``).
@@ -304,6 +309,19 @@ def default_plan(seed: int, rate: float = 0.05) -> FaultPlan:
             "manifest.write": FaultSpec(IO_ERROR, rate),
             "manifest.write.bytes": FaultSpec(CORRUPT, rate),
             "shard.read": FaultSpec(IO_ERROR, rate),
+            # Live follow sites: every one self-heals in-path too (the
+            # engine retries the day under a fresh key, the journal
+            # write read-back-verifies, the detector re-runs), so a
+            # follow run under the default plan converges to the same
+            # archive digest and event sequence as a fault-free run.
+            "live.ingest_day": FaultSpec(IO_ERROR, rate),
+            "live.journal_write": FaultSpec(IO_ERROR, rate),
+            "live.journal_write.bytes": FaultSpec(CORRUPT, rate),
+            "live.detector": FaultSpec(IO_ERROR, rate),
+            # Aborted SSE frames are recovered by the *client*
+            # (Last-Event-ID reconnect), not in-path, so the budget is
+            # bounded the same way service.response_write's is.
+            "live.sse_write": FaultSpec(IO_ERROR, rate, max_injections=2),
         },
     )
 

@@ -1,0 +1,76 @@
+"""Live mode: follow the simulated timeline and publish what changes.
+
+The offline pipeline builds an archive once and serves it; this
+package keeps the archive *moving*.  A :class:`FollowEngine` ingests
+each new study day through the resumable builder, a set of seed-pure
+change detectors (:mod:`repro.live.detect`) turns day-over-day summary
+deltas into a monotonically-sequenced event log
+(:mod:`repro.live.events`), and a CRC-checked journal
+(:mod:`repro.live.journal`) checkpoints ``(day, archive_digest,
+event_cursor)`` so a SIGKILL anywhere resumes byte-identically.  The
+serving layer exposes the feed as ``/v1/events`` and an SSE stream
+(:mod:`repro.live.sse`), and :mod:`repro.live.report` renders
+per-period reports from the same durable state.
+"""
+
+from .detect import (
+    CompositionStepDetector,
+    Detector,
+    IssuanceSpikeDetector,
+    ProviderExitDetector,
+    SanctionsMigrationDetector,
+    default_detectors,
+    run_detectors,
+)
+from .engine import (
+    FOLLOWING,
+    LAGGING,
+    STALLED,
+    STATUS_FILENAME,
+    FollowEngine,
+    FollowOptions,
+    read_follow_status,
+)
+from .events import EVENT_LOG_FILENAME, EventLog, LiveEvent
+from .journal import JOURNAL_FILENAME, Checkpoint, FollowJournal
+from .report import PeriodReport, compile_report, render_report
+from .sse import (
+    GAP_EVENT,
+    SseFrame,
+    SseParser,
+    encode_comment,
+    encode_event_frame,
+    encode_gap_frame,
+)
+
+__all__ = [
+    "FOLLOWING",
+    "LAGGING",
+    "STALLED",
+    "STATUS_FILENAME",
+    "JOURNAL_FILENAME",
+    "EVENT_LOG_FILENAME",
+    "GAP_EVENT",
+    "Checkpoint",
+    "FollowJournal",
+    "LiveEvent",
+    "EventLog",
+    "Detector",
+    "ProviderExitDetector",
+    "CompositionStepDetector",
+    "IssuanceSpikeDetector",
+    "SanctionsMigrationDetector",
+    "default_detectors",
+    "run_detectors",
+    "FollowOptions",
+    "FollowEngine",
+    "read_follow_status",
+    "PeriodReport",
+    "compile_report",
+    "render_report",
+    "SseFrame",
+    "SseParser",
+    "encode_event_frame",
+    "encode_gap_frame",
+    "encode_comment",
+]

@@ -1,0 +1,220 @@
+"""The replayable change-event log behind ``/v1/events``.
+
+Every event the change detectors emit is appended to ``events.log`` in
+the archive directory as one CRC-prefixed canonical-JSON line::
+
+    <crc32> {"day":1712,"kind":"provider-exit","payload":{...},"seq":3}
+
+Sequence numbers are assigned monotonically from 1 and never reused;
+because detection is a pure function of the archived day summaries,
+replaying the same scenario always regenerates the identical line for
+the identical sequence number.  That is what makes crash recovery
+simple: resume truncates the log back to the last journal checkpoint's
+``event_cursor`` and lets re-ingestion re-emit the tail — the bytes
+that come back are the bytes that were lost, so consumers see neither
+gaps nor duplicates.
+
+Appends go through an ``O_APPEND`` write plus ``fsync``; a SIGKILL can
+tear at most the final line, which the CRC prefix catches on load.
+Like the follow journal, the filename is deliberately outside the
+``manifest.json`` / ``*.shard`` set so the archive digest ignores it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import LiveError
+from ..timeline import from_day_index
+
+__all__ = ["LiveEvent", "EventLog", "EVENT_LOG_FILENAME"]
+
+#: The event log's filename inside the archive directory.
+EVENT_LOG_FILENAME = "events.log"
+
+
+class LiveEvent:
+    """One detected change: a sequenced, dated, typed payload."""
+
+    __slots__ = ("seq", "day", "kind", "payload")
+
+    def __init__(self, seq: int, day: int, kind: str, payload: Dict) -> None:
+        self.seq = int(seq)
+        self.day = int(day)
+        self.kind = str(kind)
+        self.payload = dict(payload)
+        if self.seq < 1:
+            raise LiveError(f"event sequence numbers start at 1: {self.seq}")
+
+    @property
+    def date(self):
+        """The study date the event was detected on."""
+        return from_day_index(self.day)
+
+    def to_dict(self) -> Dict:
+        """The wire shape served by ``/v1/events`` and the SSE stream."""
+        return {
+            "seq": self.seq,
+            "day": self.day,
+            "date": self.date.isoformat(),
+            "kind": self.kind,
+            "payload": self.payload,
+        }
+
+    def to_line(self) -> str:
+        body = json.dumps(
+            {"seq": self.seq, "day": self.day, "kind": self.kind,
+             "payload": self.payload},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+        return f"{crc:08x} {body}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "LiveEvent":
+        """Parse one log line; raises :class:`LiveError` if damaged."""
+        crc_text, _, body = line.rstrip("\n").partition(" ")
+        try:
+            crc = int(crc_text, 16)
+        except ValueError as exc:
+            raise LiveError(f"unparseable event CRC: {line!r}") from exc
+        if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != crc:
+            raise LiveError(f"event record failed its CRC: {line!r}")
+        try:
+            decoded = json.loads(body)
+        except ValueError as exc:
+            raise LiveError(f"unparseable event JSON: {line!r}") from exc
+        return cls(decoded["seq"], decoded["day"], decoded["kind"],
+                   decoded["payload"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LiveEvent):
+            return NotImplemented
+        return self.to_line() == other.to_line()
+
+    def __repr__(self) -> str:
+        return f"LiveEvent(#{self.seq} {self.date.isoformat()} {self.kind})"
+
+
+class EventLog:
+    """Durable, replayable storage for :class:`LiveEvent` records."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self.path = os.path.join(self.directory, EVENT_LOG_FILENAME)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def load(self) -> List[LiveEvent]:
+        """All good records, in order; a torn tail is dropped.
+
+        Sequence numbers must be exactly ``1, 2, 3, …`` — the log is
+        the event feed's source of truth, so a hole here would be a
+        hole every consumer sees.  Out-of-order or gapped records end
+        the readable prefix the same way a CRC failure does.
+        """
+        events: List[LiveEvent] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return []
+        for line in lines:
+            if not line.strip():
+                continue
+            if not line.endswith("\n"):
+                break  # torn final line without its newline
+            try:
+                event = LiveEvent.from_line(line)
+            except LiveError:
+                break
+            if event.seq != len(events) + 1:
+                break
+            events.append(event)
+        return events
+
+    def cursor(self) -> int:
+        """The last durable sequence number (0 when the log is empty)."""
+        events = self.load()
+        return events[-1].seq if events else 0
+
+    def read_since(
+        self, since: int, limit: Optional[int] = None
+    ) -> List[LiveEvent]:
+        """Events with ``seq > since``, oldest first."""
+        events = [event for event in self.load() if event.seq > since]
+        return events[:limit] if limit is not None else events
+
+    def tail(self, offset: int) -> Tuple[List[LiveEvent], int]:
+        """Complete new events past byte ``offset``; returns new offset.
+
+        The cheap incremental read the SSE pump polls with: only bytes
+        past ``offset`` are read, and only whole (newline-terminated,
+        CRC-good) lines are consumed — a torn tail stays unconsumed
+        until the writer finishes it.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except FileNotFoundError:
+            return [], offset
+        events: List[LiveEvent] = []
+        consumed = 0
+        for raw in chunk.splitlines(keepends=True):
+            if not raw.endswith(b"\n"):
+                break
+            try:
+                events.append(LiveEvent.from_line(raw.decode("utf-8")))
+            except (LiveError, UnicodeDecodeError):
+                break
+            consumed += len(raw)
+        return events, offset + consumed
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, events: List[LiveEvent]) -> None:
+        """Durably append ``events`` (one fsync for the batch)."""
+        if not events:
+            return
+        data = "".join(event.to_line() + "\n" for event in events)
+        with open(self.path, "ab") as handle:
+            handle.write(data.encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def truncate_to(self, cursor: int) -> int:
+        """Drop events with ``seq > cursor``; returns how many went.
+
+        Called on resume with the last journal checkpoint's
+        ``event_cursor``: anything past it was emitted but never
+        checkpointed, and re-ingestion will deterministically re-emit
+        it.  Rewrites in place only when something must go.
+        """
+        events = self.load()
+        keep = [event for event in events if event.seq <= cursor]
+        dropped = len(events) - len(keep)
+        data = "".join(event.to_line() + "\n" for event in keep)
+        try:
+            on_disk = os.path.getsize(self.path)
+        except OSError:
+            on_disk = 0
+        if dropped == 0 and on_disk == len(data.encode("utf-8")):
+            # Nothing to drop and no torn tail bytes after the good
+            # prefix; also covers the missing-file case.
+            return 0
+        temp_path = f"{self.path}.tmp.{os.getpid()}"
+        with open(temp_path, "wb") as handle:
+            handle.write(data.encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.path)
+        return dropped

@@ -1,0 +1,183 @@
+"""The follow journal: crash-safe checkpoints for the live engine.
+
+``follow.journal`` is an append-only text file of CRC-checked records,
+one per successfully ingested day::
+
+    v1 <day_index> <archive_digest> <event_cursor> <crc32>
+
+The CRC covers the record body, so a torn tail (a SIGKILL mid-write)
+is detected and dropped on load — everything up to the last good
+record survives, and the engine resumes from there.  The file is
+*logically* append-only but *physically* rewritten through
+:func:`repro.ioutil.atomic_write_bytes` on every checkpoint: the
+rename is atomic, so no crash window ever exposes a journal that
+mixes old and new bytes, and the ``live.journal_write`` /
+``live.journal_write.bytes`` fault sites exercise exactly the same
+torn-write and corruption recovery the shard writers get.
+
+A checkpoint records everything resume needs:
+
+* ``day`` — the index of the last fully ingested study day;
+* ``digest`` — :func:`repro.archive.archive_digest` of the archive at
+  checkpoint time, the identity the kill-and-resume tests compare;
+* ``event_cursor`` — how many change events were durable when the day
+  committed, so resume can truncate the event log back to the last
+  checkpoint and re-emit deterministically with no gaps or duplicates.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import List, Optional
+
+from ..errors import LiveError
+from ..ioutil import atomic_write_bytes
+from ..timeline import from_day_index
+
+__all__ = ["Checkpoint", "FollowJournal", "JOURNAL_FILENAME"]
+
+#: The journal's filename inside the archive directory.  Deliberately
+#: not ``*.shard`` / ``manifest.json`` so :func:`archive_digest`
+#: ignores it — live bookkeeping never perturbs archive identity.
+JOURNAL_FILENAME = "follow.journal"
+
+_VERSION = "v1"
+
+
+class Checkpoint:
+    """One durable follow-state record: ``(day, digest, event_cursor)``."""
+
+    __slots__ = ("day", "digest", "event_cursor")
+
+    def __init__(self, day: int, digest: str, event_cursor: int) -> None:
+        self.day = int(day)
+        self.digest = str(digest)
+        self.event_cursor = int(event_cursor)
+        if self.event_cursor < 0:
+            raise LiveError(f"negative event cursor: {self.event_cursor}")
+
+    @property
+    def date(self):
+        """The checkpoint's calendar date."""
+        return from_day_index(self.day)
+
+    def to_line(self) -> str:
+        body = f"{_VERSION} {self.day} {self.digest} {self.event_cursor}"
+        crc = zlib.crc32(body.encode("ascii")) & 0xFFFFFFFF
+        return f"{body} {crc:08x}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "Checkpoint":
+        """Parse one journal line; raises :class:`LiveError` if damaged."""
+        body, _, crc_text = line.rstrip("\n").rpartition(" ")
+        try:
+            crc = int(crc_text, 16)
+        except ValueError as exc:
+            raise LiveError(f"unparseable journal CRC: {line!r}") from exc
+        if zlib.crc32(body.encode("ascii")) & 0xFFFFFFFF != crc:
+            raise LiveError(f"journal record failed its CRC: {line!r}")
+        fields = body.split(" ")
+        if len(fields) != 4 or fields[0] != _VERSION:
+            raise LiveError(f"malformed journal record: {line!r}")
+        return cls(int(fields[1]), fields[2], int(fields[3]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Checkpoint):
+            return NotImplemented
+        return (self.day, self.digest, self.event_cursor) == (
+            other.day, other.digest, other.event_cursor
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Checkpoint({self.date.isoformat()}, "
+            f"{self.digest[:12]}…, cursor={self.event_cursor})"
+        )
+
+
+class FollowJournal:
+    """Loads and extends ``follow.journal`` in one archive directory."""
+
+    def __init__(self, directory: str, faults=None) -> None:
+        self.directory = str(directory)
+        self.path = os.path.join(self.directory, JOURNAL_FILENAME)
+        self.faults = faults
+        self._records: Optional[List[Checkpoint]] = None
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def load(self) -> List[Checkpoint]:
+        """All good records, in order; torn or damaged tails are dropped.
+
+        A record that fails its CRC ends the readable prefix: the file
+        is append-only, so nothing after a damaged line can be trusted.
+        Monotonicity is enforced — a journal whose days go backwards
+        was tampered with, not torn, and raises.
+        """
+        records: List[Checkpoint] = []
+        try:
+            with open(self.path, "r", encoding="ascii") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            self._records = []
+            return []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = Checkpoint.from_line(line)
+            except LiveError:
+                break
+            if records and record.day <= records[-1].day:
+                raise LiveError(
+                    f"journal days not increasing: {records[-1].day} "
+                    f"then {record.day} in {self.path}"
+                )
+            if records and record.event_cursor < records[-1].event_cursor:
+                raise LiveError(
+                    f"journal event cursor went backwards in {self.path}"
+                )
+            records.append(record)
+        self._records = records
+        return list(records)
+
+    def last(self) -> Optional[Checkpoint]:
+        """The most recent durable checkpoint, or ``None``."""
+        if self._records is None:
+            self.load()
+        return self._records[-1] if self._records else None
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, checkpoint: Checkpoint) -> int:
+        """Durably append one checkpoint; returns write retries used.
+
+        The whole journal is rewritten atomically (it is one short line
+        per ingested day), going through the ``live.journal_write``
+        fault site so injected torn writes and bit flips are retried
+        with read-back verification exactly like shard writes.
+        """
+        if self._records is None:
+            self.load()
+        records = self._records or []
+        if records and checkpoint.day <= records[-1].day:
+            raise LiveError(
+                f"checkpoint for day {checkpoint.day} does not advance the "
+                f"journal (last: day {records[-1].day})"
+            )
+        if records and checkpoint.event_cursor < records[-1].event_cursor:
+            raise LiveError("checkpoint would move the event cursor backwards")
+        lines = [record.to_line() for record in records]
+        lines.append(checkpoint.to_line())
+        data = ("\n".join(lines) + "\n").encode("ascii")
+        retries = atomic_write_bytes(
+            self.path, data, faults=self.faults, site="live.journal_write"
+        )
+        records.append(checkpoint)
+        self._records = records
+        return retries

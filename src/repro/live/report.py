@@ -1,0 +1,197 @@
+"""Per-period reports rendered from the archive and the event log.
+
+``repro report --from A --to B`` compiles everything the live
+subsystem learned about a date window into one small, deterministic
+document: coverage, the composition shift across the window, and the
+change events the detectors emitted inside it.  Everything comes from
+durable state — day summaries out of the archive, events out of
+``events.log`` — so the same archive always renders byte-identical
+output, which is what the golden-pinned report test relies on.
+
+Two formats: ``md`` is the full human report; ``csv`` is just the
+event table, one row per event, for spreadsheet ingestion.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import io
+import json
+from typing import Dict, List, Optional
+
+from ..errors import LiveError
+from ..timeline import DateLike, as_date, phase_of
+from .events import EventLog, LiveEvent
+
+__all__ = ["PeriodReport", "compile_report", "render_report"]
+
+REPORT_FORMATS = ("md", "csv")
+
+#: The composition axes a summary carries, in report order.
+_AXES = ("ns", "hosting", "tld", "sanctioned")
+
+
+class PeriodReport:
+    """Everything one reporting window distils down to."""
+
+    __slots__ = (
+        "start", "end", "dates", "first_summary", "last_summary", "events",
+    )
+
+    def __init__(
+        self,
+        start: _dt.date,
+        end: _dt.date,
+        dates: List[_dt.date],
+        first_summary,
+        last_summary,
+        events: List[LiveEvent],
+    ) -> None:
+        self.start = start
+        self.end = end
+        #: Archived days inside the window, chronological.
+        self.dates = dates
+        self.first_summary = first_summary
+        self.last_summary = last_summary
+        #: Events detected inside the window, by sequence number.
+        self.events = events
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+def compile_report(archive, log: EventLog, start: DateLike,
+                   end: DateLike) -> PeriodReport:
+    """Gather the window's summaries and events from durable state."""
+    start_date, end_date = as_date(start), as_date(end)
+    if start_date > end_date:
+        raise LiveError(f"empty report window: {start_date} > {end_date}")
+    dates = sorted(
+        date for date in archive.manifest.days
+        if start_date <= date <= end_date
+    )
+    first_summary = archive.load_summary(dates[0]) if dates else None
+    last_summary = archive.load_summary(dates[-1]) if dates else None
+    events = [
+        event for event in log.load()
+        if start_date <= event.date <= end_date
+    ]
+    return PeriodReport(
+        start_date, end_date, dates, first_summary, last_summary, events
+    )
+
+
+def render_report(report: PeriodReport, format: str = "md") -> str:
+    """Render a compiled report; ``format`` is ``md`` or ``csv``."""
+    if format == "md":
+        return _render_markdown(report)
+    if format == "csv":
+        return _render_csv(report)
+    raise LiveError(
+        f"unknown report format {format!r} (known: {', '.join(REPORT_FORMATS)})"
+    )
+
+
+# ----------------------------------------------------------------------
+# Markdown
+# ----------------------------------------------------------------------
+
+def _full_fraction(summary, axis: str) -> Optional[float]:
+    triple = getattr(summary, axis)
+    total = sum(triple)
+    return round(triple[0] / total, 4) if total else None
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:.4f}"
+
+
+def _payload_text(event: LiveEvent) -> str:
+    return json.dumps(event.payload, sort_keys=True, separators=(",", ":"))
+
+
+def _render_markdown(report: PeriodReport) -> str:
+    out = io.StringIO()
+    out.write(
+        f"# Live follow report: {report.start.isoformat()} "
+        f"to {report.end.isoformat()}\n\n"
+    )
+    out.write(
+        f"Window phases: {phase_of(report.start)} to "
+        f"{phase_of(report.end)}.\n\n"
+    )
+
+    out.write("## Coverage\n\n")
+    out.write("| metric | value |\n|---|---|\n")
+    out.write(f"| archived days in window | {len(report.dates)} |\n")
+    first = report.dates[0].isoformat() if report.dates else "n/a"
+    last = report.dates[-1].isoformat() if report.dates else "n/a"
+    out.write(f"| first archived day | {first} |\n")
+    out.write(f"| last archived day | {last} |\n")
+    if report.last_summary is not None:
+        out.write(
+            f"| domains measured (last day) | "
+            f"{report.last_summary.measured_count} |\n"
+        )
+        out.write(
+            f"| sanction-list size (last day) | "
+            f"{report.last_summary.listed_count} |\n"
+        )
+    out.write(f"| change events | {len(report.events)} |\n\n")
+
+    if report.first_summary is not None and report.last_summary is not None:
+        out.write("## Fully-Russian composition shift\n\n")
+        out.write(
+            "Fraction of domains fully dependent on Russian "
+            "infrastructure, per axis, first vs last archived day.\n\n"
+        )
+        out.write(f"| axis | {first} | {last} | delta |\n|---|---|---|---|\n")
+        for axis in _AXES:
+            before = _full_fraction(report.first_summary, axis)
+            after = _full_fraction(report.last_summary, axis)
+            if before is None or after is None:
+                delta = "n/a"
+            else:
+                delta = f"{after - before:+.4f}"
+            out.write(
+                f"| {axis} | {_fmt(before)} | {_fmt(after)} | {delta} |\n"
+            )
+        out.write("\n")
+
+    out.write("## Events by kind\n\n")
+    counts = report.kind_counts()
+    if counts:
+        out.write("| kind | count |\n|---|---|\n")
+        for kind in sorted(counts):
+            out.write(f"| {kind} | {counts[kind]} |\n")
+    else:
+        out.write("No change events detected in this window.\n")
+    out.write("\n")
+
+    if report.events:
+        out.write("## Event log\n\n")
+        out.write("| seq | date | kind | payload |\n|---|---|---|---|\n")
+        for event in report.events:
+            out.write(
+                f"| {event.seq} | {event.date.isoformat()} | {event.kind} "
+                f"| `{_payload_text(event)}` |\n"
+            )
+        out.write("\n")
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+
+def _render_csv(report: PeriodReport) -> str:
+    lines = ["seq,date,kind,payload"]
+    for event in report.events:
+        payload = _payload_text(event).replace('"', '""')
+        lines.append(
+            f'{event.seq},{event.date.isoformat()},{event.kind},"{payload}"'
+        )
+    return "\n".join(lines) + "\n"

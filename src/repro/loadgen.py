@@ -20,9 +20,9 @@ Two properties matter more than raw horsepower:
 The query mix is zipf-skewed over the catalog the way longitudinal
 conflict monitoring actually queries: the coarse headline / catalog /
 figure-1-style summaries dominate (everyone re-asks "what changed?"),
-named series over the invasion window sit in the shoulder, and
-domain-level record pages — including ``.рф`` via its ``xn--p1ai``
-punycode A-label — form the tail.
+the live change-event page and named series over the invasion window
+sit in the shoulder, and domain-level record pages — including ``.рф``
+via its ``xn--p1ai`` punycode A-label — form the tail.
 
 Results are written as ``BENCH_service_load.json`` so CI can gate on
 error rate and p99 against a floor (see the ``service-load`` job).
@@ -57,6 +57,9 @@ ZIPF_EXPONENT = 1.1
 #: Envelope keys every 200 body must carry to count as well-formed.
 ENVELOPE_KEYS = ("schema_version", "kind", "spec", "data")
 
+#: The event-feed page (``/v1/events``) has its own envelope.
+EVENTS_ENVELOPE_KEYS = ("schema_version", "since", "next", "events")
+
 
 def default_mix() -> List[Tuple[str, str]]:
     """The ``(label, GET path)`` catalog, ordered hot → cold.
@@ -79,6 +82,7 @@ def default_mix() -> List[Tuple[str, str]]:
             "series:asn_shares:window",
             "/v1/series/asn_shares?start=2022-03-01&end=2022-03-15",
         ),
+        ("events:page", "/v1/events?since=0&limit=50"),
         ("experiment:fig1", "/v1/experiments/fig1"),
         (
             "series:sanctioned_composition",
@@ -260,6 +264,11 @@ async def _one_request(
     )
     malformed = False
     if status == 200:
+        expected = (
+            EVENTS_ENVELOPE_KEYS
+            if path.startswith("/v1/events")
+            else ENVELOPE_KEYS
+        )
         try:
             payload = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
@@ -267,7 +276,7 @@ async def _one_request(
         else:
             malformed = not (
                 isinstance(payload, dict)
-                and all(key in payload for key in ENVELOPE_KEYS)
+                and all(key in payload for key in expected)
             )
     return status, stale, malformed
 

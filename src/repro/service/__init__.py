@@ -8,7 +8,10 @@ degraded mode) lives in :mod:`repro.service.resilience` and the server
 module.  ``repro serve --processes N`` scales the same server across a
 pre-fork worker pool (:mod:`repro.service.multiproc`) with a
 cross-worker shared result cache (:mod:`repro.service.shared_cache`).
-See docs/service.md for the endpoint and schema reference.
+``repro serve --follow`` additionally runs the live follow engine
+(:mod:`repro.live`) on one leader worker, publishing change events at
+``/v1/events`` and as an SSE stream.  See docs/service.md and
+docs/live.md for the endpoint and schema reference.
 """
 
 from .http import HttpError, HttpRequest, HttpResponse, read_request
@@ -30,10 +33,17 @@ from .resilience import (
     OPEN,
     CircuitBreaker,
 )
-from .server import QueryService, run_service
+from .server import (
+    DEFAULT_SSE_BUFFER,
+    LAST_EVENT_ID_HEADER,
+    QueryService,
+    run_service,
+)
 from .shared_cache import Lease, SharedResultCache
 
 __all__ = [
+    "DEFAULT_SSE_BUFFER",
+    "LAST_EVENT_ID_HEADER",
     "HttpError",
     "HttpRequest",
     "HttpResponse",

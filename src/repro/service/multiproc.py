@@ -380,6 +380,14 @@ class ServeSupervisor:
 
     def _spawn(self, slot: _Slot) -> None:
         parent_conn, child_conn = self._mp.Pipe(duplex=False)
+        options = dict(self._options)
+        if options.get("follow") is not None:
+            # Exactly one worker (slot 0) leads the live follow engine;
+            # the rest serve events, health, and stale-mode queries
+            # from the durable state the leader writes.  A restarted
+            # leader resumes from the journal, so supervision and
+            # follow recovery compose for free.
+            options["follow_leader"] = slot.slot == 0
         args = _WorkerArgs(
             slot=slot.slot,
             incarnation=slot.incarnation,
@@ -389,7 +397,7 @@ class ServeSupervisor:
             listen_sock=self._listen_sock,
             shared_dir=self.shared_dir,
             context=self._context,
-            options=self._options,
+            options=options,
             conn=child_conn,
         )
         process = self._mp.Process(

@@ -33,6 +33,15 @@ Serving mechanics:
   drain in-flight work, then close (``repro serve`` wires this to
   SIGINT/SIGTERM).
 
+* **live follow mode** — with ``--follow`` a leader thread runs the
+  :class:`~repro.live.FollowEngine`, extending the archive day by day
+  and publishing change events; ``/v1/events?since=`` pages the
+  durable event log and ``/v1/events/stream`` pushes it as SSE with
+  ``Last-Event-ID`` resume and bounded-buffer gap markers.  The follow
+  degradation ladder (``following|lagging|stalled``) rides on
+  ``/healthz`` with ``ingest_lag_days``; while stalled, queries keep
+  serving with stale-mode headers.
+
 Per-endpoint request/latency counters, breaker state, and the
 context's sweep/cache metrics are exposed at ``GET /metrics``;
 ``GET /healthz`` reports the ``live|ready|degraded`` serving state.
@@ -43,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import json
 import socket as socket_module
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future as ConcurrentFuture
@@ -53,6 +63,16 @@ from ..api.deadline import MAX_DEADLINE_MS, Deadline, deadline_scope
 from ..api.spec import SCHEMA_VERSION, QuerySpec, jsonify
 from ..errors import DeadlineExceeded, QueryError, ReproError
 from ..faults import TransientIOError, WorkerCrashed, sync_fault_metrics
+from ..live import (
+    STALLED,
+    EventLog,
+    FollowEngine,
+    FollowOptions,
+    encode_comment,
+    encode_event_frame,
+    encode_gap_frame,
+    read_follow_status,
+)
 from .http import HttpError, HttpRequest, HttpResponse, read_request, split_path
 from .shared_cache import Lease, SharedResultCache
 from .resilience import (
@@ -75,6 +95,18 @@ DEFAULT_DEADLINE_MS = 30_000
 DEFAULT_BREAKER_THRESHOLD = 5
 DEFAULT_BREAKER_WINDOW = 30.0
 DEFAULT_BREAKER_COOLDOWN = 2.0
+#: Slow-consumer bound: events buffered per SSE subscriber before the
+#: server skips ahead with an explicit gap frame.
+DEFAULT_SSE_BUFFER = 64
+#: How often the SSE pump polls the durable event log, seconds.
+DEFAULT_SSE_POLL = 0.05
+#: Idle seconds between SSE keepalive comments.
+DEFAULT_SSE_KEEPALIVE = 2.0
+#: Most events one /v1/events page returns.
+MAX_EVENT_PAGE = 500
+
+#: The request header carrying an SSE client's resume position.
+LAST_EVENT_ID_HEADER = "last-event-id"
 
 #: The request header carrying a per-request deadline budget.
 DEADLINE_HEADER = "x-repro-deadline-ms"
@@ -122,6 +154,11 @@ class QueryService:
         breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
         shared_cache: Optional[SharedResultCache] = None,
         worker_id: Optional[int] = None,
+        follow: Optional[FollowOptions] = None,
+        follow_leader: bool = True,
+        follow_detectors=None,
+        sse_buffer: int = DEFAULT_SSE_BUFFER,
+        sse_poll: float = DEFAULT_SSE_POLL,
     ) -> None:
         if max_concurrency < 1:
             raise QueryError(f"max_concurrency must be >= 1: {max_concurrency}")
@@ -164,6 +201,36 @@ class QueryService:
         self._extra_servers: List[asyncio.AbstractServer] = []
         self._connections: Set[asyncio.Task] = set()
         self._closing = False
+        # ---- live follow mode -------------------------------------
+        #: The archive directory live state (journal, event log,
+        #: status) lives in; None for purely simulated contexts.
+        archive = getattr(context, "archive", None)
+        self._archive_dir: Optional[str] = (
+            archive.directory if archive is not None else None
+        )
+        self._follow_options = follow
+        #: Whether *this* instance runs the follow engine.  In a
+        #: ``--processes N`` pool only slot 0 leads; every worker still
+        #: serves events, health, and stale-mode queries from the
+        #: durable state the leader writes.
+        self._follow_leader = bool(follow_leader)
+        self._follow_detectors = follow_detectors
+        self._follow_engine: Optional[FollowEngine] = None
+        self._follow_thread: Optional[threading.Thread] = None
+        self._follow_stop = threading.Event()
+        self._event_log: Optional[EventLog] = (
+            EventLog(self._archive_dir) if self._archive_dir else None
+        )
+        self._sse_buffer = max(1, int(sse_buffer))
+        self._sse_poll = float(sse_poll)
+        #: (monotonic stamp, payload) cache for the cross-worker
+        #: status-file read, so stale-mode checks stay off the hot path.
+        self._follow_status_cache: Tuple[float, Optional[Dict]] = (-1.0, None)
+        if follow is not None and self._archive_dir is None:
+            raise QueryError(
+                "follow mode needs an archive-backed context "
+                "(the follow engine extends an archive directory)"
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -189,6 +256,8 @@ class QueryService:
             self._server = await asyncio.start_server(
                 self._on_connection, host, port
             )
+        if self._follow_options is not None and self._follow_leader:
+            self._start_follow()
 
     async def add_listener(self, host: str = "127.0.0.1", port: int = 0) -> int:
         """Bind one extra listening endpoint (same routing); returns its port.
@@ -221,6 +290,9 @@ class QueryService:
         while computations a worker already picked up drain normally.
         """
         self._closing = True
+        self._follow_stop.set()
+        if self._follow_thread is not None:
+            self._follow_thread.join(timeout=timeout)
         for server in [self._server, *self._extra_servers]:
             if server is not None:
                 server.close()
@@ -254,6 +326,11 @@ class QueryService:
                 response = HttpResponse.error(400, str(exc))
             else:
                 if request is None:
+                    return
+                if self._is_sse_request(request):
+                    # Streaming departs from the one-shot render path:
+                    # frames go out as the event log grows.
+                    await self._serve_sse(request, writer)
                     return
                 response = await self.handle(request)
             payload = self._render_payload(request, response)
@@ -291,6 +368,275 @@ class QueryService:
             )
         except (TransientIOError, WorkerCrashed):
             return None
+
+    # ------------------------------------------------------------------
+    # Live follow mode
+    # ------------------------------------------------------------------
+
+    def _start_follow(self) -> None:
+        """Spin up the follow engine on its own thread (the leader)."""
+        engine = FollowEngine(
+            self._archive_dir,
+            self._context.config,
+            options=self._follow_options,
+            detectors=self._follow_detectors,
+            faults=self._faults,
+            metrics=self._metrics,
+        )
+        engine.resume()
+        self._follow_engine = engine
+        self._follow_thread = threading.Thread(
+            target=self._follow_loop, name="repro-follow", daemon=True
+        )
+        self._follow_thread.start()
+
+    def _follow_loop(self) -> None:
+        """The leader's ingest loop.  Never lets a failure escape.
+
+        :meth:`FollowEngine.advance` already absorbs per-day ingest
+        problems into the degradation ladder; the catch-all here is the
+        last line of the "never crash the serving pool" contract — an
+        unforeseen error degrades the feed, not the service.
+        """
+        engine = self._follow_engine
+        while not self._follow_stop.is_set() and not engine.done:
+            try:
+                checkpoint = engine.advance()
+            except Exception:
+                self._metrics.record_counter("live_follow_errors")
+                checkpoint = None
+            if checkpoint is not None and self._context.archive is not None:
+                try:
+                    # Newly ingested days become queryable immediately.
+                    self._context.archive.reload()
+                except ReproError:
+                    pass
+            interval = engine.options.interval_seconds
+            if checkpoint is None:
+                # Failed cycles must not busy-spin the retry ladder.
+                interval = max(interval, 0.05)
+            if interval > 0:
+                self._follow_stop.wait(interval)
+
+    def _follow_status_doc(self) -> Optional[Dict]:
+        """This instance's view of the follow state.
+
+        The leader answers from its in-process engine; every other
+        worker (and a server merely pointed at a previously-followed
+        archive) reads the advisory status file the leader mirrors,
+        briefly cached to keep the stale-mode check off the hot path.
+        """
+        engine = self._follow_engine
+        if engine is not None:
+            return engine.status()
+        if self._archive_dir is None:
+            return None
+        now = time.monotonic()
+        stamp, cached = self._follow_status_cache
+        if now - stamp < 0.25:
+            return cached
+        doc = read_follow_status(self._archive_dir)
+        self._follow_status_cache = (now, doc)
+        return doc
+
+    def _follow_is_stalled(self) -> bool:
+        doc = self._follow_status_doc()
+        return doc is not None and doc.get("state") == STALLED
+
+    # ------------------------------------------------------------------
+    # The event feed: /v1/events and its SSE stream
+    # ------------------------------------------------------------------
+
+    def _events_response(self, request: HttpRequest) -> HttpResponse:
+        """One page of the durable event log (``/v1/events?since=``)."""
+        if self._event_log is None:
+            return HttpResponse.error(
+                404,
+                "this instance serves a simulated context with no archive "
+                "directory, so it has no event feed",
+            )
+        params = request.params
+        try:
+            since = int(params.get("since", 0))
+            limit = int(params.get("limit", MAX_EVENT_PAGE))
+        except ValueError as exc:
+            raise HttpError(f"since/limit must be integers: {exc}") from exc
+        if since < 0:
+            raise HttpError(f"since must be >= 0: {since}")
+        if limit < 1:
+            raise HttpError(f"limit must be >= 1: {limit}")
+        limit = min(limit, MAX_EVENT_PAGE)
+        events = self._event_log.read_since(since, limit + 1)
+        page = events[:limit]
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "since": since,
+            "next": page[-1].seq if page else since,
+            "more": len(events) > limit,
+            "events": [event.to_dict() for event in page],
+            "follow": self._follow_status_doc(),
+        }
+        return HttpResponse.json(
+            200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        )
+
+    @staticmethod
+    def _is_sse_request(request: HttpRequest) -> bool:
+        return (
+            request.method == "GET"
+            and split_path(request.path) == ("v1", "events", "stream")
+        )
+
+    def _sse_since(self, request: HttpRequest) -> int:
+        """The stream's resume position: ``Last-Event-ID`` beats ``since``."""
+        raw = request.headers.get(LAST_EVENT_ID_HEADER)
+        if raw is None:
+            raw = request.params.get("since", "0")
+        try:
+            since = int(raw)
+        except ValueError as exc:
+            raise HttpError(f"bad event stream position {raw!r}") from exc
+        if since < 0:
+            raise HttpError(f"event stream position must be >= 0: {since}")
+        return since
+
+    async def _serve_sse(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        """Pump the event log to one subscriber as an SSE stream.
+
+        Frames carry ``id:`` lines (the event sequence number), so a
+        dropped connection resumes exactly where it broke via
+        ``Last-Event-ID``.  A consumer that falls more than the bounded
+        buffer behind the log gets an explicit ``gap`` frame and is
+        skipped ahead — dropped events stay durable in the log and
+        remain fetchable through ``/v1/events``.
+        """
+        started = time.perf_counter()
+        status = 200
+        try:
+            try:
+                since = self._sse_since(request)
+            except HttpError as exc:
+                status = 400
+                writer.write(HttpResponse.error(400, str(exc)).to_bytes())
+                await writer.drain()
+                return
+            if self._event_log is None:
+                status = 404
+                writer.write(
+                    HttpResponse.error(
+                        404, "no event feed without an archive"
+                    ).to_bytes()
+                )
+                await writer.drain()
+                return
+            limit: Optional[int] = None
+            if "limit" in request.params:
+                try:
+                    limit = int(request.params["limit"])
+                except ValueError:
+                    limit = None
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream; charset=utf-8\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("ascii")
+            writer.write(head)
+            await writer.drain()
+            self._metrics.record_counter("live_sse_streams")
+            await self._sse_pump(writer, since, limit)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._metrics.record_endpoint(
+                "events-stream", time.perf_counter() - started, status
+            )
+            self._metrics.record_counter("requests_total")
+
+    async def _sse_pump(
+        self,
+        writer: asyncio.StreamWriter,
+        since: int,
+        limit: Optional[int],
+    ) -> None:
+        last_sent = since
+        sent = 0
+        idle = 0.0
+        while not self._closing:
+            pending = self._event_log.read_since(last_sent)
+            if pending:
+                idle = 0.0
+                over = len(pending) - self._sse_buffer
+                if over > 0:
+                    # Slow consumer: drop the oldest backlog with an
+                    # explicit marker instead of buffering without bound.
+                    dropped_from = pending[0].seq
+                    dropped_to = pending[over - 1].seq
+                    pending = pending[over:]
+                    self._metrics.record_counter("live_sse_dropped", over)
+                    frame = encode_gap_frame(dropped_from, dropped_to)
+                    if not await self._write_sse(writer, frame,
+                                                 f"gap-{dropped_to}"):
+                        return
+                    last_sent = dropped_to
+                for event in pending:
+                    frame = encode_event_frame(event)
+                    if not await self._write_sse(writer, frame,
+                                                 str(event.seq)):
+                        return
+                    last_sent = event.seq
+                    sent += 1
+                    self._metrics.record_counter("live_sse_events")
+                    if limit is not None and sent >= limit:
+                        return
+                continue
+            doc = self._follow_status_doc()
+            if doc is not None and doc.get("done"):
+                # The follow range is fully ingested and the log is
+                # drained: nothing more will ever arrive.
+                return
+            idle += self._sse_poll
+            if idle >= DEFAULT_SSE_KEEPALIVE:
+                idle = 0.0
+                if not await self._write_sse(
+                    writer, encode_comment("keepalive"), "keepalive"
+                ):
+                    return
+            await asyncio.sleep(self._sse_poll)
+
+    async def _write_sse(
+        self, writer: asyncio.StreamWriter, frame: bytes, key: str
+    ) -> bool:
+        """Write one frame; False ends the stream (client will resume).
+
+        With a fault plan attached, the write is split so an injected
+        ``live.sse_write`` error tears the frame mid-way — the client
+        parser discards the partial frame and reconnects with
+        ``Last-Event-ID``, which is exactly the recovery contract.
+        """
+        try:
+            if self._faults is not None:
+                ordinal = self._write_counts.get("sse", 0)
+                self._write_counts["sse"] = ordinal + 1
+                half = len(frame) // 2
+                writer.write(frame[:half])
+                try:
+                    self._faults.check("live.sse_write", f"{key}#{ordinal}")
+                except (TransientIOError, WorkerCrashed):
+                    self._metrics.record_counter("live_sse_aborted")
+                    await writer.drain()
+                    return False
+                writer.write(frame[half:])
+            else:
+                writer.write(frame)
+            await asyncio.wait_for(writer.drain(), timeout=5.0)
+            return True
+        except (ConnectionError, asyncio.TimeoutError,
+                asyncio.CancelledError):
+            return False
 
     # ------------------------------------------------------------------
     # Routing
@@ -364,6 +710,8 @@ class QueryService:
             return "v1", HttpResponse.error(
                 405, f"{request.method} not allowed on {request.path}"
             )
+        if tail == ("events",):
+            return "events", self._events_response(request)
         if tail == ("experiments",):
             return "experiments", await self._query_response(
                 QuerySpec("catalog"), deadline
@@ -476,6 +824,20 @@ class QueryService:
     # ------------------------------------------------------------------
 
     async def _query_response(
+        self, spec: QuerySpec, deadline: Deadline
+    ) -> HttpResponse:
+        response = await self._query_response_inner(spec, deadline)
+        if response.status == 200 and self._follow_is_stalled():
+            # The follow engine cannot keep the archive current, so
+            # every answer is as-of the last good checkpoint: correct
+            # bytes, marked stale.  Serving keeps working — the ladder
+            # degrades the feed's freshness, never availability.
+            for name, value in STALE_HEADERS.items():
+                response.extra_headers.setdefault(name, value)
+            self._metrics.record_counter("live_stale_served")
+        return response
+
+    async def _query_response_inner(
         self, spec: QuerySpec, deadline: Deadline
     ) -> HttpResponse:
         key = spec.cache_key()
@@ -805,6 +1167,8 @@ class QueryService:
                 "GET /v1/series/<name>?start=&end=",
                 "GET /v1/headline",
                 "GET /v1/records/<date>?tld=&offset=&limit=",
+                "GET /v1/events?since=&limit=",
+                "GET /v1/events/stream (SSE; Last-Event-ID resume)",
                 "GET|POST /v2/query",
                 "GET /v2/scenarios",
                 "GET /v2/diff?experiment=&scenario=",
@@ -840,6 +1204,18 @@ class QueryService:
         }
         if self.worker_id is not None:
             payload["worker"] = self.worker_id
+        follow = self._follow_status_doc()
+        if follow is not None:
+            payload["follow"] = follow.get("state")
+            payload["ingest_lag_days"] = follow.get("ingest_lag_days", 0)
+            payload["follow_detail"] = {
+                "last_date": follow.get("last_date"),
+                "event_cursor": follow.get("event_cursor", 0),
+                "consecutive_failures": follow.get(
+                    "consecutive_failures", 0
+                ),
+                "done": follow.get("done", False),
+            }
         return HttpResponse.json(
             200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
         )
@@ -865,6 +1241,9 @@ class QueryService:
                 "root": self._shared.root,
                 "entries": len(self._shared),
             }
+        follow = self._follow_status_doc()
+        if follow is not None:
+            payload["service"]["follow"] = follow
         return HttpResponse.json(
             200, json.dumps(payload, sort_keys=True, separators=(",", ":"))
         )

@@ -1,0 +1,115 @@
+"""Live-mode fixtures: a seeded archive plus a completed follow run.
+
+Everything runs at the service-test scale (1:20000, a few hundred
+concurrent domains), where a full daily follow of the three-week test
+window takes well under a second.  The detectors use deliberately
+sensitive thresholds so the tiny world still emits a handful of events
+— the stock thresholds are calibrated for production scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.archive import ArchiveBuilder, archive_digest
+from repro.live import (
+    CompositionStepDetector,
+    EventLog,
+    FollowEngine,
+    FollowOptions,
+    IssuanceSpikeDetector,
+    ProviderExitDetector,
+    SanctionsMigrationDetector,
+)
+from repro.scenario import ScenarioSpec
+
+LIVE_SCALE = 20000.0
+
+#: The day seeded before following starts (the first delta baseline).
+SEED_DAY = "2022-02-20"
+#: The follow window: daily across the invasion.
+FOLLOW_START = "2022-02-21"
+FOLLOW_END = "2022-03-10"
+
+
+def sensitive_detectors():
+    """Thresholds low enough for the 1:20000 world to emit events."""
+    return [
+        ProviderExitDetector(min_count=2, exit_fraction=0.5),
+        CompositionStepDetector(threshold=0.002),
+        IssuanceSpikeDetector(spike_fraction=0.01, min_jump=1),
+        SanctionsMigrationDetector(min_burst=1, burst_fraction=0.0),
+    ]
+
+
+def seed_archive(directory: str, config) -> None:
+    """Build the pre-follow archive: just the seed day."""
+    ArchiveBuilder(str(directory), config).build(SEED_DAY, SEED_DAY, 1)
+
+
+def make_engine(
+    directory: str, config, faults=None, metrics=None, **option_overrides
+) -> FollowEngine:
+    """A follow engine over the standard test window, already resumed."""
+    options = FollowOptions(
+        start=option_overrides.pop("start", FOLLOW_START),
+        end=option_overrides.pop("end", FOLLOW_END),
+        backoff=option_overrides.pop("backoff", 0.001),
+        **option_overrides,
+    )
+    engine = FollowEngine(
+        str(directory),
+        config,
+        options,
+        detectors=sensitive_detectors(),
+        faults=faults,
+        metrics=metrics,
+    )
+    engine.resume()
+    return engine
+
+
+@pytest.fixture(scope="session")
+def live_config():
+    return (
+        ScenarioSpec.resolve("baseline")
+        .with_config(scale=LIVE_SCALE, with_pki=False)
+        .compile()
+    )
+
+
+@pytest.fixture(scope="session")
+def followed_archive(tmp_path_factory, live_config):
+    """An archive followed to the end of the window, uninterrupted.
+
+    Holds the day shards, ``events.log``, ``follow.journal``, and a
+    ``follow.status.json`` reporting ``done`` — the durable state every
+    serving/replay test reads.  Treat as read-only.
+    """
+    directory = str(tmp_path_factory.mktemp("live") / "followed")
+    seed_archive(directory, live_config)
+    engine = make_engine(directory, live_config)
+    assert engine.run() == engine_cycles()
+    assert engine.done
+    return directory
+
+
+def engine_cycles() -> int:
+    """Days in the standard follow window (daily cadence)."""
+    import datetime as dt
+
+    start = dt.date.fromisoformat(FOLLOW_START)
+    end = dt.date.fromisoformat(FOLLOW_END)
+    return (end - start).days + 1
+
+
+@pytest.fixture(scope="session")
+def reference_run(followed_archive):
+    """(archive digest, event-log lines) of the uninterrupted run.
+
+    Every interrupted/chaos variant must converge to exactly these.
+    """
+    digest = archive_digest(followed_archive)
+    lines = [event.to_line() for event in EventLog(followed_archive).load()]
+    assert lines, "the reference window should emit at least one event"
+    return digest, lines

@@ -1,0 +1,235 @@
+"""Kill-and-resume chaos for the follow engine (marked ``faults``/``chaos``).
+
+Each scenario interrupts a follow run at a different point of the
+shard → events → journal commit order, then resumes with a fresh,
+fault-free engine.  Every variant must converge on the byte-identical
+archive digest and event log of the uninterrupted reference run, with
+the event feed staying exactly ``1..N`` — the crash-safety contract
+the journal design promises.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.archive import archive_digest
+from repro.errors import LiveError
+from repro.faults import CORRUPT, CRASH, IO_ERROR, FaultPlan, FaultSpec
+from repro.live import (
+    EventLog,
+    FOLLOWING,
+    LAGGING,
+    STALLED,
+    FollowJournal,
+)
+
+from .conftest import (
+    FOLLOW_END,
+    FOLLOW_START,
+    make_engine,
+    seed_archive,
+)
+
+pytestmark = pytest.mark.faults
+
+#: The first day of the window that emits events (sensitive detectors).
+FIRST_EVENT_DAY = "2022-03-03"
+
+
+def _event_lines(directory):
+    return [event.to_line() for event in EventLog(directory).load()]
+
+
+def _assert_converged(directory, reference_run):
+    digest, lines = reference_run
+    assert archive_digest(directory) == digest
+    assert _event_lines(directory) == lines
+    events = EventLog(directory).load()
+    assert [event.seq for event in events] == list(range(1, len(events) + 1))
+
+
+class TestKillAndResume:
+    def test_mid_ingest_interrupt_resumes_byte_identical(
+        self, tmp_path, live_config, reference_run
+    ):
+        """Fault point 1: the day's build dies before the shard lands.
+
+        Matching the date without an attempt suffix dooms every retry,
+        so the cycle fails outright; a fresh fault-free engine resumes
+        from the journal and converges.
+        """
+        directory = str(tmp_path / "ingest")
+        seed_archive(directory, live_config)
+        plan = FaultPlan(
+            1, {"live.ingest_day": FaultSpec(CRASH, 1.0, match="2022-02-24")}
+        )
+        doomed = make_engine(directory, live_config, faults=plan, retries=1)
+        doomed.run(max_cycles=5)
+        assert doomed.consecutive_failures > 0
+        assert doomed.last_checkpoint().date.isoformat() == "2022-02-23"
+
+        make_engine(directory, live_config).run()
+        _assert_converged(directory, reference_run)
+
+    def test_post_events_pre_journal_interrupt_resumes(
+        self, tmp_path, live_config, reference_run
+    ):
+        """Fault point 2: death between the event append and the journal
+        checkpoint — the window where events exist that no checkpoint
+        covers.  Resume must truncate and deterministically re-emit.
+        """
+        directory = str(tmp_path / "journal")
+        seed_archive(directory, live_config)
+        clean = make_engine(directory, live_config)
+        # Walk cleanly up to the day before the first event-emitting day.
+        while clean.next_date().isoformat() != FIRST_EVENT_DAY:
+            assert clean.advance() is not None
+        base_cursor = clean.last_checkpoint().event_cursor
+
+        plan = FaultPlan(
+            1,
+            {"live.journal_write": FaultSpec(IO_ERROR, 1.0,
+                                             match="follow.journal")},
+        )
+        doomed = make_engine(directory, live_config, faults=plan, retries=1)
+        with pytest.raises(LiveError, match="journal checkpoint"):
+            doomed.step()
+        # The torn state chaos must absorb: events durable past the
+        # last checkpoint, journal unmoved.
+        assert EventLog(directory).cursor() > base_cursor
+        journal = FollowJournal(directory)
+        assert journal.last().event_cursor == base_cursor
+
+        make_engine(directory, live_config).run()
+        _assert_converged(directory, reference_run)
+
+    def test_detector_interrupt_resumes(
+        self, tmp_path, live_config, reference_run
+    ):
+        """Fault point 3: detection dies after the shard landed."""
+        directory = str(tmp_path / "detector")
+        seed_archive(directory, live_config)
+        plan = FaultPlan(
+            1, {"live.detector": FaultSpec(IO_ERROR, 1.0,
+                                           match=FIRST_EVENT_DAY)}
+        )
+        doomed = make_engine(directory, live_config, faults=plan, retries=1)
+        doomed.run(max_cycles=30)
+        assert doomed.consecutive_failures > 0
+        # The shard itself landed before detection failed.
+        import datetime as dt
+
+        archive = doomed._open_archive()
+        assert dt.date.fromisoformat(FIRST_EVENT_DAY) in archive.manifest.days
+
+        make_engine(directory, live_config).run()
+        _assert_converged(directory, reference_run)
+
+    def test_corrupted_journal_write_self_heals(
+        self, tmp_path, live_config, reference_run
+    ):
+        """A bit-flipped journal write is caught by read-back verify and
+        retried — the run completes without any resume at all."""
+        directory = str(tmp_path / "corrupt")
+        seed_archive(directory, live_config)
+        plan = FaultPlan(
+            7,
+            {"live.journal_write.bytes": FaultSpec(CORRUPT, 1.0,
+                                                   max_injections=2)},
+        )
+        engine = make_engine(directory, live_config, faults=plan)
+        engine.run()
+        assert plan.injected("live.journal_write.bytes") == 2
+        _assert_converged(directory, reference_run)
+
+
+class TestDegradationLadder:
+    def test_ladder_climbs_and_recovers(self, tmp_path, live_config):
+        directory = str(tmp_path / "ladder")
+        seed_archive(directory, live_config)
+        plan = FaultPlan(1, {"live.ingest_day": FaultSpec(CRASH, 1.0)})
+        engine = make_engine(
+            directory, live_config, faults=plan, retries=0, stall_after=3
+        )
+        assert engine.state == FOLLOWING
+
+        states, lags = [], []
+        for _ in range(4):
+            assert engine.advance() is None
+            states.append(engine.state)
+            lags.append(engine.ingest_lag_days)
+        assert states == [LAGGING, LAGGING, STALLED, STALLED]
+        assert lags == [1, 2, 3, 4]
+
+        # Healing the fault recovers the ladder on the next cycle.
+        engine.faults = None
+        engine._builder = None  # builder holds the old plan
+        assert engine.advance() is not None
+        assert engine.state == FOLLOWING
+        assert engine.ingest_lag_days == 0
+
+    def test_failures_never_escape_advance(self, tmp_path, live_config):
+        directory = str(tmp_path / "contained")
+        seed_archive(directory, live_config)
+        plan = FaultPlan(1, {"live.ingest_day": FaultSpec(CRASH, 1.0)})
+        engine = make_engine(directory, live_config, faults=plan, retries=0)
+        for _ in range(5):
+            assert engine.advance() is None  # never raises
+
+
+@pytest.mark.chaos
+class TestSigkill:
+    def test_sigkill_mid_follow_resumes_byte_identical(
+        self, tmp_path, live_config, reference_run
+    ):
+        """A real SIGKILL at an arbitrary point of the follow loop.
+
+        The driver subprocess follows with a small per-cycle interval;
+        the parent kills it cold partway through the window, then
+        resumes in-process and must converge on the reference bytes.
+        """
+        directory = str(tmp_path / "sigkill")
+        seed_archive(directory, live_config)
+        driver = textwrap.dedent(
+            f"""
+            import sys
+            sys.path.insert(0, {repr(os.path.join(os.getcwd(), "src"))})
+            sys.path.insert(0, {repr(os.getcwd())})
+            from repro.scenario import ScenarioSpec
+            from tests.live.conftest import LIVE_SCALE, make_engine
+
+            config = (
+                ScenarioSpec.resolve("baseline")
+                .with_config(scale=LIVE_SCALE, with_pki=False)
+                .compile()
+            )
+            engine = make_engine(
+                {directory!r}, config, interval_seconds=0.05
+            )
+            print("READY", flush=True)
+            engine.run()
+            """
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", driver],
+            cwd="/root/repo",
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert process.stdout.readline().strip() == "READY"
+            time.sleep(0.4)  # let a few cycles land
+        finally:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        assert process.returncode == -signal.SIGKILL
+
+        resumed = make_engine(directory, live_config)
+        resumed.run()
+        assert resumed.done
+        _assert_converged(directory, reference_run)

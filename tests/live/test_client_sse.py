@@ -1,0 +1,90 @@
+"""Tests for repro.live.sse: framing, incremental parsing, tear safety."""
+
+from repro.live import (
+    GAP_EVENT,
+    LiveEvent,
+    SseParser,
+    encode_comment,
+    encode_event_frame,
+    encode_gap_frame,
+)
+
+
+def _event(seq: int = 1) -> LiveEvent:
+    return LiveEvent(seq, 1710 + seq, "composition-step", {"axis": "ns"})
+
+
+class TestEncoding:
+    def test_event_frame_layout(self):
+        frame = encode_event_frame(_event(7))
+        lines = frame.decode().split("\n")
+        assert lines[0] == "id: 7"
+        assert lines[1] == "event: composition-step"
+        assert lines[2].startswith("data: {")
+        assert lines[3] == "" and lines[4] == ""  # blank-line terminator
+
+    def test_gap_frame_advances_id_past_drop(self):
+        frame = encode_gap_frame(3, 9)
+        parsed = SseParser().feed(frame)
+        assert len(parsed) == 1
+        gap = parsed[0]
+        assert gap.event == GAP_EVENT
+        assert gap.seq == 9  # resume lands *after* the dropped range
+        assert gap.json() == {"dropped": 7, "from": 3, "to": 9}
+
+    def test_comment_round_trips_to_nothing(self):
+        assert SseParser().feed(encode_comment("keepalive")) == []
+
+
+class TestParser:
+    def test_roundtrip(self):
+        event = _event(4)
+        frames = SseParser().feed(encode_event_frame(event))
+        assert len(frames) == 1
+        assert frames[0].seq == 4
+        assert frames[0].event == event.kind
+        assert frames[0].json() == event.to_dict()
+
+    def test_arbitrary_chunk_boundaries(self):
+        wire = (
+            encode_event_frame(_event(1))
+            + encode_comment("keepalive")
+            + encode_gap_frame(2, 3)
+            + encode_event_frame(_event(4))
+        )
+        for size in (1, 2, 3, 7, len(wire)):
+            parser = SseParser()
+            frames = []
+            for start in range(0, len(wire), size):
+                frames.extend(parser.feed(wire[start:start + size]))
+            assert [frame.seq for frame in frames] == [1, 3, 4]
+            assert not parser.pending
+
+    def test_partial_frame_never_yields(self):
+        parser = SseParser()
+        frame = encode_event_frame(_event(2))
+        assert parser.feed(frame[:-1]) == []  # missing final newline
+        assert parser.pending
+        assert [f.seq for f in parser.feed(frame[-1:])] == [2]
+        assert not parser.pending
+
+    def test_pending_flags_mid_frame_tear(self):
+        """The client's reconnect decision hinges on this bit: a tear
+        mid-frame must read as pending, a frame-boundary close as not."""
+        parser = SseParser()
+        frame = encode_event_frame(_event(3))
+        parser.feed(frame[: len(frame) // 2])
+        assert parser.pending
+        parser = SseParser()
+        parser.feed(frame)
+        assert not parser.pending
+
+    def test_crlf_lines_tolerated(self):
+        wire = b"id: 5\r\nevent: gap\r\ndata: {}\r\n\r\n"
+        frames = SseParser().feed(wire)
+        assert frames[0].seq == 5
+        assert frames[0].event == "gap"
+
+    def test_multi_data_lines_join(self):
+        frames = SseParser().feed(b"data: a\ndata: b\n\n")
+        assert frames[0].data == "a\nb"

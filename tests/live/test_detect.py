@@ -1,0 +1,144 @@
+"""Tests for repro.live.detect: seed-pure day-over-day change detectors."""
+
+from types import SimpleNamespace
+
+from repro.live import (
+    CompositionStepDetector,
+    IssuanceSpikeDetector,
+    ProviderExitDetector,
+    SanctionsMigrationDetector,
+    default_detectors,
+    run_detectors,
+)
+
+
+def summary(
+    ns=(60, 20, 20),
+    hosting=(50, 25, 25),
+    tld=(70, 15, 15),
+    sanctioned=(10, 5, 5),
+    asn_counts=None,
+    listed_count=20,
+    measured_count=100,
+):
+    """A synthetic DaySummary carrying only what detectors read."""
+    return SimpleNamespace(
+        ns=ns,
+        hosting=hosting,
+        tld=tld,
+        sanctioned=sanctioned,
+        asn_counts=asn_counts or {},
+        listed_count=listed_count,
+        measured_count=measured_count,
+    )
+
+
+class TestProviderExit:
+    def test_exit_detected(self):
+        before = summary(asn_counts={13335: 40, 197695: 30})
+        after = summary(asn_counts={13335: 5, 197695: 31})
+        findings = ProviderExitDetector(min_count=8).detect(before, after)
+        assert findings == [
+            ("provider-exit", {"asn": 13335, "before": 40, "after": 5})
+        ]
+
+    def test_small_providers_ignored(self):
+        before = summary(asn_counts={64512: 3})
+        after = summary(asn_counts={})
+        assert ProviderExitDetector(min_count=8).detect(before, after) == []
+
+    def test_stable_provider_quiet(self):
+        counts = {13335: 40}
+        assert ProviderExitDetector().detect(
+            summary(asn_counts=counts), summary(asn_counts=dict(counts))
+        ) == []
+
+
+class TestCompositionStep:
+    def test_step_detected_per_axis(self):
+        before = summary(ns=(50, 25, 25), hosting=(50, 25, 25))
+        after = summary(ns=(60, 20, 20), hosting=(50, 25, 25))
+        findings = CompositionStepDetector(threshold=0.05).detect(before, after)
+        assert len(findings) == 1
+        kind, payload = findings[0]
+        assert kind == "composition-step"
+        assert payload["axis"] == "ns"
+        assert payload["delta"] == 0.1
+
+    def test_drift_below_threshold_quiet(self):
+        before = summary(ns=(50, 25, 25))
+        after = summary(ns=(51, 24, 25))
+        assert CompositionStepDetector(threshold=0.05).detect(
+            before, after
+        ) == []
+
+
+class TestIssuanceSpike:
+    def test_spike_detected(self):
+        findings = IssuanceSpikeDetector(
+            spike_fraction=0.1, min_jump=5
+        ).detect(summary(tld=(50, 25, 25)), summary(tld=(60, 15, 25)))
+        assert findings == [
+            ("ru-ca-issuance-spike", {"before": 50, "after": 60, "jump": 10})
+        ]
+
+    def test_jump_below_floor_quiet(self):
+        detector = IssuanceSpikeDetector(spike_fraction=0.1, min_jump=5)
+        assert detector.detect(
+            summary(tld=(50, 25, 25)), summary(tld=(53, 22, 25))
+        ) == []
+
+
+class TestSanctionsMigration:
+    def test_burst_detected(self):
+        findings = SanctionsMigrationDetector(
+            min_burst=3, burst_fraction=0.02
+        ).detect(
+            summary(sanctioned=(10, 5, 5), listed_count=50),
+            summary(sanctioned=(15, 2, 3), listed_count=50),
+        )
+        assert findings == [(
+            "sanctions-migration-burst",
+            {"before": 10, "after": 15, "burst": 5, "listed": 50},
+        )]
+
+    def test_shrinking_quiet(self):
+        assert SanctionsMigrationDetector().detect(
+            summary(sanctioned=(10, 5, 5)), summary(sanctioned=(8, 7, 5))
+        ) == []
+
+
+class TestRunDetectors:
+    def test_first_day_yields_nothing(self):
+        assert run_detectors(default_detectors(), None, summary()) == []
+        assert run_detectors(default_detectors(), summary(), None) == []
+
+    def test_order_is_detector_then_sorted(self):
+        before = summary(
+            ns=(40, 30, 30), asn_counts={2: 20, 1: 20}, tld=(40, 30, 30)
+        )
+        after = summary(
+            ns=(60, 20, 20), asn_counts={}, tld=(60, 20, 20)
+        )
+        detectors = [
+            ProviderExitDetector(min_count=8),
+            CompositionStepDetector(threshold=0.05),
+        ]
+        kinds_and_keys = [
+            (kind, payload.get("asn"))
+            for kind, payload in run_detectors(detectors, before, after)
+        ]
+        # Provider exits first (ASNs in sorted order), then the step.
+        assert kinds_and_keys == [
+            ("provider-exit", 1),
+            ("provider-exit", 2),
+            ("composition-step", None),
+        ]
+
+    def test_detection_is_pure(self):
+        before = summary(ns=(40, 30, 30), asn_counts={1: 20})
+        after = summary(ns=(60, 20, 20), asn_counts={})
+        detectors = default_detectors()
+        first = run_detectors(detectors, before, after)
+        second = run_detectors(default_detectors(), before, after)
+        assert first == second

@@ -1,0 +1,160 @@
+"""Tests for repro.live.engine: determinism, resume, and the ladder."""
+
+import datetime as dt
+
+from repro.archive import archive_digest
+from repro.live import (
+    EventLog,
+    FOLLOWING,
+    FollowOptions,
+    STATUS_FILENAME,
+    read_follow_status,
+)
+from repro.measurement.metrics import SweepMetrics
+
+from .conftest import (
+    FOLLOW_END,
+    FOLLOW_START,
+    engine_cycles,
+    make_engine,
+    seed_archive,
+)
+
+
+def _event_lines(directory: str):
+    return [event.to_line() for event in EventLog(directory).load()]
+
+
+class TestDeterminism:
+    def test_two_runs_are_byte_identical(
+        self, tmp_path, live_config, reference_run
+    ):
+        """The whole live contract in one assertion: an independent
+        follow run reproduces the reference archive digest and the
+        reference event log, byte for byte."""
+        directory = str(tmp_path / "again")
+        seed_archive(directory, live_config)
+        engine = make_engine(directory, live_config)
+        engine.run()
+        digest, lines = reference_run
+        assert archive_digest(directory) == digest
+        assert _event_lines(directory) == lines
+
+    def test_event_feed_is_gapless(self, followed_archive):
+        events = EventLog(followed_archive).load()
+        assert [event.seq for event in events] == list(
+            range(1, len(events) + 1)
+        )
+
+
+class TestResume:
+    def test_stop_and_resume_converges(
+        self, tmp_path, live_config, reference_run
+    ):
+        """An engine stopped cold mid-window and resumed by a fresh
+        process converges on the uninterrupted run's bytes."""
+        directory = str(tmp_path / "resumed")
+        seed_archive(directory, live_config)
+        first = make_engine(directory, live_config)
+        assert first.run(max_cycles=5) == 5
+        assert not first.done
+
+        second = make_engine(directory, live_config)  # fresh, resumes
+        checkpoint = second.last_checkpoint()
+        assert checkpoint is not None
+        assert checkpoint.date == dt.date.fromisoformat(
+            FOLLOW_START
+        ) + dt.timedelta(days=4)
+        second.run()
+        digest, lines = reference_run
+        assert archive_digest(directory) == digest
+        assert _event_lines(directory) == lines
+
+    def test_fresh_directory_resume_is_empty(self, tmp_path, live_config):
+        directory = str(tmp_path / "fresh")
+        seed_archive(directory, live_config)
+        engine = make_engine(directory, live_config)
+        assert engine.last_checkpoint() is None
+        assert engine.next_date() == dt.date.fromisoformat(FOLLOW_START)
+        assert not engine.done
+
+
+class TestScheduling:
+    def test_cadence_steps_days(self, tmp_path, live_config):
+        directory = str(tmp_path / "cadence")
+        seed_archive(directory, live_config)
+        engine = make_engine(directory, live_config, cadence_days=7)
+        engine.run()
+        covered = sorted(
+            date
+            for date in engine._open_archive().manifest.days
+            if date >= dt.date.fromisoformat(FOLLOW_START)
+        )
+        expected = []
+        day = dt.date.fromisoformat(FOLLOW_START)
+        while day <= dt.date.fromisoformat(FOLLOW_END):
+            expected.append(day)
+            day += dt.timedelta(days=7)
+        assert covered == expected
+
+    def test_done_engine_advances_to_noop(self, followed_archive, live_config):
+        engine = make_engine(followed_archive, live_config)
+        assert engine.done
+        assert engine.advance() is None
+        assert engine.state == FOLLOWING
+
+
+class TestStatusMirror:
+    def test_status_document_shape(self, followed_archive):
+        doc = read_follow_status(followed_archive)
+        assert doc is not None
+        assert doc["state"] == FOLLOWING
+        assert doc["done"] is True
+        assert doc["ingest_lag_days"] == 0
+        assert doc["last_date"] == FOLLOW_END
+        assert doc["event_cursor"] == EventLog(followed_archive).cursor()
+
+    def test_missing_status_reads_none(self, tmp_path):
+        assert read_follow_status(str(tmp_path)) is None
+
+    def test_torn_status_reads_none(self, tmp_path):
+        (tmp_path / STATUS_FILENAME).write_text('{"state": "foll')
+        assert read_follow_status(str(tmp_path)) is None
+
+
+class TestMetrics:
+    def test_live_counters_accumulate(self, tmp_path, live_config):
+        directory = str(tmp_path / "metrics")
+        seed_archive(directory, live_config)
+        metrics = SweepMetrics()
+        engine = make_engine(directory, live_config, metrics=metrics)
+        engine.run()
+        assert metrics.counter("live_days_ingested") == engine_cycles()
+        assert metrics.counter("live_events_emitted") == EventLog(
+            directory
+        ).cursor()
+        # One journal fsync per ingested day (no faults: no retries).
+        assert metrics.counter("live_journal_fsyncs") == engine_cycles()
+        assert metrics.counter("live_ingest_failures") == 0
+
+
+class TestOptions:
+    def test_options_pickle_roundtrip(self):
+        import pickle
+
+        options = FollowOptions(
+            start=FOLLOW_START, end=FOLLOW_END, cadence_days=2,
+            interval_seconds=0.5, stall_after=4, retries=2,
+        )
+        clone = pickle.loads(pickle.dumps(options))
+        assert clone.start == options.start
+        assert clone.end == options.end
+        assert clone.cadence_days == 2
+        assert clone.stall_after == 4
+
+    def test_digest_ignores_live_bookkeeping(
+        self, followed_archive, reference_run
+    ):
+        """journal/events/status files never perturb archive identity."""
+        digest, _ = reference_run
+        assert archive_digest(followed_archive) == digest  # files present

@@ -1,0 +1,109 @@
+"""Tests for repro.live.events: the replayable change-event log."""
+
+import os
+
+import pytest
+
+from repro.errors import LiveError
+from repro.live import EVENT_LOG_FILENAME, EventLog, LiveEvent
+
+
+def _event(seq: int, kind: str = "composition-step") -> LiveEvent:
+    return LiveEvent(seq, 1710 + seq, kind, {"delta": 0.01, "axis": "ns"})
+
+
+class TestLiveEvent:
+    def test_line_roundtrip(self):
+        original = _event(3, "provider-exit")
+        parsed = LiveEvent.from_line(original.to_line())
+        assert parsed == original
+        assert parsed.payload == original.payload
+
+    def test_wire_shape(self):
+        doc = _event(2).to_dict()
+        assert set(doc) == {"seq", "day", "date", "kind", "payload"}
+        assert doc["date"] == _event(2).date.isoformat()
+
+    def test_crc_rejects_tampering(self):
+        line = _event(1).to_line()
+        tampered = line.replace('"delta":0.01', '"delta":0.02')
+        with pytest.raises(LiveError):
+            LiveEvent.from_line(tampered)
+
+    def test_sequence_starts_at_one(self):
+        with pytest.raises(LiveError):
+            LiveEvent(0, 1710, "gap", {})
+
+
+class TestEventLog:
+    def test_missing_file_is_empty(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        assert log.load() == []
+        assert log.cursor() == 0
+        assert log.read_since(0) == []
+
+    def test_append_load_roundtrip(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        log.append([_event(1), _event(2), _event(3)])
+        assert [event.seq for event in log.load()] == [1, 2, 3]
+        assert log.cursor() == 3
+        assert [event.seq for event in log.read_since(1)] == [2, 3]
+        assert [event.seq for event in log.read_since(1, limit=1)] == [2]
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        log.append([_event(1), _event(2)])
+        with open(log.path, "a", encoding="utf-8") as handle:
+            handle.write(_event(3).to_line()[:20])  # no newline: torn
+        assert [event.seq for event in log.load()] == [1, 2]
+
+    def test_gapped_sequence_ends_prefix(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        with open(log.path, "w", encoding="utf-8") as handle:
+            handle.write(_event(1).to_line() + "\n")
+            handle.write(_event(3).to_line() + "\n")
+        assert [event.seq for event in log.load()] == [1]
+
+    def test_truncate_drops_uncheckpointed_tail(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        log.append([_event(1), _event(2), _event(3)])
+        assert log.truncate_to(1) == 2
+        assert log.cursor() == 1
+        assert log.truncate_to(1) == 0  # idempotent
+
+    def test_truncate_rewrites_torn_tail(self, tmp_path):
+        """A torn tail must not survive truncation, or a later append
+        would land after the garbage and hide everything behind it."""
+        log = EventLog(str(tmp_path))
+        log.append([_event(1)])
+        with open(log.path, "a", encoding="utf-8") as handle:
+            handle.write(_event(2).to_line()[:10])
+        assert log.truncate_to(1) == 0
+        log.append([_event(2)])
+        assert [event.seq for event in log.load()] == [1, 2]
+
+    def test_tail_reads_incrementally(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        log.append([_event(1)])
+        events, offset = log.tail(0)
+        assert [event.seq for event in events] == [1]
+        assert offset == os.path.getsize(log.path)
+        log.append([_event(2)])
+        events, offset = log.tail(offset)
+        assert [event.seq for event in events] == [2]
+        again, same = log.tail(offset)
+        assert again == [] and same == offset
+
+    def test_tail_leaves_torn_line_unconsumed(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        log.append([_event(1)])
+        _, offset = log.tail(0)
+        with open(log.path, "ab") as handle:
+            handle.write(_event(2).to_line().encode()[:12])
+        events, new_offset = log.tail(offset)
+        assert events == [] and new_offset == offset
+
+    def test_empty_append_is_noop(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        log.append([])
+        assert not os.path.exists(log.path)

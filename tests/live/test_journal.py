@@ -1,0 +1,98 @@
+"""Tests for repro.live.journal: CRC-checked crash-safe checkpoints."""
+
+import pytest
+
+from repro.errors import LiveError
+from repro.live import Checkpoint, FollowJournal, JOURNAL_FILENAME
+
+
+def _checkpoint(day: int = 1710, cursor: int = 0) -> Checkpoint:
+    return Checkpoint(day, "a" * 64, cursor)
+
+
+class TestCheckpoint:
+    def test_line_roundtrip(self):
+        original = _checkpoint(1712, 5)
+        parsed = Checkpoint.from_line(original.to_line())
+        assert parsed == original
+        assert parsed.date == original.date
+
+    def test_crc_rejects_tampering(self):
+        line = _checkpoint().to_line()
+        tampered = line.replace("aaaa", "aaab", 1)
+        with pytest.raises(LiveError):
+            Checkpoint.from_line(tampered)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(LiveError):
+            Checkpoint.from_line("not a journal line at all")
+
+    def test_negative_cursor_rejected(self):
+        with pytest.raises(LiveError):
+            Checkpoint(1710, "d" * 64, -1)
+
+
+class TestFollowJournal:
+    def test_empty_directory_reads_empty(self, tmp_path):
+        journal = FollowJournal(str(tmp_path))
+        assert journal.load() == []
+        assert journal.last() is None
+
+    def test_append_then_reload(self, tmp_path):
+        journal = FollowJournal(str(tmp_path))
+        journal.append(_checkpoint(1710, 0))
+        journal.append(_checkpoint(1711, 2))
+        fresh = FollowJournal(str(tmp_path))
+        records = fresh.load()
+        assert [record.day for record in records] == [1710, 1711]
+        assert fresh.last() == _checkpoint(1711, 2)
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        journal = FollowJournal(str(tmp_path))
+        journal.append(_checkpoint(1710, 1))
+        path = tmp_path / JOURNAL_FILENAME
+        with open(path, "a", encoding="ascii") as handle:
+            handle.write("v1 1711 deadbeef")  # no cursor, no CRC: torn
+        fresh = FollowJournal(str(tmp_path))
+        assert fresh.last() == _checkpoint(1710, 1)
+
+    def test_damaged_line_ends_readable_prefix(self, tmp_path):
+        journal = FollowJournal(str(tmp_path))
+        journal.append(_checkpoint(1710, 1))
+        journal.append(_checkpoint(1711, 2))
+        path = tmp_path / JOURNAL_FILENAME
+        lines = path.read_text(encoding="ascii").splitlines()
+        lines[1] = lines[1].replace("aaaa", "bbbb", 1)
+        lines.append(_checkpoint(1712, 3).to_line())
+        path.write_text("\n".join(lines) + "\n", encoding="ascii")
+        # Damage in the middle hides everything after it too: the file
+        # is append-only, so later records cannot be trusted either.
+        assert FollowJournal(str(tmp_path)).last() == _checkpoint(1710, 1)
+
+    def test_day_regression_raises(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        path.write_text(
+            _checkpoint(1712, 1).to_line() + "\n"
+            + _checkpoint(1710, 1).to_line() + "\n",
+            encoding="ascii",
+        )
+        with pytest.raises(LiveError, match="not increasing"):
+            FollowJournal(str(tmp_path)).load()
+
+    def test_cursor_regression_raises(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        path.write_text(
+            _checkpoint(1710, 5).to_line() + "\n"
+            + _checkpoint(1711, 2).to_line() + "\n",
+            encoding="ascii",
+        )
+        with pytest.raises(LiveError, match="backwards"):
+            FollowJournal(str(tmp_path)).load()
+
+    def test_append_must_advance(self, tmp_path):
+        journal = FollowJournal(str(tmp_path))
+        journal.append(_checkpoint(1711, 2))
+        with pytest.raises(LiveError):
+            journal.append(_checkpoint(1711, 3))
+        with pytest.raises(LiveError):
+            journal.append(_checkpoint(1712, 1))

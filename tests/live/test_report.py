@@ -1,0 +1,228 @@
+"""Golden-pinned tests for repro.live.report and ``repro report``.
+
+The stub-archive goldens pin the rendered bytes exactly; the
+real-archive tests pin stability (same archive → identical output)
+without re-pinning detector payloads that other suites already cover.
+"""
+
+from types import SimpleNamespace
+
+import datetime as dt
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import LiveError
+from repro.live import EventLog, LiveEvent, compile_report, render_report
+from repro.timeline import day_index
+
+from .conftest import FOLLOW_END, FOLLOW_START
+
+
+def _summary(ns, hosting, tld, sanctioned, measured, listed):
+    return SimpleNamespace(
+        ns=ns, hosting=hosting, tld=tld, sanctioned=sanctioned,
+        measured_count=measured, listed_count=listed,
+    )
+
+
+class StubArchive:
+    """Just enough archive for compile_report: days + summaries."""
+
+    def __init__(self, summaries):
+        self._summaries = {
+            dt.date.fromisoformat(date): summary
+            for date, summary in summaries.items()
+        }
+        self.manifest = SimpleNamespace(days=set(self._summaries))
+
+    def load_summary(self, date):
+        return self._summaries[date]
+
+
+@pytest.fixture()
+def stub_window(tmp_path):
+    archive = StubArchive({
+        "2022-02-24": _summary(
+            ns=(50, 25, 25), hosting=(40, 30, 30), tld=(80, 10, 10),
+            sanctioned=(10, 10, 0), measured=100, listed=40,
+        ),
+        "2022-03-04": _summary(
+            ns=(60, 20, 20), hosting=(40, 30, 30), tld=(90, 5, 5),
+            sanctioned=(12, 8, 0), measured=110, listed=40,
+        ),
+    })
+    log = EventLog(str(tmp_path))
+    log.append([
+        LiveEvent(
+            1, day_index("2022-03-04"), "composition-step",
+            {"axis": "ns", "delta": 0.1, "before": 0.5, "after": 0.6},
+        ),
+        LiveEvent(
+            2, day_index("2022-03-04"), "provider-exit",
+            {"asn": 13335, "before": 40, "after": 5},
+        ),
+    ])
+    return archive, log
+
+
+GOLDEN_MD = """\
+# Live follow report: 2022-02-21 to 2022-03-04
+
+Window phases: pre-conflict to pre-sanctions.
+
+## Coverage
+
+| metric | value |
+|---|---|
+| archived days in window | 2 |
+| first archived day | 2022-02-24 |
+| last archived day | 2022-03-04 |
+| domains measured (last day) | 110 |
+| sanction-list size (last day) | 40 |
+| change events | 2 |
+
+## Fully-Russian composition shift
+
+Fraction of domains fully dependent on Russian infrastructure, per axis, first vs last archived day.
+
+| axis | 2022-02-24 | 2022-03-04 | delta |
+|---|---|---|---|
+| ns | 0.5000 | 0.6000 | +0.1000 |
+| hosting | 0.4000 | 0.4000 | +0.0000 |
+| tld | 0.8000 | 0.9000 | +0.1000 |
+| sanctioned | 0.5000 | 0.6000 | +0.1000 |
+
+## Events by kind
+
+| kind | count |
+|---|---|
+| composition-step | 1 |
+| provider-exit | 1 |
+
+## Event log
+
+| seq | date | kind | payload |
+|---|---|---|---|
+| 1 | 2022-03-04 | composition-step | `{"after":0.6,"axis":"ns","before":0.5,"delta":0.1}` |
+| 2 | 2022-03-04 | provider-exit | `{"after":5,"asn":13335,"before":40}` |
+
+"""
+
+GOLDEN_CSV = (
+    "seq,date,kind,payload\n"
+    '1,2022-03-04,composition-step,'
+    '"{""after"":0.6,""axis"":""ns"",""before"":0.5,""delta"":0.1}"\n'
+    '2,2022-03-04,provider-exit,'
+    '"{""after"":5,""asn"":13335,""before"":40}"\n'
+)
+
+
+class TestGoldenRender:
+    def test_markdown_golden(self, stub_window):
+        archive, log = stub_window
+        report = compile_report(archive, log, "2022-02-21", "2022-03-04")
+        assert render_report(report, "md") == GOLDEN_MD
+
+    def test_csv_golden(self, stub_window):
+        archive, log = stub_window
+        report = compile_report(archive, log, "2022-02-21", "2022-03-04")
+        assert render_report(report, "csv") == GOLDEN_CSV
+
+    def test_window_filters_events_and_days(self, stub_window):
+        archive, log = stub_window
+        report = compile_report(archive, log, "2022-02-21", "2022-02-28")
+        assert [date.isoformat() for date in report.dates] == ["2022-02-24"]
+        assert report.events == []
+        text = render_report(report, "md")
+        assert "No change events detected in this window." in text
+        assert "## Fully-Russian composition shift" in text
+
+    def test_empty_window_renders_na(self, tmp_path):
+        report = compile_report(
+            StubArchive({}), EventLog(str(tmp_path)), "2022-01-01",
+            "2022-01-02",
+        )
+        text = render_report(report, "md")
+        assert "| archived days in window | 0 |" in text
+        assert "| first archived day | n/a |" in text
+        assert "## Fully-Russian composition shift" not in text
+
+    def test_inverted_window_rejected(self, tmp_path):
+        with pytest.raises(LiveError, match="empty report window"):
+            compile_report(
+                StubArchive({}), EventLog(str(tmp_path)), "2022-03-02",
+                "2022-03-01",
+            )
+
+    def test_unknown_format_rejected(self, stub_window):
+        archive, log = stub_window
+        report = compile_report(archive, log, "2022-02-21", "2022-03-04")
+        with pytest.raises(LiveError, match="unknown report format"):
+            render_report(report, "json")
+
+
+class TestRealArchive:
+    def test_report_is_byte_stable(self, followed_archive):
+        from repro.archive import MeasurementArchive
+
+        def render():
+            archive = MeasurementArchive(followed_archive)
+            report = compile_report(
+                archive, EventLog(followed_archive), FOLLOW_START, FOLLOW_END
+            )
+            return render_report(report, "md")
+
+        first, second = render(), render()
+        assert first == second
+        total = EventLog(followed_archive).cursor()
+        assert f"| change events | {total} |" in first
+
+    def test_csv_row_per_event(self, followed_archive):
+        from repro.archive import MeasurementArchive
+
+        archive = MeasurementArchive(followed_archive)
+        report = compile_report(
+            archive, EventLog(followed_archive), FOLLOW_START, FOLLOW_END
+        )
+        text = render_report(report, "csv")
+        lines = text.strip().split("\n")
+        assert lines[0] == "seq,date,kind,payload"
+        assert len(lines) == len(report.events) + 1
+
+
+class TestCli:
+    def test_cli_matches_api(self, tmp_path, followed_archive):
+        from repro.archive import MeasurementArchive
+
+        out = tmp_path / "report.csv"
+        code = cli_main([
+            "report", "--from", FOLLOW_START, "--to", FOLLOW_END,
+            "--archive", followed_archive, "--format", "csv",
+            "--output", str(out),
+        ])
+        assert code == 0
+        report = compile_report(
+            MeasurementArchive(followed_archive),
+            EventLog(followed_archive), FOLLOW_START, FOLLOW_END,
+        )
+        assert out.read_text() == render_report(report, "csv")
+
+    def test_cli_markdown_to_stdout(self, capsys, followed_archive):
+        code = cli_main([
+            "report", "--from", FOLLOW_START, "--to", FOLLOW_END,
+            "--archive", followed_archive,
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "# Live follow report:" in captured.out
+
+    def test_cli_requires_both_bounds(self, followed_archive):
+        assert cli_main([
+            "report", "--from", FOLLOW_START, "--archive", followed_archive,
+        ]) == 2
+
+    def test_cli_requires_archive(self):
+        assert cli_main([
+            "report", "--from", FOLLOW_START, "--to", FOLLOW_END,
+        ]) == 2

@@ -76,6 +76,10 @@ class TestPlanPurity:
         assert any("%D1%80%D1%84" in path for path in paths)
         assert any("xn--p1ai" in path for path in paths)
 
+    def test_event_feed_is_in_the_mix(self):
+        paths = dict(default_mix())
+        assert paths["events:page"].startswith("/v1/events")
+
     def test_bad_parameters_are_rejected(self):
         with pytest.raises(ReproError):
             build_plan(1, rate=0.0, duration=1.0)
@@ -159,3 +163,20 @@ class TestLiveRun:
         assert written["seed"] == 20220224
         assert written["requests_sent"] == report["requests_sent"]
         assert written["query_mix"]["headline"] >= 1
+
+    def test_event_page_envelope_counts_as_well_formed(
+        self, service_archive
+    ):
+        """The event feed's page envelope differs from the query
+        envelope; an events-only run must not read as malformed."""
+        with ServiceThread(fresh_context(service_archive)) as server:
+            report = run_loadgen(
+                server.url(""),
+                rate=20.0,
+                duration=0.5,
+                seed=7,
+                output=None,
+                mix=[("events:page", "/v1/events?since=0&limit=50")],
+            )
+        assert report["requests_ok"] == report["requests_sent"]
+        assert report["malformed"] == 0
